@@ -1,0 +1,126 @@
+//! The simulation's address plan and block allocator.
+//!
+//! All synthetic addresses are carved out of disjoint superblocks, one per
+//! infrastructure category, so that a glance at an address reveals its
+//! role when debugging and — more importantly — so the subscriber space
+//! can never collide with server space. The specific ranges are arbitrary
+//! (this Internet is synthetic); disjointness is what matters, and a unit
+//! test pins it.
+
+use haystack_net::{NetError, Prefix4};
+use std::net::Ipv4Addr;
+
+/// The fixed superblocks of the synthetic Internet.
+#[derive(Debug, Clone, Copy)]
+pub struct AddressPlan;
+
+impl AddressPlan {
+    /// Subscriber lines of the studied ISP (≈4.2 M usable addresses; the
+    /// population model maps lines to addresses, with churn re-mapping).
+    pub fn subscribers() -> Prefix4 {
+        Prefix4::new(Ipv4Addr::new(100, 64, 0, 0), 10).unwrap()
+    }
+
+    /// Subscriber lines of *other* eyeball ASes seen at the IXP.
+    pub fn remote_eyeballs() -> Prefix4 {
+        Prefix4::new(Ipv4Addr::new(27, 0, 0, 0), 8).unwrap()
+    }
+
+    /// Dedicated IoT-operator server space.
+    pub fn dedicated() -> Prefix4 {
+        Prefix4::new(Ipv4Addr::new(198, 18, 0, 0), 15).unwrap()
+    }
+
+    /// Cloud-provider space (VM public IPs).
+    pub fn cloud() -> Prefix4 {
+        Prefix4::new(Ipv4Addr::new(40, 0, 0, 0), 10).unwrap()
+    }
+
+    /// CDN edge space.
+    pub fn cdn() -> Prefix4 {
+        Prefix4::new(Ipv4Addr::new(23, 0, 0, 0), 10).unwrap()
+    }
+
+    /// Generic (non-IoT) service space: big web properties, NTP pool, DNS
+    /// resolvers.
+    pub fn generic() -> Prefix4 {
+        Prefix4::new(Ipv4Addr::new(151, 64, 0, 0), 10).unwrap()
+    }
+
+    /// All superblocks (for the disjointness test).
+    pub fn all() -> Vec<Prefix4> {
+        vec![
+            Self::subscribers(),
+            Self::remote_eyeballs(),
+            Self::dedicated(),
+            Self::cloud(),
+            Self::cdn(),
+            Self::generic(),
+        ]
+    }
+}
+
+/// Sequentially carves sub-blocks and single addresses out of one
+/// superblock.
+#[derive(Debug, Clone)]
+pub struct IpAllocator {
+    block: Prefix4,
+    next: u32,
+}
+
+impl IpAllocator {
+    /// Allocator over `block`, starting at its first address.
+    pub fn new(block: Prefix4) -> Self {
+        IpAllocator { block, next: 0 }
+    }
+
+    /// Allocate the next single address.
+    pub fn alloc(&mut self) -> Result<Ipv4Addr, NetError> {
+        if self.next >= self.block.size() {
+            return Err(NetError::InvalidPrefixLen(32)); // exhausted
+        }
+        let ip = self.block.nth(self.next);
+        self.next += 1;
+        Ok(ip)
+    }
+
+    /// Allocate `n` consecutive addresses.
+    pub fn alloc_n(&mut self, n: u32) -> Result<Vec<Ipv4Addr>, NetError> {
+        (0..n).map(|_| self.alloc()).collect()
+    }
+
+    /// Addresses handed out so far.
+    pub fn allocated(&self) -> u32 {
+        self.next
+    }
+
+    /// The superblock this allocator carves from.
+    pub fn block(&self) -> Prefix4 {
+        self.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblocks_are_disjoint() {
+        let blocks = AddressPlan::all();
+        for (i, a) in blocks.iter().enumerate() {
+            for b in blocks.iter().skip(i + 1) {
+                assert!(!a.covers(b) && !b.covers(a), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_allocation() {
+        let mut a = IpAllocator::new(Prefix4::new(Ipv4Addr::new(198, 18, 0, 0), 30).unwrap());
+        assert_eq!(a.alloc().unwrap(), Ipv4Addr::new(198, 18, 0, 0));
+        assert_eq!(a.alloc().unwrap(), Ipv4Addr::new(198, 18, 0, 1));
+        assert_eq!(a.alloc_n(2).unwrap().len(), 2);
+        assert_eq!(a.allocated(), 4);
+        assert!(a.alloc().is_err(), "block of 4 exhausted");
+    }
+}

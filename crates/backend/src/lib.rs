@@ -1,0 +1,29 @@
+//! # haystack-backend
+//!
+//! The synthetic Internet the IoT devices talk to. Figure 1 of the paper
+//! distinguishes two backend shapes, and §4.2 adds a third:
+//!
+//! * **Dedicated infrastructure** — an operator's own servers; every
+//!   service IP serves only that operator's domains (device type A/B).
+//! * **Cloud VMs** — EC2-style: the operator rents VMs whose *public IPs
+//!   are exclusive to the tenant while held* (§4.2.1's devA.com example);
+//!   dedicated in effect, though the IP sits in the cloud AS.
+//! * **CDN / shared hosting** — Akamai-style: tenant domains CNAME into
+//!   the CDN's dispatch zone and resolve to edge IPs *shared across many
+//!   unrelated tenants* (§4.2.1's devB.com example; device type C). These
+//!   defeat IP-level attribution and are what §4.2.3 removes.
+//!
+//! [`UniverseBuilder`] assembles all three, emitting a coherent
+//! [`BackendUniverse`]: authoritative DNS zones, an HTTPS scan snapshot,
+//! an AS registry (clouds/CDNs register as such, feeding the §2.1
+//! user/server classifier), and a hosting oracle used by tests and
+//! calibration — never by the detector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod universe;
+
+pub use alloc::{AddressPlan, IpAllocator};
+pub use universe::{BackendUniverse, Hosting, UniverseBuilder};

@@ -1,0 +1,127 @@
+//! Property tests over the backend universe: whatever mix of operators,
+//! clouds, CDNs, and hostings a catalog requests, the materialized world
+//! must keep its invariants — address-space discipline, resolvability,
+//! cert consistency, and the dedicated/shared ground truth.
+
+use haystack_backend::{AddressPlan, BackendUniverse, UniverseBuilder};
+use haystack_dns::{DomainName, Resolver};
+use haystack_net::SimTime;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum HostSpec {
+    Dedicated { pool: u32, active: usize },
+    CloudVm,
+    Cdn,
+}
+
+fn arb_hosting() -> impl Strategy<Value = HostSpec> {
+    prop_oneof![
+        (1u32..12, 1usize..8).prop_map(|(pool, active)| HostSpec::Dedicated { pool, active }),
+        Just(HostSpec::CloudVm),
+        Just(HostSpec::Cdn),
+    ]
+}
+
+fn build(specs: &[HostSpec]) -> (BackendUniverse, Vec<DomainName>) {
+    let mut b = UniverseBuilder::new();
+    b.add_cloud("cloudnova", "ec2compute.cloudnova.com");
+    b.add_cdn("akadns", "akadns.net", 24, 4, 3_600);
+    let mut names = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let name = DomainName::parse(&format!("d{i}.vendor{i}.com")).unwrap();
+        match spec {
+            HostSpec::Dedicated { pool, active } => {
+                let op = format!("vendor{i}");
+                b.add_operator(&op);
+                b.host_dedicated(&op, &name, *pool, *active, 3_600);
+            }
+            HostSpec::CloudVm => {
+                b.host_cloud_vm("cloudnova", &format!("vendor{i}"), &name);
+            }
+            HostSpec::Cdn => b.host_cdn("akadns", &name),
+        }
+        names.push(name);
+    }
+    (b.build(), names)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_hosted_domain_resolves_into_its_superblock(
+        specs in prop::collection::vec(arb_hosting(), 1..24),
+    ) {
+        let (u, names) = build(&specs);
+        let r = Resolver::new(&u.zones);
+        for (name, spec) in names.iter().zip(&specs) {
+            let res = r.resolve(name, SimTime(0)).expect("resolves");
+            prop_assert!(!res.ips.is_empty());
+            let block = match spec {
+                HostSpec::Dedicated { .. } => AddressPlan::dedicated(),
+                HostSpec::CloudVm => AddressPlan::cloud(),
+                HostSpec::Cdn => AddressPlan::cdn(),
+            };
+            for ip in &res.ips {
+                prop_assert!(block.contains(*ip), "{name} resolved outside its block: {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn dedication_oracle_matches_spec(specs in prop::collection::vec(arb_hosting(), 1..24)) {
+        let (u, names) = build(&specs);
+        for (name, spec) in names.iter().zip(&specs) {
+            let want = !matches!(spec, HostSpec::Cdn);
+            prop_assert_eq!(u.is_dedicated(name), Some(want));
+        }
+    }
+
+    #[test]
+    fn dedicated_and_cloud_hosts_present_matching_certs(
+        specs in prop::collection::vec(arb_hosting(), 1..16),
+    ) {
+        let (u, names) = build(&specs);
+        let r = Resolver::new(&u.zones);
+        for (name, spec) in names.iter().zip(&specs) {
+            let ips = r.full_pool(name).expect("pool");
+            match spec {
+                HostSpec::Cdn => {
+                    // Multi-tenant SAN certs must fail the §4.2.2 criteria.
+                    for ip in ips {
+                        prop_assert!(!u.scans.cert_at_ip_identifies(ip, name));
+                    }
+                }
+                _ => {
+                    for ip in ips {
+                        prop_assert!(
+                            u.scans.cert_at_ip_identifies(ip, name),
+                            "{name} host {ip} lacks an identifying cert"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_non_cdn_domains_never_share_addresses(
+        specs in prop::collection::vec(arb_hosting(), 2..20),
+    ) {
+        let (u, names) = build(&specs);
+        let r = Resolver::new(&u.zones);
+        let mut seen: std::collections::HashMap<std::net::Ipv4Addr, usize> = Default::default();
+        for (i, (name, spec)) in names.iter().zip(&specs).enumerate() {
+            if matches!(spec, HostSpec::Cdn) {
+                continue;
+            }
+            for ip in r.full_pool(name).expect("pool") {
+                if let Some(prev) = seen.insert(ip, i) {
+                    prop_assert_eq!(prev, i, "dedicated IP {} shared across domains", ip);
+                }
+            }
+        }
+        let _ = u;
+    }
+}

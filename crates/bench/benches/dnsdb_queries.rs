@@ -1,0 +1,51 @@
+//! Passive-DNS query throughput — the §4.2.1 analysis and the daily
+//! hitlist rebuild both hammer `ips_of` / `names_of_ip` / `slds_of_ip`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use haystack_net::StudyWindow;
+use std::sync::OnceLock;
+
+fn pipeline() -> &'static Pipeline {
+    static P: OnceLock<Pipeline> = OnceLock::new();
+    P.get_or_init(|| Pipeline::run(PipelineConfig::fast(42)))
+}
+
+fn bench(c: &mut Criterion) {
+    let p = pipeline();
+    let names: Vec<_> = p.observations.domains().map(|(n, _)| n.clone()).collect();
+    let window = StudyWindow::FULL;
+    // Collect a set of service IPs to query the inverse index with.
+    let ips: Vec<_> = names
+        .iter()
+        .flat_map(|n| p.dnsdb.ips_of(n, &window))
+        .take(500)
+        .collect();
+
+    let mut g = c.benchmark_group("dnsdb");
+    g.throughput(Throughput::Elements(names.len() as u64));
+    g.sample_size(20);
+    g.bench_function("ips_of_all_observed_domains", |b| {
+        b.iter(|| {
+            names
+                .iter()
+                .map(|n| p.dnsdb.ips_of(n, &window).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("dnsdb_inverse");
+    g.throughput(Throughput::Elements(ips.len() as u64));
+    g.bench_function("slds_of_ip_500", |b| {
+        b.iter(|| {
+            ips.iter()
+                .map(|ip| p.dnsdb.slds_of_ip(*ip, &window).len())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

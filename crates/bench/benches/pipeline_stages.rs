@@ -1,0 +1,65 @@
+//! Cost of the offline pipeline stages (§4): domain classification,
+//! DNSDB-based dedication, rule generation, and the daily hitlist
+//! rebuild. These run once per day in a deployment — the bench documents
+//! that they are negligible next to the streaming path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use haystack_core::dedicated::{dnsdb_verdict, InfraKnowledge};
+use haystack_core::domains::{classify, StaticWebIntelligence};
+use haystack_core::hitlist::HitList;
+use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use haystack_core::rules::{generate, RuleInputs};
+use haystack_dns::DomainName;
+use haystack_net::{DayBin, StudyWindow};
+use std::sync::OnceLock;
+
+fn pipeline() -> &'static Pipeline {
+    static P: OnceLock<Pipeline> = OnceLock::new();
+    P.get_or_init(|| Pipeline::run(PipelineConfig::fast(42)))
+}
+
+fn bench(c: &mut Criterion) {
+    let p = pipeline();
+
+    c.bench_function("classify_all_observed_domains", |b| {
+        let intel = StaticWebIntelligence::for_catalog(&p.catalog);
+        let majority = DomainName::parse("amazon-iot.com").unwrap();
+        b.iter(|| {
+            p.observations
+                .domains()
+                .map(|(name, usage)| classify(&p.catalog, &intel, name, usage, Some(&majority)))
+                .filter(|c| matches!(c, haystack_core::domains::DomainClass::Primary))
+                .count()
+        })
+    });
+
+    c.bench_function("dnsdb_dedication_all_domains", |b| {
+        let infra = InfraKnowledge::new([DomainName::parse("cloudnova.com").unwrap()]);
+        let window = StudyWindow::FULL;
+        b.iter(|| {
+            p.observations
+                .domains()
+                .map(|(name, _)| dnsdb_verdict(&p.dnsdb, &infra, name, &window))
+                .count()
+        })
+    });
+
+    c.bench_function("rule_generation", |b| {
+        b.iter(|| {
+            let inputs = RuleInputs {
+                catalog: &p.catalog,
+                observations: &p.observations,
+                classification: &p.classification,
+                dedication: &p.dedication,
+            };
+            generate(&inputs).rules.len()
+        })
+    });
+
+    c.bench_function("daily_hitlist_rebuild", |b| {
+        b.iter(|| HitList::for_day(&p.rules, &p.dnsdb, DayBin(3)).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

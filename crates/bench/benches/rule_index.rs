@@ -1,0 +1,80 @@
+//! Ablation for DESIGN.md §5.2: the detector indexes rules by
+//! (service IP, port) in a hash map. The alternative — scanning every
+//! rule's domain IP sets per record — is what a naive implementation
+//! does; this bench quantifies the gap that makes ISP-scale streaming
+//! possible.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use haystack_core::hitlist::HitList;
+use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+
+fn pipeline() -> &'static Pipeline {
+    static P: OnceLock<Pipeline> = OnceLock::new();
+    P.get_or_init(|| Pipeline::run(PipelineConfig::fast(42)))
+}
+
+fn lookups(n: usize) -> Vec<(Ipv4Addr, u16)> {
+    let p = pipeline();
+    let mut rule_ips: Vec<(Ipv4Addr, u16)> = Vec::new();
+    for r in &p.rules.rules {
+        for d in &r.domains {
+            for ip in &d.ips {
+                for port in &d.ports {
+                    rule_ips.push((*ip, *port));
+                }
+            }
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(11);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                rule_ips[rng.gen_range(0..rule_ips.len())]
+            } else {
+                (Ipv4Addr::new(151, 64, rng.gen(), rng.gen()), 443)
+            }
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let p = pipeline();
+    let hl = HitList::whole_window(&p.rules);
+    let queries = lookups(100_000);
+
+    let mut g = c.benchmark_group("rule_matching");
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.sample_size(10); // the linear scan is deliberately slow
+    g.bench_function("hash_index", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (ip, port) in &queries {
+                hits += hl.lookup(*ip, *port).len();
+            }
+            hits
+        })
+    });
+    g.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (ip, port) in &queries {
+                for r in &p.rules.rules {
+                    for d in &r.domains {
+                        if d.ports.contains(port) && d.ips.contains(ip) {
+                            hits += 1;
+                        }
+                    }
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! `haystack` — the operator-facing command line.
+//!
+//! ```text
+//! haystack rules    [--fast] [--seed N] [--out rules.json]
+//! haystack inspect  --rules rules.json
+//! haystack detect   --rules rules.json [--lines N] [--days D] [--threshold T]
+//! haystack mitigate --rules rules.json --class NAME [--redirect IP]
+//! ```
+//!
+//! `rules` runs the full §2–§4 pipeline (it needs the testbeds) and
+//! persists the detection rules; the other commands work from the JSON
+//! document alone, the way a collector-side deployment would.
+
+use haystack_cli::{rules_from_json, rules_to_json};
+use haystack_core::detector::{Detector, DetectorConfig};
+use haystack_core::hitlist::HitList;
+use haystack_core::mitigation::{block_plan, Action};
+use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use haystack_dns::DnsDb;
+use haystack_net::DayBin;
+use haystack_testbed::catalog::data::standard_catalog;
+use haystack_testbed::materialize::materialize;
+use haystack_wild::{IspConfig, IspVantage};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if key == "fast" {
+                out.insert("fast".into(), "true".into());
+            } else {
+                match it.next() {
+                    Some(v) => {
+                        out.insert(key.to_string(), v.clone());
+                    }
+                    None => usage(),
+                }
+            }
+        } else {
+            usage();
+        }
+    }
+    out
+}
+
+fn load_rules(flags: &HashMap<String, String>) -> haystack_core::rules::RuleSet {
+    let path = flags.get("rules").unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        exit(1);
+    });
+    let doc: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not JSON: {e}");
+        exit(1);
+    });
+    rules_from_json(&doc).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        exit(1);
+    })
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --{key} needs a number");
+                exit(2);
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn cmd_rules(flags: HashMap<String, String>) {
+    let seed: u64 = num(&flags, "seed", 42);
+    let config = if flags.contains_key("fast") {
+        PipelineConfig::fast(seed)
+    } else {
+        PipelineConfig { seed, ..Default::default() }
+    };
+    eprintln!("running the ground-truth pipeline (this is the slow part) ...");
+    let pipeline = Pipeline::run(config);
+    let doc = rules_to_json(&pipeline.rules);
+    let text = serde_json::to_string_pretty(&doc).expect("serializable");
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, text).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                exit(1);
+            });
+            eprintln!(
+                "wrote {} rules ({} undetectable classes) to {path}",
+                pipeline.rules.rules.len(),
+                pipeline.rules.undetectable.len()
+            );
+        }
+        None => println!("{text}"),
+    }
+}
+
+fn cmd_inspect(flags: HashMap<String, String>) {
+    let rules = load_rules(&flags);
+    println!("class\tlevel\tparent\tdomains\tservice_ips\tusage_indicators");
+    for r in &rules.rules {
+        println!(
+            "{}\t{:?}\t{}\t{}\t{}\t{}",
+            r.class,
+            r.level,
+            r.parent.unwrap_or("-"),
+            r.domains.len(),
+            r.domains.iter().map(|d| d.ips.len()).sum::<usize>(),
+            r.domains.iter().filter(|d| d.usage_indicator).count(),
+        );
+    }
+}
+
+fn cmd_detect(flags: HashMap<String, String>) {
+    let rules = load_rules(&flags);
+    let lines: u32 = num(&flags, "lines", 20_000);
+    let days: u32 = num(&flags, "days", 1);
+    let threshold: f64 = num(&flags, "threshold", 0.4);
+    let seed: u64 = num(&flags, "seed", 42);
+
+    eprintln!("building the simulated ISP ({lines} lines) ...");
+    let catalog = standard_catalog();
+    let world = materialize(&catalog);
+    let isp = IspVantage::new(
+        &catalog,
+        IspConfig { lines, sampling: 1_000, seed, background: false },
+    );
+    let mut det = Detector::new(
+        &rules,
+        HitList::whole_window(&rules),
+        DetectorConfig { threshold, require_established: false },
+    );
+    println!("day\tclass\tdetected_lines");
+    for day in 0..days {
+        det.reset();
+        for hour in DayBin(day).hours() {
+            for r in &isp.capture_hour(&world, hour).records {
+                det.observe_wild(r);
+            }
+        }
+        for rule in &rules.rules {
+            println!("{day}\t{}\t{}", rule.class, det.detected_lines(rule.class).len());
+        }
+    }
+}
+
+fn cmd_mitigate(flags: HashMap<String, String>) {
+    let rules = load_rules(&flags);
+    let class = flags.get("class").unwrap_or_else(|| usage());
+    let class: &'static str = Box::leak(class.clone().into_boxed_str());
+    let action = match flags.get("redirect") {
+        Some(ip) => Action::Redirect(ip.parse().unwrap_or_else(|_| {
+            eprintln!("error: --redirect needs an IPv4 address");
+            exit(2);
+        })),
+        None => Action::Block,
+    };
+    // Collector-side mitigations work from the rules' IP unions when no
+    // passive-DNS feed is wired in.
+    match block_plan(&rules, &DnsDb::new(), class, DayBin(0), action) {
+        Some(plan) => {
+            println!("# {:?} plan for {class} ({} targets)", plan.action, plan.targets.len());
+            for (ip, port) in &plan.targets {
+                println!("{ip}\t{port}");
+            }
+        }
+        None => {
+            eprintln!("error: no rule for class {class:?} (try `haystack inspect`)");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_capture(flags: HashMap<String, String>) {
+    use haystack_testbed::capture::write_trace;
+    use haystack_testbed::ExperimentDriver;
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let hours: u32 = num(&flags, "hours", 6);
+    let seed: u64 = num(&flags, "seed", 42);
+    let driver = ExperimentDriver::new(standard_catalog(), seed);
+    let world = materialize(driver.catalog());
+    let mut packets = Vec::new();
+    eprintln!("capturing {hours} h of the idle experiment at the Home-VP ...");
+    for hour in haystack_net::StudyWindow::IDLE_GT.hour_bins().take(hours as usize) {
+        packets.extend(driver.generate_hour(&world, hour));
+    }
+    let file = std::fs::File::create(out).unwrap_or_else(|e| {
+        eprintln!("error: cannot create {out}: {e}");
+        exit(1);
+    });
+    write_trace(std::io::BufWriter::new(file), &packets).unwrap_or_else(|e| {
+        eprintln!("error: write failed: {e}");
+        exit(1);
+    });
+    eprintln!("wrote {} packets to {out}", packets.len());
+}
+
+fn cmd_replay(flags: HashMap<String, String>) {
+    use haystack_flow::sampling::{PacketSampler, SystematicSampler};
+    use haystack_testbed::capture::read_trace;
+    let rules = load_rules(&flags);
+    let trace_path = flags.get("trace").unwrap_or_else(|| usage());
+    let sampling: u64 = num(&flags, "sampling", 1_000);
+    let threshold: f64 = num(&flags, "threshold", 0.4);
+    let file = std::fs::File::open(trace_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open {trace_path}: {e}");
+        exit(1);
+    });
+    let packets = read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("error: {trace_path}: {e}");
+        exit(1);
+    });
+    let mut sampler = SystematicSampler::new(sampling, 3).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+    let mut det = Detector::new(
+        &rules,
+        HitList::whole_window(&rules),
+        DetectorConfig { threshold, require_established: false },
+    );
+    let line = haystack_net::AnonId(1);
+    let mut kept = 0u64;
+    for g in &packets {
+        if sampler.sample() {
+            kept += 1;
+            det.observe(
+                line,
+                g.packet.dst,
+                g.packet.dport,
+                g.packet.proto,
+                g.packet.flags.is_established_evidence(),
+                g.packet.ts.hour(),
+            );
+        }
+    }
+    eprintln!("{} packets replayed, {kept} sampled (1/{sampling})", packets.len());
+    println!("class\tdetected");
+    for rule in &rules.rules {
+        println!("{}\t{}", rule.class, det.is_detected(line, rule.class));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let flags = parse_flags(rest);
+    match cmd.as_str() {
+        "rules" => cmd_rules(flags),
+        "inspect" => cmd_inspect(flags),
+        "detect" => cmd_detect(flags),
+        "mitigate" => cmd_mitigate(flags),
+        "capture" => cmd_capture(flags),
+        "replay" => cmd_replay(flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,68 @@
+//! The JSON document must carry real pipeline rules losslessly — a
+//! collector loading the file detects exactly what the generating side
+//! would.
+
+use haystack_cli::{rules_from_json, rules_to_json};
+use haystack_core::detector::{Detector, DetectorConfig};
+use haystack_core::hitlist::HitList;
+use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use haystack_net::ports::Proto;
+use haystack_net::{AnonId, HourBin};
+
+#[test]
+fn real_rules_survive_json_and_detect_identically() {
+    let p = Pipeline::run(PipelineConfig::fast(7));
+    let doc = rules_to_json(&p.rules);
+    let text = serde_json::to_string(&doc).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let loaded = rules_from_json(&parsed).unwrap();
+
+    assert_eq!(loaded.rules.len(), p.rules.rules.len());
+    for (a, b) in p.rules.rules.iter().zip(&loaded.rules) {
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.level, b.level);
+        assert_eq!(a.parent, b.parent);
+        assert_eq!(a.domains.len(), b.domains.len());
+        for (da, db) in a.domains.iter().zip(&b.domains) {
+            assert_eq!(da.name, db.name);
+            assert_eq!(da.ports, db.ports);
+            assert_eq!(da.ips, db.ips);
+            assert_eq!(da.usage_indicator, db.usage_indicator);
+        }
+    }
+
+    // Identical evidence → identical verdicts, original vs loaded rules.
+    let line = AnonId(42);
+    let mut orig = Detector::new(
+        &p.rules,
+        HitList::whole_window(&p.rules),
+        DetectorConfig::default(),
+    );
+    let mut from_json = Detector::new(
+        &loaded,
+        HitList::whole_window(&loaded),
+        DetectorConfig::default(),
+    );
+    // Touch one IP/port of every rule domain.
+    let combos: Vec<(std::net::Ipv4Addr, u16)> = p
+        .rules
+        .rules
+        .iter()
+        .flat_map(|r| r.domains.iter())
+        .filter_map(|d| {
+            Some((*d.ips.iter().next()?, *d.ports.iter().next()?))
+        })
+        .collect();
+    for (ip, port) in combos {
+        orig.observe(line, ip, port, Proto::Tcp, true, HourBin(0));
+        from_json.observe(line, ip, port, Proto::Tcp, true, HourBin(0));
+    }
+    for rule in &p.rules.rules {
+        assert_eq!(
+            orig.is_detected(line, rule.class),
+            from_json.is_detected(line, rule.class),
+            "verdict diverged for {}",
+            rule.class
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! §5 — crosschecking the rules against the ground truth.
+//!
+//! The Home-VP's packets are run through the *full* measurement pipeline
+//! — packet sampling at the border router, the flow cache, NetFlow v9
+//! encoding, collection, decoding — and the resulting records are fed to
+//! the detector. The output is Figure 10: per detection class and
+//! threshold `D`, the time until the class is detected at the Home-VP
+//! subscriber line (or "not detected" within the window).
+//!
+//! The same machinery powers the false-positive crosscheck ("another
+//! experiment where we only enable a small subset of IoT devices … we do
+//! not identify any devices that are not explicitly part of the
+//! experiment"): pass an instance filter and assert on
+//! [`detected_classes`].
+
+use crate::detector::{Detector, DetectorConfig};
+use crate::hitlist::HitList;
+use crate::pipeline::Pipeline;
+use haystack_flow::cache::{FlowCache, FlowCacheConfig};
+use haystack_flow::export::{ExportProtocol, Exporter};
+use haystack_flow::sampling::{PacketSampler, SystematicSampler};
+use haystack_flow::{Collector, FlowRecord};
+use haystack_net::{AnonId, HourBin, StudyWindow};
+use haystack_testbed::ExperimentKind;
+use std::collections::BTreeSet;
+
+/// The Home-VP is one subscriber line; this is its detector identity.
+pub const HOME_LINE: AnonId = AnonId(0x0A11_CE);
+
+/// Crosscheck configuration.
+#[derive(Debug, Clone)]
+pub struct CrosscheckConfig {
+    /// 1-in-N border-router sampling (ISP default 1/1000).
+    pub sampling: u64,
+    /// Which experiment to replay.
+    pub kind: ExperimentKind,
+    /// Limit the replay to the first `hours` of the window (whole window
+    /// if `None`).
+    pub hours: Option<u32>,
+}
+
+/// Per-class detection timing at one threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionTime {
+    /// Detection class.
+    pub class: &'static str,
+    /// Threshold `D`.
+    pub threshold: f64,
+    /// Hours from window start until detection (`None` = not detected).
+    pub hours_to_detect: Option<u32>,
+}
+
+/// Replay the ground truth through sampling + NetFlow and return the
+/// decoded flow records per hour.
+pub fn replay_flows(pipeline: &Pipeline, config: &CrosscheckConfig) -> Vec<(HourBin, Vec<FlowRecord>)> {
+    let window = match config.kind {
+        ExperimentKind::Active => StudyWindow::ACTIVE_GT,
+        ExperimentKind::Idle => StudyWindow::IDLE_GT,
+    };
+    let mut sampler = SystematicSampler::new(config.sampling, pipeline.driver.catalog().products.len() as u64)
+        .expect("valid sampling rate");
+    let mut cache = FlowCache::new(FlowCacheConfig::default());
+    let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 1);
+    let mut collector = Collector::new();
+    let mut out = Vec::new();
+    let hours: Vec<HourBin> = match config.hours {
+        Some(h) => window.hour_bins().take(h as usize).collect(),
+        None => window.hour_bins().collect(),
+    };
+    for hour in hours {
+        let packets = pipeline.driver.generate_hour(&pipeline.world, hour);
+        for g in &packets {
+            if sampler.sample() {
+                cache.on_packet(&g.packet);
+            }
+        }
+        cache.advance(hour.next().start());
+        let expired = cache.drain_expired();
+        let mut decoded = Vec::with_capacity(expired.len());
+        for msg in exporter
+            .export(&expired, hour.start().0 as u32)
+            .expect("export never fails on valid records")
+        {
+            decoded.extend(
+                collector
+                    .feed_netflow_v9(msg)
+                    .expect("self-produced datagrams decode"),
+            );
+        }
+        out.push((hour, decoded));
+    }
+    out
+}
+
+/// Figure 10: detection times for every rule class across thresholds.
+pub fn detection_times(
+    pipeline: &Pipeline,
+    config: &CrosscheckConfig,
+    thresholds: &[f64],
+) -> Vec<DetectionTime> {
+    let flows = replay_flows(pipeline, config);
+    let window_start = flows.first().map(|(h, _)| h.0).unwrap_or(0);
+    let mut out = Vec::new();
+    for &threshold in thresholds {
+        let hitlist = HitList::whole_window(&pipeline.rules);
+        let mut det = Detector::new(
+            &pipeline.rules,
+            hitlist,
+            DetectorConfig { threshold, require_established: false },
+        );
+        for (hour, records) in &flows {
+            for r in records {
+                det.observe(HOME_LINE, r.key.dst, r.key.dport, r.key.proto, r.is_established_evidence(), *hour);
+            }
+        }
+        for rule in &pipeline.rules.rules {
+            let hours_to_detect = det
+                .first_detection(HOME_LINE, rule.class)
+                .map(|h| h.0 - window_start);
+            out.push(DetectionTime { class: rule.class, threshold, hours_to_detect });
+        }
+    }
+    out
+}
+
+/// False-positive crosscheck: replay only the given instances' traffic
+/// and report which classes the detector claims.
+pub fn detected_classes(
+    pipeline: &Pipeline,
+    instances: &BTreeSet<u32>,
+    config: &CrosscheckConfig,
+    threshold: f64,
+) -> BTreeSet<&'static str> {
+    let window = match config.kind {
+        ExperimentKind::Active => StudyWindow::ACTIVE_GT,
+        ExperimentKind::Idle => StudyWindow::IDLE_GT,
+    };
+    let mut sampler = SystematicSampler::new(config.sampling, 3).expect("valid sampling rate");
+    let hitlist = HitList::whole_window(&pipeline.rules);
+    let mut det = Detector::new(
+        &pipeline.rules,
+        hitlist,
+        DetectorConfig { threshold, require_established: false },
+    );
+    let hours: Vec<HourBin> = match config.hours {
+        Some(h) => window.hour_bins().take(h as usize).collect(),
+        None => window.hour_bins().collect(),
+    };
+    for hour in hours {
+        let packets = pipeline.driver.generate_hour(&pipeline.world, hour);
+        for g in &packets {
+            if instances.contains(&g.instance) && sampler.sample() {
+                det.observe(
+                    HOME_LINE,
+                    g.packet.dst,
+                    g.packet.dport,
+                    g.packet.proto,
+                    g.packet.flags.is_established_evidence(),
+                    hour,
+                );
+            }
+        }
+    }
+    pipeline
+        .rules
+        .rules
+        .iter()
+        .map(|r| r.class)
+        .filter(|c| det.is_detected(HOME_LINE, c))
+        .collect()
+}
+
+/// Summary used by the §5 headline claim: the fraction of rule classes
+/// (optionally restricted by level) detected within `within_hours`.
+pub fn fraction_detected_within(
+    times: &[DetectionTime],
+    threshold: f64,
+    within_hours: u32,
+    classes: &BTreeSet<&'static str>,
+) -> f64 {
+    let relevant: Vec<&DetectionTime> = times
+        .iter()
+        .filter(|t| (t.threshold - threshold).abs() < 1e-9 && classes.contains(t.class))
+        .collect();
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hit = relevant
+        .iter()
+        .filter(|t| t.hours_to_detect.map(|h| h < within_hours).unwrap_or(false))
+        .count();
+    hit as f64 / relevant.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> &'static Pipeline {
+        crate::testutil::shared_pipeline()
+    }
+
+    #[test]
+    fn replay_produces_flow_records() {
+        let p = pipeline();
+        let flows = replay_flows(
+            &p,
+            &CrosscheckConfig { sampling: 100, kind: ExperimentKind::Idle, hours: Some(3) },
+        );
+        assert_eq!(flows.len(), 3);
+        let total: usize = flows.iter().map(|(_, r)| r.len()).sum();
+        assert!(total > 50, "sampled flows: {total}");
+    }
+
+    #[test]
+    fn hot_classes_detected_quickly_at_low_threshold() {
+        let p = pipeline();
+        let times = detection_times(
+            &p,
+            &CrosscheckConfig { sampling: 1_000, kind: ExperimentKind::Active, hours: Some(12) },
+            &[0.4],
+        );
+        let alexa = times.iter().find(|t| t.class == "Alexa Enabled").unwrap();
+        assert!(
+            alexa.hours_to_detect.map(|h| h <= 2).unwrap_or(false),
+            "Alexa detected almost instantly, got {:?}",
+            alexa.hours_to_detect
+        );
+    }
+
+    #[test]
+    fn higher_threshold_never_detects_earlier() {
+        let p = pipeline();
+        let times = detection_times(
+            &p,
+            &CrosscheckConfig { sampling: 500, kind: ExperimentKind::Active, hours: Some(8) },
+            &[0.2, 1.0],
+        );
+        for rule in &p.rules.rules {
+            let low = times
+                .iter()
+                .find(|t| t.class == rule.class && t.threshold == 0.2)
+                .unwrap();
+            let high = times
+                .iter()
+                .find(|t| t.class == rule.class && t.threshold == 1.0)
+                .unwrap();
+            match (low.hours_to_detect, high.hours_to_detect) {
+                (None, Some(_)) => panic!("{}: high-D detected but low-D missed", rule.class),
+                (Some(l), Some(h)) => assert!(l <= h, "{}: low {l} > high {h}", rule.class),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn subset_experiment_has_no_false_positives() {
+        let p = pipeline();
+        // Enable only the Yi Camera instances.
+        let yi: BTreeSet<u32> = p
+            .driver
+            .instances()
+            .iter()
+            .filter(|i| p.catalog.products[i.product].class == "Yi Camera")
+            .map(|i| i.id)
+            .collect();
+        assert!(!yi.is_empty());
+        let detected = detected_classes(
+            &p,
+            &yi,
+            &CrosscheckConfig { sampling: 100, kind: ExperimentKind::Active, hours: Some(10) },
+            0.4,
+        );
+        for class in &detected {
+            assert_eq!(*class, "Yi Camera", "false positive: {class}");
+        }
+    }
+
+    #[test]
+    fn fraction_helper() {
+        let times = vec![
+            DetectionTime { class: "A", threshold: 0.4, hours_to_detect: Some(0) },
+            DetectionTime { class: "B", threshold: 0.4, hours_to_detect: Some(30) },
+            DetectionTime { class: "C", threshold: 0.4, hours_to_detect: None },
+        ];
+        let classes: BTreeSet<&'static str> = ["A", "B", "C"].into_iter().collect();
+        assert!((fraction_detected_within(&times, 0.4, 1, &classes) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((fraction_detected_within(&times, 0.4, 48, &classes) - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,362 @@
+//! The streaming detector.
+//!
+//! State per (subscriber line, rule) is one 64-bit evidence mask — which
+//! of the rule's primary domains the line has touched. Each record costs
+//! one hitlist lookup plus a few bit operations, which is what lets the
+//! methodology run against an ISP's full NetFlow feed ("able to identify
+//! millions of IoT devices within minutes", §1; the `detector_throughput`
+//! bench quantifies it).
+//!
+//! Detection semantics (§4.3.2): rule `r` fires for a line once the line
+//! has contacted IP/port combinations of at least `max(1, ⌊D·N⌋)` of the
+//! rule's `N` domains. Hierarchies gate children (§5: "for Samsung TV we
+//! require to observe enough domains to confirm the presence of a
+//! Samsung IoT device before moving forward"): a child rule only *counts
+//! as detected* while every ancestor rule is also detected for that line.
+
+use crate::hitlist::HitList;
+use crate::rules::RuleSet;
+use haystack_net::ports::Proto;
+use haystack_net::{AnonId, HourBin};
+use haystack_wild::WildRecord;
+use std::collections::HashMap;
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// The evidence threshold `D` (paper's conservative choice: 0.4).
+    pub threshold: f64,
+    /// §6.3: require established-TCP evidence (IXP deployments).
+    pub require_established: bool,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { threshold: 0.4, require_established: false }
+    }
+}
+
+/// The streaming detector. Lifetime-bound to its rule set.
+///
+/// ```
+/// use haystack_core::detector::{Detector, DetectorConfig};
+/// use haystack_core::hitlist::HitList;
+/// use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+/// use haystack_dns::DomainName;
+/// use haystack_net::ports::Proto;
+/// use haystack_net::{AnonId, HourBin};
+///
+/// let rules = RuleSet {
+///     rules: vec![DetectionRule {
+///         class: "Example Cam",
+///         level: haystack_testbed::catalog::DetectionLevel::Manufacturer,
+///         parent: None,
+///         domains: vec![RuleDomain {
+///             name: DomainName::parse("api.example-cam.com").unwrap(),
+///             ports: [443u16].into_iter().collect(),
+///             ips: ["198.18.0.1".parse().unwrap()].into_iter().collect(),
+///             usage_indicator: false,
+///         }],
+///     }],
+///     undetectable: vec![],
+/// };
+/// let mut det = Detector::new(
+///     &rules,
+///     HitList::whole_window(&rules),
+///     DetectorConfig::default(),
+/// );
+/// let line = AnonId(7);
+/// det.observe(line, "198.18.0.1".parse().unwrap(), 443, Proto::Tcp, true, HourBin(0));
+/// assert!(det.is_detected(line, "Example Cam"));
+/// ```
+#[derive(Debug)]
+pub struct Detector<'r> {
+    rules: &'r RuleSet,
+    config: DetectorConfig,
+    hitlist: HitList,
+    required: Vec<u32>,
+    /// (line, rule) → evidence bitmask over the rule's domains.
+    state: HashMap<(AnonId, u16), u64>,
+    /// (line, rule) → hour the rule's own threshold was first met.
+    first_met: HashMap<(AnonId, u16), HourBin>,
+}
+
+impl<'r> Detector<'r> {
+    /// Create a detector. Panics if any rule has more than 64 domains
+    /// (the evidence mask is a `u64`; the paper's largest rule has 34).
+    pub fn new(rules: &'r RuleSet, hitlist: HitList, config: DetectorConfig) -> Self {
+        let required = rules
+            .rules
+            .iter()
+            .map(|r| {
+                assert!(r.domains.len() <= 64, "rule {} exceeds 64 domains", r.class);
+                r.required(config.threshold) as u32
+            })
+            .collect();
+        Detector { rules, config, hitlist, required, state: HashMap::new(), first_met: HashMap::new() }
+    }
+
+    /// Swap in the next day's hitlist, keeping accumulated evidence.
+    pub fn set_hitlist(&mut self, hitlist: HitList) {
+        self.hitlist = hitlist;
+    }
+
+    /// The rule set.
+    pub fn rules(&self) -> &RuleSet {
+        self.rules
+    }
+
+    /// Observe one flow record's worth of evidence.
+    pub fn observe(
+        &mut self,
+        line: AnonId,
+        dst: std::net::Ipv4Addr,
+        dport: u16,
+        proto: Proto,
+        established: bool,
+        hour: HourBin,
+    ) {
+        if self.config.require_established && proto == Proto::Tcp && !established {
+            return;
+        }
+        // Split borrows: the hitlist slice must not alias the state map.
+        let entries = self.hitlist.lookup(dst, dport);
+        if entries.is_empty() {
+            return;
+        }
+        let entries = entries.to_vec();
+        for (ri, di) in entries {
+            let mask = self.state.entry((line, ri)).or_insert(0);
+            let bit = 1u64 << di;
+            if *mask & bit != 0 {
+                continue;
+            }
+            *mask |= bit;
+            if mask.count_ones() == self.required[ri as usize] {
+                self.first_met.entry((line, ri)).or_insert(hour);
+            }
+        }
+    }
+
+    /// Observe a wild vantage-point record.
+    pub fn observe_wild(&mut self, r: &WildRecord) {
+        self.observe(r.line, r.dst, r.dport, r.proto, r.established, r.hour);
+    }
+
+    /// Whether the rule's own evidence threshold is met (ignoring
+    /// hierarchy gating).
+    fn own_threshold_met(&self, line: AnonId, ri: u16) -> bool {
+        self.state
+            .get(&(line, ri))
+            .map(|m| m.count_ones() >= self.required[ri as usize])
+            .unwrap_or(false)
+    }
+
+    /// Whether `class` is detected for `line`, including hierarchy gating.
+    pub fn is_detected(&self, line: AnonId, class: &str) -> bool {
+        let Some(mut ri) = self.rules.rule_index(class) else {
+            return false;
+        };
+        loop {
+            if !self.own_threshold_met(line, ri as u16) {
+                return false;
+            }
+            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index(p)) {
+                Some(p) => ri = p,
+                None => return true,
+            }
+        }
+    }
+
+    /// First hour the full (hierarchy-gated) detection held for
+    /// (line, class): the max of the chain's own first-met hours.
+    pub fn first_detection(&self, line: AnonId, class: &str) -> Option<HourBin> {
+        let mut ri = self.rules.rule_index(class)?;
+        let mut latest: Option<HourBin> = None;
+        loop {
+            let h = *self.first_met.get(&(line, ri as u16))?;
+            latest = Some(latest.map_or(h, |l: HourBin| l.max(h)));
+            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index(p)) {
+                Some(p) => ri = p,
+                None => return latest,
+            }
+        }
+    }
+
+    /// All lines for which `class` is currently detected.
+    pub fn detected_lines(&self, class: &str) -> Vec<AnonId> {
+        let Some(ri) = self.rules.rule_index(class) else {
+            return Vec::new();
+        };
+        let mut out: Vec<AnonId> = self
+            .state
+            .keys()
+            .filter(|(_, r)| *r == ri as u16)
+            .map(|(l, _)| *l)
+            .filter(|l| self.is_detected(*l, class))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Clear accumulated evidence (start a new aggregation window).
+    pub fn reset(&mut self) {
+        self.state.clear();
+        self.first_met.clear();
+    }
+
+    /// Number of (line, rule) states held.
+    pub fn state_size(&self) -> usize {
+        self.state.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{DetectionRule, RuleDomain};
+    use haystack_dns::DomainName;
+    use haystack_testbed::catalog::DetectionLevel;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(198, 18, 5, last)
+    }
+
+    fn dom(name: &str, ips: &[u8]) -> RuleDomain {
+        RuleDomain {
+            name: DomainName::parse(name).unwrap(),
+            ports: [443u16].into_iter().collect(),
+            ips: ips.iter().map(|i| ip(*i)).collect(),
+            usage_indicator: false,
+        }
+    }
+
+    /// Parent rule "Fam" (2 domains), child rule "Kid" (2 domains).
+    fn ruleset() -> RuleSet {
+        RuleSet {
+            rules: vec![
+                DetectionRule {
+                    class: "Fam",
+                    level: DetectionLevel::Manufacturer,
+                    parent: None,
+                    domains: vec![dom("d0.fam.com", &[1]), dom("d1.fam.com", &[2])],
+                },
+                DetectionRule {
+                    class: "Kid",
+                    level: DetectionLevel::Product,
+                    parent: Some("Fam"),
+                    domains: vec![dom("d0.kid.com", &[10]), dom("d1.kid.com", &[11])],
+                },
+            ],
+            undetectable: vec![],
+        }
+    }
+
+    fn detector(rules: &RuleSet, threshold: f64) -> Detector<'_> {
+        let hl = HitList::whole_window(rules);
+        Detector::new(rules, hl, DetectorConfig { threshold, require_established: false })
+    }
+
+    const LINE: AnonId = AnonId(77);
+
+    fn hit(det: &mut Detector<'_>, addr: Ipv4Addr, hour: u32) {
+        det.observe(LINE, addr, 443, Proto::Tcp, true, HourBin(hour));
+    }
+
+    #[test]
+    fn threshold_counts_distinct_domains() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 1.0); // need both domains
+        hit(&mut det, ip(1), 0);
+        assert!(!det.is_detected(LINE, "Fam"));
+        hit(&mut det, ip(1), 1); // same domain again: no new evidence
+        assert!(!det.is_detected(LINE, "Fam"));
+        hit(&mut det, ip(2), 2);
+        assert!(det.is_detected(LINE, "Fam"));
+        assert_eq!(det.first_detection(LINE, "Fam"), Some(HourBin(2)));
+    }
+
+    #[test]
+    fn low_threshold_needs_one_domain() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 0.4); // ⌊0.4·2⌋ = 0 → max(1,·) = 1
+        hit(&mut det, ip(2), 5);
+        assert!(det.is_detected(LINE, "Fam"));
+        assert_eq!(det.first_detection(LINE, "Fam"), Some(HourBin(5)));
+    }
+
+    #[test]
+    fn child_requires_parent() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 0.4);
+        hit(&mut det, ip(10), 0);
+        assert!(!det.is_detected(LINE, "Kid"), "child gated on parent");
+        hit(&mut det, ip(1), 3);
+        assert!(det.is_detected(LINE, "Kid"));
+        // First *gated* detection is when the chain completed (hour 3).
+        assert_eq!(det.first_detection(LINE, "Kid"), Some(HourBin(3)));
+    }
+
+    #[test]
+    fn established_filter_drops_syn_only_records() {
+        let rules = ruleset();
+        let hl = HitList::whole_window(&rules);
+        let mut det = Detector::new(
+            &rules,
+            hl,
+            DetectorConfig { threshold: 0.4, require_established: true },
+        );
+        det.observe(LINE, ip(1), 443, Proto::Tcp, false, HourBin(0));
+        assert!(!det.is_detected(LINE, "Fam"), "spoofable evidence rejected");
+        det.observe(LINE, ip(1), 443, Proto::Tcp, true, HourBin(1));
+        assert!(det.is_detected(LINE, "Fam"));
+    }
+
+    #[test]
+    fn non_rule_traffic_is_free() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 0.4);
+        for i in 0..100 {
+            det.observe(AnonId(i), ip(200), 443, Proto::Tcp, true, HourBin(0));
+        }
+        assert_eq!(det.state_size(), 0, "irrelevant flows allocate nothing");
+    }
+
+    #[test]
+    fn detected_lines_and_reset() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 0.4);
+        hit(&mut det, ip(1), 0);
+        det.observe(AnonId(5), ip(2), 443, Proto::Tcp, true, HourBin(0));
+        let mut lines = det.detected_lines("Fam");
+        lines.sort_unstable();
+        assert_eq!(lines, vec![AnonId(5), LINE]);
+        det.reset();
+        assert!(det.detected_lines("Fam").is_empty());
+    }
+
+    #[test]
+    fn monotone_in_threshold() {
+        // Property: anything detected at high D is detected at lower D
+        // given the same evidence stream.
+        let rules = ruleset();
+        let mut hi = detector(&rules, 1.0);
+        let mut lo = detector(&rules, 0.4);
+        for (addr, h) in [(ip(1), 0u32), (ip(2), 1)] {
+            hit(&mut hi, addr, h);
+            hit(&mut lo, addr, h);
+        }
+        assert!(hi.is_detected(LINE, "Fam"));
+        assert!(lo.is_detected(LINE, "Fam"));
+        assert!(
+            lo.first_detection(LINE, "Fam").unwrap() <= hi.first_detection(LINE, "Fam").unwrap()
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! The daily hitlist: (service IP, port) → rule evidence index.
+//!
+//! Figure 7's output is a *daily* "Hitlist of IoT-Domains, IPs & Port
+//! Numbers + Detection Rules": the IP side is re-derived every day from
+//! passive DNS so DNS churn cannot strand the detector on stale
+//! addresses. The hitlist is the only thing the per-record hot path
+//! touches — one hash lookup per flow.
+
+use crate::rules::RuleSet;
+use haystack_dns::DnsDb;
+use haystack_net::{DayBin, StudyWindow};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A compiled daily index.
+///
+/// ```
+/// use haystack_core::hitlist::HitList;
+/// use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+/// use haystack_dns::DomainName;
+/// use haystack_testbed::catalog::DetectionLevel;
+///
+/// let rules = RuleSet {
+///     rules: vec![DetectionRule {
+///         class: "Cam",
+///         level: DetectionLevel::Manufacturer,
+///         parent: None,
+///         domains: vec![RuleDomain {
+///             name: DomainName::parse("api.cam.com").unwrap(),
+///             ports: [443u16].into_iter().collect(),
+///             ips: ["198.18.0.7".parse().unwrap()].into_iter().collect(),
+///             usage_indicator: false,
+///         }],
+///     }],
+///     undetectable: vec![],
+/// };
+/// let hl = HitList::whole_window(&rules);
+/// assert_eq!(hl.lookup("198.18.0.7".parse().unwrap(), 443), &[(0, 0)]);
+/// assert!(hl.lookup("198.18.0.7".parse().unwrap(), 80).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct HitList {
+    /// The day this hitlist is valid for.
+    pub day: Option<DayBin>,
+    index: HashMap<(Ipv4Addr, u16), Vec<(u16, u16)>>,
+}
+
+impl HitList {
+    /// Build the hitlist for `day` from the rule set and passive DNS.
+    /// Domains whose IPs came from the Censys expansion (static over the
+    /// window) fall back to the rule's whole-window union when passive
+    /// DNS has nothing for that day.
+    pub fn for_day(rules: &RuleSet, dnsdb: &DnsDb, day: DayBin) -> HitList {
+        let day_window = StudyWindow::days(day.0, day.0 + 1);
+        let mut index: HashMap<(Ipv4Addr, u16), Vec<(u16, u16)>> = HashMap::new();
+        for (ri, rule) in rules.rules.iter().enumerate() {
+            for (di, dom) in rule.domains.iter().enumerate() {
+                let daily = dnsdb.ips_of(&dom.name, &day_window);
+                let ips: Box<dyn Iterator<Item = Ipv4Addr>> = if daily.is_empty() {
+                    Box::new(dom.ips.iter().copied())
+                } else {
+                    Box::new(daily.into_iter())
+                };
+                for ip in ips {
+                    for &port in &dom.ports {
+                        index
+                            .entry((ip, port))
+                            .or_default()
+                            .push((ri as u16, di as u16));
+                    }
+                }
+            }
+        }
+        HitList { day: Some(day), index }
+    }
+
+    /// Build a whole-window hitlist from the rules' IP unions (used by
+    /// the §5 crosscheck, which spans days).
+    pub fn whole_window(rules: &RuleSet) -> HitList {
+        let mut index: HashMap<(Ipv4Addr, u16), Vec<(u16, u16)>> = HashMap::new();
+        for (ri, rule) in rules.rules.iter().enumerate() {
+            for (di, dom) in rule.domains.iter().enumerate() {
+                for &ip in &dom.ips {
+                    for &port in &dom.ports {
+                        index
+                            .entry((ip, port))
+                            .or_default()
+                            .push((ri as u16, di as u16));
+                    }
+                }
+            }
+        }
+        HitList { day: None, index }
+    }
+
+    /// The rule evidence entries matching a flow's (dst, port), if any.
+    pub fn lookup(&self, dst: Ipv4Addr, port: u16) -> &[(u16, u16)] {
+        self.index.get(&(dst, port)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of indexed (ip, port) combinations.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{DetectionRule, RuleDomain};
+    use haystack_dns::DomainName;
+    use haystack_testbed::catalog::DetectionLevel;
+    use std::collections::BTreeSet;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(198, 18, 3, last)
+    }
+
+    fn ruleset() -> RuleSet {
+        let dom = |name: &str, ips: &[u8], ports: &[u16]| RuleDomain {
+            name: DomainName::parse(name).unwrap(),
+            ports: ports.iter().copied().collect(),
+            ips: ips.iter().map(|i| ip(*i)).collect(),
+            usage_indicator: false,
+        };
+        RuleSet {
+            rules: vec![
+                DetectionRule {
+                    class: "A",
+                    level: DetectionLevel::Manufacturer,
+                    parent: None,
+                    domains: vec![dom("d0.a.com", &[1, 2], &[443]), dom("d1.a.com", &[3], &[8883])],
+                },
+                DetectionRule {
+                    class: "B",
+                    level: DetectionLevel::Product,
+                    parent: None,
+                    domains: vec![dom("d0.b.com", &[2], &[443])],
+                },
+            ],
+            undetectable: vec![],
+        }
+    }
+
+    #[test]
+    fn whole_window_indexes_all_combos() {
+        let hl = HitList::whole_window(&ruleset());
+        assert_eq!(hl.lookup(ip(1), 443), &[(0, 0)]);
+        assert_eq!(hl.lookup(ip(3), 8883), &[(0, 1)]);
+        // ip(2):443 serves both rule A (domain 0) and rule B.
+        let both: BTreeSet<_> = hl.lookup(ip(2), 443).iter().copied().collect();
+        assert_eq!(both, [(0u16, 0u16), (1, 0)].into_iter().collect());
+        // Wrong port → no match.
+        assert!(hl.lookup(ip(1), 80).is_empty());
+        assert!(hl.lookup(ip(9), 443).is_empty());
+    }
+
+    #[test]
+    fn daily_hitlist_prefers_passive_dns_and_falls_back() {
+        use haystack_dns::zone::RotationPolicy;
+        use haystack_dns::{Resolver, ZoneDb};
+        use haystack_net::SimTime;
+
+        // Passive DNS knows d0.a.com maps to ip(7) on day 0 only.
+        let mut z = ZoneDb::new();
+        z.insert_pool(
+            DomainName::parse("d0.a.com").unwrap(),
+            vec![ip(7)],
+            RotationPolicy::STABLE,
+        );
+        let r = Resolver::new(&z);
+        let mut db = DnsDb::new();
+        let res = r.resolve(&DomainName::parse("d0.a.com").unwrap(), SimTime(100)).unwrap();
+        db.record_resolution(&res, SimTime(100));
+
+        let rules = ruleset();
+        let day0 = HitList::for_day(&rules, &db, DayBin(0));
+        // Day 0: passive DNS wins for d0.a.com (ip 7, not the union 1,2).
+        assert_eq!(day0.lookup(ip(7), 443), &[(0, 0)]);
+        assert!(day0.lookup(ip(1), 443).is_empty());
+        // d1.a.com has no passive-DNS rows → whole-window fallback.
+        assert_eq!(day0.lookup(ip(3), 8883), &[(0, 1)]);
+
+        // Day 1: nothing recorded → fallback everywhere.
+        let day1 = HitList::for_day(&rules, &db, DayBin(1));
+        assert_eq!(day1.lookup(ip(1), 443), &[(0, 0)]);
+        assert!(day1.lookup(ip(7), 443).is_empty());
+    }
+}

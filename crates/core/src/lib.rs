@@ -1,0 +1,75 @@
+//! # haystack-core
+//!
+//! The paper's contribution (Figure 7's pipeline), stage by stage:
+//!
+//! 1. [`observations`] — collect per-domain ground-truth usage from the
+//!    testbed capture (which device classes contact it, on which ports,
+//!    toward which service IPs).
+//! 2. [`domains`] — §4.1: classify observed domains into IoT-specific
+//!    **Primary** / **Support** vs **Generic**.
+//! 3. [`dedicated`] — §4.2.1: DNSDB-based dedicated-vs-shared inference
+//!    (single-SLD exclusivity with the cloud-VM allowance), §4.2.2: the
+//!    Censys certificate/banner fallback for DNSDB-less domains, §4.2.3:
+//!    removal of shared-infrastructure services.
+//! 4. [`rules`] — §4.3: detection rules at platform / manufacturer /
+//!    product level with the evidence threshold `D`, including the
+//!    Amazon and Samsung hierarchies.
+//! 5. [`hitlist`] — the *daily* (service IP, port) → rule index that
+//!    absorbs DNS churn.
+//! 6. [`detector`] — the streaming detector: constant state per
+//!    (line, rule), O(1) per record via the hitlist index.
+//! 7. [`usage`] — §7.1: distinguishing active use from idle presence.
+//! 8. [`visibility`] — §3: what survives sampling (Figures 5, 6, 9, 17).
+//! 9. [`crosscheck`] — §5: time-to-detection on ground truth (Figure 10).
+//! 10. [`report`] — §6: wild-scale aggregation (Figures 11–16, 18).
+//! 11. [`pipeline`] — end-to-end orchestration and the §4 funnel counts.
+//!
+//! Supporting systems around the pipeline: [`parallel`] (sharded
+//! multi-core detection), [`mitigation`] (§7.2 block/redirect/notify),
+//! [`dns_assisted`] (§7.4's resolver-log variant), [`staleness`] (§7.3
+//! rule-health monitoring), [`baseline`] (the §8 traffic-feature
+//! comparator), and [`quality`] (precision/recall against the simulation
+//! oracle).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod crosscheck;
+pub mod dedicated;
+pub mod detector;
+pub mod dns_assisted;
+pub mod domains;
+pub mod hitlist;
+pub mod mitigation;
+pub mod observations;
+pub mod parallel;
+pub mod pipeline;
+pub mod quality;
+pub mod report;
+pub mod staleness;
+pub mod rules;
+pub mod usage;
+pub mod visibility;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use std::sync::OnceLock;
+
+    /// One shared fast pipeline for the whole test binary — building it
+    /// costs tens of seconds, and every §5/§6 test needs the same one.
+    pub fn shared_pipeline() -> &'static Pipeline {
+        static PIPELINE: OnceLock<Pipeline> = OnceLock::new();
+        PIPELINE.get_or_init(|| Pipeline::run(PipelineConfig::fast(13)))
+    }
+}
+
+pub use dedicated::{DedicationVerdict, InfraKnowledge};
+pub use detector::{Detector, DetectorConfig};
+pub use domains::{DomainClass, WebIntelligence};
+pub use hitlist::HitList;
+pub use observations::{DomainObservations, DomainUsage};
+pub use parallel::ShardedDetector;
+pub use pipeline::{Pipeline, PipelineStats};
+pub use rules::{DetectionRule, RuleSet};

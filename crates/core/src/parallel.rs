@@ -1,0 +1,211 @@
+//! Sharded, multi-core detection.
+//!
+//! Per-line evidence is embarrassingly parallel: no record of line A ever
+//! touches line B's state. The sharded detector exploits that — records
+//! are partitioned by a hash of the (already anonymized) line id and each
+//! shard runs an independent [`Detector`] on its own core. This is the
+//! "minutes for millions of devices" configuration (§1); the
+//! `parallel_detector` bench quantifies the speedup over one core.
+//!
+//! Semantics are *identical* to a single [`Detector`] fed the same
+//! records: the equivalence test at the bottom of this module pins it.
+
+use crate::detector::{Detector, DetectorConfig};
+use crate::hitlist::HitList;
+use crate::rules::RuleSet;
+use haystack_net::AnonId;
+use haystack_wild::WildRecord;
+
+/// A detector sharded across worker threads.
+#[derive(Debug)]
+pub struct ShardedDetector<'r> {
+    shards: Vec<Detector<'r>>,
+}
+
+fn shard_of(line: AnonId, n: usize) -> usize {
+    // The anonymizer's output is already uniformly mixed; fold to a shard.
+    (line.0 % n as u64) as usize
+}
+
+impl<'r> ShardedDetector<'r> {
+    /// Create `workers` shards sharing one rule set and hitlist.
+    pub fn new(rules: &'r RuleSet, hitlist: &HitList, config: DetectorConfig, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one shard");
+        let shards = (0..workers)
+            .map(|_| Detector::new(rules, hitlist.clone(), config))
+            .collect();
+        ShardedDetector { shards }
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Swap the daily hitlist on every shard.
+    pub fn set_hitlist(&mut self, hitlist: &HitList) {
+        for s in &mut self.shards {
+            s.set_hitlist(hitlist.clone());
+        }
+    }
+
+    /// Process one batch of records across all shards in parallel.
+    ///
+    /// Records are partitioned by line hash; each shard's worker observes
+    /// only its partition, so no locking is needed anywhere.
+    pub fn observe_batch(&mut self, records: &[WildRecord]) {
+        let n = self.shards.len();
+        if n == 1 {
+            for r in records {
+                self.shards[0].observe_wild(r);
+            }
+            return;
+        }
+        // Partition indices per shard (cheap, cache-friendly single pass).
+        let mut parts: Vec<Vec<&WildRecord>> =
+            (0..n).map(|_| Vec::with_capacity(records.len() / n + 1)).collect();
+        for r in records {
+            parts[shard_of(r.line, n)].push(r);
+        }
+        crossbeam::thread::scope(|scope| {
+            for (det, part) in self.shards.iter_mut().zip(parts) {
+                scope.spawn(move |_| {
+                    for r in part {
+                        det.observe_wild(r);
+                    }
+                });
+            }
+        })
+        .expect("detector worker panicked");
+    }
+
+    /// Whether `class` is detected for `line` (dispatches to the shard
+    /// owning the line).
+    pub fn is_detected(&self, line: AnonId, class: &str) -> bool {
+        self.shards[shard_of(line, self.shards.len())].is_detected(line, class)
+    }
+
+    /// All lines for which `class` is detected, merged across shards.
+    pub fn detected_lines(&self, class: &str) -> Vec<AnonId> {
+        let mut out: Vec<AnonId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.detected_lines(class))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total per-(line, rule) states held across shards.
+    pub fn state_size(&self) -> usize {
+        self.shards.iter().map(Detector::state_size).sum()
+    }
+
+    /// Reset every shard (new aggregation window).
+    pub fn reset(&mut self) {
+        for s in &mut self.shards {
+            s.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{DetectionRule, RuleDomain};
+    use haystack_dns::DomainName;
+    use haystack_net::ports::Proto;
+    use haystack_net::{HourBin, Prefix4};
+    use haystack_testbed::catalog::DetectionLevel;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::net::Ipv4Addr;
+
+    fn ruleset(n: usize) -> RuleSet {
+        RuleSet {
+            rules: vec![DetectionRule {
+                class: "X",
+                level: DetectionLevel::Manufacturer,
+                parent: None,
+                domains: (0..n)
+                    .map(|i| RuleDomain {
+                        name: DomainName::parse(&format!("d{i}.x.com")).unwrap(),
+                        ports: [443u16].into_iter().collect(),
+                        ips: [Ipv4Addr::new(198, 18, 8, i as u8 + 1)].into_iter().collect(),
+                        usage_indicator: false,
+                    })
+                    .collect(),
+            }],
+            undetectable: vec![],
+        }
+    }
+
+    fn random_records(count: usize, seed: u64) -> Vec<WildRecord> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let src = Ipv4Addr::new(100, 64, rng.gen(), rng.gen());
+                WildRecord {
+                    line: AnonId(rng.gen_range(0..5_000)),
+                    line_slash24: Prefix4::slash24_of(src),
+                    src_ip: src,
+                    dst: Ipv4Addr::new(198, 18, 8, rng.gen_range(1..10)),
+                    dport: 443,
+                    proto: Proto::Tcp,
+                    packets: 1,
+                    bytes: 100,
+                    established: true,
+                    hour: HourBin(rng.gen_range(0..24)),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_equals_sequential() {
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(20_000, 3);
+
+        let mut seq = Detector::new(&rules, hl.clone(), config);
+        for r in &records {
+            seq.observe_wild(r);
+        }
+        for workers in [1usize, 2, 4, 7] {
+            let mut par = ShardedDetector::new(&rules, &hl, config, workers);
+            par.observe_batch(&records);
+            assert_eq!(
+                par.detected_lines("X"),
+                seq.detected_lines("X"),
+                "{workers} workers diverge from sequential"
+            );
+            assert_eq!(par.state_size(), seq.state_size());
+        }
+    }
+
+    #[test]
+    fn per_line_dispatch_is_consistent() {
+        let rules = ruleset(2);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig::default();
+        let mut par = ShardedDetector::new(&rules, &hl, config, 4);
+        let records = random_records(5_000, 9);
+        par.observe_batch(&records);
+        for line in par.detected_lines("X") {
+            assert!(par.is_detected(line, "X"));
+        }
+    }
+
+    #[test]
+    fn reset_clears_all_shards() {
+        let rules = ruleset(2);
+        let hl = HitList::whole_window(&rules);
+        let mut par = ShardedDetector::new(&rules, &hl, DetectorConfig::default(), 3);
+        par.observe_batch(&random_records(2_000, 1));
+        assert!(par.state_size() > 0);
+        par.reset();
+        assert_eq!(par.state_size(), 0);
+        assert!(par.detected_lines("X").is_empty());
+    }
+}

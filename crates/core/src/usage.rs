@@ -1,0 +1,185 @@
+//! §7.1 — distinguishing active use from mere presence.
+//!
+//! Two independent signals, both from the ground truth:
+//!
+//! 1. **Usage-indicator domains**: some domains only speak when the
+//!    device is used (flagged on the rule during §4.3 generation from the
+//!    active/idle rate contrast). Any sampled flow to one is direct
+//!    evidence of active use.
+//! 2. **Volume**: the paper "used the threshold of 10 for packet counts
+//!    per hour to filter out subscribers that actively used Alexa-enabled
+//!    devices" — active use multiplies traffic enough to survive
+//!    sampling at that level, idle chatter does not (Figure 17).
+//!
+//! The tracker is windowed per hour: callers reset it at hour boundaries.
+
+use crate::hitlist::HitList;
+use crate::rules::RuleSet;
+use haystack_net::AnonId;
+use haystack_wild::WildRecord;
+use std::collections::{BTreeSet, HashMap};
+
+/// Usage-detection configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct UsageConfig {
+    /// Sampled packets/hour to a rule's service IPs that imply active use.
+    pub packet_threshold: u64,
+}
+
+impl Default for UsageConfig {
+    fn default() -> Self {
+        UsageConfig { packet_threshold: 10 }
+    }
+}
+
+/// Per-hour active-use tracker.
+#[derive(Debug)]
+pub struct UsageTracker<'r> {
+    rules: &'r RuleSet,
+    hitlist: HitList,
+    config: UsageConfig,
+    /// (line, rule) → sampled packets this hour.
+    packets: HashMap<(AnonId, u16), u64>,
+    /// (line, rule) pairs that touched a usage-indicator domain.
+    indicator: BTreeSet<(AnonId, u16)>,
+}
+
+impl<'r> UsageTracker<'r> {
+    /// Create a tracker sharing the detector's rule set and hitlist.
+    pub fn new(rules: &'r RuleSet, hitlist: HitList, config: UsageConfig) -> Self {
+        UsageTracker { rules, hitlist, config, packets: HashMap::new(), indicator: BTreeSet::new() }
+    }
+
+    /// Swap the daily hitlist.
+    pub fn set_hitlist(&mut self, hitlist: HitList) {
+        self.hitlist = hitlist;
+    }
+
+    /// Observe one record of the current hour.
+    pub fn observe(&mut self, r: &WildRecord) {
+        let entries = self.hitlist.lookup(r.dst, r.dport);
+        if entries.is_empty() {
+            return;
+        }
+        for &(ri, di) in entries.to_vec().iter() {
+            *self.packets.entry((r.line, ri)).or_default() += r.packets;
+            if self.rules.rules[ri as usize].domains[di as usize].usage_indicator {
+                self.indicator.insert((r.line, ri));
+            }
+        }
+    }
+
+    /// Lines actively using `class` this hour (either signal).
+    pub fn active_lines(&self, class: &str) -> BTreeSet<AnonId> {
+        let Some(ri) = self.rules.rule_index(class) else {
+            return BTreeSet::new();
+        };
+        let ri = ri as u16;
+        let mut out: BTreeSet<AnonId> = self
+            .packets
+            .iter()
+            .filter(|((_, r), pkts)| *r == ri && **pkts >= self.config.packet_threshold)
+            .map(|((l, _), _)| *l)
+            .collect();
+        out.extend(self.indicator.iter().filter(|(_, r)| *r == ri).map(|(l, _)| *l));
+        out
+    }
+
+    /// Start the next hour.
+    pub fn reset(&mut self) {
+        self.packets.clear();
+        self.indicator.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{DetectionRule, RuleDomain};
+    use haystack_dns::DomainName;
+    use haystack_net::ports::Proto;
+    use haystack_net::{HourBin, Prefix4};
+    use haystack_testbed::catalog::DetectionLevel;
+    use std::net::Ipv4Addr;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(198, 18, 6, last)
+    }
+
+    fn ruleset() -> RuleSet {
+        RuleSet {
+            rules: vec![DetectionRule {
+                class: "Alexa Enabled",
+                level: DetectionLevel::Platform,
+                parent: None,
+                domains: vec![
+                    RuleDomain {
+                        name: DomainName::parse("avs.a.com").unwrap(),
+                        ports: [443u16].into_iter().collect(),
+                        ips: [ip(1)].into_iter().collect(),
+                        usage_indicator: false,
+                    },
+                    RuleDomain {
+                        name: DomainName::parse("voice-upload.a.com").unwrap(),
+                        ports: [443u16].into_iter().collect(),
+                        ips: [ip(2)].into_iter().collect(),
+                        usage_indicator: true,
+                    },
+                ],
+            }],
+            undetectable: vec![],
+        }
+    }
+
+    fn rec(line: u64, dst: Ipv4Addr, packets: u64) -> WildRecord {
+        WildRecord {
+            line: AnonId(line),
+            line_slash24: Prefix4::slash24_of(Ipv4Addr::new(100, 64, 0, 1)),
+            src_ip: Ipv4Addr::new(100, 64, 0, 1),
+            dst,
+            dport: 443,
+            proto: Proto::Tcp,
+            packets,
+            bytes: packets * 500,
+            established: true,
+            hour: HourBin(0),
+        }
+    }
+
+    #[test]
+    fn volume_threshold() {
+        let rules = ruleset();
+        let mut t = UsageTracker::new(&rules, HitList::whole_window(&rules), UsageConfig::default());
+        t.observe(&rec(1, ip(1), 4));
+        t.observe(&rec(1, ip(1), 7)); // cumulative 11 ≥ 10
+        t.observe(&rec(2, ip(1), 3)); // idle-level
+        let active = t.active_lines("Alexa Enabled");
+        assert!(active.contains(&AnonId(1)));
+        assert!(!active.contains(&AnonId(2)));
+    }
+
+    #[test]
+    fn indicator_domain_wins_regardless_of_volume() {
+        let rules = ruleset();
+        let mut t = UsageTracker::new(&rules, HitList::whole_window(&rules), UsageConfig::default());
+        t.observe(&rec(3, ip(2), 1));
+        assert!(t.active_lines("Alexa Enabled").contains(&AnonId(3)));
+    }
+
+    #[test]
+    fn reset_clears_the_hour() {
+        let rules = ruleset();
+        let mut t = UsageTracker::new(&rules, HitList::whole_window(&rules), UsageConfig::default());
+        t.observe(&rec(1, ip(1), 50));
+        t.reset();
+        assert!(t.active_lines("Alexa Enabled").is_empty());
+    }
+
+    #[test]
+    fn non_rule_traffic_ignored() {
+        let rules = ruleset();
+        let mut t = UsageTracker::new(&rules, HitList::whole_window(&rules), UsageConfig::default());
+        t.observe(&rec(1, ip(99), 1_000));
+        assert!(t.active_lines("Alexa Enabled").is_empty());
+    }
+}

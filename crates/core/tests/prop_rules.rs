@@ -1,0 +1,63 @@
+//! Property tests for rule semantics: the §4.3.2 evidence formula and the
+//! hierarchy-aware domain assignment.
+
+use haystack_core::rules::{common_ancestor, DetectionRule, RuleDomain};
+use haystack_dns::DomainName;
+use haystack_testbed::catalog::data::standard_catalog;
+use haystack_testbed::catalog::DetectionLevel;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn rule_with(n: usize) -> DetectionRule {
+    DetectionRule {
+        class: "X",
+        level: DetectionLevel::Manufacturer,
+        parent: None,
+        domains: (0..n)
+            .map(|i| RuleDomain {
+                name: DomainName::parse(&format!("d{i}.x.com")).unwrap(),
+                ports: [443u16].into_iter().collect(),
+                ips: Default::default(),
+                usage_indicator: false,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    /// `required` is max(1, ⌊D·N⌋): bounded by [1, N], monotone in D, and
+    /// exactly the paper's formula.
+    #[test]
+    fn required_matches_the_formula(n in 1usize..70, d1 in 0.0f64..=1.0, d2 in 0.0f64..=1.0) {
+        let rule = rule_with(n);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let r_lo = rule.required(lo);
+        let r_hi = rule.required(hi);
+        prop_assert!(r_lo >= 1 && r_lo <= n);
+        prop_assert!(r_lo <= r_hi, "monotonicity: D={lo} needs {r_lo}, D={hi} needs {r_hi}");
+        prop_assert_eq!(r_lo, ((lo * n as f64).floor() as usize).max(1));
+    }
+
+    /// The common ancestor of any class set from one hierarchy is the
+    /// shallowest member present; unrelated mixes have none.
+    #[test]
+    fn common_ancestor_semantics(pick in prop::collection::vec(0usize..3, 1..4), outsider in any::<bool>()) {
+        let catalog = standard_catalog();
+        let chain = ["Fire TV", "Amazon Product", "Alexa Enabled"];
+        let mut classes: BTreeSet<&'static str> =
+            pick.iter().map(|i| chain[*i]).collect();
+        if outsider {
+            classes.insert("Yi Camera");
+            prop_assert_eq!(common_ancestor(&catalog, &classes), None);
+        } else {
+            // Expected: the *shallowest* picked class (closest to the root).
+            let expected = chain
+                .iter()
+                .rev() // root-most first
+                .find(|c| classes.contains(**c))
+                .copied()
+                .unwrap();
+            prop_assert_eq!(common_ancestor(&catalog, &classes), Some(expected));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! DNS resource records (the subset the methodology consumes).
+
+use crate::name::DomainName;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Resource-record type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RrType {
+    /// IPv4 address record.
+    A,
+    /// Canonical-name alias.
+    Cname,
+}
+
+/// Record data.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Rdata {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// An alias target.
+    Cname(DomainName),
+}
+
+impl Rdata {
+    /// The record type of this data.
+    pub fn rr_type(&self) -> RrType {
+        match self {
+            Rdata::A(_) => RrType::A,
+            Rdata::Cname(_) => RrType::Cname,
+        }
+    }
+}
+
+impl fmt::Display for Rdata {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rdata::A(ip) => write!(f, "A {ip}"),
+            Rdata::Cname(d) => write!(f, "CNAME {d}"),
+        }
+    }
+}
+
+/// One resource record: `name → rdata`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DnsRecord {
+    /// Owner name.
+    pub name: DomainName,
+    /// Record data.
+    pub rdata: Rdata,
+}
+
+impl fmt::Display for DnsRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.rdata)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rr_type_of_rdata() {
+        let d = DomainName::parse("x.com").unwrap();
+        assert_eq!(Rdata::A(Ipv4Addr::LOCALHOST).rr_type(), RrType::A);
+        assert_eq!(Rdata::Cname(d).rr_type(), RrType::Cname);
+    }
+
+    #[test]
+    fn display_forms() {
+        let rec = DnsRecord {
+            name: DomainName::parse("devb.com").unwrap(),
+            rdata: Rdata::Cname(DomainName::parse("devb.com.akadns.net").unwrap()),
+        };
+        assert_eq!(rec.to_string(), "devb.com CNAME devb.com.akadns.net");
+    }
+}

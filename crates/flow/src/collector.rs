@@ -1,0 +1,298 @@
+//! The stateful flow collector.
+//!
+//! Holds the template cache keyed by `(source id, template id)` — templates
+//! from one exporter must never describe another exporter's data — decodes
+//! data sets against it, and surfaces per-message decode problems without
+//! aborting the feed (a collector that dies on one malformed datagram is
+//! useless at an IXP).
+
+use crate::error::FlowError;
+use crate::ipfix;
+use crate::netflow_v5 as v5;
+use crate::netflow_v9 as v9;
+use crate::record::FlowRecord;
+use crate::wire::{decode_records, OptionsTemplate, SamplingOptions, Template};
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// A collector accepting both NetFlow v9 and IPFIX feeds.
+#[derive(Debug, Default)]
+pub struct Collector {
+    templates: HashMap<(u32, u16), Template>,
+    options_templates: HashMap<(u32, u16), OptionsTemplate>,
+    /// Per-source sampling configuration learned from options data.
+    sampling: HashMap<u32, SamplingOptions>,
+    /// Data sets that referenced a template not yet announced. Real
+    /// collectors buffer or drop; we drop and count, which the tests
+    /// assert on.
+    dropped_unknown_template: u64,
+    /// Messages that failed to parse at all.
+    malformed_messages: u64,
+}
+
+impl Collector {
+    /// New collector with an empty template cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one NetFlow v9 datagram; returns the decoded records.
+    pub fn feed_netflow_v9(&mut self, datagram: Bytes) -> Result<Vec<FlowRecord>, FlowError> {
+        let msg = match v9::decode(datagram) {
+            Ok(m) => m,
+            Err(e) => {
+                self.malformed_messages += 1;
+                return Err(e);
+            }
+        };
+        let source = msg.header.source_id;
+        let mut out = Vec::new();
+        for fs in msg.flowsets {
+            match fs {
+                v9::FlowSet::Templates(ts) => {
+                    for t in ts {
+                        self.templates.insert((source, t.id), t);
+                    }
+                }
+                v9::FlowSet::OptionsTemplates(ts) => {
+                    for t in ts {
+                        self.options_templates.insert((source, t.id), t);
+                    }
+                }
+                v9::FlowSet::Data { template_id, body } => {
+                    self.decode_data(source, template_id, body, &mut out);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Feed one legacy NetFlow v5 datagram (fixed format, no templates).
+    /// The header's sampling announcement, if present, is recorded under
+    /// the engine id as source.
+    pub fn feed_netflow_v5(&mut self, datagram: Bytes) -> Result<Vec<FlowRecord>, FlowError> {
+        let msg = match v5::decode(datagram) {
+            Ok(m) => m,
+            Err(e) => {
+                self.malformed_messages += 1;
+                return Err(e);
+            }
+        };
+        if let Some(interval) = msg.header.sampling_interval() {
+            self.sampling.insert(
+                u32::from(msg.header.engine),
+                SamplingOptions { interval: u32::from(interval), algorithm: 1 },
+            );
+        }
+        Ok(msg.records)
+    }
+
+    /// Feed one IPFIX datagram; returns the decoded records.
+    pub fn feed_ipfix(&mut self, datagram: Bytes) -> Result<Vec<FlowRecord>, FlowError> {
+        let msg = match ipfix::decode(datagram) {
+            Ok(m) => m,
+            Err(e) => {
+                self.malformed_messages += 1;
+                return Err(e);
+            }
+        };
+        let source = msg.header.domain_id;
+        let mut out = Vec::new();
+        for set in msg.sets {
+            match set {
+                ipfix::Set::Templates(ts) => {
+                    for t in ts {
+                        self.templates.insert((source, t.id), t);
+                    }
+                }
+                ipfix::Set::OptionsTemplates(ts) => {
+                    for t in ts {
+                        self.options_templates.insert((source, t.id), t);
+                    }
+                }
+                ipfix::Set::Data { template_id, body } => {
+                    self.decode_data(source, template_id, body, &mut out);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn decode_data(&mut self, source: u32, template_id: u16, body: Bytes, out: &mut Vec<FlowRecord>) {
+        // Options data takes priority: options templates and data
+        // templates share the ≥256 id space, but an exporter never reuses
+        // an id across the two.
+        if let Some(ot) = self.options_templates.get(&(source, template_id)) {
+            let mut b = body;
+            while b.len() >= ot.record_len() && ot.record_len() > 0 {
+                match ot.decode_sampling(&mut b) {
+                    Ok(s) => {
+                        self.sampling.insert(source, s);
+                    }
+                    Err(_) => {
+                        self.malformed_messages += 1;
+                        return;
+                    }
+                }
+            }
+            return;
+        }
+        match self.templates.get(&(source, template_id)) {
+            Some(t) => match decode_records(t, &mut body.clone()) {
+                Ok(mut records) => out.append(&mut records),
+                Err(_) => self.malformed_messages += 1,
+            },
+            None => self.dropped_unknown_template += 1,
+        }
+    }
+
+    /// The sampling configuration a source announced via options data
+    /// (§2.1's "consistent sampling rate", as a collector learns it).
+    pub fn sampling_of(&self, source_id: u32) -> Option<SamplingOptions> {
+        self.sampling.get(&source_id).copied()
+    }
+
+    /// Data sets dropped because their template was never announced.
+    pub fn dropped_unknown_template(&self) -> u64 {
+        self.dropped_unknown_template
+    }
+
+    /// Messages (or data sets) that failed to decode.
+    pub fn malformed_messages(&self) -> u64 {
+        self.malformed_messages
+    }
+
+    /// Number of cached templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{ExportProtocol, Exporter};
+    use crate::key::FlowKey;
+    use crate::tcp_flags::TcpFlags;
+    use haystack_net::ports::Proto;
+    use haystack_net::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn recs(n: usize) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| FlowRecord {
+                key: FlowKey {
+                    src: Ipv4Addr::new(100, 64, 0, i as u8),
+                    dst: Ipv4Addr::new(198, 18, 0, 1),
+                    sport: 40000,
+                    dport: 443,
+                    proto: Proto::Tcp,
+                },
+                packets: 2,
+                bytes: 222,
+                tcp_flags: TcpFlags::ACK,
+                first: SimTime(5),
+                last: SimTime(9),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_netflow() {
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 77).with_batch_size(8);
+        let mut collector = Collector::new();
+        let records = recs(20);
+        let mut decoded = Vec::new();
+        for msg in exporter.export(&records, 100).unwrap() {
+            decoded.extend(collector.feed_netflow_v9(msg).unwrap());
+        }
+        assert_eq!(decoded, records);
+        assert_eq!(collector.dropped_unknown_template(), 0);
+    }
+
+    #[test]
+    fn end_to_end_ipfix() {
+        let mut exporter = Exporter::new(ExportProtocol::Ipfix, 42);
+        let mut collector = Collector::new();
+        let records = recs(5);
+        let mut decoded = Vec::new();
+        for msg in exporter.export(&records, 100).unwrap() {
+            decoded.extend(collector.feed_ipfix(msg).unwrap());
+        }
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn data_before_template_is_dropped_and_counted() {
+        // Build a data-only message by fast-forwarding the exporter past
+        // its first (template-bearing) message, then feed only the second
+        // message to a fresh collector.
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 1).with_batch_size(4);
+        let records = recs(8);
+        let msgs = exporter.export(&records, 100).unwrap();
+        assert_eq!(msgs.len(), 2);
+        let mut collector = Collector::new();
+        let decoded = collector.feed_netflow_v9(msgs[1].clone()).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(collector.dropped_unknown_template(), 1);
+        // Once the template arrives, subsequent data decodes.
+        collector.feed_netflow_v9(msgs[0].clone()).unwrap();
+        let again = exporter.export(&records, 101).unwrap();
+        let decoded = collector.feed_netflow_v9(again[0].clone()).unwrap();
+        assert_eq!(decoded.len(), 4);
+    }
+
+    #[test]
+    fn template_caches_are_per_source() {
+        let mut e1 = Exporter::new(ExportProtocol::NetflowV9, 1).with_batch_size(4);
+        let mut e2 = Exporter::new(ExportProtocol::NetflowV9, 2).with_batch_size(4);
+        let records = recs(8);
+        let m1 = e1.export(&records, 100).unwrap();
+        let m2 = e2.export(&records, 100).unwrap();
+        let mut collector = Collector::new();
+        // Source 1 announces its template; source 2's *data-only* second
+        // message must not decode against it.
+        collector.feed_netflow_v9(m1[0].clone()).unwrap();
+        let decoded = collector.feed_netflow_v9(m2[1].clone()).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(collector.dropped_unknown_template(), 1);
+        assert_eq!(collector.template_count(), 1);
+    }
+
+    #[test]
+    fn malformed_datagram_counted_not_fatal() {
+        let mut collector = Collector::new();
+        assert!(collector.feed_netflow_v9(Bytes::from_static(&[1, 2, 3])).is_err());
+        assert_eq!(collector.malformed_messages(), 1);
+        // Collector still works afterwards.
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 1);
+        let records = recs(2);
+        for msg in exporter.export(&records, 100).unwrap() {
+            assert!(collector.feed_netflow_v9(msg).is_ok());
+        }
+    }
+
+    #[test]
+    fn v5_feed_decodes_and_learns_sampling() {
+        use crate::netflow_v5 as v5;
+        let records = recs(4);
+        let header = v5::V5Header { engine: 12, ..Default::default() }
+            .with_sampling_interval(1_000);
+        let wire = v5::encode(&header, &records).unwrap();
+        let mut collector = Collector::new();
+        let decoded = collector.feed_netflow_v5(wire).unwrap();
+        assert_eq!(decoded, records);
+        assert_eq!(collector.sampling_of(12).unwrap().interval, 1_000);
+    }
+
+    #[test]
+    fn cross_protocol_feeds_rejected() {
+        let mut exporter = Exporter::new(ExportProtocol::Ipfix, 1);
+        let msgs = exporter.export(&recs(1), 100).unwrap();
+        let mut collector = Collector::new();
+        assert!(matches!(
+            collector.feed_netflow_v9(msgs[0].clone()),
+            Err(FlowError::BadVersion { expected: 9, found: 10 })
+        ));
+    }
+}

@@ -1,0 +1,83 @@
+//! The five-tuple flow key.
+
+use haystack_net::ports::Proto;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The classic 5-tuple that identifies a flow at the exporter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Source transport port.
+    pub sport: u16,
+    /// Destination transport port.
+    pub dport: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+}
+
+impl FlowKey {
+    /// The key of the reverse direction (server→client for a client→server
+    /// key). Useful when pairing the two unidirectional flows NetFlow
+    /// produces per connection.
+    #[must_use]
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            sport: self.dport,
+            dport: self.sport,
+            proto: self.proto,
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} ({})",
+            self.src,
+            self.sport,
+            self.dst,
+            self.dport,
+            match self.proto {
+                Proto::Tcp => "tcp",
+                Proto::Udp => "udp",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involutive() {
+        let k = FlowKey {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(198, 18, 0, 1),
+            sport: 50000,
+            dport: 443,
+            proto: Proto::Tcp,
+        };
+        assert_eq!(k.reversed().reversed(), k);
+        assert_eq!(k.reversed().sport, 443);
+    }
+
+    #[test]
+    fn display() {
+        let k = FlowKey {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(198, 18, 0, 1),
+            sport: 50000,
+            dport: 443,
+            proto: Proto::Tcp,
+        };
+        assert_eq!(k.to_string(), "10.0.0.1:50000 -> 198.18.0.1:443 (tcp)");
+    }
+}

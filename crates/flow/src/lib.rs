@@ -1,0 +1,57 @@
+//! # haystack-flow
+//!
+//! The flow-measurement substrate: everything between a raw packet at a
+//! border router and a decoded flow record at the collector.
+//!
+//! The paper's two vantage points differ only in parameters, not in kind:
+//!
+//! * the **ISP** exports **NetFlow v9** [RFC 3954] from all border routers
+//!   at a consistent packet-sampling rate (§2.1, Figure 3);
+//! * the **IXP** exports **IPFIX** [RFC 7011] from its switching fabric at
+//!   a rate *an order of magnitude lower* (§2.1, Figure 4).
+//!
+//! Pipeline stages provided here:
+//!
+//! 1. [`packet`] — the simulated packet event (header fields only; the
+//!    vantage points never see payload).
+//! 2. [`sampling`] — systematic and uniform packet samplers, plus the
+//!    Binomial flow-thinning used by the population-scale simulation
+//!    (statistically equivalent to per-packet sampling; see DESIGN.md §5.1
+//!    and the `sampling_equivalence` bench).
+//! 3. [`cache`] — the router's flow cache: aggregates sampled packets into
+//!    flow records with active/inactive timeout expiry.
+//! 4. [`netflow_v9`] / [`ipfix`] — wire codecs: template + data sets,
+//!    encode and decode, with the template-before-data statefulness real
+//!    collectors must handle.
+//! 5. [`export`] / [`collector`] — the exporter that batches records into
+//!    datagram-sized messages and the collector that reassembles them.
+//!
+//! The codecs are exercised end-to-end by the testbed pipeline (packets →
+//! cache → export → collect → detect) and round-trip-tested with proptest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod collector;
+pub mod error;
+pub mod export;
+pub mod ipfix;
+pub mod key;
+pub mod netflow_v5;
+pub mod netflow_v9;
+pub mod packet;
+pub mod record;
+pub mod sampling;
+pub mod tcp_flags;
+pub mod wire;
+
+pub use cache::{FlowCache, FlowCacheConfig};
+pub use collector::Collector;
+pub use error::FlowError;
+pub use export::Exporter;
+pub use key::FlowKey;
+pub use packet::Packet;
+pub use record::FlowRecord;
+pub use sampling::{binomial_thin, PacketSampler, RandomSampler, SystematicSampler};
+pub use tcp_flags::TcpFlags;

@@ -1,0 +1,117 @@
+//! The flow record — what a vantage point exports and the detector
+//! consumes.
+
+use crate::key::FlowKey;
+use crate::packet::Packet;
+use crate::tcp_flags::TcpFlags;
+use haystack_net::SimTime;
+use std::fmt;
+
+/// One (unidirectional) flow record, as carried in a NetFlow v9 or IPFIX
+/// data set.
+///
+/// Under packet sampling, `packets`/`bytes` count the **sampled** packets
+/// only, as real sampled NetFlow does; consumers that need volume
+/// estimates multiply by the sampling rate. The detector deliberately does
+/// not re-inflate: its thresholds (e.g. the §7.1 usage threshold of 10
+/// packets/hour) are defined on sampled counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// The 5-tuple.
+    pub key: FlowKey,
+    /// Sampled packet count.
+    pub packets: u64,
+    /// Sampled byte count.
+    pub bytes: u64,
+    /// Cumulative OR of the TCP flags of the sampled packets.
+    pub tcp_flags: TcpFlags,
+    /// Timestamp of the first sampled packet.
+    pub first: SimTime,
+    /// Timestamp of the last sampled packet.
+    pub last: SimTime,
+}
+
+impl FlowRecord {
+    /// Start a record from its first sampled packet.
+    pub fn from_packet(p: &Packet) -> FlowRecord {
+        FlowRecord {
+            key: p.key(),
+            packets: 1,
+            bytes: u64::from(p.bytes),
+            tcp_flags: p.flags,
+            first: p.ts,
+            last: p.ts,
+        }
+    }
+
+    /// Fold another sampled packet of the same flow into the record.
+    pub fn absorb(&mut self, p: &Packet) {
+        debug_assert_eq!(self.key, p.key());
+        self.packets += 1;
+        self.bytes += u64::from(p.bytes);
+        self.tcp_flags |= p.flags;
+        if p.ts < self.first {
+            self.first = p.ts;
+        }
+        if p.ts > self.last {
+            self.last = p.ts;
+        }
+    }
+
+    /// §6.3 anti-spoofing predicate lifted to records: a TCP record whose
+    /// cumulative flags carry no SYN/FIN/RST. UDP records pass trivially
+    /// (the paper's filter applies to TCP traffic).
+    pub fn is_established_evidence(&self) -> bool {
+        self.tcp_flags.is_established_evidence()
+    }
+}
+
+impl fmt::Display for FlowRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pkts={} bytes={} flags={} [{} .. {}]",
+            self.key, self.packets, self.bytes, self.tcp_flags, self.first, self.last
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haystack_net::ports::Proto;
+    use std::net::Ipv4Addr;
+
+    fn pkt(ts: u64, bytes: u32, flags: TcpFlags) -> Packet {
+        Packet {
+            ts: SimTime(ts),
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            dst: Ipv4Addr::new(198, 18, 0, 1),
+            sport: 50000,
+            dport: 443,
+            proto: Proto::Tcp,
+            bytes,
+            flags,
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut r = FlowRecord::from_packet(&pkt(10, 100, TcpFlags::SYN));
+        r.absorb(&pkt(12, 200, TcpFlags::ACK));
+        r.absorb(&pkt(11, 50, TcpFlags::ACK | TcpFlags::PSH));
+        assert_eq!(r.packets, 3);
+        assert_eq!(r.bytes, 350);
+        assert_eq!(r.first, SimTime(10));
+        assert_eq!(r.last, SimTime(12));
+        assert!(r.tcp_flags.contains(TcpFlags::SYN));
+        assert!(!r.is_established_evidence());
+    }
+
+    #[test]
+    fn pure_ack_record_is_established_evidence() {
+        let mut r = FlowRecord::from_packet(&pkt(10, 100, TcpFlags::ACK));
+        r.absorb(&pkt(11, 100, TcpFlags::ACK | TcpFlags::PSH));
+        assert!(r.is_established_evidence());
+    }
+}

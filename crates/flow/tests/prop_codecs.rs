@@ -1,0 +1,112 @@
+//! Property-based round-trip tests for the NetFlow v9 / IPFIX codecs and
+//! the samplers. These complement the unit tests with arbitrary inputs:
+//! any record the exporter can emit must survive the wire unchanged, and
+//! malformed bytes must never panic the decoders.
+
+use haystack_flow::export::{ExportProtocol, Exporter};
+use haystack_flow::sampling::{binomial_thin, PacketSampler, SystematicSampler};
+use haystack_flow::wire::Template;
+use haystack_flow::{Collector, FlowKey, FlowRecord, TcpFlags};
+use haystack_net::ports::Proto;
+use haystack_net::SimTime;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![Just(Proto::Tcp), Just(Proto::Udp)],
+        1u64..=100_000,
+        0u64..=u64::from(u32::MAX),
+        any::<u8>(),
+        0u32..=2_000_000,
+        0u32..=1_000,
+    )
+        .prop_map(|(src, dst, sport, dport, proto, packets, bytes, flags, first, dur)| FlowRecord {
+            key: FlowKey {
+                src: Ipv4Addr::from(src),
+                dst: Ipv4Addr::from(dst),
+                sport,
+                dport,
+                proto,
+            },
+            packets,
+            bytes,
+            tcp_flags: TcpFlags(flags),
+            first: SimTime(u64::from(first)),
+            last: SimTime(u64::from(first) + u64::from(dur)),
+        })
+}
+
+proptest! {
+    #[test]
+    fn netflow_v9_round_trips(records in prop::collection::vec(arb_record(), 0..80)) {
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 5);
+        let mut collector = Collector::new();
+        let mut decoded = Vec::new();
+        for msg in exporter.export(&records, 1234).unwrap() {
+            decoded.extend(collector.feed_netflow_v9(msg).unwrap());
+        }
+        prop_assert_eq!(decoded, records);
+        prop_assert_eq!(collector.dropped_unknown_template(), 0);
+    }
+
+    #[test]
+    fn ipfix_round_trips(records in prop::collection::vec(arb_record(), 0..80)) {
+        let mut exporter = Exporter::new(ExportProtocol::Ipfix, 5);
+        let mut collector = Collector::new();
+        let mut decoded = Vec::new();
+        for msg in exporter.export(&records, 1234).unwrap() {
+            decoded.extend(collector.feed_ipfix(msg).unwrap());
+        }
+        prop_assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let mut collector = Collector::new();
+        let _ = collector.feed_netflow_v9(bytes::Bytes::from(bytes.clone()));
+        let _ = collector.feed_ipfix(bytes::Bytes::from(bytes));
+    }
+
+    #[test]
+    fn decoders_never_panic_on_truncated_valid_messages(
+        records in prop::collection::vec(arb_record(), 1..40),
+        cut in 0usize..200,
+    ) {
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 5);
+        let msgs = exporter.export(&records, 0).unwrap();
+        let msg = &msgs[0];
+        let cut = cut.min(msg.len());
+        let mut collector = Collector::new();
+        let _ = collector.feed_netflow_v9(msg.slice(0..cut));
+    }
+
+    #[test]
+    fn systematic_sampler_exact_rate(n in 1u64..500, total in 1u64..5_000) {
+        let mut s = SystematicSampler::new(n, 0).unwrap();
+        let kept = (0..total).filter(|_| s.sample()).count() as u64;
+        prop_assert_eq!(kept, total / n);
+    }
+
+    #[test]
+    fn binomial_thin_bounded(n in 0u64..200_000, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        use rand::{rngs::SmallRng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let k = binomial_thin(n, p, &mut rng);
+        prop_assert!(k <= n);
+    }
+
+    #[test]
+    fn template_body_round_trips(id in 256u16..1000) {
+        use bytes::BytesMut;
+        let t = Template::standard(id);
+        let mut buf = BytesMut::new();
+        t.encode_body(&mut buf);
+        let parsed = Template::parse_body(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+}

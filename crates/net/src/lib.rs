@@ -1,0 +1,37 @@
+//! # haystack-net
+//!
+//! Foundational network types shared by every other `haystack` crate:
+//!
+//! * [`time`] — a simulated clock with the paper's study window
+//!   (Nov 15 – Nov 28, 2019) and hour/day binning used by all figures.
+//! * [`addr`] — IPv4 address helpers and the ISP's *user IP vs server IP*
+//!   distinction (§2.1, "Ethical considerations ISP/IXP").
+//! * [`ports`] — the port-class taxonomy of §3 (Web / NTP / DNS / Other).
+//! * [`prefix`] — CIDR prefixes and the /24 aggregation used by Figure 13.
+//! * [`asn`] — autonomous-system numbers and the eyeball/content/cloud
+//!   taxonomy needed for the IXP analysis (§6.3, Figure 16).
+//! * [`anonymize`] — the keyed one-way anonymization applied to user IPs
+//!   before any record leaves a vantage point.
+//!
+//! Everything here is deterministic and allocation-light; these types sit on
+//! the hot path of the flow pipeline (millions of records per simulated
+//! hour).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod anonymize;
+pub mod asn;
+pub mod error;
+pub mod ports;
+pub mod prefix;
+pub mod time;
+
+pub use addr::{IpClass, Ipv4AddrExt};
+pub use anonymize::{AnonId, Anonymizer};
+pub use asn::{AsCategory, AsRegistry, Asn};
+pub use error::NetError;
+pub use ports::{PortClass, WELL_KNOWN_SERVER_PORTS};
+pub use prefix::{Prefix4, PrefixAggregator};
+pub use time::{DayBin, HourBin, SimTime, StudyWindow};

@@ -1,0 +1,127 @@
+//! Port-class taxonomy.
+//!
+//! §3 of the paper separates observable activity into **Web services**
+//! (ports 443, 80, 8080), **NTP services** (port 123), and **other
+//! services** (everything else) — Figure 5(c) plots cumulative service IPs
+//! per class. §2.1 additionally uses a list of *well-known server ports*
+//! (web, NTP, DNS, …) to tell server IPs apart from user IPs before
+//! anonymization.
+
+/// Transport protocol of a flow. NetFlow/IPFIX report this as IANA protocol
+/// numbers; we only distinguish the two that matter for the methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Proto {
+    /// TCP (protocol 6). The IXP pipeline requires established TCP (§6.3).
+    Tcp,
+    /// UDP (protocol 17) — NTP, DNS, and several device heartbeats.
+    Udp,
+}
+
+impl Proto {
+    /// IANA protocol number, as carried in NetFlow v9 / IPFIX records.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+        }
+    }
+
+    /// Parse an IANA protocol number; anything that is not TCP/UDP is
+    /// rejected (the methodology only consumes TCP and UDP flows).
+    pub fn from_number(n: u8) -> Option<Proto> {
+        match n {
+            6 => Some(Proto::Tcp),
+            17 => Some(Proto::Udp),
+            _ => None,
+        }
+    }
+}
+
+/// The paper's §3 port classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PortClass {
+    /// Ports 80, 443, 8080.
+    Web,
+    /// Port 123.
+    Ntp,
+    /// Port 53. DNS traffic is *excluded* from the §3 visibility analysis
+    /// ("We explicitly exclude DNS traffic, since it is not IoT-specific"),
+    /// so it gets its own class rather than folding into `Other`.
+    Dns,
+    /// Every other port.
+    Other,
+}
+
+impl PortClass {
+    /// Classify a server-side port.
+    pub fn of(port: u16) -> PortClass {
+        match port {
+            80 | 443 | 8080 => PortClass::Web,
+            123 => PortClass::Ntp,
+            53 => PortClass::Dns,
+            _ => PortClass::Other,
+        }
+    }
+
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PortClass::Web => "Web",
+            PortClass::Ntp => "NTP",
+            PortClass::Dns => "DNS",
+            PortClass::Other => "Other",
+        }
+    }
+}
+
+/// Well-known server ports used by the vantage points to classify an IP as a
+/// *server IP* (§2.1: "e.g., web ports (80, 443, 8080), NTP (123), DNS
+/// (53)"), extended with the common IoT service ports seen in the ground
+/// truth (MQTT 1883/8883, XMPP 5222/5223, CoAP 5683).
+pub const WELL_KNOWN_SERVER_PORTS: &[u16] =
+    &[80, 443, 8080, 123, 53, 1883, 8883, 5222, 5223, 5683, 8443];
+
+/// Whether `port` marks the owning endpoint as a server for the purposes of
+/// the user-vs-server IP split.
+pub fn is_well_known_server_port(port: u16) -> bool {
+    WELL_KNOWN_SERVER_PORTS.contains(&port)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_class_matches_paper() {
+        for p in [80u16, 443, 8080] {
+            assert_eq!(PortClass::of(p), PortClass::Web);
+        }
+        assert_eq!(PortClass::of(123), PortClass::Ntp);
+        assert_eq!(PortClass::of(53), PortClass::Dns);
+        assert_eq!(PortClass::of(8883), PortClass::Other);
+        assert_eq!(PortClass::of(0), PortClass::Other);
+    }
+
+    #[test]
+    fn proto_numbers_round_trip() {
+        assert_eq!(Proto::from_number(Proto::Tcp.number()), Some(Proto::Tcp));
+        assert_eq!(Proto::from_number(Proto::Udp.number()), Some(Proto::Udp));
+        assert_eq!(Proto::from_number(1), None); // ICMP is out of scope
+    }
+
+    #[test]
+    fn well_known_ports_include_paper_examples() {
+        for p in [80u16, 443, 8080, 123, 53] {
+            assert!(is_well_known_server_port(p), "port {p} must be well-known");
+        }
+        assert!(!is_well_known_server_port(51234));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PortClass::Web.label(), "Web");
+        assert_eq!(PortClass::Ntp.label(), "NTP");
+        assert_eq!(PortClass::Dns.label(), "DNS");
+        assert_eq!(PortClass::Other.label(), "Other");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the foundational types: prefix algebra, time
+//! binning, anonymization.
+
+use haystack_net::{Anonymizer, HourBin, Prefix4, PrefixAggregator, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #[test]
+    fn prefix_contains_its_own_addresses(addr in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix4::new(Ipv4Addr::from(addr), len).unwrap();
+        prop_assert!(p.contains(p.network()));
+        // The i-th address is inside (sample a few indexes).
+        let size = p.size();
+        for i in [0u32, size / 2, size - 1] {
+            prop_assert!(p.contains(p.nth(i)));
+        }
+    }
+
+    #[test]
+    fn prefix_cover_is_a_partial_order(a in any::<u32>(), la in 8u8..=32, b in any::<u32>(), lb in 8u8..=32) {
+        let pa = Prefix4::new(Ipv4Addr::from(a), la).unwrap();
+        let pb = Prefix4::new(Ipv4Addr::from(b), lb).unwrap();
+        // Antisymmetry: mutual cover ⇒ equality.
+        if pa.covers(&pb) && pb.covers(&pa) {
+            prop_assert_eq!(pa, pb);
+        }
+        // Covering implies containing the network address.
+        if pa.covers(&pb) {
+            prop_assert!(pa.contains(pb.network()));
+        }
+    }
+
+    #[test]
+    fn prefix_parse_round_trips(addr in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix4::new(Ipv4Addr::from(addr), len).unwrap();
+        let reparsed: Prefix4 = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn slash24_aggregation_counts_are_consistent(addrs in prop::collection::vec(any::<u32>(), 1..200)) {
+        let mut agg = PrefixAggregator::new();
+        for a in &addrs {
+            agg.observe(Ipv4Addr::from(*a));
+        }
+        prop_assert!(agg.unique_slash24s() <= agg.unique_addrs());
+        prop_assert!(agg.unique_addrs() <= addrs.len());
+        prop_assert!(agg.unique_slash24s() >= 1);
+    }
+
+    #[test]
+    fn hour_binning_is_monotone(a in any::<u32>(), b in any::<u32>()) {
+        let (lo, hi) = (a.min(b) as u64, a.max(b) as u64);
+        prop_assert!(SimTime(lo).hour() <= SimTime(hi).hour());
+        prop_assert!(SimTime(lo).day() <= SimTime(hi).day());
+        // Hour bin start is never after the instant itself.
+        prop_assert!(SimTime(hi).hour().start() <= SimTime(hi));
+    }
+
+    #[test]
+    fn hour_bin_day_consistency(h in any::<u32>()) {
+        let hb = HourBin(h);
+        prop_assert_eq!(hb.day().0, h / 24);
+        prop_assert_eq!(hb.day().first_hour().0 + hb.hour_of_day(), h);
+    }
+
+    #[test]
+    fn anonymizer_is_injective_on_samples(k0 in any::<u64>(), k1 in any::<u64>(), addrs in prop::collection::btree_set(any::<u32>(), 2..100)) {
+        let a = Anonymizer::new(k0, k1);
+        let ids: std::collections::BTreeSet<_> =
+            addrs.iter().map(|x| a.anonymize(Ipv4Addr::from(*x))).collect();
+        prop_assert_eq!(ids.len(), addrs.len(), "collision under key ({}, {})", k0, k1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the Censys substrate: the §4.2.2 match criteria and
+//! the scan database's fingerprint index.
+
+use haystack_dns::{DomainName, DomainPattern};
+use haystack_scan::{cert_identifies_domain, Certificate, HostScan, HttpsBanner, ScanDb};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{1,8}"
+}
+
+proptest! {
+    /// A single-SAN wildcard cert identifies exactly the names one label
+    /// under its base — and nothing else.
+    #[test]
+    fn wildcard_cert_identifies_only_one_level(
+        sld_label in arb_label(),
+        host in arb_label(),
+        other in arb_label(),
+    ) {
+        let base = DomainName::parse(&format!("{sld_label}.com")).unwrap();
+        let cert = Certificate::single(
+            DomainPattern::parse(&format!("*.{base}")).unwrap(),
+            1,
+        );
+        let direct = base.child(&host).unwrap();
+        prop_assert!(cert_identifies_domain(&cert, &direct));
+        // Two labels down fails (X.509 wildcard covers one label).
+        let deep = direct.child(&other).unwrap();
+        prop_assert!(!cert_identifies_domain(&cert, &deep));
+        // A different SLD fails.
+        let foreign = DomainName::parse(&format!("{host}.{other}x.net")).unwrap();
+        prop_assert!(!cert_identifies_domain(&cert, &foreign));
+    }
+
+    /// Adding any foreign SAN permanently disqualifies the cert for every
+    /// domain (the multi-tenant CDN case).
+    #[test]
+    fn foreign_san_disqualifies_everything(
+        a in arb_label(),
+        b in arb_label(),
+    ) {
+        prop_assume!(a != b);
+        let cert = Certificate::new(
+            vec![
+                DomainPattern::parse(&format!("*.{a}.com")).unwrap(),
+                DomainPattern::parse(&format!("*.{b}.net")).unwrap(),
+            ],
+            1,
+        );
+        let da = DomainName::parse(&format!("x.{a}.com")).unwrap();
+        let db = DomainName::parse(&format!("x.{b}.net")).unwrap();
+        prop_assert!(!cert_identifies_domain(&cert, &da));
+        prop_assert!(!cert_identifies_domain(&cert, &db));
+    }
+
+    /// Scan DB: `ips_with_same_cert_and_banner` returns exactly the hosts
+    /// sharing both the fingerprint and the banner checksum.
+    #[test]
+    fn fingerprint_index_is_exact(
+        group_a in 1u8..30,
+        group_b in 1u8..30,
+        stale_banner in 0u8..5,
+    ) {
+        let cert_a = Certificate::single(DomainPattern::parse("*.va.com").unwrap(), 1);
+        let cert_b = Certificate::single(DomainPattern::parse("*.vb.com").unwrap(), 2);
+        let banner = HttpsBanner::new("srv", "prod");
+        let staging = HttpsBanner::new("srv", "staging");
+        let mut db = ScanDb::new();
+        let mut expect = std::collections::BTreeSet::new();
+        for i in 0..group_a {
+            let ip = Ipv4Addr::new(198, 18, 20, i);
+            db.insert(ip, HostScan { cert: cert_a.clone(), banner: banner.clone(), port: 443 });
+            expect.insert(ip);
+        }
+        for i in 0..group_b {
+            db.insert(
+                Ipv4Addr::new(198, 18, 21, i),
+                HostScan { cert: cert_b.clone(), banner: banner.clone(), port: 443 },
+            );
+        }
+        for i in 0..stale_banner {
+            db.insert(
+                Ipv4Addr::new(198, 18, 22, i),
+                HostScan { cert: cert_a.clone(), banner: staging.clone(), port: 443 },
+            );
+        }
+        let seed = Ipv4Addr::new(198, 18, 20, 0);
+        prop_assert_eq!(db.ips_with_same_cert_and_banner(seed), expect);
+    }
+}

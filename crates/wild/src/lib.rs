@@ -1,0 +1,44 @@
+//! # haystack-wild
+//!
+//! The population-scale side of the paper (§6): what the methodology sees
+//! when pointed at a whole ISP and a whole IXP rather than one subscriber
+//! line.
+//!
+//! * [`population`] — subscriber lines with product ownership drawn from
+//!   per-product penetration, stable addresses with daily churn
+//!   (rotation mostly within the /24, as ISPs re-assign regionally — the
+//!   effect Figure 13 quantifies).
+//! * [`diurnal`] — the human-activity curves behind Figure 11(a)'s
+//!   patterns: entertainment devices peak in the evening, most device
+//!   chatter is flat.
+//! * [`plan`] — per-product contact plans compiled from the catalog:
+//!   domain weights for idle chatter and for active-use hours.
+//! * [`gen`] — the flow-level generator. Packet sampling is applied as
+//!   Poisson/Binomial thinning per (line, product, hour), then sampled
+//!   packets are attributed to domains by exact Poisson splitting —
+//!   statistically identical to per-packet sampling of the aggregate
+//!   stream (see the `sampling_equivalence` bench) and feasible at
+//!   millions of lines.
+//! * [`isp`] — the ISP vantage point: all subscriber traffic, NetFlow-style
+//!   sampling (default 1/1000), user IPs anonymized (§2.1).
+//! * [`ixp`] — the IXP vantage point: member ASes of very different sizes,
+//!   sampling an order of magnitude lower (1/10000), routing asymmetry,
+//!   spoofed traffic, and the §6.3 established-TCP filter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diurnal;
+pub mod gen;
+pub mod isp;
+pub mod ixp;
+pub mod plan;
+pub mod population;
+pub mod record;
+
+pub use gen::{DnsQueryEvent, HourTraffic};
+pub use isp::{IspConfig, IspVantage};
+pub use ixp::{IxpConfig, IxpVantage, MemberAs};
+pub use plan::ContactPlan;
+pub use population::{Population, PopulationConfig};
+pub use record::WildRecord;

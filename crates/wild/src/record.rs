@@ -1,0 +1,54 @@
+//! The flow record a wild vantage point hands to the detector.
+//!
+//! The testbed pipeline carries real NetFlow v9 / IPFIX datagrams through
+//! `haystack-flow`'s codecs; at population scale, re-encoding tens of
+//! millions of records buys nothing analytically, so the wild vantage
+//! points emit this decoded form directly (the codecs are exercised
+//! end-to-end by the ground-truth pipeline and its integration tests; see
+//! DESIGN.md). Fields mirror exactly what §2.1's setup exposes: an
+//! anonymized subscriber identity, the /24 kept on-premises for Figure 13,
+//! and the server side in the clear.
+
+use haystack_net::ports::Proto;
+use haystack_net::{AnonId, HourBin, Prefix4};
+use std::net::Ipv4Addr;
+
+/// One hour-aggregated, sampled flow observation at a wild vantage point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WildRecord {
+    /// Anonymized subscriber line (ISP) or remote client identity (IXP).
+    pub line: AnonId,
+    /// The /24 of the subscriber address (retained on-premises only).
+    pub line_slash24: Prefix4,
+    /// Raw client address — used by the IXP pipeline, which counts unique
+    /// IPs (it has no subscriber-line notion); the ISP pipeline must not
+    /// use it (and its reports only consume `line`).
+    pub src_ip: Ipv4Addr,
+    /// Service address.
+    pub dst: Ipv4Addr,
+    /// Service port.
+    pub dport: u16,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Sampled packet count within the hour.
+    pub packets: u64,
+    /// Sampled byte count within the hour.
+    pub bytes: u64,
+    /// §6.3 anti-spoofing evidence: at least one sampled TCP packet
+    /// carried no SYN/FIN/RST (always true for UDP).
+    pub established: bool,
+    /// The hour bin.
+    pub hour: HourBin,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_compact() {
+        // The wild pipeline holds millions of these per simulated hour;
+        // guard against accidental growth.
+        assert!(std::mem::size_of::<WildRecord>() <= 72);
+    }
+}

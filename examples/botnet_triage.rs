@@ -1,0 +1,86 @@
+//! §7.2's security use-case: a Mirai-style incident response. Given a set
+//! of subscriber lines emitting suspicious traffic, find which IoT device
+//! classes they have in common — the ISP can then notify owners or block
+//! the botnet's control traffic, without deep packet inspection.
+//!
+//! Run with `cargo run --release --example botnet_triage`.
+
+use haystack::core::detector::{Detector, DetectorConfig};
+use haystack::core::hitlist::HitList;
+use haystack::core::pipeline::{Pipeline, PipelineConfig};
+use haystack::net::{AnonId, DayBin};
+use haystack::wild::{IspConfig, IspVantage};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn main() {
+    println!("building rules from ground truth ...");
+    let pipeline = Pipeline::run(PipelineConfig::fast(42));
+    let lines = 15_000u32;
+    let isp = IspVantage::new(
+        &pipeline.catalog,
+        IspConfig { lines, sampling: 1_000, seed: 5, background: false },
+    );
+
+    // Run one day of detection to build the device inventory per line.
+    println!("building per-line device inventory from one day of NetFlow ...");
+    let mut det = Detector::new(
+        &pipeline.rules,
+        HitList::for_day(&pipeline.rules, &pipeline.dnsdb, DayBin(0)),
+        DetectorConfig::default(),
+    );
+    for hour in DayBin(0).hours() {
+        for r in &isp.capture_hour(&pipeline.world, hour).records {
+            det.observe_wild(r);
+        }
+    }
+
+    // Incident input: the abuse desk hands us "suspicious lines". We
+    // simulate it by taking lines that own a camera-class product — the
+    // classic Mirai recruitment pool — and checking what the *detector*
+    // (which has no ownership oracle) says they share.
+    let camera_classes =
+        ["Yi Camera", "Wansview Cam.", "Reolink Cam.", "Amcrest Cam.", "ZModo Doorbell"];
+    let mut suspicious: BTreeSet<AnonId> = BTreeSet::new();
+    for c in camera_classes {
+        suspicious.extend(det.detected_lines(c));
+    }
+    println!("\nincident: {} subscriber lines flagged by the abuse desk", suspicious.len());
+
+    // Triage: which detected classes are over-represented among the
+    // suspicious lines vs. the general population?
+    println!("\n{:<28} {:>10} {:>12} {:>8}", "class", "suspects", "population", "lift");
+    let mut rows: Vec<(&str, usize, usize, f64)> = Vec::new();
+    for rule in &pipeline.rules.rules {
+        let all: BTreeSet<AnonId> = det.detected_lines(rule.class).into_iter().collect();
+        if all.is_empty() {
+            continue;
+        }
+        let among = suspicious.intersection(&all).count();
+        if among == 0 {
+            continue;
+        }
+        let p_pop = all.len() as f64 / f64::from(lines);
+        let p_sus = among as f64 / suspicious.len().max(1) as f64;
+        rows.push((rule.class, among, all.len(), p_sus / p_pop));
+    }
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
+    for (class, among, total, lift) in rows.iter().take(10) {
+        println!("{class:<28} {among:>10} {total:>12} {lift:>7.1}x");
+    }
+    println!(
+        "\ncamera classes dominate the lift ranking — the ISP now knows which \
+         device population to notify (§7.2), using nothing but sampled flow headers."
+    );
+
+    // Count how many distinct rule-relevant backend IPs could be blocked.
+    let mut block_targets: BTreeMap<&str, usize> = BTreeMap::new();
+    for rule in &pipeline.rules.rules {
+        if camera_classes.contains(&rule.class) {
+            block_targets.insert(rule.class, rule.domains.iter().map(|d| d.ips.len()).sum());
+        }
+    }
+    println!("\nbackend IPs available for blocking/redirect per camera class:");
+    for (class, n) in block_targets {
+        println!("  {class:<28} {n:>4} service IPs");
+    }
+}

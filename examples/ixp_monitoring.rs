@@ -1,0 +1,88 @@
+//! IXP-side monitoring (paper §6.3): detect IoT client IPs across member
+//! ASes from very sparsely sampled IPFIX, with routing asymmetry and a
+//! spoofed-traffic component — and show why the established-TCP filter
+//! matters.
+//!
+//! Run with `cargo run --release --example ixp_monitoring`.
+
+use haystack::core::pipeline::{Pipeline, PipelineConfig};
+use haystack::core::report::{run_ixp_study, DeviceGroup, IxpStudyConfig};
+use haystack::net::StudyWindow;
+use haystack::wild::{IxpConfig, IxpVantage};
+
+fn main() {
+    println!("building rules from ground truth ...");
+    let pipeline = Pipeline::run(PipelineConfig::fast(42));
+
+    let ixp = IxpVantage::new(
+        &pipeline.catalog,
+        IxpConfig {
+            sampling: 5_000,
+            seed: 99,
+            big_eyeballs: 5,
+            big_lines: 8_000,
+            tail_members: 20,
+            tail_lines: 300,
+            route_visibility: 0.5,
+            spoofed_per_hour: 1_500,
+        },
+    );
+    println!(
+        "IXP with {} members ({} lines behind the big eyeballs)",
+        ixp.members().len(),
+        5 * 8_000,
+    );
+
+    // With the §6.3 anti-spoofing filter (the paper's configuration).
+    let filtered = run_ixp_study(
+        &pipeline,
+        &pipeline.world,
+        &ixp,
+        &IxpStudyConfig { window: StudyWindow::days(0, 1), ..Default::default() },
+    );
+    // Without it — the over-counting ablation.
+    let unfiltered = run_ixp_study(
+        &pipeline,
+        &pipeline.world,
+        &ixp,
+        &IxpStudyConfig {
+            window: StudyWindow::days(0, 1),
+            established_filter: false,
+            ..Default::default()
+        },
+    );
+
+    println!("\nunique detected client IPs on day 1 (Figure 15 style):");
+    println!("{:<28} {:>10} {:>12}", "device group", "filtered", "unfiltered");
+    for g in [DeviceGroup::Alexa, DeviceGroup::Samsung, DeviceGroup::Other] {
+        let f = filtered.daily_ips.get(&(g, 0)).copied().unwrap_or(0);
+        let u = unfiltered.daily_ips.get(&(g, 0)).copied().unwrap_or(0);
+        println!("{:<28} {f:>10} {u:>12}", g.label());
+    }
+    println!(
+        "\nrecords: {} observed, {} survive the established-TCP filter \
+         ({} spoofed/handshake-only dropped)",
+        filtered.records_before_filter,
+        filtered.records_after_filter,
+        filtered.records_before_filter - filtered.records_after_filter
+    );
+
+    println!("\nper-member concentration (Figure 16 style), day 1, all groups:");
+    let mut per_as: Vec<(String, u64)> = Vec::new();
+    for m in ixp.members() {
+        let total: u64 = [DeviceGroup::Alexa, DeviceGroup::Samsung, DeviceGroup::Other]
+            .iter()
+            .filter_map(|g| filtered.per_as_day0.get(&(m.asn, *g)))
+            .sum();
+        per_as.push((format!("{} ({}, {})", m.asn, m.name, m.category.label()), total));
+    }
+    per_as.sort_by(|a, b| b.1.cmp(&a.1));
+    let grand: u64 = per_as.iter().map(|(_, n)| n).sum();
+    for (label, n) in per_as.iter().take(8) {
+        println!(
+            "{label:<40} {n:>8} ({:.1}% of detected IPs)",
+            100.0 * *n as f64 / grand.max(1) as f64
+        );
+    }
+    println!("... eyeball members dominate; the tail is long but thin (paper Fig. 16).");
+}

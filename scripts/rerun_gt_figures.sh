@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Re-run only the ground-truth-derived figures (cheap subset of
+# run_all_figures.sh) after changes to the testbed traffic model.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+cargo build --release -p haystack-bench --bins || exit 1
+run() {
+  local bin="$1"; shift
+  echo ">>> $bin $*"
+  ./target/release/"$bin" "$@" > "results/$bin.txt" 2> "results/$bin.log" &&
+    echo "    ok" || echo "    FAILED (see results/$bin.log)"
+}
+for bin in pipeline_stats fig5 fig6 fig8; do run "$bin" "$@" & done
+wait
+for bin in fig9 fig10 fig17 baseline_compare; do run "$bin" "$@" & done
+wait
+run ablation_hiding "$@"
+echo "ground-truth figures refreshed"

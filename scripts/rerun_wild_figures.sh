@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Re-run only the wild (population-scale) figures after changes to
+# penetrations or the wild generator.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+LINES="${LINES:-100000}"
+cargo build --release -p haystack-bench --bins || exit 1
+run() {
+  local bin="$1"; shift
+  echo ">>> $bin $*"
+  ./target/release/"$bin" "$@" > "results/$bin.txt" 2> "results/$bin.log" &&
+    echo "    ok" || echo "    FAILED (see results/$bin.log)"
+}
+for bin in fig11 fig12 fig13; do run "$bin" --lines "$LINES" & done
+wait
+for bin in fig14 fig18 fig15 fig16; do run "$bin" --lines "$LINES" & done
+wait
+run accuracy_report --lines "$LINES" &
+run ablation_dns --lines "$LINES" &
+wait
+echo "wild figures refreshed"

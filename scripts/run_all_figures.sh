@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure at full fidelity into results/.
+# Usage: scripts/run_all_figures.sh [--fast]   (fast = smoke run)
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+FLAGS="${1:-}"
+LINES="${LINES:-100000}"
+
+cargo build --release -p haystack-bench --bins || exit 1
+
+run() {
+  local bin="$1"; shift
+  echo ">>> $bin $*"
+  ./target/release/"$bin" "$@" > "results/$bin.txt" 2> "results/$bin.log" &&
+    echo "    ok: results/$bin.txt" || echo "    FAILED: see results/$bin.log"
+}
+
+# Cheap, catalog-only.
+run table1
+
+# Ground-truth figures (each builds the full pipeline; run 4-way parallel).
+for bin in pipeline_stats fig5 fig6 fig8; do
+  run "$bin" $FLAGS &
+done
+wait
+for bin in fig9 fig10 fig17; do
+  run "$bin" $FLAGS &
+done
+wait
+
+# Wild figures (ISP study is the heavy part).
+for bin in fig11 fig12 fig13; do
+  run "$bin" $FLAGS --lines "$LINES" &
+done
+wait
+for bin in fig14 fig18 fig15 fig16; do
+  run "$bin" $FLAGS --lines "$LINES" &
+done
+wait
+
+# Accuracy and the §7.4 ablations.
+run accuracy_report $FLAGS --lines "$LINES" &
+run ablation_dns $FLAGS --lines "$LINES" &
+wait
+run ablation_hiding $FLAGS
+
+echo "all figure outputs in results/"

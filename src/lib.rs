@@ -1,0 +1,43 @@
+//! # haystack
+//!
+//! A from-scratch reproduction of **"A Haystack Full of Needles: Scalable
+//! Detection of IoT Devices in the Wild"** (Saidi et al., IMC 2020): detect
+//! consumer IoT devices per subscriber line from passive, sparsely sampled
+//! flow data (NetFlow v9 / IPFIX), at ISP and IXP scale.
+//!
+//! This facade re-exports the full workspace API. The crates underneath:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`net`] | addresses, prefixes, ASNs, port classes, anonymization, simulated time |
+//! | [`flow`] | packets, flow cache, samplers, NetFlow v9 + IPFIX codecs |
+//! | [`dns`] | domain names, zones, churning resolver, passive DNS (DNSDB-style) |
+//! | [`scan`] | certificates, banners, scan database (Censys-style) |
+//! | [`backend`] | the synthetic server-side Internet (dedicated / cloud / CDN) |
+//! | [`testbed`] | the 96-device ground-truth testbeds and experiment driver |
+//! | [`wild`] | population-scale ISP and IXP vantage points |
+//! | [`core`] | the paper's methodology: classification → rules → detection → reports |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use haystack::core::pipeline::{Pipeline, PipelineConfig};
+//!
+//! // Build the world, capture ground truth, generate detection rules.
+//! let pipeline = Pipeline::run(PipelineConfig::fast(42));
+//! assert_eq!(pipeline.stats.manufacturer_rules, 20);
+//! assert_eq!(pipeline.stats.product_rules, 11);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (ISP deployment, IXP
+//! monitoring with anti-spoofing, usage-privacy analysis, botnet triage)
+//! and `crates/bench` for the per-figure reproduction binaries.
+
+pub use haystack_backend as backend;
+pub use haystack_core as core;
+pub use haystack_dns as dns;
+pub use haystack_flow as flow;
+pub use haystack_net as net;
+pub use haystack_scan as scan;
+pub use haystack_testbed as testbed;
+pub use haystack_wild as wild;
