@@ -5,6 +5,7 @@
 //! haystack inspect  --rules rules.json
 //! haystack detect   --rules rules.json [--lines N] [--days D] [--threshold T]
 //! haystack mitigate --rules rules.json --class NAME [--redirect IP]
+//! haystack chaos    [--severity S] [--seed N] [--records N]
 //! ```
 //!
 //! `rules` runs the full §2–§4 pipeline (it needs the testbeds) and
@@ -26,7 +27,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]"
+        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]"
     );
     exit(2);
 }
@@ -254,6 +255,82 @@ fn cmd_replay(flags: HashMap<String, String>) {
     }
 }
 
+/// Push one synthetic hour through Exporter → ChaosLink → Collector at
+/// the given severity and print what survived — a quick operator-facing
+/// smoke test of the collector's fault tolerance (DESIGN.md, "Fault
+/// model"). `haystack chaos --severity 0` must report a lossless path.
+fn cmd_chaos(flags: HashMap<String, String>) {
+    use haystack_flow::export::{ExportProtocol, Exporter};
+    use haystack_flow::{ChaosConfig, ChaosLink, Collector, FlowKey, FlowRecord, TcpFlags};
+    use haystack_net::ports::Proto;
+    use haystack_net::SimTime;
+
+    let seed: u64 = num(&flags, "seed", 42);
+    let n_records: usize = num(&flags, "records", 10_000);
+    let severities: Vec<f64> = match flags.get("severity") {
+        Some(v) => match v.parse::<f64>() {
+            Ok(s) if (0.0..=1.0).contains(&s) => vec![s],
+            _ => {
+                eprintln!("error: --severity needs a number in [0, 1]");
+                exit(2);
+            }
+        },
+        None => vec![0.0, 0.25, 0.5, 0.75, 1.0],
+    };
+    let records: Vec<FlowRecord> = (0..n_records)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed);
+            FlowRecord {
+                key: FlowKey {
+                    src: std::net::Ipv4Addr::new(100, 64, (x >> 8) as u8, x as u8),
+                    dst: std::net::Ipv4Addr::new(198, 18, 0, (x >> 16) as u8),
+                    sport: 40_000 + (i % 1_000) as u16,
+                    dport: 443,
+                    proto: Proto::Tcp,
+                },
+                packets: 1 + (x % 5),
+                bytes: 60 * (1 + (x % 5)),
+                tcp_flags: TcpFlags::ACK,
+                first: SimTime(i as u64),
+                last: SimTime(i as u64 + 30),
+            }
+        })
+        .collect();
+    println!(
+        "severity\tsent\tdelivered\tdecoded\tdecode_rate\tmissed_dg\trestarts\tmalformed\tquarantined"
+    );
+    for &severity in &severities {
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 7);
+        let mut link = ChaosLink::new(ChaosConfig::at_severity(severity, seed));
+        let mut collector = Collector::new();
+        let mut decoded = 0usize;
+        for (hour, chunk) in records.chunks(512).enumerate() {
+            let msgs = exporter.export(chunk, 3_600 * hour as u32).expect("export");
+            for d in link.transmit_all(msgs) {
+                decoded += collector.feed_netflow_v9(d).map_or(0, |rs| rs.len());
+            }
+        }
+        for d in link.shutdown() {
+            decoded += collector.feed_netflow_v9(d).map_or(0, |rs| rs.len());
+        }
+        let s = link.stats();
+        println!(
+            "{severity:.2}\t{}\t{}\t{decoded}\t{:.3}\t{}\t{}\t{}\t{}",
+            s.sent,
+            s.delivered,
+            if records.is_empty() { 1.0 } else { decoded as f64 / records.len() as f64 },
+            collector.missed_datagrams(),
+            collector.restarts_detected(),
+            collector.malformed_messages() + collector.malformed_sets(),
+            collector.quarantined_sources().len(),
+        );
+        if severity == 0.0 && decoded != records.len() {
+            eprintln!("error: clean link lost records ({decoded}/{})", records.len());
+            exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -267,6 +344,7 @@ fn main() {
         "mitigate" => cmd_mitigate(flags),
         "capture" => cmd_capture(flags),
         "replay" => cmd_replay(flags),
+        "chaos" => cmd_chaos(flags),
         _ => usage(),
     }
 }

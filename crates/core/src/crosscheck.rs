@@ -25,7 +25,7 @@ use haystack_testbed::ExperimentKind;
 use std::collections::BTreeSet;
 
 /// The Home-VP is one subscriber line; this is its detector identity.
-pub const HOME_LINE: AnonId = AnonId(0x0A11_CE);
+pub const HOME_LINE: AnonId = AnonId(0x000A_11CE);
 
 /// Crosscheck configuration.
 #[derive(Debug, Clone)]

@@ -168,6 +168,34 @@ impl<'r> Detector<'r> {
         }
     }
 
+    /// Graded detection confidence for `(line, class)` in `[0, 1]`.
+    ///
+    /// The minimum, over the rule and its ancestors, of
+    /// `evidence / required` (capped at 1). Exactly 1.0 iff
+    /// [`Detector::is_detected`] holds; partial evidence — e.g. domains
+    /// whose flows were lost to an impaired export feed — lowers the
+    /// score smoothly instead of flipping the verdict for downstream
+    /// consumers that want ranking rather than a hard cut.
+    pub fn confidence(&self, line: AnonId, class: &str) -> f64 {
+        let Some(mut ri) = self.rules.rule_index(class) else {
+            return 0.0;
+        };
+        let mut conf = 1.0f64;
+        loop {
+            let required = self.required[ri].max(1) as f64;
+            let have = self
+                .state
+                .get(&(line, ri as u16))
+                .map(|m| f64::from(m.count_ones()))
+                .unwrap_or(0.0);
+            conf = conf.min((have / required).min(1.0));
+            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index(p)) {
+                Some(p) => ri = p,
+                None => return conf,
+            }
+        }
+    }
+
     /// First hour the full (hierarchy-gated) detection held for
     /// (line, class): the max of the chain's own first-met hours.
     pub fn first_detection(&self, line: AnonId, class: &str) -> Option<HourBin> {
@@ -340,6 +368,40 @@ mod tests {
         assert_eq!(lines, vec![AnonId(5), LINE]);
         det.reset();
         assert!(det.detected_lines("Fam").is_empty());
+    }
+
+    #[test]
+    fn confidence_degrades_smoothly_with_partial_evidence() {
+        let rules = ruleset();
+        // Threshold 1.0: both domains required.
+        let mut det = detector(&rules, 1.0);
+        assert_eq!(det.confidence(LINE, "Fam"), 0.0);
+        // Half the evidence (as if the other domain's flows were lost in
+        // transit): confidence is 0.5, verdict stays negative — no flip.
+        hit(&mut det, ip(1), 0);
+        assert!((det.confidence(LINE, "Fam") - 0.5).abs() < 1e-12);
+        assert!(!det.is_detected(LINE, "Fam"));
+        hit(&mut det, ip(2), 1);
+        assert_eq!(det.confidence(LINE, "Fam"), 1.0);
+        assert!(det.is_detected(LINE, "Fam"));
+    }
+
+    #[test]
+    fn confidence_is_gated_by_the_hierarchy() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 1.0);
+        // Full child evidence, half parent evidence: the chain minimum
+        // carries the parent's uncertainty down to the child.
+        hit(&mut det, ip(10), 0);
+        hit(&mut det, ip(11), 1);
+        hit(&mut det, ip(1), 2);
+        assert!((det.confidence(LINE, "Kid") - 0.5).abs() < 1e-12);
+        assert!(!det.is_detected(LINE, "Kid"));
+        // Confidence 1.0 coincides exactly with the boolean verdict.
+        hit(&mut det, ip(2), 3);
+        assert_eq!(det.confidence(LINE, "Kid"), 1.0);
+        assert!(det.is_detected(LINE, "Kid"));
+        assert_eq!(det.confidence(LINE, "NoSuchClass"), 0.0);
     }
 
     #[test]

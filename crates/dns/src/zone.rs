@@ -26,11 +26,7 @@ impl RotationPolicy {
 
     /// The rotation epoch at time `t_secs`.
     pub fn epoch(&self, t_secs: u64) -> u64 {
-        if self.period_secs == 0 {
-            0
-        } else {
-            t_secs / self.period_secs
-        }
+        t_secs.checked_div(self.period_secs).unwrap_or(0)
     }
 }
 

@@ -5,6 +5,23 @@
 //! data sets against it, and surfaces per-message decode problems without
 //! aborting the feed (a collector that dies on one malformed datagram is
 //! useless at an IXP).
+//!
+//! The collector is hardened against the impairments
+//! [`chaos`](crate::chaos) injects (see DESIGN.md, "Fault model"):
+//!
+//! * **Loss** — per-source sequence tracking turns gaps into
+//!   [`missed_datagrams`](Collector::missed_datagrams) /
+//!   [`missed_records`](Collector::missed_records) counters instead of
+//!   silent undercounting.
+//! * **Exporter restart** — a sequence number falling back to zero (or a
+//!   huge backward jump) flushes that source's templates, so stale
+//!   layouts never decode a new process's data.
+//! * **Cache exhaustion** — template and options caches are bounded with
+//!   least-recently-used eviction; a misbehaving exporter announcing
+//!   endless template ids cannot grow collector memory without bound.
+//! * **Malformed floods** — a source producing repeated malformed
+//!   messages is quarantined for a fixed number of datagrams; other
+//!   sources are unaffected.
 
 use crate::error::FlowError;
 use crate::ipfix;
@@ -15,55 +32,225 @@ use crate::wire::{decode_records, OptionsTemplate, SamplingOptions, Template};
 use bytes::Bytes;
 use std::collections::HashMap;
 
-/// A collector accepting both NetFlow v9 and IPFIX feeds.
+/// Per-source health counters, as a copyable snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceStats {
+    /// Sequence gaps observed (each is ≥ 1 lost datagram).
+    pub missed_datagrams: u64,
+    /// Flow records the gaps account for (sequence numbers count
+    /// exported records in both v9 and IPFIX).
+    pub missed_records: u64,
+    /// Datagrams that arrived late or duplicated (small backward jumps).
+    pub out_of_order: u64,
+    /// Exporter restarts detected (sequence reset).
+    pub restarts: u64,
+    /// Data sets dropped because their template was never announced.
+    pub dropped_unknown_template: u64,
+    /// Times this source entered quarantine.
+    pub quarantines: u64,
+    /// Datagrams discarded while quarantined.
+    pub quarantined_dropped: u64,
+}
+
+/// Internal per-source state (the snapshot plus bookkeeping).
 #[derive(Debug, Default)]
+struct SourceState {
+    stats: SourceStats,
+    /// Sequence value the next datagram should carry.
+    expected_seq: Option<u32>,
+    /// Consecutive malformed messages (header- or set-level).
+    malformed_streak: u32,
+    /// Datagrams left to discard while quarantined.
+    quarantine_remaining: u32,
+}
+
+/// A collector accepting NetFlow v5/v9 and IPFIX feeds.
+#[derive(Debug)]
 pub struct Collector {
     templates: HashMap<(u32, u16), Template>,
     options_templates: HashMap<(u32, u16), OptionsTemplate>,
+    /// Last-use stamps for LRU eviction, one per cache.
+    template_lru: HashMap<(u32, u16), u64>,
+    options_lru: HashMap<(u32, u16), u64>,
+    lru_clock: u64,
+    template_cache_cap: usize,
+    options_cache_cap: usize,
+    /// Per-source sequence/health tracking.
+    sources: HashMap<u32, SourceState>,
     /// Per-source sampling configuration learned from options data.
     sampling: HashMap<u32, SamplingOptions>,
     /// Data sets that referenced a template not yet announced. Real
     /// collectors buffer or drop; we drop and count, which the tests
     /// assert on.
     dropped_unknown_template: u64,
-    /// Messages that failed to parse at all.
+    /// Messages that failed to parse at the datagram level.
     malformed_messages: u64,
+    /// Sets inside parsable messages whose bodies failed to decode.
+    malformed_sets: u64,
+    /// Templates evicted by the LRU bound.
+    templates_evicted: u64,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector {
+            templates: HashMap::new(),
+            options_templates: HashMap::new(),
+            template_lru: HashMap::new(),
+            options_lru: HashMap::new(),
+            lru_clock: 0,
+            template_cache_cap: Self::DEFAULT_TEMPLATE_CACHE_CAP,
+            options_cache_cap: Self::DEFAULT_OPTIONS_CACHE_CAP,
+            sources: HashMap::new(),
+            sampling: HashMap::new(),
+            dropped_unknown_template: 0,
+            malformed_messages: 0,
+            malformed_sets: 0,
+            templates_evicted: 0,
+        }
+    }
 }
 
 impl Collector {
+    /// Default bound on cached data templates.
+    pub const DEFAULT_TEMPLATE_CACHE_CAP: usize = 4096;
+    /// Default bound on cached options templates.
+    pub const DEFAULT_OPTIONS_CACHE_CAP: usize = 1024;
+    /// Consecutive malformed messages before a source is quarantined.
+    pub const QUARANTINE_THRESHOLD: u32 = 4;
+    /// Datagrams a quarantined source has discarded before probation.
+    pub const QUARANTINE_DATAGRAMS: u32 = 32;
+    /// A backward sequence jump larger than this is a restart even when
+    /// the new sequence is not zero.
+    const RESTART_BACKJUMP: u32 = 100_000;
+    /// Forward jumps larger than this are treated as out-of-order noise
+    /// (e.g. a pre-restart datagram arriving late), not as loss.
+    const MAX_PLAUSIBLE_GAP: u32 = 100_000;
+
     /// New collector with an empty template cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Override the template-cache bound (tests exercise eviction with
+    /// tiny caps).
+    pub fn with_template_cache_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "template cache cap must be positive");
+        self.template_cache_cap = cap;
+        self
+    }
+
+    /// Feed one datagram of any supported protocol (v5, v9, IPFIX),
+    /// dispatching on the version word.
+    pub fn feed(&mut self, datagram: Bytes) -> Result<Vec<FlowRecord>, FlowError> {
+        match peek_version(&datagram) {
+            Some(5) => self.feed_netflow_v5(datagram),
+            Some(9) => self.feed_netflow_v9(datagram),
+            Some(10) => self.feed_ipfix(datagram),
+            found => {
+                self.malformed_messages += 1;
+                Err(FlowError::BadVersion { expected: 9, found: found.unwrap_or(0) })
+            }
+        }
+    }
+
+    /// Like [`Collector::feed`], but data referencing an unannounced
+    /// template is an error ([`FlowError::UnknownTemplate`]) instead of a
+    /// counted drop. Useful in controlled replays where template loss
+    /// must be loud.
+    pub fn feed_strict(&mut self, datagram: Bytes) -> Result<Vec<FlowRecord>, FlowError> {
+        match peek_version(&datagram) {
+            Some(9) => self.feed_v9_inner(datagram, true),
+            Some(10) => self.feed_ipfix_inner(datagram, true),
+            _ => self.feed(datagram),
+        }
+    }
+
     /// Feed one NetFlow v9 datagram; returns the decoded records.
     pub fn feed_netflow_v9(&mut self, datagram: Bytes) -> Result<Vec<FlowRecord>, FlowError> {
+        self.feed_v9_inner(datagram, false)
+    }
+
+    /// Feed one IPFIX datagram; returns the decoded records.
+    pub fn feed_ipfix(&mut self, datagram: Bytes) -> Result<Vec<FlowRecord>, FlowError> {
+        self.feed_ipfix_inner(datagram, false)
+    }
+
+    fn feed_v9_inner(&mut self, datagram: Bytes, strict: bool) -> Result<Vec<FlowRecord>, FlowError> {
+        let source_hint = peek_source(&datagram).filter(|(v, _)| *v == 9).map(|(_, s)| s);
+        if let Some(source) = source_hint {
+            if self.consume_quarantine(source) {
+                return Ok(Vec::new());
+            }
+        }
         let msg = match v9::decode(datagram) {
             Ok(m) => m,
             Err(e) => {
-                self.malformed_messages += 1;
+                self.note_malformed_message(source_hint);
                 return Err(e);
             }
         };
         let source = msg.header.source_id;
+        self.track_sequence(source, msg.header.sequence);
         let mut out = Vec::new();
+        let mut clean = true;
         for fs in msg.flowsets {
             match fs {
                 v9::FlowSet::Templates(ts) => {
                     for t in ts {
-                        self.templates.insert((source, t.id), t);
+                        self.insert_template(source, t);
                     }
                 }
                 v9::FlowSet::OptionsTemplates(ts) => {
                     for t in ts {
-                        self.options_templates.insert((source, t.id), t);
+                        self.insert_options_template(source, t);
                     }
                 }
                 v9::FlowSet::Data { template_id, body } => {
-                    self.decode_data(source, template_id, body, &mut out);
+                    self.decode_data(source, template_id, body, &mut out, strict, &mut clean)?;
                 }
             }
         }
+        self.finish_message(source, msg.header.sequence, out.len(), clean);
+        Ok(out)
+    }
+
+    fn feed_ipfix_inner(&mut self, datagram: Bytes, strict: bool) -> Result<Vec<FlowRecord>, FlowError> {
+        let source_hint = peek_source(&datagram).filter(|(v, _)| *v == 10).map(|(_, s)| s);
+        if let Some(source) = source_hint {
+            if self.consume_quarantine(source) {
+                return Ok(Vec::new());
+            }
+        }
+        let msg = match ipfix::decode(datagram) {
+            Ok(m) => m,
+            Err(e) => {
+                self.note_malformed_message(source_hint);
+                return Err(e);
+            }
+        };
+        let source = msg.header.domain_id;
+        self.track_sequence(source, msg.header.sequence);
+        let mut out = Vec::new();
+        let mut clean = true;
+        for set in msg.sets {
+            match set {
+                ipfix::Set::Templates(ts) => {
+                    for t in ts {
+                        self.insert_template(source, t);
+                    }
+                }
+                ipfix::Set::OptionsTemplates(ts) => {
+                    for t in ts {
+                        self.insert_options_template(source, t);
+                    }
+                }
+                ipfix::Set::Data { template_id, body } => {
+                    self.decode_data(source, template_id, body, &mut out, strict, &mut clean)?;
+                }
+            }
+        }
+        self.finish_message(source, msg.header.sequence, out.len(), clean);
         Ok(out)
     }
 
@@ -87,42 +274,144 @@ impl Collector {
         Ok(msg.records)
     }
 
-    /// Feed one IPFIX datagram; returns the decoded records.
-    pub fn feed_ipfix(&mut self, datagram: Bytes) -> Result<Vec<FlowRecord>, FlowError> {
-        let msg = match ipfix::decode(datagram) {
-            Ok(m) => m,
-            Err(e) => {
-                self.malformed_messages += 1;
-                return Err(e);
-            }
+    /// True (and consumes one quarantine slot) when the source's feed is
+    /// currently being discarded.
+    fn consume_quarantine(&mut self, source: u32) -> bool {
+        let Some(st) = self.sources.get_mut(&source) else {
+            return false;
         };
-        let source = msg.header.domain_id;
-        let mut out = Vec::new();
-        for set in msg.sets {
-            match set {
-                ipfix::Set::Templates(ts) => {
-                    for t in ts {
-                        self.templates.insert((source, t.id), t);
-                    }
-                }
-                ipfix::Set::OptionsTemplates(ts) => {
-                    for t in ts {
-                        self.options_templates.insert((source, t.id), t);
-                    }
-                }
-                ipfix::Set::Data { template_id, body } => {
-                    self.decode_data(source, template_id, body, &mut out);
-                }
-            }
+        if st.quarantine_remaining == 0 {
+            return false;
         }
-        Ok(out)
+        st.quarantine_remaining -= 1;
+        st.stats.quarantined_dropped += 1;
+        true
     }
 
-    fn decode_data(&mut self, source: u32, template_id: u16, body: Bytes, out: &mut Vec<FlowRecord>) {
+    /// Attribute a datagram-level parse failure, possibly quarantining
+    /// the source.
+    fn note_malformed_message(&mut self, source_hint: Option<u32>) {
+        self.malformed_messages += 1;
+        if let Some(source) = source_hint {
+            self.bump_malformed_streak(source);
+        }
+    }
+
+    fn bump_malformed_streak(&mut self, source: u32) {
+        let st = self.sources.entry(source).or_default();
+        st.malformed_streak += 1;
+        if st.malformed_streak >= Self::QUARANTINE_THRESHOLD {
+            st.malformed_streak = 0;
+            st.quarantine_remaining = Self::QUARANTINE_DATAGRAMS;
+            st.stats.quarantines += 1;
+        }
+    }
+
+    /// Classify the incoming sequence number against the expected one:
+    /// a match is silent; a plausible forward jump is loss; zero (or a
+    /// huge backward jump) is an exporter restart, flushing the source's
+    /// templates; a small backward jump is reordering/duplication.
+    fn track_sequence(&mut self, source: u32, seq: u32) {
+        let restart = {
+            let st = self.sources.entry(source).or_default();
+            match st.expected_seq {
+                None => false,
+                Some(expected) if seq == expected => false,
+                Some(expected) => {
+                    let ahead = seq.wrapping_sub(expected);
+                    if ahead < Self::MAX_PLAUSIBLE_GAP {
+                        st.stats.missed_datagrams += 1;
+                        st.stats.missed_records += u64::from(ahead);
+                        false
+                    } else if seq == 0 || expected.wrapping_sub(seq) > Self::RESTART_BACKJUMP {
+                        st.stats.restarts += 1;
+                        st.expected_seq = None;
+                        true
+                    } else {
+                        st.stats.out_of_order += 1;
+                        false
+                    }
+                }
+            }
+        };
+        if restart {
+            self.flush_source(source);
+        }
+    }
+
+    /// Advance the expected sequence (sequence numbers count data
+    /// records) and settle the malformed streak. Out-of-order datagrams
+    /// leave the expectation untouched.
+    fn finish_message(&mut self, source: u32, seq: u32, data_records: usize, clean: bool) {
+        let st = self.sources.entry(source).or_default();
+        let candidate = seq.wrapping_add(data_records as u32);
+        match st.expected_seq {
+            // Only move forward: a late duplicate must not rewind.
+            Some(expected) if candidate.wrapping_sub(expected) >= Self::MAX_PLAUSIBLE_GAP => {}
+            _ => st.expected_seq = Some(candidate),
+        }
+        if clean {
+            st.malformed_streak = 0;
+        } else {
+            self.bump_malformed_streak(source);
+        }
+    }
+
+    /// Drop all templates a restarted source announced in its previous
+    /// life (its sampling announcement is kept as last-known-good until
+    /// re-announced).
+    fn flush_source(&mut self, source: u32) {
+        self.templates.retain(|(s, _), _| *s != source);
+        self.template_lru.retain(|(s, _), _| *s != source);
+        self.options_templates.retain(|(s, _), _| *s != source);
+        self.options_lru.retain(|(s, _), _| *s != source);
+    }
+
+    fn insert_template(&mut self, source: u32, t: Template) {
+        let key = (source, t.id);
+        self.lru_clock += 1;
+        self.template_lru.insert(key, self.lru_clock);
+        self.templates.insert(key, t);
+        if self.templates.len() > self.template_cache_cap {
+            if let Some(victim) = lru_victim(&self.template_lru, key) {
+                self.templates.remove(&victim);
+                self.template_lru.remove(&victim);
+                self.templates_evicted += 1;
+            }
+        }
+    }
+
+    fn insert_options_template(&mut self, source: u32, t: OptionsTemplate) {
+        let key = (source, t.id);
+        self.lru_clock += 1;
+        self.options_lru.insert(key, self.lru_clock);
+        self.options_templates.insert(key, t);
+        if self.options_templates.len() > self.options_cache_cap {
+            if let Some(victim) = lru_victim(&self.options_lru, key) {
+                self.options_templates.remove(&victim);
+                self.options_lru.remove(&victim);
+                self.templates_evicted += 1;
+            }
+        }
+    }
+
+    fn decode_data(
+        &mut self,
+        source: u32,
+        template_id: u16,
+        body: Bytes,
+        out: &mut Vec<FlowRecord>,
+        strict: bool,
+        clean: &mut bool,
+    ) -> Result<(), FlowError> {
         // Options data takes priority: options templates and data
         // templates share the ≥256 id space, but an exporter never reuses
         // an id across the two.
-        if let Some(ot) = self.options_templates.get(&(source, template_id)) {
+        let key = (source, template_id);
+        if self.options_templates.contains_key(&key) {
+            self.lru_clock += 1;
+            self.options_lru.insert(key, self.lru_clock);
+            let ot = &self.options_templates[&key];
             let mut b = body;
             while b.len() >= ot.record_len() && ot.record_len() > 0 {
                 match ot.decode_sampling(&mut b) {
@@ -130,19 +419,46 @@ impl Collector {
                         self.sampling.insert(source, s);
                     }
                     Err(_) => {
-                        self.malformed_messages += 1;
-                        return;
+                        self.malformed_sets += 1;
+                        *clean = false;
+                        return Ok(());
                     }
                 }
             }
-            return;
+            return Ok(());
         }
-        match self.templates.get(&(source, template_id)) {
-            Some(t) => match decode_records(t, &mut body.clone()) {
-                Ok(mut records) => out.append(&mut records),
-                Err(_) => self.malformed_messages += 1,
-            },
-            None => self.dropped_unknown_template += 1,
+        match self.templates.get(&key) {
+            Some(t) => {
+                // RFC 3954/7011 allow at most 3 bytes of padding to the
+                // next 4-byte boundary; a longer remainder means the set
+                // was truncated or corrupted mid-record.
+                let rlen = t.record_len();
+                if rlen > 0 && body.len() % rlen > 3 {
+                    self.malformed_sets += 1;
+                    *clean = false;
+                }
+                match decode_records(t, &mut body.clone()) {
+                    Ok(mut records) => {
+                        self.lru_clock += 1;
+                        self.template_lru.insert(key, self.lru_clock);
+                        out.append(&mut records);
+                    }
+                    Err(_) => {
+                        self.malformed_sets += 1;
+                        *clean = false;
+                    }
+                }
+                Ok(())
+            }
+            None => {
+                self.dropped_unknown_template += 1;
+                self.sources.entry(source).or_default().stats.dropped_unknown_template += 1;
+                if strict {
+                    Err(FlowError::UnknownTemplate { source_id: source, template_id })
+                } else {
+                    Ok(())
+                }
+            }
         }
     }
 
@@ -157,9 +473,58 @@ impl Collector {
         self.dropped_unknown_template
     }
 
-    /// Messages (or data sets) that failed to decode.
+    /// [`Collector::dropped_unknown_template`], restricted to one source.
+    pub fn dropped_unknown_template_by_source(&self, source_id: u32) -> u64 {
+        self.sources.get(&source_id).map_or(0, |s| s.stats.dropped_unknown_template)
+    }
+
+    /// Datagrams that failed to parse at the message level.
     pub fn malformed_messages(&self) -> u64 {
         self.malformed_messages
+    }
+
+    /// Sets inside otherwise-parsable messages whose bodies failed to
+    /// decode.
+    pub fn malformed_sets(&self) -> u64 {
+        self.malformed_sets
+    }
+
+    /// Sequence gaps observed across all sources (each ≥ 1 lost
+    /// datagram).
+    pub fn missed_datagrams(&self) -> u64 {
+        self.sources.values().map(|s| s.stats.missed_datagrams).sum()
+    }
+
+    /// Flow records the sequence gaps account for, across all sources.
+    pub fn missed_records(&self) -> u64 {
+        self.sources.values().map(|s| s.stats.missed_records).sum()
+    }
+
+    /// Exporter restarts detected across all sources.
+    pub fn restarts_detected(&self) -> u64 {
+        self.sources.values().map(|s| s.stats.restarts).sum()
+    }
+
+    /// Health counters for one source, if it has been seen.
+    pub fn source_stats(&self, source_id: u32) -> Option<SourceStats> {
+        self.sources.get(&source_id).map(|s| s.stats)
+    }
+
+    /// Sources currently discarding datagrams under quarantine.
+    pub fn quarantined_sources(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .sources
+            .iter()
+            .filter(|(_, s)| s.quarantine_remaining > 0)
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Templates evicted by the cache bounds so far.
+    pub fn templates_evicted(&self) -> u64 {
+        self.templates_evicted
     }
 
     /// Number of cached templates.
@@ -168,12 +533,38 @@ impl Collector {
     }
 }
 
+/// Least-recently-used key, never the just-inserted one.
+fn lru_victim(lru: &HashMap<(u32, u16), u64>, keep: (u32, u16)) -> Option<(u32, u16)> {
+    lru.iter()
+        .filter(|(k, _)| **k != keep)
+        .min_by_key(|(_, stamp)| **stamp)
+        .map(|(k, _)| *k)
+}
+
+fn peek_version(datagram: &[u8]) -> Option<u16> {
+    datagram.get(..2).map(|b| u16::from_be_bytes([b[0], b[1]]))
+}
+
+/// Cheap header peek: `(version, source id)` for v9/IPFIX datagrams long
+/// enough to carry one, used to attribute failures and enforce
+/// quarantine before full decoding.
+fn peek_source(datagram: &[u8]) -> Option<(u16, u32)> {
+    let at = match peek_version(datagram)? {
+        9 if datagram.len() >= 20 => 16,
+        10 if datagram.len() >= 16 => 12,
+        _ => return None,
+    };
+    let b = datagram.get(at..at + 4)?;
+    Some((peek_version(datagram)?, u32::from_be_bytes([b[0], b[1], b[2], b[3]])))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::export::{ExportProtocol, Exporter};
     use crate::key::FlowKey;
     use crate::tcp_flags::TcpFlags;
+    use bytes::{BufMut, BytesMut};
     use haystack_net::ports::Proto;
     use haystack_net::SimTime;
     use std::net::Ipv4Addr;
@@ -208,6 +599,8 @@ mod tests {
         }
         assert_eq!(decoded, records);
         assert_eq!(collector.dropped_unknown_template(), 0);
+        assert_eq!(collector.missed_datagrams(), 0);
+        assert_eq!(collector.restarts_detected(), 0);
     }
 
     #[test]
@@ -223,6 +616,23 @@ mod tests {
     }
 
     #[test]
+    fn unified_feed_dispatches_on_version() {
+        let mut e9 = Exporter::new(ExportProtocol::NetflowV9, 1).with_batch_size(4);
+        let mut e10 = Exporter::new(ExportProtocol::Ipfix, 2).with_batch_size(4);
+        let mut collector = Collector::new();
+        let records = recs(4);
+        let mut decoded = Vec::new();
+        for msg in e9.export(&records, 100).unwrap() {
+            decoded.extend(collector.feed(msg).unwrap());
+        }
+        for msg in e10.export(&records, 100).unwrap() {
+            decoded.extend(collector.feed(msg).unwrap());
+        }
+        assert_eq!(decoded.len(), 8);
+        assert!(collector.feed(Bytes::from_static(&[0, 42, 1, 1])).is_err());
+    }
+
+    #[test]
     fn data_before_template_is_dropped_and_counted() {
         // Build a data-only message by fast-forwarding the exporter past
         // its first (template-bearing) message, then feed only the second
@@ -235,11 +645,28 @@ mod tests {
         let decoded = collector.feed_netflow_v9(msgs[1].clone()).unwrap();
         assert!(decoded.is_empty());
         assert_eq!(collector.dropped_unknown_template(), 1);
+        assert_eq!(collector.dropped_unknown_template_by_source(1), 1);
+        assert_eq!(collector.dropped_unknown_template_by_source(2), 0);
         // Once the template arrives, subsequent data decodes.
         collector.feed_netflow_v9(msgs[0].clone()).unwrap();
         let again = exporter.export(&records, 101).unwrap();
         let decoded = collector.feed_netflow_v9(again[0].clone()).unwrap();
         assert_eq!(decoded.len(), 4);
+    }
+
+    #[test]
+    fn strict_feed_raises_unknown_template() {
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 6).with_batch_size(4);
+        let msgs = exporter.export(&recs(8), 100).unwrap();
+        let mut collector = Collector::new();
+        assert!(matches!(
+            collector.feed_strict(msgs[1].clone()),
+            Err(FlowError::UnknownTemplate { source_id: 6, template_id: 256 })
+        ));
+        // The lenient path still counts the same event.
+        assert_eq!(collector.dropped_unknown_template_by_source(6), 1);
+        // With the template announced, strict mode decodes normally.
+        collector.feed_strict(msgs[0].clone()).unwrap();
     }
 
     #[test]
@@ -294,5 +721,144 @@ mod tests {
             collector.feed_netflow_v9(msgs[0].clone()),
             Err(FlowError::BadVersion { expected: 9, found: 10 })
         ));
+    }
+
+    #[test]
+    fn sequence_gap_is_counted_as_loss() {
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 3).with_batch_size(5);
+        let msgs = exporter.export(&recs(20), 100).unwrap();
+        assert_eq!(msgs.len(), 4);
+        let mut collector = Collector::new();
+        collector.feed_netflow_v9(msgs[0].clone()).unwrap();
+        // msgs[1] lost in transit.
+        collector.feed_netflow_v9(msgs[2].clone()).unwrap();
+        collector.feed_netflow_v9(msgs[3].clone()).unwrap();
+        assert_eq!(collector.missed_datagrams(), 1);
+        assert_eq!(collector.missed_records(), 5);
+        let st = collector.source_stats(3).unwrap();
+        assert_eq!(st.missed_datagrams, 1);
+        assert_eq!(st.restarts, 0);
+    }
+
+    #[test]
+    fn duplicate_datagram_is_out_of_order_not_restart() {
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 3).with_batch_size(5);
+        let msgs = exporter.export(&recs(15), 100).unwrap();
+        let mut collector = Collector::new();
+        collector.feed_netflow_v9(msgs[0].clone()).unwrap();
+        collector.feed_netflow_v9(msgs[1].clone()).unwrap();
+        collector.feed_netflow_v9(msgs[1].clone()).unwrap(); // duplicate
+        collector.feed_netflow_v9(msgs[2].clone()).unwrap();
+        let st = collector.source_stats(3).unwrap();
+        assert_eq!(st.out_of_order, 1);
+        assert_eq!(st.restarts, 0);
+        assert_eq!(st.missed_datagrams, 0, "duplicate must not register loss");
+        assert_eq!(collector.template_count(), 1, "no spurious flush");
+    }
+
+    #[test]
+    fn exporter_restart_flushes_source_templates() {
+        let mut first_life = Exporter::new(ExportProtocol::NetflowV9, 8).with_batch_size(5);
+        let mut collector = Collector::new();
+        for msg in first_life.export(&recs(20), 100).unwrap() {
+            collector.feed_netflow_v9(msg).unwrap();
+        }
+        assert_eq!(collector.template_count(), 1);
+        // Crash: a fresh process reuses source id 8, sequence reset to 0.
+        let mut second_life = Exporter::new(ExportProtocol::NetflowV9, 8).with_batch_size(5);
+        let msgs = second_life.export(&recs(10), 200).unwrap();
+        let decoded = collector.feed_netflow_v9(msgs[0].clone()).unwrap();
+        assert_eq!(collector.restarts_detected(), 1);
+        // The restart message itself re-announces the template, so its
+        // data still decodes after the flush.
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(collector.template_count(), 1);
+        // And the post-restart stream tracks cleanly.
+        collector.feed_netflow_v9(msgs[1].clone()).unwrap();
+        assert_eq!(collector.missed_datagrams(), 0);
+    }
+
+    #[test]
+    fn template_cache_is_bounded_with_lru_eviction() {
+        let mut collector = Collector::new().with_template_cache_cap(2);
+        for source in 0..4u32 {
+            let mut e = Exporter::new(ExportProtocol::NetflowV9, source).with_batch_size(4);
+            for msg in e.export(&recs(4), 100).unwrap() {
+                collector.feed_netflow_v9(msg).unwrap();
+            }
+        }
+        assert_eq!(collector.template_count(), 2, "cap enforced");
+        assert_eq!(collector.templates_evicted(), 2);
+        // The most recent source survived; the oldest was evicted, so its
+        // data-only messages now drop as unknown-template.
+        let mut oldest = Exporter::new(ExportProtocol::NetflowV9, 0).with_batch_size(4);
+        let msgs = oldest.export(&recs(8), 101).unwrap();
+        let decoded = collector.feed_netflow_v9(msgs[1].clone()).unwrap();
+        assert!(decoded.is_empty());
+        assert!(collector.dropped_unknown_template_by_source(0) > 0);
+    }
+
+    /// A 20-byte v9 header followed by raw flowset bytes.
+    fn v9_datagram(source: u32, seq: u32, flowset: &[u8]) -> Bytes {
+        let mut b = BytesMut::new();
+        b.put_u16(9);
+        b.put_u16(1);
+        b.put_u32(100_000);
+        b.put_u32(100);
+        b.put_u32(seq);
+        b.put_u32(source);
+        b.extend_from_slice(flowset);
+        b.freeze()
+    }
+
+    #[test]
+    fn malformed_set_counted_separately_from_malformed_message() {
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 4).with_batch_size(4);
+        let mut collector = Collector::new();
+        for msg in exporter.export(&recs(4), 100).unwrap() {
+            collector.feed_netflow_v9(msg).unwrap();
+        }
+        // Framing-valid data set for the announced template 256, but its
+        // 37-byte body is one byte short of a record.
+        let mut fs = Vec::new();
+        fs.extend_from_slice(&256u16.to_be_bytes());
+        fs.extend_from_slice(&41u16.to_be_bytes());
+        fs.extend_from_slice(&[0u8; 37]);
+        collector.feed_netflow_v9(v9_datagram(4, 4, &fs)).unwrap();
+        assert_eq!(collector.malformed_sets(), 1);
+        assert_eq!(collector.malformed_messages(), 0);
+    }
+
+    #[test]
+    fn malformed_flood_quarantines_only_the_offending_source() {
+        let mut collector = Collector::new();
+        // Source 9 floods malformed datagrams: a flowset whose declared
+        // length (3) cannot even cover its own 4-byte header.
+        let mut bad_set = Vec::new();
+        bad_set.extend_from_slice(&256u16.to_be_bytes());
+        bad_set.extend_from_slice(&3u16.to_be_bytes());
+        for i in 0..Collector::QUARANTINE_THRESHOLD {
+            let bad = v9_datagram(9, u32::from(i), &bad_set);
+            assert!(collector.feed_netflow_v9(bad).is_err());
+        }
+        assert_eq!(collector.quarantined_sources(), vec![9]);
+        // While quarantined, even valid datagrams from 9 are discarded…
+        let mut e9 = Exporter::new(ExportProtocol::NetflowV9, 9).with_batch_size(4);
+        let msgs9 = e9.export(&recs(4), 100).unwrap();
+        assert_eq!(collector.feed_netflow_v9(msgs9[0].clone()).unwrap(), vec![]);
+        assert!(collector.source_stats(9).unwrap().quarantined_dropped >= 1);
+        // …but other sources are untouched.
+        let mut e5 = Exporter::new(ExportProtocol::NetflowV9, 5).with_batch_size(4);
+        let mut decoded = Vec::new();
+        for msg in e5.export(&recs(4), 100).unwrap() {
+            decoded.extend(collector.feed_netflow_v9(msg).unwrap());
+        }
+        assert_eq!(decoded.len(), 4);
+        // Quarantine expires after the fixed number of datagrams.
+        for _ in 0..Collector::QUARANTINE_DATAGRAMS {
+            let _ = collector.feed_netflow_v9(msgs9[0].clone());
+        }
+        let decoded = collector.feed_netflow_v9(msgs9[0].clone()).unwrap();
+        assert_eq!(decoded.len(), 4, "source 9 resumes after probation");
     }
 }

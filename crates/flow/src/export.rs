@@ -101,7 +101,7 @@ impl Exporter {
             chunks.push(&[]);
         }
         for chunk in chunks {
-            let send_template = self.messages_sent % Self::TEMPLATE_REFRESH == 0;
+            let send_template = self.messages_sent.is_multiple_of(Self::TEMPLATE_REFRESH);
             let templates: &[Template] = if send_template {
                 std::slice::from_ref(&self.template)
             } else {

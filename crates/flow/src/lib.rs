@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod collector;
 pub mod error;
 pub mod export;
@@ -47,7 +48,8 @@ pub mod tcp_flags;
 pub mod wire;
 
 pub use cache::{FlowCache, FlowCacheConfig};
-pub use collector::Collector;
+pub use chaos::{ChaosConfig, ChaosLink, ChaosStats};
+pub use collector::{Collector, SourceStats};
 pub use error::FlowError;
 pub use export::Exporter;
 pub use key::FlowKey;

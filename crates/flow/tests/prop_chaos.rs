@@ -1,0 +1,200 @@
+//! Property-based chaos tests: under *arbitrary* impairment
+//! configurations and interleavings, the hardened collector must
+//!
+//! 1. never panic,
+//! 2. decode only records the exporter actually exported (no
+//!    fabrication, even from corrupted bytes),
+//! 3. keep its bookkeeping consistent (link delivery accounting adds
+//!    up; collector counters stay sane),
+//! 4. detect a configured exporter restart when the restart datagram
+//!    gets through.
+
+use haystack_flow::chaos::records_subset;
+use haystack_flow::export::{ExportProtocol, Exporter};
+use haystack_flow::{ChaosConfig, ChaosLink, Collector, FlowKey, FlowRecord, TcpFlags};
+use haystack_net::ports::Proto;
+use haystack_net::SimTime;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_record() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![Just(Proto::Tcp), Just(Proto::Udp)],
+        1u64..=100_000,
+        0u64..=u64::from(u32::MAX),
+        any::<u8>(),
+        0u32..=2_000_000,
+        0u32..=1_000,
+    )
+        .prop_map(|(src, dst, sport, dport, proto, packets, bytes, flags, first, dur)| FlowRecord {
+            key: FlowKey {
+                src: Ipv4Addr::from(src),
+                dst: Ipv4Addr::from(dst),
+                sport,
+                dport,
+                proto,
+            },
+            packets,
+            bytes,
+            tcp_flags: TcpFlags(flags),
+            first: SimTime(u64::from(first)),
+            last: SimTime(u64::from(first) + u64::from(dur)),
+        })
+}
+
+/// Arbitrary-but-bounded chaos: probabilities in [0, 0.5] keep runs
+/// informative (probability-1 corruption is covered by unit tests).
+fn arb_chaos() -> impl Strategy<Value = ChaosConfig> {
+    (
+        0.0f64..=0.5,
+        0.0f64..=0.5,
+        0.0f64..=0.5,
+        0.0f64..=0.3,
+        0.0f64..=0.3,
+        0.0f64..=0.5,
+        prop_oneof![Just(None), (0u64..12).prop_map(Some)],
+        any::<u64>(),
+    )
+        .prop_map(|(drop, reorder, dup, trunc, corrupt, withhold, restart, seed)| ChaosConfig {
+            drop_probability: drop,
+            reorder_probability: reorder,
+            duplicate_probability: dup,
+            truncate_probability: trunc,
+            corrupt_probability: corrupt,
+            template_withhold_probability: withhold,
+            restart_after: restart,
+            misannounce_sampling: None,
+            seed,
+            ..ChaosConfig::off()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collector_survives_arbitrary_chaos(
+        records in prop::collection::vec(arb_record(), 0..120),
+        chaos in arb_chaos(),
+        protocol in prop_oneof![Just(ExportProtocol::NetflowV9), Just(ExportProtocol::Ipfix)],
+        batch in 1usize..40,
+    ) {
+        let mut exporter = Exporter::new(protocol, 7).with_batch_size(batch);
+        let mut link = ChaosLink::new(chaos.clone());
+        let mut collector = Collector::new();
+        let mut decoded = Vec::new();
+        let mut sent_expected = 0u64;
+        // Interleave: export in hour-sized chunks so restarts and
+        // withholding hit mid-stream, not only at the boundary.
+        for (hour, chunk) in records.chunks(37.max(batch)).enumerate() {
+            let msgs = exporter.export(chunk, 100 + hour as u32).unwrap();
+            sent_expected += msgs.len() as u64;
+            for d in link.transmit_all(msgs) {
+                // Errors are fine (malformed datagrams are counted);
+                // panics are not.
+                if let Ok(rs) = match protocol {
+                    ExportProtocol::NetflowV9 => collector.feed_netflow_v9(d),
+                    ExportProtocol::Ipfix => collector.feed_ipfix(d),
+                } {
+                    decoded.extend(rs);
+                }
+            }
+        }
+        for d in link.shutdown() {
+            if let Ok(rs) = match protocol {
+                ExportProtocol::NetflowV9 => collector.feed_netflow_v9(d),
+                ExportProtocol::Ipfix => collector.feed_ipfix(d),
+            } {
+                decoded.extend(rs);
+            }
+        }
+
+        // (2) No fabricated records: when nothing corrupts record bytes,
+        // every decoded record was exported. (Bit corruption may alter
+        // field values without breaking framing, so the subset property
+        // is only guaranteed corruption-free.)
+        if chaos.corrupt_probability == 0.0 {
+            prop_assert!(records_subset(&decoded, &records));
+        }
+
+        // (3) Link accounting adds up: every sent datagram was withheld,
+        // dropped, or delivered exactly once; duplicates add one more.
+        let s = *link.stats();
+        prop_assert_eq!(s.sent, sent_expected);
+        prop_assert_eq!(s.delivered + s.dropped + s.templates_withheld, s.sent + s.duplicated);
+
+        // Collector counters are consistent with what the link did: only
+        // byte-level damage can malform, and only stream perturbation can
+        // register as loss.
+        if s.truncated == 0 && s.corrupted == 0 {
+            prop_assert_eq!(collector.malformed_messages() + collector.malformed_sets(), 0);
+        }
+        if s.dropped == 0
+            && s.reordered == 0
+            && s.templates_withheld == 0
+            && s.truncated == 0
+            && s.corrupted == 0
+            && chaos.restart_after.is_none()
+        {
+            prop_assert_eq!(collector.missed_datagrams(), 0);
+        }
+    }
+
+    #[test]
+    fn restart_is_detected_when_its_datagram_arrives(
+        records in prop::collection::vec(arb_record(), 60..120),
+        restart_after in 1u64..8,
+        seed in any::<u64>(),
+    ) {
+        // Loss-free link so the restart datagram always arrives.
+        let chaos = ChaosConfig { restart_after: Some(restart_after), seed, ..ChaosConfig::off() };
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 9).with_batch_size(8);
+        let mut link = ChaosLink::new(chaos);
+        let mut collector = Collector::new();
+        let mut decoded = Vec::new();
+        for (hour, chunk) in records.chunks(16).enumerate() {
+            for d in link.transmit_all(exporter.export(chunk, 100 + hour as u32).unwrap()) {
+                if let Ok(rs) = collector.feed_netflow_v9(d) {
+                    decoded.extend(rs);
+                }
+            }
+        }
+        prop_assert_eq!(link.stats().restarts, 1);
+        prop_assert_eq!(collector.restarts_detected(), 1);
+        // A restart rebases sequence numbers but loses no datagrams:
+        // everything still decodes (templates ride in every message here
+        // or are re-learnt from the periodic refresh).
+        prop_assert!(records_subset(&decoded, &records));
+    }
+
+    #[test]
+    fn quarantine_never_leaks_across_sources(
+        garbage in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..30),
+        records in prop::collection::vec(arb_record(), 1..40),
+    ) {
+        let mut collector = Collector::new();
+        // Hostile source 666 feeds arbitrary bytes dressed as v9 from a
+        // fixed source id; decode failures may quarantine it.
+        for g in &garbage {
+            let mut d = Vec::new();
+            d.extend_from_slice(&9u16.to_be_bytes());
+            d.extend_from_slice(&1u16.to_be_bytes());
+            d.extend_from_slice(&[0u8; 12]);
+            d.extend_from_slice(&666u32.to_be_bytes());
+            d.extend_from_slice(g);
+            let _ = collector.feed_netflow_v9(bytes::Bytes::from(d));
+        }
+        // A well-behaved source is never affected.
+        let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 5).with_batch_size(16);
+        let mut decoded = Vec::new();
+        for msg in exporter.export(&records, 100).unwrap() {
+            decoded.extend(collector.feed_netflow_v9(msg).unwrap());
+        }
+        prop_assert_eq!(decoded, records.clone());
+        prop_assert!(!collector.quarantined_sources().contains(&5));
+    }
+}

@@ -55,6 +55,7 @@ impl Prefix4 {
     }
 
     /// Prefix length.
+    #[allow(clippy::len_without_is_empty)] // a /32 is a 1-address prefix, never "empty"
     pub fn len(&self) -> u8 {
         self.len
     }

@@ -128,8 +128,8 @@ pub fn device_domain_hour(
         // Sessions of ~8–40 packets spread across the hour.
         let mut sent = 0u64;
         while sent < share {
-            let sess = (8 + rng.gen_range(0..32)).min(share - sent) as u32;
-            let t0 = hour_start + rng.gen_range(0..3_400);
+            let sess = (8 + rng.gen_range(0u64..32)).min(share - sent) as u32;
+            let t0 = hour_start + rng.gen_range(0u64..3_400);
             for k in 0..sess {
                 let ts = SimTime(t0 + u64::from(k) / 4); // ~4 pkts/sec within a session
                 let flags = match spec.proto {

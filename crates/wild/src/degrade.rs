@@ -1,0 +1,227 @@
+//! Record-level feed degradation for the population-scale vantage points.
+//!
+//! At population scale the vantage points hand decoded [`WildRecord`]s to
+//! the detector directly (see [`crate::record`]); the wire path
+//! (exporter → UDP → collector) is exercised separately by
+//! `haystack-flow`'s [`chaos`](haystack_flow::chaos) module. To study how
+//! *detection quality* degrades under an impaired feed, this module
+//! re-interprets the same [`ChaosConfig`] at the record level: records
+//! are grouped into exporter-sized datagram batches and the impairments
+//! a collector cannot repair are applied to those batches.
+//!
+//! The mapping is deliberately conservative — only effects that survive a
+//! hardened collector reach the detector:
+//!
+//! * **Datagram loss** drops whole batches (the collector counts the gap
+//!   but the records are gone).
+//! * **Template withholding** makes every batch until the next template
+//!   refresh undecodable.
+//! * **Truncation / corruption** costs the tail of a batch (truncated
+//!   sets) or the whole batch (header corruption), matching the
+//!   collector's malformed-set handling.
+//! * **Exporter restart** loses the in-flight batch; the collector's
+//!   template flush-and-relearn is already covered by the refresh model.
+//! * **Duplication** re-delivers a batch; downstream hour-level evidence
+//!   is naturally idempotent, so this mostly tests that nothing
+//!   double-counts.
+//! * **Reordering** within an hour batch is invisible to the detector
+//!   (evidence is per-hour) and is therefore not modelled here.
+
+use crate::record::WildRecord;
+use haystack_flow::ChaosConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Records per simulated export datagram (the exporter's default batch).
+pub const BATCH_RECORDS: usize = 30;
+
+/// Batches between template re-announcements (the exporter's refresh
+/// period).
+pub const TEMPLATE_REFRESH_BATCHES: usize = 20;
+
+/// What an impaired feed cost one captured hour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedDegradation {
+    /// Simulated export batches the hour was split into.
+    pub batches: u64,
+    /// Batches lost entirely (drop, withholding, restart, corruption).
+    pub batches_dropped: u64,
+    /// Records lost with them (plus truncated tails).
+    pub records_lost: u64,
+    /// Records delivered twice by duplication.
+    pub records_duplicated: u64,
+    /// Exporter restarts simulated.
+    pub restarts: u64,
+}
+
+impl FeedDegradation {
+    /// Fold another hour's (or member's) degradation into this one.
+    pub fn absorb(&mut self, other: FeedDegradation) {
+        self.batches += other.batches;
+        self.batches_dropped += other.batches_dropped;
+        self.records_lost += other.records_lost;
+        self.records_duplicated += other.records_duplicated;
+        self.restarts += other.restarts;
+    }
+
+    /// Fraction of records that survived (1.0 for a clean feed).
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.batches * BATCH_RECORDS as u64;
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - (self.records_lost as f64 / total as f64).min(1.0)
+    }
+}
+
+/// Degrade one hour's records under `chaos`, deterministically in
+/// `(chaos.seed, salt)`. Pass the hour number (and any per-member
+/// distinguisher) as `salt` so every captured hour draws an independent
+/// but reproducible impairment pattern.
+pub fn degrade_records(
+    records: Vec<WildRecord>,
+    chaos: &ChaosConfig,
+    salt: u64,
+) -> (Vec<WildRecord>, FeedDegradation) {
+    let mut deg = FeedDegradation::default();
+    if chaos.is_noop() || records.is_empty() {
+        deg.batches = records.len().div_ceil(BATCH_RECORDS) as u64;
+        return (records, deg);
+    }
+    let mut rng = SmallRng::seed_from_u64(
+        chaos.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xDE64_ADE5,
+    );
+    let mut out = Vec::with_capacity(records.len());
+    // Template state: refreshed every TEMPLATE_REFRESH_BATCHES batches;
+    // a withheld refresh leaves every batch until the next one
+    // undecodable.
+    let mut templates_known = true;
+    for (index, batch) in records.chunks(BATCH_RECORDS).enumerate() {
+        deg.batches += 1;
+        if index % TEMPLATE_REFRESH_BATCHES == 0 {
+            templates_known = rng.gen::<f64>() >= chaos.template_withhold_probability;
+        }
+        if chaos.restart_after.is_some_and(|n| index as u64 == n) {
+            deg.restarts += 1;
+            deg.batches_dropped += 1;
+            deg.records_lost += batch.len() as u64;
+            // The restarted exporter re-announces templates immediately.
+            templates_known = true;
+            continue;
+        }
+        if !templates_known || rng.gen::<f64>() < chaos.drop_probability {
+            deg.batches_dropped += 1;
+            deg.records_lost += batch.len() as u64;
+            continue;
+        }
+        if rng.gen::<f64>() < chaos.corrupt_probability {
+            // Header corruption: the collector rejects the datagram.
+            deg.batches_dropped += 1;
+            deg.records_lost += batch.len() as u64;
+            continue;
+        }
+        if rng.gen::<f64>() < chaos.truncate_probability && batch.len() > 1 {
+            // Truncated datagram: a suffix of records never decodes.
+            let keep = rng.gen_range(1..batch.len());
+            deg.records_lost += (batch.len() - keep) as u64;
+            out.extend_from_slice(&batch[..keep]);
+            continue;
+        }
+        out.extend_from_slice(batch);
+        if rng.gen::<f64>() < chaos.duplicate_probability {
+            deg.records_duplicated += batch.len() as u64;
+            out.extend_from_slice(batch);
+        }
+    }
+    (out, deg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haystack_net::ports::Proto;
+    use haystack_net::{AnonId, HourBin, Prefix4};
+    use std::net::Ipv4Addr;
+
+    fn recs(n: usize) -> Vec<WildRecord> {
+        (0..n)
+            .map(|i| {
+                let src_ip = Ipv4Addr::new(100, 64, (i / 250) as u8, (i % 250) as u8);
+                WildRecord {
+                    line: AnonId(i as u64),
+                    line_slash24: Prefix4::slash24_of(src_ip),
+                    src_ip,
+                    dst: Ipv4Addr::new(198, 18, 0, 1),
+                    dport: 443,
+                    proto: Proto::Tcp,
+                    packets: 3,
+                    bytes: 300,
+                    established: true,
+                    hour: HourBin(12),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn noop_chaos_is_identity() {
+        let records = recs(100);
+        let (out, deg) = degrade_records(records.clone(), &ChaosConfig::off(), 7);
+        assert_eq!(out, records);
+        assert_eq!(deg.batches_dropped, 0);
+        assert_eq!(deg.records_lost, 0);
+        assert!((deg.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_same_degradation() {
+        let records = recs(500);
+        let chaos = ChaosConfig::at_severity(0.6, 99);
+        let (a, da) = degrade_records(records.clone(), &chaos, 3);
+        let (b, db) = degrade_records(records, &chaos, 3);
+        assert_eq!(a, b);
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn loss_is_proportionate_not_total() {
+        let records = recs(3_000);
+        let chaos = ChaosConfig { drop_probability: 0.3, ..ChaosConfig::off() };
+        let (out, deg) = degrade_records(records, &chaos, 11);
+        assert!(deg.records_lost > 0);
+        assert!(!out.is_empty(), "moderate loss must not empty the feed");
+        let ratio = deg.delivery_ratio();
+        assert!((0.5..0.95).contains(&ratio), "delivery ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn withholding_loses_whole_refresh_periods() {
+        let records = recs(3_000); // 100 batches, 5 refresh periods
+        let chaos =
+            ChaosConfig { template_withhold_probability: 1.0, ..ChaosConfig::off() };
+        let (out, deg) = degrade_records(records, &chaos, 1);
+        assert!(out.is_empty(), "all refreshes withheld ⇒ nothing decodes");
+        assert_eq!(deg.batches_dropped, 100);
+    }
+
+    #[test]
+    fn restart_costs_one_batch() {
+        let records = recs(300);
+        let chaos = ChaosConfig { restart_after: Some(4), ..ChaosConfig::off() };
+        let (out, deg) = degrade_records(records, &chaos, 1);
+        assert_eq!(deg.restarts, 1);
+        assert_eq!(out.len(), 300 - BATCH_RECORDS);
+    }
+
+    #[test]
+    fn duplication_grows_but_preserves_membership() {
+        let records = recs(300);
+        let chaos = ChaosConfig { duplicate_probability: 1.0, ..ChaosConfig::off() };
+        let (out, deg) = degrade_records(records.clone(), &chaos, 1);
+        assert_eq!(out.len(), 600);
+        assert_eq!(deg.records_duplicated, 300);
+        for r in &records {
+            assert!(out.contains(r));
+        }
+    }
+}

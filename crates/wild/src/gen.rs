@@ -42,6 +42,9 @@ pub struct HourTraffic {
     pub records: Vec<WildRecord>,
     /// Total sampled packets (≥ records).
     pub sampled_packets: u64,
+    /// What an impaired export feed cost this hour (all-zero when the
+    /// vantage point runs without chaos).
+    pub degradation: crate::degrade::FeedDegradation,
 }
 
 /// Resolve the live address set of every plan domain for this hour.
@@ -171,7 +174,7 @@ pub fn generate_hour(
         });
     }
     records.sort_by_key(|r| (r.line, r.dst, r.dport));
-    HourTraffic { records, sampled_packets }
+    HourTraffic { records, sampled_packets, degradation: Default::default() }
 }
 
 /// One resolver-side query observation: which line asked for which plan

@@ -6,9 +6,11 @@
 //! the detector decoded [`WildRecord`]s directly (see
 //! [`crate::record`] for why), one batch per hour.
 
+use crate::degrade::degrade_records;
 use crate::gen::{generate_hour, HourTraffic};
 use crate::plan::ContactPlan;
 use crate::population::{Population, PopulationConfig};
+use haystack_flow::ChaosConfig;
 use haystack_net::{Anonymizer, HourBin};
 use haystack_testbed::catalog::Catalog;
 use haystack_testbed::materialize::MaterializedWorld;
@@ -42,6 +44,7 @@ pub struct IspVantage {
     population: Population,
     plan: ContactPlan,
     anonymizer: Anonymizer,
+    chaos: Option<ChaosConfig>,
 }
 
 impl IspVantage {
@@ -51,7 +54,15 @@ impl IspVantage {
             Population::new(catalog, PopulationConfig::isp(config.lines, config.seed));
         let plan = ContactPlan::new(catalog);
         let anonymizer = Anonymizer::new(config.seed ^ 0xA17A, config.seed ^ 0x5EED);
-        IspVantage { config, population, plan, anonymizer }
+        IspVantage { config, population, plan, anonymizer, chaos: None }
+    }
+
+    /// Run the export feed through record-level chaos (see
+    /// [`crate::degrade`]): every captured hour is degraded
+    /// deterministically before the detector sees it.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 
     /// The underlying population (tests / calibration oracles).
@@ -75,9 +86,10 @@ impl IspVantage {
         &self.config
     }
 
-    /// One hour of sampled, anonymized flow records.
+    /// One hour of sampled, anonymized flow records, degraded by the
+    /// configured chaos (if any).
     pub fn capture_hour(&self, world: &MaterializedWorld, hour: HourBin) -> HourTraffic {
-        generate_hour(
+        let mut t = generate_hour(
             &self.population,
             &self.plan,
             world,
@@ -86,7 +98,13 @@ impl IspVantage {
             self.config.seed,
             &self.anonymizer,
             self.config.background,
-        )
+        );
+        if let Some(chaos) = &self.chaos {
+            let (records, deg) = degrade_records(t.records, chaos, u64::from(hour.0));
+            t.records = records;
+            t.degradation = deg;
+        }
+        t
     }
 }
 

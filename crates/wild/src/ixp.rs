@@ -15,11 +15,13 @@
 //!   established-TCP filter ([`IxpVantage::established_only`]) to avoid
 //!   over-counting.
 
+use crate::degrade::degrade_records;
 use crate::gen::{generate_hour, HourTraffic};
 use crate::plan::ContactPlan;
 use crate::population::{Population, PopulationConfig};
 use crate::record::WildRecord;
 use haystack_backend::AddressPlan;
+use haystack_flow::ChaosConfig;
 use haystack_net::ports::Proto;
 use haystack_net::{Anonymizer, AsCategory, Asn, HourBin, Prefix4};
 use haystack_testbed::catalog::Catalog;
@@ -88,6 +90,7 @@ pub struct IxpVantage {
     populations: Vec<Population>,
     plan: ContactPlan,
     anonymizer: Anonymizer,
+    chaos: Option<ChaosConfig>,
 }
 
 impl IxpVantage {
@@ -132,7 +135,16 @@ impl IxpVantage {
         }
         let plan = ContactPlan::new(catalog);
         let anonymizer = Anonymizer::new(config.seed ^ 0x1C9, config.seed ^ 0xFAB);
-        IxpVantage { config, members, populations, plan, anonymizer }
+        IxpVantage { config, members, populations, plan, anonymizer, chaos: None }
+    }
+
+    /// Run every member's export feed through record-level chaos (see
+    /// [`crate::degrade`]). Each member is its own exporter, so
+    /// impairments (including a configured restart) hit members
+    /// independently.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 
     /// The member table.
@@ -174,8 +186,15 @@ impl IxpVantage {
                 false,
             );
             out.sampled_packets += t.sampled_packets;
-            out.records
-                .extend(t.records.into_iter().filter(|r| self.route_visible(mi, r.dst)));
+            let mut visible: Vec<WildRecord> =
+                t.records.into_iter().filter(|r| self.route_visible(mi, r.dst)).collect();
+            if let Some(chaos) = &self.chaos {
+                let salt = u64::from(hour.0) ^ ((mi as u64) << 16);
+                let (survived, deg) = degrade_records(visible, chaos, salt);
+                visible = survived;
+                out.degradation.absorb(deg);
+            }
+            out.records.extend(visible);
         }
         out.records.extend(self.spoofed_records(world, hour));
         out

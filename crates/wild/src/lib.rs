@@ -24,10 +24,15 @@
 //! * [`ixp`] — the IXP vantage point: member ASes of very different sizes,
 //!   sampling an order of magnitude lower (1/10000), routing asymmetry,
 //!   spoofed traffic, and the §6.3 established-TCP filter.
+//! * [`degrade`] — record-level feed impairment: re-interprets
+//!   `haystack-flow`'s chaos configuration at population scale so
+//!   detection quality under a lossy export path can be measured
+//!   (DESIGN.md, "Fault model").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degrade;
 pub mod diurnal;
 pub mod gen;
 pub mod isp;
@@ -36,6 +41,7 @@ pub mod plan;
 pub mod population;
 pub mod record;
 
+pub use degrade::{degrade_records, FeedDegradation};
 pub use gen::{DnsQueryEvent, HourTraffic};
 pub use isp::{IspConfig, IspVantage};
 pub use ixp::{IxpConfig, IxpVantage, MemberAs};

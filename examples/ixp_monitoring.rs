@@ -76,7 +76,7 @@ fn main() {
             .sum();
         per_as.push((format!("{} ({}, {})", m.asn, m.name, m.category.label()), total));
     }
-    per_as.sort_by(|a, b| b.1.cmp(&a.1));
+    per_as.sort_by_key(|r| std::cmp::Reverse(r.1));
     let grand: u64 = per_as.iter().map(|(_, n)| n).sum();
     for (label, n) in per_as.iter().take(8) {
         println!(

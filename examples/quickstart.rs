@@ -50,7 +50,7 @@ fn main() {
         .iter()
         .filter_map(|r| study.daily.get(&(r.class, 0)).map(|n| (r.class, *n)))
         .collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.1));
     for (class, n) in rows.iter().take(12) {
         println!("{class:<28} {n:>12}");
     }

@@ -106,7 +106,7 @@ fn isp_study_headline_shares_track_the_paper() {
     let p = pipeline();
     let isp = isp(15_000);
     let study = run_isp_study(
-        &p,
+        p,
         &p.world,
         &isp,
         &IspStudyConfig { window: StudyWindow::days(0, 1), ..Default::default() },
@@ -150,9 +150,9 @@ fn ixp_spoofing_filter_kills_fake_evidence() {
     };
     let ixp = IxpVantage::new(&p.catalog, config);
     let window = StudyWindow::days(0, 1);
-    let filtered = run_ixp_study(&p, &p.world, &ixp, &IxpStudyConfig { window, ..Default::default() });
+    let filtered = run_ixp_study(p, &p.world, &ixp, &IxpStudyConfig { window, ..Default::default() });
     let unfiltered = run_ixp_study(
-        &p,
+        p,
         &p.world,
         &ixp,
         &IxpStudyConfig { window, established_filter: false, ..Default::default() },
