@@ -50,7 +50,7 @@ fn stream(n: usize, seed: u64) -> Vec<WildRecord> {
                 dst,
                 dport,
                 proto: Proto::Tcp,
-                packets: 1 + rng.gen_range(0..4),
+                packets: 1 + rng.gen_range(0u64..4),
                 bytes: 400,
                 established: true,
                 hour: HourBin(0),

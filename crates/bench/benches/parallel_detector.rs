@@ -7,11 +7,11 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use haystack_core::detector::DetectorConfig;
 use haystack_core::hitlist::HitList;
-use haystack_core::parallel::ShardedDetector;
+use haystack_core::parallel::{DetectorPool, ShardedDetector};
 use haystack_core::pipeline::{Pipeline, PipelineConfig};
 use haystack_net::ports::Proto;
 use haystack_net::{AnonId, HourBin, Prefix4};
-use haystack_wild::WildRecord;
+use haystack_wild::{RecordChunk, VecStream, WildRecord, DEFAULT_CHUNK_RECORDS};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::net::Ipv4Addr;
@@ -74,6 +74,27 @@ fn bench(c: &mut Criterion) {
                 |mut det| {
                     det.observe_batch(&records);
                     det.state_size()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    // The streaming entry point: chunks through the persistent pool with
+    // backpressure, the shape `haystack detect` and the studies now use.
+    for workers in [1usize, 2, 4] {
+        g.bench_function(format!("pool_stream_workers_{workers}"), |b| {
+            b.iter_batched(
+                || {
+                    (
+                        DetectorPool::new(&p.rules, &hl, DetectorConfig::default(), workers),
+                        VecStream::new(records.clone(), DEFAULT_CHUNK_RECORDS),
+                    )
+                },
+                |(mut pool, mut stream)| {
+                    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
+                    pool.observe_stream(&mut stream, &mut chunk);
+                    pool.finish();
+                    pool.state_size()
                 },
                 BatchSize::LargeInput,
             )

@@ -15,6 +15,7 @@ use haystack_core::dns_assisted::{dns_rules, DnsDetector};
 use haystack_core::hitlist::HitList;
 use haystack_net::DayBin;
 use haystack_wild::gen::generate_dns_hour;
+use haystack_wild::{RecordChunk, VantagePoint, DEFAULT_CHUNK_RECORDS};
 
 fn main() {
     let args = Args::parse();
@@ -29,9 +30,13 @@ fn main() {
         HitList::for_day(&p.rules, &p.dnsdb, day),
         DetectorConfig::default(),
     );
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     for hour in day.hours() {
-        for r in &isp.capture_hour(&p.world, hour).records {
-            flow_det.observe_wild(r);
+        let mut stream = isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS);
+        while stream.next_chunk(&mut chunk) {
+            for r in &chunk.records {
+                flow_det.observe_wild(r);
+            }
         }
     }
 

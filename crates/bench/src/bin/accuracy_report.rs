@@ -8,10 +8,12 @@
 //! laconic plugs take the multi-day window the paper reports.
 
 use haystack_bench::{build_isp, build_pipeline, Args};
-use haystack_core::detector::{Detector, DetectorConfig};
+use haystack_core::detector::DetectorConfig;
 use haystack_core::hitlist::HitList;
+use haystack_core::parallel::DetectorPool;
 use haystack_core::quality::evaluate;
 use haystack_net::DayBin;
+use haystack_wild::{RecordChunk, VantagePoint, DEFAULT_CHUNK_RECORDS};
 
 fn main() {
     let args = Args::parse();
@@ -19,23 +21,23 @@ fn main() {
     let isp = build_isp(&p, &args);
     let days = if args.fast { 1u32 } else { 3 };
 
-    let mut det = Detector::new(&p.rules, HitList::default(), DetectorConfig::default());
+    let mut pool = DetectorPool::new(&p.rules, &HitList::default(), DetectorConfig::default(), 4);
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     println!("# accuracy over {days} day(s), {} lines, sampling 1/1000, D=0.4", isp.config().lines);
     println!("day\tclass\ttp\tfp\tfn\tprecision\trecall\tf1");
     for day in 0..days {
-        det.set_hitlist(HitList::for_day(&p.rules, &p.dnsdb, DayBin(day)));
+        pool.set_hitlist(&HitList::for_day(&p.rules, &p.dnsdb, DayBin(day)));
         // Evidence accumulates across days (the detector is cumulative
         // here, matching Figure 13's multi-day view).
         for hour in DayBin(day).hours() {
-            for r in &isp.capture_hour(&p.world, hour).records {
-                det.observe_wild(r);
-            }
+            let mut stream = isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS);
+            pool.observe_stream(&mut *stream, &mut chunk);
         }
         let mut rows: Vec<(&str, haystack_core::quality::Confusion)> = p
             .rules
             .rules
             .iter()
-            .map(|r| (r.class, evaluate(&p, &isp, &det, r.class, day)))
+            .map(|r| (r.class, evaluate(&p, &isp, &mut pool, r.class, day)))
             .collect();
         rows.sort_by(|a, b| (b.1.true_pos).cmp(&a.1.true_pos));
         for (class, c) in rows {

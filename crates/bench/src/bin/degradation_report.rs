@@ -17,8 +17,9 @@
 //! move.
 
 use haystack_bench::{build_isp, build_pipeline, pct, Args};
-use haystack_core::detector::{Detector, DetectorConfig};
+use haystack_core::detector::DetectorConfig;
 use haystack_core::hitlist::HitList;
+use haystack_core::parallel::DetectorPool;
 use haystack_core::quality::{evaluate, Confusion};
 use haystack_core::pipeline::Pipeline;
 use haystack_flow::export::{ExportProtocol, Exporter};
@@ -27,7 +28,7 @@ use haystack_flow::tcp_flags::TcpFlags;
 use haystack_flow::{ChaosConfig, ChaosLink, Collector, FlowRecord};
 use haystack_net::ports::Proto;
 use haystack_net::{DayBin, SimTime};
-use haystack_wild::IspVantage;
+use haystack_wild::{IspVantage, RecordChunk, VantagePoint, DEFAULT_CHUNK_RECORDS};
 use std::net::Ipv4Addr;
 
 fn synthetic_records(n: usize, salt: u64) -> Vec<FlowRecord> {
@@ -96,22 +97,24 @@ fn detection_step(p: &Pipeline, args: &Args, severity: Option<f64>, days: u32) -
     if let Some(s) = severity {
         isp = IspVantage::with_chaos(isp, ChaosConfig::at_severity(s, args.seed ^ 0xC4A0));
     }
-    let mut det = Detector::new(&p.rules, HitList::default(), DetectorConfig::default());
+    // The degraded feed streams chunk-by-chunk into the persistent
+    // worker pool; degradation accounting rides along on the chunks.
+    let mut pool = DetectorPool::new(&p.rules, &HitList::default(), DetectorConfig::default(), 4);
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     let mut degradation = haystack_wild::FeedDegradation::default();
     for day in 0..days {
-        det.set_hitlist(HitList::for_day(&p.rules, &p.dnsdb, DayBin(day)));
+        pool.set_hitlist(&HitList::for_day(&p.rules, &p.dnsdb, DayBin(day)));
         for hour in DayBin(day).hours() {
-            let t = isp.capture_hour(&p.world, hour);
-            degradation.absorb(t.degradation);
-            for r in &t.records {
-                det.observe_wild(r);
-            }
+            let mut stream = isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS);
+            let (_records, _packets, deg) = pool.observe_stream(&mut *stream, &mut chunk);
+            degradation.absorb(deg);
         }
     }
+    pool.finish();
     let mut total = Confusion::default();
     let last_day = days - 1;
     for r in &p.rules.rules {
-        let c = evaluate(p, &isp, &det, r.class, last_day);
+        let c = evaluate(p, &isp, &mut pool, r.class, last_day);
         total.true_pos += c.true_pos;
         total.false_pos += c.false_pos;
         total.false_neg += c.false_neg;

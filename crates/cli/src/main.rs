@@ -3,7 +3,7 @@
 //! ```text
 //! haystack rules    [--fast] [--seed N] [--out rules.json]
 //! haystack inspect  --rules rules.json
-//! haystack detect   --rules rules.json [--lines N] [--days D] [--threshold T]
+//! haystack detect   --rules rules.json [--lines N] [--days D] [--threshold T] [--workers W]
 //! haystack mitigate --rules rules.json --class NAME [--redirect IP]
 //! haystack chaos    [--severity S] [--seed N] [--records N]
 //! ```
@@ -16,18 +16,19 @@ use haystack_cli::{rules_from_json, rules_to_json};
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
 use haystack_core::mitigation::{block_plan, Action};
+use haystack_core::parallel::DetectorPool;
 use haystack_core::pipeline::{Pipeline, PipelineConfig};
 use haystack_dns::DnsDb;
 use haystack_net::DayBin;
 use haystack_testbed::catalog::data::standard_catalog;
 use haystack_testbed::materialize::materialize;
-use haystack_wild::{IspConfig, IspVantage};
+use haystack_wild::{IspConfig, IspVantage, RecordChunk, VantagePoint, DEFAULT_CHUNK_RECORDS};
 use std::collections::HashMap;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]"
+        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]"
     );
     exit(2);
 }
@@ -131,6 +132,11 @@ fn cmd_detect(flags: HashMap<String, String>) {
     let days: u32 = num(&flags, "days", 1);
     let threshold: f64 = num(&flags, "threshold", 0.4);
     let seed: u64 = num(&flags, "seed", 42);
+    let workers: usize = num(&flags, "workers", 4);
+    if workers == 0 {
+        eprintln!("error: --workers must be at least 1");
+        exit(2);
+    }
 
     eprintln!("building the simulated ISP ({lines} lines) ...");
     let catalog = standard_catalog();
@@ -139,21 +145,28 @@ fn cmd_detect(flags: HashMap<String, String>) {
         &catalog,
         IspConfig { lines, sampling: 1_000, seed, background: false },
     );
-    let mut det = Detector::new(
+    // Hours stream chunk-by-chunk into the persistent worker pool — the
+    // hour is never materialized, and detection state is sharded by line.
+    let mut pool = DetectorPool::new(
         &rules,
-        HitList::whole_window(&rules),
+        &HitList::whole_window(&rules),
         DetectorConfig { threshold, require_established: false },
+        workers,
     );
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     println!("day\tclass\tdetected_lines");
     for day in 0..days {
-        det.reset();
+        pool.reset();
+        let mut records = 0u64;
         for hour in DayBin(day).hours() {
-            for r in &isp.capture_hour(&world, hour).records {
-                det.observe_wild(r);
-            }
+            let mut stream = isp.stream_hour(&world, hour, DEFAULT_CHUNK_RECORDS);
+            let (recs, _packets, _degradation) = pool.observe_stream(&mut *stream, &mut chunk);
+            records += recs;
         }
+        pool.finish();
+        eprintln!("day {day}: {records} records streamed through {workers} workers");
         for rule in &rules.rules {
-            println!("{day}\t{}\t{}", rule.class, det.detected_lines(rule.class).len());
+            println!("{day}\t{}\t{}", rule.class, pool.detected_lines(rule.class).len());
         }
     }
 }

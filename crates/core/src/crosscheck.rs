@@ -20,8 +20,13 @@ use haystack_flow::cache::{FlowCache, FlowCacheConfig};
 use haystack_flow::export::{ExportProtocol, Exporter};
 use haystack_flow::sampling::{PacketSampler, SystematicSampler};
 use haystack_flow::{Collector, FlowRecord};
-use haystack_net::{AnonId, HourBin, StudyWindow};
+use haystack_net::{AnonId, HourBin, Prefix4, StudyWindow};
+use haystack_testbed::materialize::MaterializedWorld;
 use haystack_testbed::ExperimentKind;
+use haystack_wild::{
+    RecordChunk, RecordStream, VantagePoint, VecStream, WildRecord, DEFAULT_CHUNK_RECORDS,
+};
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 
 /// The Home-VP is one subscriber line; this is its detector identity.
@@ -92,27 +97,182 @@ pub fn replay_flows(pipeline: &Pipeline, config: &CrosscheckConfig) -> Vec<(Hour
     out
 }
 
+/// The ground-truth testbed capture as a [`VantagePoint`]: each streamed
+/// hour is the Home-VP's packets run through border sampling, the flow
+/// cache, NetFlow v9 export, and collection, with the decoded flows
+/// surfacing as [`WildRecord`]s attributed to [`HOME_LINE`].
+///
+/// The measurement chain is stateful (the flow cache carries flows
+/// across hour boundaries, the sampler its phase), so hours must be
+/// replayed in order. Streaming the window's first hour — or any hour
+/// at or before the last one served — resets the chain and fast-forwards
+/// from the window start, which keeps the interface random-access at the
+/// cost of a re-replay.
+pub struct GroundTruthVantage<'p> {
+    pipeline: &'p Pipeline,
+    config: CrosscheckConfig,
+    state: RefCell<ReplayState>,
+}
+
+/// The sequential measurement chain between the testbed and the records.
+struct ReplayState {
+    sampler: SystematicSampler,
+    cache: FlowCache,
+    exporter: Exporter,
+    collector: Collector,
+    /// The hour the chain expects to replay next.
+    next_hour: HourBin,
+}
+
+impl std::fmt::Debug for GroundTruthVantage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroundTruthVantage").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl<'p> GroundTruthVantage<'p> {
+    /// A vantage point replaying `config.kind`'s experiment window.
+    pub fn new(pipeline: &'p Pipeline, config: CrosscheckConfig) -> Self {
+        let window_start = Self::window_of(&config).hour_bins().next().expect("non-empty window");
+        let state = RefCell::new(Self::fresh_state(pipeline, &config, window_start));
+        GroundTruthVantage { pipeline, config, state }
+    }
+
+    fn window_of(config: &CrosscheckConfig) -> StudyWindow {
+        match config.kind {
+            ExperimentKind::Active => StudyWindow::ACTIVE_GT,
+            ExperimentKind::Idle => StudyWindow::IDLE_GT,
+        }
+    }
+
+    fn fresh_state(pipeline: &Pipeline, config: &CrosscheckConfig, start: HourBin) -> ReplayState {
+        ReplayState {
+            sampler: SystematicSampler::new(
+                config.sampling,
+                pipeline.driver.catalog().products.len() as u64,
+            )
+            .expect("valid sampling rate"),
+            cache: FlowCache::new(FlowCacheConfig::default()),
+            exporter: Exporter::new(ExportProtocol::NetflowV9, 1),
+            collector: Collector::new(),
+            next_hour: start,
+        }
+    }
+
+    /// Run one hour through the measurement chain, returning the decoded
+    /// records and the number of border-sampled packets.
+    fn replay_one(&self, state: &mut ReplayState, world: &MaterializedWorld, hour: HourBin) -> (Vec<WildRecord>, u64) {
+        let packets = self.pipeline.driver.generate_hour(world, hour);
+        let mut sampled = 0u64;
+        for g in &packets {
+            if state.sampler.sample() {
+                sampled += 1;
+                state.cache.on_packet(&g.packet);
+            }
+        }
+        state.cache.advance(hour.next().start());
+        let expired = state.cache.drain_expired();
+        let mut decoded = Vec::with_capacity(expired.len());
+        for msg in state
+            .exporter
+            .export(&expired, hour.start().0 as u32)
+            .expect("export never fails on valid records")
+        {
+            decoded.extend(
+                state
+                    .collector
+                    .feed_netflow_v9(msg)
+                    .expect("self-produced datagrams decode"),
+            );
+        }
+        state.next_hour = hour.next();
+        (decoded.iter().map(|r| home_record(r, hour)).collect(), sampled)
+    }
+}
+
+/// Attribute a decoded flow to the Home-VP subscriber line.
+fn home_record(r: &FlowRecord, hour: HourBin) -> WildRecord {
+    WildRecord {
+        line: HOME_LINE,
+        line_slash24: Prefix4::slash24_of(r.key.src),
+        src_ip: r.key.src,
+        dst: r.key.dst,
+        dport: r.key.dport,
+        proto: r.key.proto,
+        packets: r.packets,
+        bytes: r.bytes,
+        established: r.is_established_evidence(),
+        hour,
+    }
+}
+
+impl VantagePoint for GroundTruthVantage<'_> {
+    fn stream_hour<'a>(
+        &'a self,
+        world: &'a MaterializedWorld,
+        hour: HourBin,
+        chunk_records: usize,
+    ) -> Box<dyn RecordStream + 'a> {
+        let mut state = self.state.borrow_mut();
+        if hour < state.next_hour {
+            *state = Self::fresh_state(
+                self.pipeline,
+                &self.config,
+                Self::window_of(&self.config).hour_bins().next().expect("non-empty window"),
+            );
+        }
+        // Fast-forward the chain through any skipped hours so the flow
+        // cache and sampler phase match a strictly sequential replay.
+        while state.next_hour < hour {
+            let skipped = state.next_hour;
+            let _ = self.replay_one(&mut state, world, skipped);
+        }
+        let (records, sampled) = self.replay_one(&mut state, world, hour);
+        let mut stream = VecStream::new(records, chunk_records);
+        stream.set_sampled_packets(sampled);
+        Box::new(stream)
+    }
+}
+
 /// Figure 10: detection times for every rule class across thresholds.
+///
+/// Single pass: the window is streamed once through the ground-truth
+/// vantage point and every threshold's detector observes each chunk.
 pub fn detection_times(
     pipeline: &Pipeline,
     config: &CrosscheckConfig,
     thresholds: &[f64],
 ) -> Vec<DetectionTime> {
-    let flows = replay_flows(pipeline, config);
-    let window_start = flows.first().map(|(h, _)| h.0).unwrap_or(0);
-    let mut out = Vec::new();
-    for &threshold in thresholds {
-        let hitlist = HitList::whole_window(&pipeline.rules);
-        let mut det = Detector::new(
-            &pipeline.rules,
-            hitlist,
-            DetectorConfig { threshold, require_established: false },
-        );
-        for (hour, records) in &flows {
-            for r in records {
-                det.observe(HOME_LINE, r.key.dst, r.key.dport, r.key.proto, r.is_established_evidence(), *hour);
+    let vantage = GroundTruthVantage::new(pipeline, config.clone());
+    let window = GroundTruthVantage::window_of(config);
+    let hours: Vec<HourBin> = match config.hours {
+        Some(h) => window.hour_bins().take(h as usize).collect(),
+        None => window.hour_bins().collect(),
+    };
+    let window_start = hours.first().map(|h| h.0).unwrap_or(0);
+    let mut dets: Vec<Detector<'_>> = thresholds
+        .iter()
+        .map(|&threshold| {
+            Detector::new(
+                &pipeline.rules,
+                HitList::whole_window(&pipeline.rules),
+                DetectorConfig { threshold, require_established: false },
+            )
+        })
+        .collect();
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
+    for hour in hours {
+        let mut stream = vantage.stream_hour(&pipeline.world, hour, DEFAULT_CHUNK_RECORDS);
+        while stream.next_chunk(&mut chunk) {
+            for r in &chunk.records {
+                for det in &mut dets {
+                    det.observe_wild(r);
+                }
             }
         }
+    }
+    let mut out = Vec::new();
+    for (det, &threshold) in dets.iter().zip(thresholds) {
         for rule in &pipeline.rules.rules {
             let hours_to_detect = det
                 .first_detection(HOME_LINE, rule.class)
@@ -213,6 +373,30 @@ mod tests {
     }
 
     #[test]
+    fn vantage_stream_matches_replay_flows() {
+        let p = pipeline();
+        let config = CrosscheckConfig { sampling: 100, kind: ExperimentKind::Idle, hours: Some(3) };
+        let flows = replay_flows(&p, &config);
+        let vantage = GroundTruthVantage::new(&p, config);
+        let mut chunk = RecordChunk::default();
+        for (hour, records) in &flows {
+            let expected: Vec<WildRecord> = records.iter().map(|r| home_record(r, *hour)).collect();
+            let mut got = Vec::new();
+            let mut stream = vantage.stream_hour(&p.world, *hour, 64);
+            while stream.next_chunk(&mut chunk) {
+                got.extend_from_slice(&chunk.records);
+            }
+            assert_eq!(got, expected, "hour {hour:?}");
+        }
+        // Re-streaming an earlier hour resets the measurement chain and
+        // replays deterministically from the window start.
+        let (h0, r0) = &flows[0];
+        let again = vantage.materialize_hour(&p.world, *h0);
+        let expected0: Vec<WildRecord> = r0.iter().map(|r| home_record(r, *h0)).collect();
+        assert_eq!(again.records, expected0, "reset replay diverged");
+    }
+
+    #[test]
     fn hot_classes_detected_quickly_at_low_threshold() {
         let p = pipeline();
         let times = detection_times(
@@ -286,5 +470,16 @@ mod tests {
         let classes: BTreeSet<&'static str> = ["A", "B", "C"].into_iter().collect();
         assert!((fraction_detected_within(&times, 0.4, 1, &classes) - 1.0 / 3.0).abs() < 1e-9);
         assert!((fraction_detected_within(&times, 0.4, 48, &classes) - 2.0 / 3.0).abs() < 1e-9);
+    }
+    /// Regression: the flow cache used to drain in per-instance-random
+    /// hash order, making two identical replays disagree record-by-record
+    /// (and `GroundTruthVantage`'s reset-replay impossible to pin).
+    #[test]
+    fn replay_flows_is_call_stable() {
+        let p = pipeline();
+        let config = CrosscheckConfig { sampling: 100, kind: ExperimentKind::Idle, hours: Some(1) };
+        let a = replay_flows(p, &config);
+        let b = replay_flows(p, &config);
+        assert_eq!(a, b);
     }
 }

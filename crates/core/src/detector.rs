@@ -21,6 +21,24 @@ use haystack_net::{AnonId, HourBin};
 use haystack_wild::WildRecord;
 use std::collections::HashMap;
 
+/// The query surface shared by every detector shape — the single
+/// [`Detector`], the legacy [`ShardedDetector`](crate::parallel::
+/// ShardedDetector) façade, and the persistent
+/// [`DetectorPool`](crate::parallel::DetectorPool). Evaluation code
+/// (`quality::evaluate`) is generic over this, so the same scoring runs
+/// against any of them. `&mut self` because pooled implementations must
+/// flush in-flight records before answering.
+pub trait DetectionQuery {
+    /// All lines for which `class` is currently detected, sorted.
+    fn query_detected_lines(&mut self, class: &str) -> Vec<AnonId>;
+}
+
+impl DetectionQuery for Detector<'_> {
+    fn query_detected_lines(&mut self, class: &str) -> Vec<AnonId> {
+        self.detected_lines(class)
+    }
+}
+
 /// Detector configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct DetectorConfig {

@@ -65,11 +65,12 @@ pub(crate) mod testutil {
     }
 }
 
+pub use crosscheck::{GroundTruthVantage, HOME_LINE};
 pub use dedicated::{DedicationVerdict, InfraKnowledge};
-pub use detector::{Detector, DetectorConfig};
+pub use detector::{DetectionQuery, Detector, DetectorConfig};
 pub use domains::{DomainClass, WebIntelligence};
 pub use hitlist::HitList;
 pub use observations::{DomainObservations, DomainUsage};
-pub use parallel::ShardedDetector;
+pub use parallel::{DetectorPool, ShardedDetector};
 pub use pipeline::{Pipeline, PipelineStats};
 pub use rules::{DetectionRule, RuleSet};

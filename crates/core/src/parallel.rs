@@ -1,111 +1,438 @@
-//! Sharded, multi-core detection.
+//! Sharded, multi-core detection on a persistent worker pool.
 //!
 //! Per-line evidence is embarrassingly parallel: no record of line A ever
-//! touches line B's state. The sharded detector exploits that — records
-//! are partitioned by a hash of the (already anonymized) line id and each
-//! shard runs an independent [`Detector`] on its own core. This is the
-//! "minutes for millions of devices" configuration (§1); the
-//! `parallel_detector` bench quantifies the speedup over one core.
+//! touches line B's state. [`DetectorPool`] exploits that — each worker
+//! thread owns an independent [`Detector`] for the lines hashing to its
+//! shard, and lives for the pool's whole lifetime. Records flow to
+//! workers through bounded channels in recycled chunk-sized buffers, so
+//! a steady-state hour costs **zero** allocations on the feed path and
+//! peak resident memory is set by channel capacity, never by hour size.
+//! This is the "minutes for millions of devices" configuration (§1); the
+//! `parallel_detector` and `streaming_throughput` benches quantify it.
 //!
 //! Semantics are *identical* to a single [`Detector`] fed the same
-//! records: the equivalence test at the bottom of this module pins it.
+//! records — the equivalence and determinism tests at the bottom of this
+//! module pin it. Each line's records traverse exactly one FIFO channel
+//! in feed order, and the detector's evidence fold is commutative across
+//! lines, so any worker count produces the same detections.
+//!
+//! [`ShardedDetector`] remains as the legacy batch façade: one call
+//! observes a batch and blocks until it is fully absorbed.
 
-use crate::detector::{Detector, DetectorConfig};
+use crate::detector::{DetectionQuery, Detector, DetectorConfig};
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
-use haystack_net::AnonId;
-use haystack_wild::WildRecord;
+use haystack_net::{AnonId, HourBin};
+use haystack_wild::{RecordChunk, RecordStream, WildRecord};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
-/// A detector sharded across worker threads.
-#[derive(Debug)]
-pub struct ShardedDetector<'r> {
-    shards: Vec<Detector<'r>>,
-}
+/// Records per worker-bound buffer (the pool's internal chunk size).
+pub const POOL_BATCH_RECORDS: usize = 1_024;
 
+/// Bounded command-channel depth per worker, in batches. This is the
+/// backpressure knob: a feeder outrunning the workers blocks after
+/// `workers × POOL_CHANNEL_BATCHES` in-flight buffers.
+pub const POOL_CHANNEL_BATCHES: usize = 4;
+
+/// Route an anonymized line id to a shard.
+///
+/// Sequential or low-entropy ids stripe pathologically under a raw
+/// `id % n` for some worker counts, so the id is first run through the
+/// splitmix64 finalizer — every input bit diffuses into the shard
+/// choice. The `shards_stay_balanced` test pins the distribution.
 fn shard_of(line: AnonId, n: usize) -> usize {
-    // The anonymizer's output is already uniformly mixed; fold to a shard.
-    (line.0 % n as u64) as usize
+    let mut z = line.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % n as u64) as usize
 }
 
-impl<'r> ShardedDetector<'r> {
-    /// Create `workers` shards sharing one rule set and hitlist.
-    pub fn new(rules: &'r RuleSet, hitlist: &HitList, config: DetectorConfig, workers: usize) -> Self {
+/// Commands a worker thread understands. Batches and queries share one
+/// FIFO channel, so a query observes every batch sent before it.
+enum Cmd {
+    /// Observe a buffer of records; the cleared buffer is recycled back.
+    Batch(Vec<WildRecord>),
+    /// Swap the daily hitlist, keeping accumulated evidence.
+    SetHitlist(HitList),
+    /// Clear accumulated evidence.
+    Reset,
+    /// Reply when every prior command is processed.
+    Barrier(Sender<()>),
+    /// All detected lines for a class on this shard.
+    DetectedLines(String, Sender<Vec<AnonId>>),
+    /// Whether the class is detected for a line owned by this shard.
+    IsDetected(AnonId, String, Sender<bool>),
+    /// Graded confidence for (line, class) on the owning shard.
+    Confidence(AnonId, String, Sender<f64>),
+    /// First hour the gated detection held, on the owning shard.
+    FirstDetection(AnonId, String, Sender<Option<HourBin>>),
+    /// (line, rule) states held by this shard.
+    StateSize(Sender<usize>),
+}
+
+struct Worker {
+    tx: SyncSender<Cmd>,
+    /// Cleared buffers coming back from the worker.
+    recycle: Receiver<Vec<WildRecord>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A persistent pool of shard-owning detector workers.
+///
+/// Feed it records with [`DetectorPool::observe_records`] (or whole
+/// streams with [`DetectorPool::observe_stream`]); call
+/// [`DetectorPool::finish`] to barrier, then query. Queries flush the
+/// staging buffers themselves, so forgetting an explicit flush can never
+/// lose records.
+#[derive(Debug)]
+pub struct DetectorPool {
+    workers: Vec<Worker>,
+    /// Per-shard partial buffers, reused across calls (the allocation
+    /// churn fix: nothing here is rebuilt per batch).
+    staging: Vec<Vec<WildRecord>>,
+    batch_records: usize,
+    /// Chunk buffers ever allocated — the pool's peak resident buffer
+    /// count, since buffers recycle instead of dropping.
+    buffers_created: usize,
+}
+
+impl std::fmt::Debug for Worker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").finish_non_exhaustive()
+    }
+}
+
+impl DetectorPool {
+    /// Spawn `workers` shard threads sharing one rule set and hitlist.
+    pub fn new(rules: &RuleSet, hitlist: &HitList, config: DetectorConfig, workers: usize) -> Self {
+        Self::with_tuning(rules, hitlist, config, workers, POOL_BATCH_RECORDS, POOL_CHANNEL_BATCHES)
+    }
+
+    /// [`DetectorPool::new`] with explicit buffer size and channel depth
+    /// (benches sweep these).
+    pub fn with_tuning(
+        rules: &RuleSet,
+        hitlist: &HitList,
+        config: DetectorConfig,
+        workers: usize,
+        batch_records: usize,
+        channel_batches: usize,
+    ) -> Self {
         assert!(workers >= 1, "need at least one shard");
-        let shards = (0..workers)
-            .map(|_| Detector::new(rules, hitlist.clone(), config))
-            .collect();
-        ShardedDetector { shards }
-    }
-
-    /// Number of shards.
-    pub fn workers(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Swap the daily hitlist on every shard.
-    pub fn set_hitlist(&mut self, hitlist: &HitList) {
-        for s in &mut self.shards {
-            s.set_hitlist(hitlist.clone());
+        let batch_records = batch_records.max(1);
+        let rules = Arc::new(rules.clone());
+        let workers = (0..workers)
+            .map(|i| {
+                let (tx, rx) = sync_channel::<Cmd>(channel_batches.max(1));
+                let (recycle_tx, recycle) = channel::<Vec<WildRecord>>();
+                let rules = Arc::clone(&rules);
+                let hitlist = hitlist.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("detector-shard-{i}"))
+                    .spawn(move || {
+                        let mut det = Detector::new(&rules, hitlist, config);
+                        while let Ok(cmd) = rx.recv() {
+                            match cmd {
+                                Cmd::Batch(mut buf) => {
+                                    for r in &buf {
+                                        det.observe_wild(r);
+                                    }
+                                    buf.clear();
+                                    // Feeder may be gone during teardown.
+                                    let _ = recycle_tx.send(buf);
+                                }
+                                Cmd::SetHitlist(hl) => det.set_hitlist(hl),
+                                Cmd::Reset => det.reset(),
+                                Cmd::Barrier(reply) => {
+                                    let _ = reply.send(());
+                                }
+                                Cmd::DetectedLines(class, reply) => {
+                                    let _ = reply.send(det.detected_lines(&class));
+                                }
+                                Cmd::IsDetected(line, class, reply) => {
+                                    let _ = reply.send(det.is_detected(line, &class));
+                                }
+                                Cmd::Confidence(line, class, reply) => {
+                                    let _ = reply.send(det.confidence(line, &class));
+                                }
+                                Cmd::FirstDetection(line, class, reply) => {
+                                    let _ = reply.send(det.first_detection(line, &class));
+                                }
+                                Cmd::StateSize(reply) => {
+                                    let _ = reply.send(det.state_size());
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn detector shard");
+                Worker { tx, recycle, handle: Some(handle) }
+            })
+            .collect::<Vec<_>>();
+        let n = workers.len();
+        DetectorPool {
+            workers,
+            staging: (0..n).map(|_| Vec::with_capacity(batch_records)).collect(),
+            batch_records,
+            buffers_created: n,
         }
     }
 
-    /// Process one batch of records across all shards in parallel.
-    ///
-    /// Records are partitioned by line hash; each shard's worker observes
-    /// only its partition, so no locking is needed anywhere.
-    pub fn observe_batch(&mut self, records: &[WildRecord]) {
-        let n = self.shards.len();
-        if n == 1 {
-            for r in records {
-                self.shards[0].observe_wild(r);
+    /// Number of shard workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Chunk buffers ever allocated by the pool — its peak resident
+    /// buffer count (buffers recycle through the workers, never drop).
+    pub fn buffers_created(&self) -> usize {
+        self.buffers_created
+    }
+
+    /// A send buffer for `shard`: recycled if one came back, fresh
+    /// otherwise.
+    fn take_buffer(&mut self, shard: usize) -> Vec<WildRecord> {
+        match self.workers[shard].recycle.try_recv() {
+            Ok(buf) => buf,
+            Err(TryRecvError::Empty) => {
+                self.buffers_created += 1;
+                Vec::with_capacity(self.batch_records)
             }
+            Err(TryRecvError::Disconnected) => panic!("detector shard {shard} died"),
+        }
+    }
+
+    /// Ship `shard`'s staging buffer to its worker (blocking if the
+    /// channel is full — this is the backpressure point).
+    fn ship(&mut self, shard: usize) {
+        if self.staging[shard].is_empty() {
             return;
         }
-        // Partition indices per shard (cheap, cache-friendly single pass).
-        let mut parts: Vec<Vec<&WildRecord>> =
-            (0..n).map(|_| Vec::with_capacity(records.len() / n + 1)).collect();
-        for r in records {
-            parts[shard_of(r.line, n)].push(r);
-        }
-        crossbeam::thread::scope(|scope| {
-            for (det, part) in self.shards.iter_mut().zip(parts) {
-                scope.spawn(move |_| {
-                    for r in part {
-                        det.observe_wild(r);
-                    }
-                });
-            }
-        })
-        .expect("detector worker panicked");
+        let empty = self.take_buffer(shard);
+        let full = std::mem::replace(&mut self.staging[shard], empty);
+        self.workers[shard].tx.send(Cmd::Batch(full)).expect("detector shard died");
     }
 
-    /// Whether `class` is detected for `line` (dispatches to the shard
-    /// owning the line).
-    pub fn is_detected(&self, line: AnonId, class: &str) -> bool {
-        self.shards[shard_of(line, self.shards.len())].is_detected(line, class)
+    /// Observe records: partitioned to shards, shipped as buffers fill.
+    pub fn observe_records(&mut self, records: &[WildRecord]) {
+        let n = self.workers.len();
+        for r in records {
+            let shard = shard_of(r.line, n);
+            self.staging[shard].push(*r);
+            if self.staging[shard].len() >= self.batch_records {
+                self.ship(shard);
+            }
+        }
+    }
+
+    /// Drain a whole [`RecordStream`] through the pool, reusing one
+    /// chunk buffer. Returns `(records, sampled_packets, degradation)`
+    /// funnel totals folded over every chunk.
+    pub fn observe_stream(
+        &mut self,
+        stream: &mut dyn RecordStream,
+        chunk: &mut RecordChunk,
+    ) -> (u64, u64, haystack_wild::FeedDegradation) {
+        let mut records = 0u64;
+        let mut packets = 0u64;
+        let mut degradation = haystack_wild::FeedDegradation::default();
+        while stream.next_chunk(chunk) {
+            records += chunk.records.len() as u64;
+            packets += chunk.sampled_packets;
+            degradation.absorb(chunk.degradation);
+            self.observe_records(&chunk.records);
+        }
+        (records, packets, degradation)
+    }
+
+    /// Push every partial staging buffer to its worker.
+    pub fn flush(&mut self) {
+        for shard in 0..self.workers.len() {
+            self.ship(shard);
+        }
+    }
+
+    /// Flush, then block until every worker has processed everything
+    /// sent so far.
+    pub fn finish(&mut self) {
+        self.flush();
+        let (tx, rx) = channel();
+        for w in &self.workers {
+            w.tx.send(Cmd::Barrier(tx.clone())).expect("detector shard died");
+        }
+        drop(tx);
+        for _ in 0..self.workers.len() {
+            rx.recv().expect("detector shard died");
+        }
+    }
+
+    /// Swap the daily hitlist on every shard. Staged records are flushed
+    /// first, so they are observed under the hitlist that was current
+    /// when they were fed.
+    pub fn set_hitlist(&mut self, hitlist: &HitList) {
+        self.flush();
+        for w in &self.workers {
+            w.tx.send(Cmd::SetHitlist(hitlist.clone())).expect("detector shard died");
+        }
+    }
+
+    /// Clear accumulated evidence (new aggregation window). Records still
+    /// staged are discarded — they belong to the window being cleared.
+    pub fn reset(&mut self) {
+        for s in &mut self.staging {
+            s.clear();
+        }
+        for w in &self.workers {
+            w.tx.send(Cmd::Reset).expect("detector shard died");
+        }
     }
 
     /// All lines for which `class` is detected, merged across shards.
-    pub fn detected_lines(&self, class: &str) -> Vec<AnonId> {
-        let mut out: Vec<AnonId> = self
-            .shards
-            .iter()
-            .flat_map(|s| s.detected_lines(class))
-            .collect();
+    pub fn detected_lines(&mut self, class: &str) -> Vec<AnonId> {
+        self.flush();
+        let (tx, rx) = channel();
+        for w in &self.workers {
+            w.tx.send(Cmd::DetectedLines(class.to_string(), tx.clone()))
+                .expect("detector shard died");
+        }
+        drop(tx);
+        let mut out: Vec<AnonId> = rx.iter().flatten().collect();
         out.sort_unstable();
         out
     }
 
+    /// Whether `class` is detected for `line` (asks the owning shard).
+    pub fn is_detected(&mut self, line: AnonId, class: &str) -> bool {
+        let shard = shard_of(line, self.workers.len());
+        self.ship(shard);
+        let (tx, rx) = channel();
+        self.workers[shard]
+            .tx
+            .send(Cmd::IsDetected(line, class.to_string(), tx))
+            .expect("detector shard died");
+        rx.recv().expect("detector shard died")
+    }
+
+    /// Graded detection confidence for `(line, class)` in `[0, 1]`.
+    pub fn confidence(&mut self, line: AnonId, class: &str) -> f64 {
+        let shard = shard_of(line, self.workers.len());
+        self.ship(shard);
+        let (tx, rx) = channel();
+        self.workers[shard]
+            .tx
+            .send(Cmd::Confidence(line, class.to_string(), tx))
+            .expect("detector shard died");
+        rx.recv().expect("detector shard died")
+    }
+
+    /// First hour the full (hierarchy-gated) detection held for
+    /// `(line, class)`.
+    pub fn first_detection(&mut self, line: AnonId, class: &str) -> Option<HourBin> {
+        let shard = shard_of(line, self.workers.len());
+        self.ship(shard);
+        let (tx, rx) = channel();
+        self.workers[shard]
+            .tx
+            .send(Cmd::FirstDetection(line, class.to_string(), tx))
+            .expect("detector shard died");
+        rx.recv().expect("detector shard died")
+    }
+
     /// Total per-(line, rule) states held across shards.
-    pub fn state_size(&self) -> usize {
-        self.shards.iter().map(Detector::state_size).sum()
+    pub fn state_size(&mut self) -> usize {
+        self.flush();
+        let (tx, rx) = channel();
+        for w in &self.workers {
+            w.tx.send(Cmd::StateSize(tx.clone())).expect("detector shard died");
+        }
+        drop(tx);
+        rx.iter().sum()
+    }
+}
+
+impl DetectionQuery for DetectorPool {
+    fn query_detected_lines(&mut self, class: &str) -> Vec<AnonId> {
+        self.detected_lines(class)
+    }
+}
+
+impl Drop for DetectorPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Closing the command channel ends the worker loop.
+            let (tx, _) = sync_channel(1);
+            drop(std::mem::replace(&mut w.tx, tx));
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The legacy batch façade over [`DetectorPool`]: `observe_batch` blocks
+/// until the batch is fully absorbed, preserving the old call-and-query
+/// contract. New code should drive the pool (or a [`RecordStream`])
+/// directly.
+#[derive(Debug)]
+pub struct ShardedDetector {
+    pool: DetectorPool,
+}
+
+impl ShardedDetector {
+    /// Create `workers` shards sharing one rule set and hitlist.
+    pub fn new(rules: &RuleSet, hitlist: &HitList, config: DetectorConfig, workers: usize) -> Self {
+        ShardedDetector { pool: DetectorPool::new(rules, hitlist, config, workers) }
+    }
+
+    /// Number of shards.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The underlying pool (for streaming feeds and tuning knobs).
+    pub fn pool_mut(&mut self) -> &mut DetectorPool {
+        &mut self.pool
+    }
+
+    /// Swap the daily hitlist on every shard.
+    pub fn set_hitlist(&mut self, hitlist: &HitList) {
+        self.pool.set_hitlist(hitlist);
+    }
+
+    /// Process one batch of records across all shards, blocking until
+    /// every record is absorbed.
+    pub fn observe_batch(&mut self, records: &[WildRecord]) {
+        self.pool.observe_records(records);
+        self.pool.finish();
+    }
+
+    /// Whether `class` is detected for `line` (dispatches to the shard
+    /// owning the line).
+    pub fn is_detected(&mut self, line: AnonId, class: &str) -> bool {
+        self.pool.is_detected(line, class)
+    }
+
+    /// All lines for which `class` is detected, merged across shards.
+    pub fn detected_lines(&mut self, class: &str) -> Vec<AnonId> {
+        self.pool.detected_lines(class)
+    }
+
+    /// Total per-(line, rule) states held across shards.
+    pub fn state_size(&mut self) -> usize {
+        self.pool.state_size()
     }
 
     /// Reset every shard (new aggregation window).
     pub fn reset(&mut self) {
-        for s in &mut self.shards {
-            s.reset();
-        }
+        self.pool.reset();
+    }
+}
+
+impl DetectionQuery for ShardedDetector {
+    fn query_detected_lines(&mut self, class: &str) -> Vec<AnonId> {
+        self.detected_lines(class)
     }
 }
 
@@ -117,6 +444,7 @@ mod tests {
     use haystack_net::ports::Proto;
     use haystack_net::{HourBin, Prefix4};
     use haystack_testbed::catalog::DetectionLevel;
+    use haystack_wild::VecStream;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     use std::net::Ipv4Addr;
@@ -181,6 +509,112 @@ mod tests {
                 "{workers} workers diverge from sequential"
             );
             assert_eq!(par.state_size(), seq.state_size());
+        }
+    }
+
+    #[test]
+    fn same_feed_same_detections_for_1_2_8_workers() {
+        // Determinism pin: the same record stream produces identical
+        // detection sets (and state counts) for any worker count.
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(30_000, 11);
+        let mut results = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let mut pool = DetectorPool::new(&rules, &hl, config, workers);
+            let mut chunk = RecordChunk::default();
+            let mut stream = VecStream::new(records.clone(), 333);
+            pool.observe_stream(&mut stream, &mut chunk);
+            pool.finish();
+            results.push((pool.detected_lines("X"), pool.state_size()));
+        }
+        assert_eq!(results[0], results[1], "2 workers diverge from 1");
+        assert_eq!(results[0], results[2], "8 workers diverge from 1");
+        assert!(!results[0].0.is_empty(), "test must detect something");
+    }
+
+    #[test]
+    fn streamed_chunks_equal_one_batch() {
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(10_000, 5);
+
+        let mut batched = ShardedDetector::new(&rules, &hl, config, 3);
+        batched.observe_batch(&records);
+
+        let mut streamed = DetectorPool::new(&rules, &hl, config, 3);
+        for piece in records.chunks(17) {
+            streamed.observe_records(piece);
+        }
+        streamed.finish();
+        assert_eq!(streamed.detected_lines("X"), batched.detected_lines("X"));
+    }
+
+    #[test]
+    fn queries_flush_staged_records() {
+        // A query with records still staged must observe them.
+        let rules = ruleset(1);
+        let hl = HitList::whole_window(&rules);
+        let mut pool = DetectorPool::new(&rules, &hl, DetectorConfig::default(), 2);
+        let records = random_records(10, 8);
+        pool.observe_records(&records); // far below POOL_BATCH_RECORDS
+        assert!(pool.state_size() > 0, "staged records visible to queries");
+        for line in pool.detected_lines("X") {
+            assert!(pool.is_detected(line, "X"));
+        }
+    }
+
+    #[test]
+    fn buffer_count_is_bounded_by_channel_capacity_not_feed_size() {
+        let rules = ruleset(1);
+        let hl = HitList::whole_window(&rules);
+        // Tiny buffers force constant shipping: 100k records → ~1000
+        // buffer sends per shard, but the resident set stays bounded.
+        let workers = 4;
+        let channel_batches = 4;
+        let mut pool = DetectorPool::with_tuning(
+            &rules,
+            &hl,
+            DetectorConfig::default(),
+            workers,
+            100,
+            channel_batches,
+        );
+        pool.observe_records(&random_records(100_000, 2));
+        pool.finish();
+        // Per shard: 1 staging + channel_batches in flight + 1 being
+        // processed + 1 in the recycle queue.
+        let bound = workers * (channel_batches + 3);
+        assert!(
+            pool.buffers_created() <= bound,
+            "{} buffers for a 100k feed (bound {bound})",
+            pool.buffers_created()
+        );
+    }
+
+    #[test]
+    fn shards_stay_balanced_for_sequential_ids() {
+        // Raw `id % n` would put every id on shard id%n deterministically
+        // fine — but sequential ids with stride equal to the worker count
+        // stripe onto one shard. The mixed hash must spread any arithmetic
+        // progression evenly.
+        for workers in [2usize, 3, 4, 7, 8] {
+            for stride in [1u64, 2, 4, 7, 8, 16] {
+                let mut counts = vec![0usize; workers];
+                let total = 8_000usize;
+                for i in 0..total {
+                    counts[shard_of(AnonId(i as u64 * stride), workers)] += 1;
+                }
+                let expect = total / workers;
+                for (s, &c) in counts.iter().enumerate() {
+                    assert!(
+                        c > expect / 2 && c < expect * 2,
+                        "workers {workers} stride {stride}: shard {s} holds {c}/{total}"
+                    );
+                }
+            }
         }
     }
 

@@ -9,7 +9,7 @@
 //! `accuracy_report` binary share. The detector itself never touches the
 //! oracle.
 
-use crate::detector::Detector;
+use crate::detector::DetectionQuery;
 use crate::pipeline::Pipeline;
 use haystack_net::AnonId;
 use haystack_wild::IspVantage;
@@ -75,15 +75,19 @@ pub fn owner_ids(pipeline: &Pipeline, isp: &IspVantage, class: &str, day: u32) -
     out
 }
 
-/// Score one class's detections against the oracle.
-pub fn evaluate(
+/// Score one class's detections against the oracle. Generic over the
+/// detector shape ([`Detector`](crate::detector::Detector),
+/// [`ShardedDetector`](crate::parallel::ShardedDetector), or
+/// [`DetectorPool`](crate::parallel::DetectorPool)) via
+/// [`DetectionQuery`].
+pub fn evaluate<Q: DetectionQuery + ?Sized>(
     pipeline: &Pipeline,
     isp: &IspVantage,
-    detector: &Detector<'_>,
+    detector: &mut Q,
     class: &str,
     day: u32,
 ) -> Confusion {
-    let detected: BTreeSet<AnonId> = detector.detected_lines(class).into_iter().collect();
+    let detected: BTreeSet<AnonId> = detector.query_detected_lines(class).into_iter().collect();
     let owners = owner_ids(pipeline, isp, class, day);
     Confusion {
         true_pos: detected.intersection(&owners).count() as u64,
@@ -95,7 +99,7 @@ pub fn evaluate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::detector::DetectorConfig;
+    use crate::detector::{Detector, DetectorConfig};
     use crate::hitlist::HitList;
     use haystack_net::DayBin;
     use haystack_wild::IspConfig;
@@ -128,9 +132,27 @@ mod tests {
                 det.observe_wild(r);
             }
         }
-        let c = evaluate(p, &isp, &det, "Alexa Enabled", 0);
+        let c = evaluate(p, &isp, &mut det, "Alexa Enabled", 0);
         assert!(c.true_pos > 0);
         assert!(c.precision() > 0.97, "precision {:.3}", c.precision());
         assert!(c.recall() > 0.5, "recall {:.3}", c.recall());
+
+        // The same records through a streamed worker pool score
+        // identically — evaluate is generic over the detector shape.
+        let mut pool = crate::parallel::DetectorPool::new(
+            &p.rules,
+            &HitList::for_day(&p.rules, &p.dnsdb, DayBin(0)),
+            DetectorConfig::default(),
+            4,
+        );
+        let mut chunk = haystack_wild::RecordChunk::default();
+        use haystack_wild::VantagePoint;
+        for hour in DayBin(0).hours() {
+            let mut stream = isp.stream_hour(&p.world, hour, 4_096);
+            pool.observe_stream(&mut *stream, &mut chunk);
+        }
+        pool.finish();
+        let cp = evaluate(p, &isp, &mut pool, "Alexa Enabled", 0);
+        assert_eq!(c, cp, "pooled evaluation diverges from sequential");
     }
 }

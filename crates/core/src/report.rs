@@ -16,9 +16,10 @@ use crate::detector::{Detector, DetectorConfig};
 use crate::hitlist::HitList;
 use crate::pipeline::Pipeline;
 use crate::usage::{UsageConfig, UsageTracker};
+use haystack_net::ports::Proto;
 use haystack_net::{AnonId, Asn, DayBin, Prefix4, StudyWindow};
 use haystack_testbed::materialize::MaterializedWorld;
-use haystack_wild::{IspVantage, IxpVantage};
+use haystack_wild::{IspVantage, IxpVantage, RecordChunk, VantagePoint, DEFAULT_CHUNK_RECORDS};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
@@ -119,6 +120,9 @@ pub fn run_isp_study(
     let mut result = IspStudyResult::default();
     let mut cum_lines: HashMap<&'static str, BTreeSet<AnonId>> = HashMap::new();
     let mut cum_slash24: HashMap<&'static str, BTreeSet<Prefix4>> = HashMap::new();
+    // One chunk buffer for the whole study — the streaming vantage point
+    // refills it per chunk, so no hour is ever materialized.
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
 
     for day in config.window.day_bins() {
         let hitlist = HitList::for_day(rules, &pipeline.dnsdb, day);
@@ -132,13 +136,15 @@ pub fn run_isp_study(
         for hour in day.hours() {
             hourly_det.reset();
             usage.reset();
-            let traffic = isp.capture_hour(world, hour);
-            result.sampled_packets += traffic.sampled_packets;
-            for r in &traffic.records {
-                hourly_det.observe_wild(r);
-                daily_det.observe_wild(r);
-                usage.observe(r);
-                slash24_of.insert(r.line, r.line_slash24);
+            let mut stream = isp.stream_hour(world, hour, DEFAULT_CHUNK_RECORDS);
+            while stream.next_chunk(&mut chunk) {
+                result.sampled_packets += chunk.sampled_packets;
+                for r in &chunk.records {
+                    hourly_det.observe_wild(r);
+                    daily_det.observe_wild(r);
+                    usage.observe(r);
+                    slash24_of.insert(r.line, r.line_slash24);
+                }
             }
             let mut group_lines: BTreeMap<DeviceGroup, BTreeSet<AnonId>> = BTreeMap::new();
             for rule in &rules.rules {
@@ -234,23 +240,25 @@ pub fn run_ixp_study(
     };
     let mut daily_det = Detector::new(rules, HitList::default(), det_cfg);
     let mut result = IxpStudyResult::default();
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
 
     for day in config.window.day_bins() {
         daily_det.set_hitlist(HitList::for_day(rules, &pipeline.dnsdb, day));
         daily_det.reset();
         let mut ip_of: HashMap<AnonId, Ipv4Addr> = HashMap::new();
         for hour in day.hours() {
-            let traffic = ixp.capture_hour(world, hour);
-            result.records_before_filter += traffic.records.len() as u64;
-            let records = if config.established_filter {
-                IxpVantage::established_only(traffic.records)
-            } else {
-                traffic.records
-            };
-            result.records_after_filter += records.len() as u64;
-            for r in &records {
-                daily_det.observe_wild(r);
-                ip_of.insert(r.line, r.src_ip);
+            let mut stream = ixp.stream_hour(world, hour, DEFAULT_CHUNK_RECORDS);
+            while stream.next_chunk(&mut chunk) {
+                result.records_before_filter += chunk.records.len() as u64;
+                for r in &chunk.records {
+                    // The §6.3 established-TCP filter, applied per record.
+                    if config.established_filter && r.proto == Proto::Tcp && !r.established {
+                        continue;
+                    }
+                    result.records_after_filter += 1;
+                    daily_det.observe_wild(r);
+                    ip_of.insert(r.line, r.src_ip);
+                }
             }
         }
         let mut group_ips: BTreeMap<DeviceGroup, BTreeSet<Ipv4Addr>> = BTreeMap::new();

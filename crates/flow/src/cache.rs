@@ -81,8 +81,13 @@ impl FlowCache {
         self.expired.extend(self.table.drain().map(|(_, r)| r));
     }
 
-    /// Drain the emitted records, in expiry order.
+    /// Drain the emitted records, in canonical (first-seen, key) order.
+    ///
+    /// `advance` and `flush` walk the hash table, whose iteration order
+    /// is per-instance random; sorting here makes replays call-stable —
+    /// two caches fed the same packets drain identical sequences.
     pub fn drain_expired(&mut self) -> Vec<FlowRecord> {
+        self.expired.sort_by_key(|r| (r.first, r.key));
         std::mem::take(&mut self.expired)
     }
 

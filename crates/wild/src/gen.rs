@@ -22,15 +22,18 @@ use crate::diurnal::active_use_probability;
 use crate::plan::{ContactPlan, ProductPlan};
 use crate::population::Population;
 use crate::record::WildRecord;
+use crate::stream::{RecordChunk, RecordStream};
 use haystack_dns::Resolver;
 use haystack_net::ports::Proto;
 use haystack_net::{Anonymizer, HourBin, Prefix4};
+use haystack_testbed::catalog::DomainSpec;
 use haystack_testbed::materialize::MaterializedWorld;
 use haystack_testbed::traffic::poisson;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 
 /// Probability that a sampled TCP packet is the session-opening SYN.
 const P_SYN: f64 = 0.06;
@@ -61,11 +64,69 @@ fn live_sets(plan: &ContactPlan, world: &MaterializedWorld, hour: HourBin) -> Ve
         .collect()
 }
 
+#[derive(Debug)]
 struct Acc {
     packets: u64,
     bytes: u64,
     established: bool,
     proto: Proto,
+}
+
+/// Sample one (line, product-plan) cell of the hour: the active-use
+/// coin, the Poisson sampled-packet count, and per-packet domain/address
+/// attribution. `touch(dst, spec, established_evidence)` is called once
+/// per attributed packet; the return value is the *sampled* packet count
+/// (attributed or not).
+///
+/// Both the product-major materialized path ([`generate_hour`]) and the
+/// line-major streaming path ([`HourStream`]) run their packets through
+/// this one function with identical per-cell RNG seeding, which is what
+/// keeps the two paths record-for-record identical.
+#[allow(clippy::too_many_arguments)]
+fn sample_line_plan<F>(
+    p: &ProductPlan,
+    plan: &ContactPlan,
+    live: &[Vec<Ipv4Addr>],
+    hod: u32,
+    weekend_boost: f64,
+    s: f64,
+    rng: &mut SmallRng,
+    mut touch: F,
+) -> u64
+where
+    F: FnMut(Ipv4Addr, &DomainSpec, bool),
+{
+    let active = p.active_extra_lambda > 0.0
+        && rng.gen::<f64>() < active_use_probability(p.shape, p.peak_use * weekend_boost, hod);
+    let lambda = (p.idle_lambda + if active { p.active_extra_lambda } else { 0.0 }) / s;
+    let k = poisson(lambda, rng);
+    if k == 0 {
+        return 0;
+    }
+    // Split the k sampled packets between the idle and active-surplus
+    // components proportionally to their rates.
+    let idle_share = if active {
+        p.idle_lambda / (p.idle_lambda + p.active_extra_lambda)
+    } else {
+        1.0
+    };
+    for _ in 0..k {
+        let di = if rng.gen::<f64>() < idle_share {
+            p.pick_idle(rng.gen::<f64>() * p.idle_lambda)
+        } else {
+            p.pick_active(rng.gen::<f64>() * p.active_extra_lambda)
+        };
+        let domain_id = p.domain_ids[di] as usize;
+        let ips = &live[domain_id];
+        if ips.is_empty() {
+            continue;
+        }
+        let spec = &plan.domains[domain_id];
+        let dst = ips[rng.gen_range(0..ips.len())];
+        let syn = spec.proto == Proto::Tcp && rng.gen::<f64>() < P_SYN;
+        touch(dst, spec, spec.proto == Proto::Udp || !syn);
+    }
+    k
 }
 
 /// Generate one vantage-point hour for `pop`.
@@ -97,46 +158,18 @@ pub fn generate_hour(
     // §7.1/Figure 18: usage peaks "during the day and weekends".
     let weekend_boost = if hour.day().is_weekend() { 1.35 } else { 1.0 };
     let mut emit_line_plan = |line: u32, p: &ProductPlan, rng: &mut SmallRng| {
-        let active = p.active_extra_lambda > 0.0
-            && rng.gen::<f64>()
-                < active_use_probability(p.shape, p.peak_use * weekend_boost, hod);
-        let lambda = (p.idle_lambda + if active { p.active_extra_lambda } else { 0.0 }) / s;
-        let k = poisson(lambda, rng);
-        if k == 0 {
-            return;
-        }
-        sampled_packets += k;
-        // Split the k sampled packets between the idle and active-surplus
-        // components proportionally to their rates.
-        let idle_share = if active {
-            p.idle_lambda / (p.idle_lambda + p.active_extra_lambda)
-        } else {
-            1.0
-        };
-        for _ in 0..k {
-            let di = if rng.gen::<f64>() < idle_share {
-                p.pick_idle(rng.gen::<f64>() * p.idle_lambda)
-            } else {
-                p.pick_active(rng.gen::<f64>() * p.active_extra_lambda)
-            };
-            let domain_id = p.domain_ids[di] as usize;
-            let ips = &live[domain_id];
-            if ips.is_empty() {
-                continue;
-            }
-            let spec = &plan.domains[domain_id];
-            let dst = ips[rng.gen_range(0..ips.len())];
-            let syn = spec.proto == Proto::Tcp && rng.gen::<f64>() < P_SYN;
-            let e = acc.entry((line, dst, spec.port)).or_insert(Acc {
-                packets: 0,
-                bytes: 0,
-                established: false,
-                proto: spec.proto,
+        sampled_packets +=
+            sample_line_plan(p, plan, &live, hod, weekend_boost, s, rng, |dst, spec, est| {
+                let e = acc.entry((line, dst, spec.port)).or_insert(Acc {
+                    packets: 0,
+                    bytes: 0,
+                    established: false,
+                    proto: spec.proto,
+                });
+                e.packets += 1;
+                e.bytes += u64::from(spec.bytes_per_pkt);
+                e.established |= est;
             });
-            e.packets += 1;
-            e.bytes += u64::from(spec.bytes_per_pkt);
-            e.established |= spec.proto == Proto::Udp || !syn;
-        }
     };
 
     for p in &plan.products {
@@ -175,6 +208,207 @@ pub fn generate_hour(
     }
     records.sort_by_key(|r| (r.line, r.dst, r.dport));
     HourTraffic { records, sampled_packets, degradation: Default::default() }
+}
+
+/// The streaming, line-major twin of [`generate_hour`].
+///
+/// Emits the exact records [`generate_hour`] would, in the exact same
+/// order, but incrementally: one subscriber line at a time, packed into
+/// bounded [`RecordChunk`]s. Peak resident state is one line's record
+/// set plus one chunk — never the hour.
+///
+/// Equivalence rests on three invariants (pinned by the
+/// `stream_equivalence` tests):
+///
+/// 1. **Same draws** — every (line, product) cell seeds its own RNG from
+///    `(seed, line, product, hour)` and samples through
+///    [`sample_line_plan`], so iteration order (product-major there,
+///    line-major here) cannot change any draw.
+/// 2. **Same aggregation** — per-line accumulation keyed by
+///    `(dst, dport)` with plans visited in plan order (background last)
+///    reproduces `generate_hour`'s first-writer-wins `proto` and
+///    commutative packet/byte/established folds.
+/// 3. **Same order** — `generate_hour` sorts globally by
+///    `(AnonId, dst, dport)`; here lines are visited in ascending
+///    [`AnonId`](haystack_net::AnonId) order and each line's records are
+///    sorted by `(dst, dport)`, so the concatenation is that same global
+///    order.
+#[derive(Debug)]
+pub struct HourStream<'a> {
+    pop: &'a Population,
+    plan: &'a ContactPlan,
+    live: Vec<Vec<Ipv4Addr>>,
+    slots: Rc<Vec<u32>>,
+    hour: HourBin,
+    hod: u32,
+    weekend_boost: f64,
+    s: f64,
+    seed: u64,
+    anonymizer: Anonymizer,
+    include_background: bool,
+    chunk_records: usize,
+    /// Subscriber lines in ascending anonymized-id order — the global
+    /// record order of the materialized path.
+    order: Vec<u32>,
+    next_line: usize,
+    staged: Vec<WildRecord>,
+    staged_pos: usize,
+    pending_packets: u64,
+    acc: HashMap<(Ipv4Addr, u16), Acc>,
+}
+
+impl<'a> HourStream<'a> {
+    /// Open one vantage-point hour as a stream. Arguments mirror
+    /// [`generate_hour`]; `chunk_records` bounds the emitted chunks.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        pop: &'a Population,
+        plan: &'a ContactPlan,
+        world: &MaterializedWorld,
+        hour: HourBin,
+        sampling: u64,
+        seed: u64,
+        anonymizer: &Anonymizer,
+        include_background: bool,
+        chunk_records: usize,
+    ) -> Self {
+        assert!(sampling >= 1, "sampling denominator must be >= 1");
+        let live = live_sets(plan, world, hour);
+        let slots = pop.slots_for_day(hour.day().0);
+        // Background traffic reaches every line; without it only owners
+        // of at least one product can emit records.
+        let mut order: Vec<u32> = (0..pop.lines())
+            .filter(|&l| include_background || !pop.products_of(l).is_empty())
+            .collect();
+        order.sort_by_key(|&l| anonymizer.anonymize(pop.addr_of_slot(slots[l as usize])));
+        HourStream {
+            pop,
+            plan,
+            live,
+            slots,
+            hour,
+            hod: hour.hour_of_day(),
+            weekend_boost: if hour.day().is_weekend() { 1.35 } else { 1.0 },
+            s: sampling as f64,
+            seed,
+            anonymizer: *anonymizer,
+            include_background,
+            chunk_records: chunk_records.max(1),
+            order,
+            next_line: 0,
+            staged: Vec::new(),
+            staged_pos: 0,
+            pending_packets: 0,
+            acc: HashMap::new(),
+        }
+    }
+
+    /// Generate one line's records into the staging buffer (sorted by
+    /// `(dst, dport)`; the line id is constant).
+    fn generate_line(&mut self, line: u32) {
+        let plan = self.plan;
+        let pop = self.pop;
+        let mut packets = 0u64;
+        {
+            let live = &self.live;
+            let acc = &mut self.acc;
+            let mut touch = |dst: Ipv4Addr, spec: &DomainSpec, est: bool| {
+                let e = acc.entry((dst, spec.port)).or_insert(Acc {
+                    packets: 0,
+                    bytes: 0,
+                    established: false,
+                    proto: spec.proto,
+                });
+                e.packets += 1;
+                e.bytes += u64::from(spec.bytes_per_pkt);
+                e.established |= est;
+            };
+            for &pi in pop.products_of(line) {
+                let p = &plan.products[pi as usize];
+                let mut rng = SmallRng::seed_from_u64(
+                    self.seed
+                        ^ (u64::from(line) << 24)
+                        ^ ((p.product as u64) << 8)
+                        ^ u64::from(self.hour.0),
+                );
+                packets += sample_line_plan(
+                    p,
+                    plan,
+                    live,
+                    self.hod,
+                    self.weekend_boost,
+                    self.s,
+                    &mut rng,
+                    &mut touch,
+                );
+            }
+            if self.include_background {
+                let mut rng = SmallRng::seed_from_u64(
+                    self.seed ^ 0xBACC ^ (u64::from(line) << 24) ^ u64::from(self.hour.0),
+                );
+                packets += sample_line_plan(
+                    &plan.background,
+                    plan,
+                    live,
+                    self.hod,
+                    self.weekend_boost,
+                    self.s,
+                    &mut rng,
+                    &mut touch,
+                );
+            }
+        }
+        self.pending_packets += packets;
+        let src_ip = pop.addr_of_slot(self.slots[line as usize]);
+        let anon = self.anonymizer.anonymize(src_ip);
+        let slash24 = Prefix4::slash24_of(src_ip);
+        let base = self.staged.len();
+        for ((dst, dport), a) in self.acc.drain() {
+            self.staged.push(WildRecord {
+                line: anon,
+                line_slash24: slash24,
+                src_ip,
+                dst,
+                dport,
+                proto: a.proto,
+                packets: a.packets,
+                bytes: a.bytes,
+                established: a.established,
+                hour: self.hour,
+            });
+        }
+        self.staged[base..].sort_by_key(|r| (r.dst, r.dport));
+    }
+}
+
+impl RecordStream for HourStream<'_> {
+    fn next_chunk(&mut self, out: &mut RecordChunk) -> bool {
+        out.clear();
+        loop {
+            while out.records.len() < self.chunk_records && self.staged_pos < self.staged.len() {
+                out.records.push(self.staged[self.staged_pos]);
+                self.staged_pos += 1;
+            }
+            if self.staged_pos >= self.staged.len() {
+                self.staged.clear();
+                self.staged_pos = 0;
+            }
+            if out.records.len() == self.chunk_records {
+                out.sampled_packets = std::mem::take(&mut self.pending_packets);
+                return true;
+            }
+            if self.next_line >= self.order.len() {
+                if out.records.is_empty() && self.pending_packets == 0 {
+                    return false;
+                }
+                out.sampled_packets = std::mem::take(&mut self.pending_packets);
+                return true;
+            }
+            let line = self.order[self.next_line];
+            self.next_line += 1;
+            self.generate_line(line);
+        }
+    }
 }
 
 /// One resolver-side query observation: which line asked for which plan
@@ -268,6 +502,32 @@ mod tests {
         let b = generate_hour(&pop, &plan, &world, HourBin(10), 1_000, 7, &anon, false);
         assert_eq!(a.records, b.records);
         assert!(!a.records.is_empty());
+    }
+
+    #[test]
+    fn hour_stream_matches_generate_hour_for_any_chunking() {
+        let (pop, plan, world) = setup();
+        let anon = Anonymizer::new(1, 2);
+        for background in [false, true] {
+            let want =
+                generate_hour(&pop, &plan, &world, HourBin(10), 1_000, 7, &anon, background);
+            for chunk in [1usize, 7, 1024, usize::MAX] {
+                let mut s = HourStream::new(
+                    &pop,
+                    &plan,
+                    &world,
+                    HourBin(10),
+                    1_000,
+                    7,
+                    &anon,
+                    background,
+                    chunk,
+                );
+                let got = crate::stream::materialize(&mut s);
+                assert_eq!(got.records, want.records, "background {background} chunk {chunk}");
+                assert_eq!(got.sampled_packets, want.sampled_packets);
+            }
+        }
     }
 
     #[test]

@@ -6,10 +6,11 @@
 //! the detector decoded [`WildRecord`]s directly (see
 //! [`crate::record`] for why), one batch per hour.
 
-use crate::degrade::degrade_records;
-use crate::gen::{generate_hour, HourTraffic};
+use crate::degrade::{degrade_records, DegradeStream};
+use crate::gen::{generate_hour, HourStream, HourTraffic};
 use crate::plan::ContactPlan;
 use crate::population::{Population, PopulationConfig};
+use crate::stream::{RecordStream, VantagePoint};
 use haystack_flow::ChaosConfig;
 use haystack_net::{Anonymizer, HourBin};
 use haystack_testbed::catalog::Catalog;
@@ -108,6 +109,40 @@ impl IspVantage {
     }
 }
 
+impl VantagePoint for IspVantage {
+    /// Stream the hour line-by-line ([`HourStream`]), running the feed
+    /// through [`DegradeStream`] when chaos is configured. Emits the
+    /// same records, in the same order, with the same funnel accounting
+    /// as [`IspVantage::capture_hour`] — one bounded chunk at a time.
+    fn stream_hour<'a>(
+        &'a self,
+        world: &'a MaterializedWorld,
+        hour: HourBin,
+        chunk_records: usize,
+    ) -> Box<dyn RecordStream + 'a> {
+        let inner = HourStream::new(
+            &self.population,
+            &self.plan,
+            world,
+            hour,
+            self.config.sampling,
+            self.config.seed,
+            &self.anonymizer,
+            self.config.background,
+            chunk_records,
+        );
+        match &self.chaos {
+            Some(chaos) => Box::new(DegradeStream::new(
+                inner,
+                chaos.clone(),
+                u64::from(hour.0),
+                chunk_records,
+            )),
+            None => Box::new(inner),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +163,31 @@ mod tests {
         let t2 = isp.capture_hour(&world, HourBin(31));
         let ratio = t.records.len() as f64 / t2.records.len() as f64;
         assert!((0.2..5.0).contains(&ratio));
+    }
+
+    #[test]
+    fn stream_hour_matches_capture_hour_with_and_without_chaos() {
+        let catalog = standard_catalog();
+        let world = materialize(&catalog);
+        let config = IspConfig { lines: 8_000, sampling: 500, seed: 9, background: true };
+        for chaos in [None, Some(ChaosConfig::at_severity(0.5, 77))] {
+            let mut isp = IspVantage::new(&catalog, config.clone());
+            if let Some(c) = chaos {
+                isp = isp.with_chaos(c);
+            }
+            let want = isp.capture_hour(&world, HourBin(20));
+            for chunk in [64usize, usize::MAX] {
+                let got = crate::stream::materialize(&mut *isp.stream_hour(
+                    &world,
+                    HourBin(20),
+                    chunk,
+                ));
+                assert_eq!(got.records, want.records, "chunk {chunk}");
+                assert_eq!(got.sampled_packets, want.sampled_packets);
+                assert_eq!(got.degradation, want.degradation);
+            }
+            assert_eq!(isp.materialize_hour(&world, HourBin(20)).records, want.records);
+        }
     }
 
     #[test]

@@ -15,11 +15,12 @@
 //!   established-TCP filter ([`IxpVantage::established_only`]) to avoid
 //!   over-counting.
 
-use crate::degrade::degrade_records;
-use crate::gen::{generate_hour, HourTraffic};
+use crate::degrade::{degrade_records, DegradeStream};
+use crate::gen::{generate_hour, HourStream, HourTraffic};
 use crate::plan::ContactPlan;
 use crate::population::{Population, PopulationConfig};
 use crate::record::WildRecord;
+use crate::stream::{FilterStream, RecordChunk, RecordStream, VantagePoint, VecStream};
 use haystack_backend::AddressPlan;
 use haystack_flow::ChaosConfig;
 use haystack_net::ports::Proto;
@@ -245,6 +246,100 @@ impl IxpVantage {
             .filter(|r| r.proto == Proto::Udp || r.established)
             .collect()
     }
+
+    /// One member's export feed as a stream: line-major generation,
+    /// routing-asymmetry filter, then (if configured) per-member chaos —
+    /// the exact pipeline [`IxpVantage::capture_hour`] runs eagerly.
+    fn member_stream<'a>(
+        &'a self,
+        mi: usize,
+        world: &'a MaterializedWorld,
+        hour: HourBin,
+        chunk_records: usize,
+    ) -> Box<dyn RecordStream + 'a> {
+        let inner = HourStream::new(
+            &self.populations[mi],
+            &self.plan,
+            world,
+            hour,
+            self.config.sampling,
+            self.config.seed ^ ((mi as u64) << 40),
+            &self.anonymizer,
+            false,
+            chunk_records,
+        );
+        let visible = FilterStream::new(inner, move |r: &WildRecord| self.route_visible(mi, r.dst));
+        match &self.chaos {
+            Some(chaos) => {
+                let salt = u64::from(hour.0) ^ ((mi as u64) << 16);
+                Box::new(DegradeStream::new(visible, chaos.clone(), salt, chunk_records))
+            }
+            None => Box::new(visible),
+        }
+    }
+}
+
+/// The IXP hour as a stream: every member's feed in member order, then
+/// the spoofed component — matching [`IxpVantage::capture_hour`]'s
+/// concatenation exactly. Member streams are opened lazily, so at most
+/// one member's generator state is resident at a time.
+struct IxpHourStream<'a> {
+    ixp: &'a IxpVantage,
+    world: &'a MaterializedWorld,
+    hour: HourBin,
+    chunk_records: usize,
+    mi: usize,
+    current: Option<Box<dyn RecordStream + 'a>>,
+    spoofed: Option<VecStream>,
+}
+
+impl RecordStream for IxpHourStream<'_> {
+    fn next_chunk(&mut self, out: &mut RecordChunk) -> bool {
+        loop {
+            if let Some(cur) = &mut self.current {
+                if cur.next_chunk(out) {
+                    return true;
+                }
+                self.current = None;
+                self.mi += 1;
+            }
+            if self.mi < self.ixp.populations.len() {
+                self.current = Some(self.ixp.member_stream(
+                    self.mi,
+                    self.world,
+                    self.hour,
+                    self.chunk_records,
+                ));
+                continue;
+            }
+            let spoofed = self.spoofed.get_or_insert_with(|| {
+                VecStream::new(
+                    self.ixp.spoofed_records(self.world, self.hour),
+                    self.chunk_records,
+                )
+            });
+            return spoofed.next_chunk(out);
+        }
+    }
+}
+
+impl VantagePoint for IxpVantage {
+    fn stream_hour<'a>(
+        &'a self,
+        world: &'a MaterializedWorld,
+        hour: HourBin,
+        chunk_records: usize,
+    ) -> Box<dyn RecordStream + 'a> {
+        Box::new(IxpHourStream {
+            ixp: self,
+            world,
+            hour,
+            chunk_records,
+            mi: 0,
+            current: None,
+            spoofed: None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +385,29 @@ mod tests {
         assert!(filtered
             .iter()
             .all(|r| r.proto == Proto::Udp || r.established));
+    }
+
+    #[test]
+    fn stream_hour_matches_capture_hour_with_and_without_chaos() {
+        let catalog = standard_catalog();
+        let world = materialize(&catalog);
+        for chaos in [None, Some(ChaosConfig::at_severity(0.5, 13))] {
+            let mut ixp = IxpVantage::new(&catalog, small_config());
+            if let Some(c) = chaos {
+                ixp = ixp.with_chaos(c);
+            }
+            let want = ixp.capture_hour(&world, HourBin(20));
+            for chunk in [64usize, usize::MAX] {
+                let got = crate::stream::materialize(&mut *ixp.stream_hour(
+                    &world,
+                    HourBin(20),
+                    chunk,
+                ));
+                assert_eq!(got.records, want.records, "chunk {chunk}");
+                assert_eq!(got.sampled_packets, want.sampled_packets);
+                assert_eq!(got.degradation, want.degradation);
+            }
+        }
     }
 
     #[test]

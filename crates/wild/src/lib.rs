@@ -28,6 +28,10 @@
 //!   `haystack-flow`'s chaos configuration at population scale so
 //!   detection quality under a lossy export path can be measured
 //!   (DESIGN.md, "Fault model").
+//! * [`stream`] — the chunked streaming contract ([`RecordStream`],
+//!   [`RecordChunk`], [`VantagePoint`]): vantage points hand traffic to
+//!   consumers one bounded chunk at a time instead of materializing an
+//!   hour (DESIGN.md, "Streaming architecture").
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,11 +44,16 @@ pub mod ixp;
 pub mod plan;
 pub mod population;
 pub mod record;
+pub mod stream;
 
-pub use degrade::{degrade_records, FeedDegradation};
-pub use gen::{DnsQueryEvent, HourTraffic};
+pub use degrade::{degrade_records, DegradeStream, FeedDegradation};
+pub use gen::{DnsQueryEvent, HourStream, HourTraffic};
 pub use isp::{IspConfig, IspVantage};
 pub use ixp::{IxpConfig, IxpVantage, MemberAs};
 pub use plan::ContactPlan;
 pub use population::{Population, PopulationConfig};
 pub use record::WildRecord;
+pub use stream::{
+    materialize, FilterStream, RecordChunk, RecordStream, VantagePoint, VecStream,
+    DEFAULT_CHUNK_RECORDS,
+};

@@ -9,7 +9,7 @@ use haystack::core::detector::{Detector, DetectorConfig};
 use haystack::core::hitlist::HitList;
 use haystack::core::pipeline::{Pipeline, PipelineConfig};
 use haystack::net::{AnonId, DayBin};
-use haystack::wild::{IspConfig, IspVantage};
+use haystack::wild::{IspConfig, IspVantage, RecordChunk, VantagePoint, DEFAULT_CHUNK_RECORDS};
 use std::collections::{BTreeMap, BTreeSet};
 
 fn main() {
@@ -28,9 +28,13 @@ fn main() {
         HitList::for_day(&pipeline.rules, &pipeline.dnsdb, DayBin(0)),
         DetectorConfig::default(),
     );
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     for hour in DayBin(0).hours() {
-        for r in &isp.capture_hour(&pipeline.world, hour).records {
-            det.observe_wild(r);
+        let mut stream = isp.stream_hour(&pipeline.world, hour, DEFAULT_CHUNK_RECORDS);
+        while stream.next_chunk(&mut chunk) {
+            for r in &chunk.records {
+                det.observe_wild(r);
+            }
         }
     }
 

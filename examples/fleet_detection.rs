@@ -7,10 +7,10 @@
 
 use haystack::core::detector::{Detector, DetectorConfig};
 use haystack::core::hitlist::HitList;
-use haystack::core::parallel::ShardedDetector;
+use haystack::core::parallel::DetectorPool;
 use haystack::core::pipeline::{Pipeline, PipelineConfig};
 use haystack::net::DayBin;
-use haystack::wild::{IspConfig, IspVantage};
+use haystack::wild::{IspConfig, IspVantage, RecordChunk, VecStream, DEFAULT_CHUNK_RECORDS};
 use std::time::Instant;
 
 fn main() {
@@ -41,16 +41,20 @@ fn main() {
     let seq_time = t0.elapsed();
 
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let replay = all.clone();
     let t0 = Instant::now();
-    let mut par = ShardedDetector::new(&pipeline.rules, &hitlist, DetectorConfig::default(), workers);
-    par.observe_batch(&all);
+    let mut pool = DetectorPool::new(&pipeline.rules, &hitlist, DetectorConfig::default(), workers);
+    let mut stream = VecStream::new(replay, DEFAULT_CHUNK_RECORDS);
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
+    pool.observe_stream(&mut stream, &mut chunk);
+    pool.finish();
     let par_time = t0.elapsed();
 
     let seq_alexa = seq.detected_lines("Alexa Enabled").len();
-    let par_alexa = par.detected_lines("Alexa Enabled").len();
+    let par_alexa = pool.detected_lines("Alexa Enabled").len();
     assert_eq!(seq_alexa, par_alexa, "sharding must not change results");
 
-    println!("\nsequential: {seq_time:?}; sharded x{workers}: {par_time:?}");
+    println!("\nsequential: {seq_time:?}; streamed pool x{workers}: {par_time:?}");
     println!("identical detections: {seq_alexa} Alexa-enabled lines on day 0");
     let rps = all.len() as f64 / par_time.as_secs_f64();
     println!(

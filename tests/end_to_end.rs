@@ -4,10 +4,13 @@
 
 use haystack::core::detector::{Detector, DetectorConfig};
 use haystack::core::hitlist::HitList;
+use haystack::core::parallel::DetectorPool;
 use haystack::core::pipeline::{Pipeline, PipelineConfig};
 use haystack::core::report::{run_isp_study, run_ixp_study, DeviceGroup, IspStudyConfig, IxpStudyConfig};
 use haystack::net::{AnonId, DayBin, StudyWindow};
-use haystack::wild::{IspConfig, IspVantage, IxpConfig, IxpVantage};
+use haystack::wild::{
+    IspConfig, IspVantage, IxpConfig, IxpVantage, RecordChunk, VantagePoint, DEFAULT_CHUNK_RECORDS,
+};
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
@@ -44,17 +47,21 @@ fn owner_ids(isp: &IspVantage, class: &str, day: u32) -> BTreeSet<AnonId> {
 fn alexa_detection_has_high_precision_and_useful_recall() {
     let p = pipeline();
     let isp = isp(12_000);
-    let mut det = Detector::new(
+    // The day streams chunk-by-chunk into the persistent worker pool —
+    // the deployment shape; the hour is never materialized.
+    let mut pool = DetectorPool::new(
         &p.rules,
-        HitList::for_day(&p.rules, &p.dnsdb, DayBin(0)),
+        &HitList::for_day(&p.rules, &p.dnsdb, DayBin(0)),
         DetectorConfig::default(),
+        2,
     );
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     for hour in DayBin(0).hours() {
-        for r in &isp.capture_hour(&p.world, hour).records {
-            det.observe_wild(r);
-        }
+        let mut stream = isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS);
+        pool.observe_stream(&mut *stream, &mut chunk);
     }
-    let detected: BTreeSet<AnonId> = det.detected_lines("Alexa Enabled").into_iter().collect();
+    pool.finish();
+    let detected: BTreeSet<AnonId> = pool.detected_lines("Alexa Enabled").into_iter().collect();
     let owners = owner_ids(&isp, "Alexa Enabled", 0);
     assert!(!detected.is_empty(), "nothing detected");
     let true_pos = detected.intersection(&owners).count();
@@ -84,11 +91,14 @@ fn background_browsing_alone_triggers_nothing() {
         DetectorConfig::default(),
     );
     let mut records = 0usize;
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     for hour in DayBin(0).hours().take(6) {
-        let t = isp.capture_hour(&p.world, hour);
-        records += t.records.len();
-        for r in &t.records {
-            det.observe_wild(r);
+        let mut stream = isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS);
+        while stream.next_chunk(&mut chunk) {
+            records += chunk.records.len();
+            for r in &chunk.records {
+                det.observe_wild(r);
+            }
         }
     }
     assert!(records > 1_000, "background produced traffic: {records}");
@@ -248,6 +258,48 @@ fn dns_assisted_covers_what_flows_cannot() {
     let tp = google.iter().filter(|l| owners.contains(l)).count();
     let precision = tp as f64 / google.len() as f64;
     assert!(precision > 0.95, "dns precision {precision:.3}");
+}
+
+#[test]
+fn streaming_detection_is_worker_and_chunking_invariant() {
+    // Same seed, same day: the materialized sequential detector and the
+    // streamed pool must agree exactly, for every class, at 1, 2, and 8
+    // workers and an unusual chunk size.
+    let p = pipeline();
+    let isp = isp(6_000);
+    let hours = 8usize;
+    let mut det = Detector::new(
+        &p.rules,
+        HitList::for_day(&p.rules, &p.dnsdb, DayBin(0)),
+        DetectorConfig::default(),
+    );
+    for hour in DayBin(0).hours().take(hours) {
+        for r in &isp.capture_hour(&p.world, hour).records {
+            det.observe_wild(r);
+        }
+    }
+    for workers in [1usize, 2, 8] {
+        let mut pool = DetectorPool::new(
+            &p.rules,
+            &HitList::for_day(&p.rules, &p.dnsdb, DayBin(0)),
+            DetectorConfig::default(),
+            workers,
+        );
+        let mut chunk = RecordChunk::default();
+        for hour in DayBin(0).hours().take(hours) {
+            let mut stream = isp.stream_hour(&p.world, hour, 1_013);
+            pool.observe_stream(&mut *stream, &mut chunk);
+        }
+        pool.finish();
+        for rule in &p.rules.rules {
+            assert_eq!(
+                pool.detected_lines(rule.class),
+                det.detected_lines(rule.class),
+                "class {} diverges at {workers} workers",
+                rule.class
+            );
+        }
+    }
 }
 
 #[test]
