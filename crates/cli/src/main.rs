@@ -263,8 +263,8 @@ fn cmd_replay(flags: HashMap<String, String>) {
     }
     eprintln!("{} packets replayed, {kept} sampled (1/{sampling})", packets.len());
     println!("class\tdetected");
-    for rule in &rules.rules {
-        println!("{}\t{}", rule.class, det.is_detected(line, rule.class));
+    for (ri, rule) in rules.rules.iter().enumerate() {
+        println!("{}\t{}", rule.class, det.is_detected_rule(line, ri as u16));
     }
 }
 

@@ -264,18 +264,18 @@ pub fn detection_times(
     for hour in hours {
         let mut stream = vantage.stream_hour(&pipeline.world, hour, DEFAULT_CHUNK_RECORDS);
         while stream.next_chunk(&mut chunk) {
-            for r in &chunk.records {
-                for det in &mut dets {
-                    det.observe_wild(r);
-                }
+            for det in &mut dets {
+                det.observe_chunk(&chunk.records);
             }
         }
     }
     let mut out = Vec::new();
     for (det, &threshold) in dets.iter().zip(thresholds) {
-        for rule in &pipeline.rules.rules {
+        // Rule handles equal rule positions, so enumerating resolves each
+        // class once instead of per query.
+        for (ri, rule) in pipeline.rules.rules.iter().enumerate() {
             let hours_to_detect = det
-                .first_detection(HOME_LINE, rule.class)
+                .first_detection_rule(HOME_LINE, ri as u16)
                 .map(|h| h.0 - window_start);
             out.push(DetectionTime { class: rule.class, threshold, hours_to_detect });
         }
@@ -325,8 +325,9 @@ pub fn detected_classes(
         .rules
         .rules
         .iter()
-        .map(|r| r.class)
-        .filter(|c| det.is_detected(HOME_LINE, c))
+        .enumerate()
+        .filter(|(ri, _)| det.is_detected_rule(HOME_LINE, *ri as u16))
+        .map(|(_, r)| r.class)
         .collect()
 }
 

@@ -13,13 +13,31 @@
 //! require to observe enough domains to confirm the presence of a
 //! Samsung IoT device before moving forward"): a child rule only *counts
 //! as detected* while every ancestor rule is also detected for that line.
+//!
+//! Hot-path layout (DESIGN.md §10): per-line state lives in *one map per
+//! rule* (`Vec<FastMap<AnonId, LineState>>`, FxHash-keyed) rather than a
+//! SipHash'd map keyed by `(line, rule)` tuples. That makes
+//! [`Detector::observe`] allocation-free — the compiled
+//! [`HitList`](crate::hitlist::HitList) slice and the state maps live in
+//! disjoint fields, so no defensive clone is needed — and lets
+//! [`Detector::detected_lines`] walk only the queried rule's map instead
+//! of scanning every (line, rule) pair. Ancestor chains and class → rule
+//! resolution are precomputed at construction; the `*_rule` methods
+//! accept the resulting [`RuleHandle`] so query loops resolve a class
+//! string once, not per line.
 
+use crate::fasthash::FastMap;
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
 use haystack_net::ports::Proto;
 use haystack_net::{AnonId, HourBin};
 use haystack_wild::WildRecord;
-use std::collections::HashMap;
+
+/// An index into the rule set, resolved once per query loop via
+/// [`Detector::rule_handle`]. Equal to the rule's position in
+/// `RuleSet::rules` (classes are unique), so callers that already
+/// enumerate the rules can use the position directly.
+pub type RuleHandle = u16;
 
 /// The query surface shared by every detector shape — the single
 /// [`Detector`], the legacy [`ShardedDetector`](crate::parallel::
@@ -52,6 +70,16 @@ impl Default for DetectorConfig {
     fn default() -> Self {
         DetectorConfig { threshold: 0.4, require_established: false }
     }
+}
+
+/// Per-(line, rule) evidence: the domain bitmask plus the hour the
+/// rule's own threshold was first met. One entry in the rule's line map.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineState {
+    /// Evidence bitmask over the rule's domains.
+    mask: u64,
+    /// Hour the rule's own threshold was first met, if ever.
+    first_met: Option<HourBin>,
 }
 
 /// The streaming detector. Lifetime-bound to its rule set.
@@ -93,10 +121,13 @@ pub struct Detector<'r> {
     config: DetectorConfig,
     hitlist: HitList,
     required: Vec<u32>,
-    /// (line, rule) → evidence bitmask over the rule's domains.
-    state: HashMap<(AnonId, u16), u64>,
-    /// (line, rule) → hour the rule's own threshold was first met.
-    first_met: HashMap<(AnonId, u16), HourBin>,
+    /// Rule index of each rule's parent, resolved at construction.
+    parent: Vec<Option<u16>>,
+    /// class → rule index, resolved at construction (FxHash keyed).
+    class_index: FastMap<&'r str, u16>,
+    /// Per-rule line state: `state[ri]` maps line → evidence for rule
+    /// `ri`. Indexed by rule so class queries touch one map.
+    state: Vec<FastMap<AnonId, LineState>>,
 }
 
 impl<'r> Detector<'r> {
@@ -111,7 +142,19 @@ impl<'r> Detector<'r> {
                 r.required(config.threshold) as u32
             })
             .collect();
-        Detector { rules, config, hitlist, required, state: HashMap::new(), first_met: HashMap::new() }
+        let parent = rules
+            .rules
+            .iter()
+            .map(|r| r.parent.and_then(|p| rules.rule_index(p)).map(|p| p as u16))
+            .collect();
+        let class_index = rules
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(ri, r)| (r.class, ri as u16))
+            .collect();
+        let state = rules.rules.iter().map(|_| FastMap::default()).collect();
+        Detector { rules, config, hitlist, required, parent, class_index, state }
     }
 
     /// Swap in the next day's hitlist, keeping accumulated evidence.
@@ -124,7 +167,21 @@ impl<'r> Detector<'r> {
         self.rules
     }
 
+    /// Resolve a class string to its [`RuleHandle`], for hoisting out of
+    /// query loops. The handle equals the rule's position in
+    /// `RuleSet::rules`.
+    #[inline]
+    pub fn rule_handle(&self, class: &str) -> Option<RuleHandle> {
+        self.class_index.get(class).copied()
+    }
+
     /// Observe one flow record's worth of evidence.
+    ///
+    /// Allocation-free on the matching path: the hitlist and the state
+    /// maps are disjoint fields, so the entry slice is iterated in place
+    /// (no defensive clone), and re-observed evidence only flips bits in
+    /// existing map entries (`tests/alloc_free.rs` pins this).
+    #[inline]
     pub fn observe(
         &mut self,
         line: AnonId,
@@ -137,49 +194,61 @@ impl<'r> Detector<'r> {
         if self.config.require_established && proto == Proto::Tcp && !established {
             return;
         }
-        // Split borrows: the hitlist slice must not alias the state map.
-        let entries = self.hitlist.lookup(dst, dport);
-        if entries.is_empty() {
-            return;
-        }
-        let entries = entries.to_vec();
-        for (ri, di) in entries {
-            let mask = self.state.entry((line, ri)).or_insert(0);
+        // Disjoint borrows: the hitlist slice must not alias the state
+        // maps, which destructuring proves to the borrow checker.
+        let Detector { hitlist, state, required, .. } = self;
+        for &(ri, di) in hitlist.lookup(dst, dport) {
+            let entry = state[ri as usize].entry(line).or_default();
             let bit = 1u64 << di;
-            if *mask & bit != 0 {
+            if entry.mask & bit != 0 {
                 continue;
             }
-            *mask |= bit;
-            if mask.count_ones() == self.required[ri as usize] {
-                self.first_met.entry((line, ri)).or_insert(hour);
+            entry.mask |= bit;
+            if entry.mask.count_ones() == required[ri as usize] && entry.first_met.is_none() {
+                entry.first_met = Some(hour);
             }
         }
     }
 
     /// Observe a wild vantage-point record.
+    #[inline]
     pub fn observe_wild(&mut self, r: &WildRecord) {
         self.observe(r.line, r.dst, r.dport, r.proto, r.established, r.hour);
     }
 
+    /// Observe a batch of wild records. The batch entry point keeps the
+    /// hitlist probe loop hot in cache; `DetectorPool` shards and the
+    /// crosscheck/ground-truth consumers feed whole chunks through here.
+    #[inline]
+    pub fn observe_chunk(&mut self, records: &[WildRecord]) {
+        for r in records {
+            self.observe(r.line, r.dst, r.dport, r.proto, r.established, r.hour);
+        }
+    }
+
     /// Whether the rule's own evidence threshold is met (ignoring
     /// hierarchy gating).
+    #[inline]
     fn own_threshold_met(&self, line: AnonId, ri: u16) -> bool {
-        self.state
-            .get(&(line, ri))
-            .map(|m| m.count_ones() >= self.required[ri as usize])
+        self.state[ri as usize]
+            .get(&line)
+            .map(|s| s.mask.count_ones() >= self.required[ri as usize])
             .unwrap_or(false)
     }
 
     /// Whether `class` is detected for `line`, including hierarchy gating.
     pub fn is_detected(&self, line: AnonId, class: &str) -> bool {
-        let Some(mut ri) = self.rules.rule_index(class) else {
-            return false;
-        };
+        self.rule_handle(class).is_some_and(|ri| self.is_detected_rule(line, ri))
+    }
+
+    /// [`Detector::is_detected`] by pre-resolved [`RuleHandle`].
+    pub fn is_detected_rule(&self, line: AnonId, handle: RuleHandle) -> bool {
+        let mut ri = handle;
         loop {
-            if !self.own_threshold_met(line, ri as u16) {
+            if !self.own_threshold_met(line, ri) {
                 return false;
             }
-            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index(p)) {
+            match self.parent[ri as usize] {
                 Some(p) => ri = p,
                 None => return true,
             }
@@ -195,19 +264,21 @@ impl<'r> Detector<'r> {
     /// score smoothly instead of flipping the verdict for downstream
     /// consumers that want ranking rather than a hard cut.
     pub fn confidence(&self, line: AnonId, class: &str) -> f64 {
-        let Some(mut ri) = self.rules.rule_index(class) else {
-            return 0.0;
-        };
+        self.rule_handle(class).map_or(0.0, |ri| self.confidence_rule(line, ri))
+    }
+
+    /// [`Detector::confidence`] by pre-resolved [`RuleHandle`].
+    pub fn confidence_rule(&self, line: AnonId, handle: RuleHandle) -> f64 {
+        let mut ri = handle;
         let mut conf = 1.0f64;
         loop {
-            let required = self.required[ri].max(1) as f64;
-            let have = self
-                .state
-                .get(&(line, ri as u16))
-                .map(|m| f64::from(m.count_ones()))
+            let required = self.required[ri as usize].max(1) as f64;
+            let have = self.state[ri as usize]
+                .get(&line)
+                .map(|s| f64::from(s.mask.count_ones()))
                 .unwrap_or(0.0);
             conf = conf.min((have / required).min(1.0));
-            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index(p)) {
+            match self.parent[ri as usize] {
                 Some(p) => ri = p,
                 None => return conf,
             }
@@ -217,44 +288,50 @@ impl<'r> Detector<'r> {
     /// First hour the full (hierarchy-gated) detection held for
     /// (line, class): the max of the chain's own first-met hours.
     pub fn first_detection(&self, line: AnonId, class: &str) -> Option<HourBin> {
-        let mut ri = self.rules.rule_index(class)?;
+        self.rule_handle(class).and_then(|ri| self.first_detection_rule(line, ri))
+    }
+
+    /// [`Detector::first_detection`] by pre-resolved [`RuleHandle`].
+    pub fn first_detection_rule(&self, line: AnonId, handle: RuleHandle) -> Option<HourBin> {
+        let mut ri = handle;
         let mut latest: Option<HourBin> = None;
         loop {
-            let h = *self.first_met.get(&(line, ri as u16))?;
+            let h = self.state[ri as usize].get(&line)?.first_met?;
             latest = Some(latest.map_or(h, |l: HourBin| l.max(h)));
-            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index(p)) {
+            match self.parent[ri as usize] {
                 Some(p) => ri = p,
                 None => return latest,
             }
         }
     }
 
-    /// All lines for which `class` is currently detected.
+    /// All lines for which `class` is currently detected, sorted.
     pub fn detected_lines(&self, class: &str) -> Vec<AnonId> {
-        let Some(ri) = self.rules.rule_index(class) else {
-            return Vec::new();
-        };
-        let mut out: Vec<AnonId> = self
-            .state
+        self.rule_handle(class).map_or_else(Vec::new, |ri| self.detected_lines_rule(ri))
+    }
+
+    /// [`Detector::detected_lines`] by pre-resolved [`RuleHandle`]: walks
+    /// only the queried rule's line map, not every (line, rule) pair.
+    pub fn detected_lines_rule(&self, handle: RuleHandle) -> Vec<AnonId> {
+        let mut out: Vec<AnonId> = self.state[handle as usize]
             .keys()
-            .filter(|(_, r)| *r == ri as u16)
-            .map(|(l, _)| *l)
-            .filter(|l| self.is_detected(*l, class))
+            .copied()
+            .filter(|l| self.is_detected_rule(*l, handle))
             .collect();
         out.sort_unstable();
-        out.dedup();
         out
     }
 
     /// Clear accumulated evidence (start a new aggregation window).
     pub fn reset(&mut self) {
-        self.state.clear();
-        self.first_met.clear();
+        for m in &mut self.state {
+            m.clear();
+        }
     }
 
     /// Number of (line, rule) states held.
     pub fn state_size(&self) -> usize {
-        self.state.len()
+        self.state.iter().map(FastMap::len).sum()
     }
 
     /// The configuration.
@@ -438,5 +515,58 @@ mod tests {
         assert!(
             lo.first_detection(LINE, "Fam").unwrap() <= hi.first_detection(LINE, "Fam").unwrap()
         );
+    }
+
+    #[test]
+    fn rule_handles_match_rule_positions_and_string_queries() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 0.4);
+        assert_eq!(det.rule_handle("Fam"), Some(0));
+        assert_eq!(det.rule_handle("Kid"), Some(1));
+        assert_eq!(det.rule_handle("NoSuchClass"), None);
+        hit(&mut det, ip(10), 0);
+        hit(&mut det, ip(1), 3);
+        for (ri, rule) in rules.rules.iter().enumerate() {
+            let ri = ri as RuleHandle;
+            assert_eq!(det.is_detected_rule(LINE, ri), det.is_detected(LINE, rule.class));
+            assert_eq!(det.confidence_rule(LINE, ri), det.confidence(LINE, rule.class));
+            assert_eq!(
+                det.first_detection_rule(LINE, ri),
+                det.first_detection(LINE, rule.class)
+            );
+            assert_eq!(det.detected_lines_rule(ri), det.detected_lines(rule.class));
+        }
+    }
+
+    #[test]
+    fn observe_chunk_matches_record_at_a_time() {
+        use haystack_wild::WildRecord;
+        let rules = ruleset();
+        let mut chunked = detector(&rules, 1.0);
+        let mut single = detector(&rules, 1.0);
+        let records: Vec<WildRecord> = [(ip(1), 0u32), (ip(10), 1), (ip(2), 2), (ip(11), 3)]
+            .into_iter()
+            .map(|(dst, h)| WildRecord {
+                line: LINE,
+                line_slash24: haystack_net::Prefix4::slash24_of(Ipv4Addr::new(100, 64, 0, 1)),
+                src_ip: Ipv4Addr::new(100, 64, 0, 1),
+                dst,
+                dport: 443,
+                proto: Proto::Tcp,
+                packets: 1,
+                bytes: 64,
+                established: true,
+                hour: HourBin(h),
+            })
+            .collect();
+        chunked.observe_chunk(&records);
+        for r in &records {
+            single.observe_wild(r);
+        }
+        for class in ["Fam", "Kid"] {
+            assert_eq!(chunked.detected_lines(class), single.detected_lines(class));
+            assert_eq!(chunked.first_detection(LINE, class), single.first_detection(LINE, class));
+        }
+        assert_eq!(chunked.state_size(), single.state_size());
     }
 }

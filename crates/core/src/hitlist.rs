@@ -4,15 +4,165 @@
 //! Numbers + Detection Rules": the IP side is re-derived every day from
 //! passive DNS so DNS churn cannot strand the detector on stale
 //! addresses. The hitlist is the only thing the per-record hot path
-//! touches — one hash lookup per flow.
+//! touches — one lookup per flow — so it is *compiled*: the
+//! [`MapHitList`] builder collects entries in an ordinary `HashMap`, and
+//! [`MapHitList::compile`] packs them into an open-addressing table
+//! ([`HitList`]) whose probe is a single masked [`mix64`] of the packed
+//! `(ip, port)` key. The common 1–2-entry case is stored *inline in the
+//! slot* (no `Vec` pointer chase); shared-IP collisions spill into one
+//! contiguous arena. `MapHitList` stays around as the equivalence oracle
+//! — `tests/prop_hotpath.rs` pins `lookup` to it entry-for-entry.
 
+use crate::fasthash::mix64;
 use crate::rules::RuleSet;
 use haystack_dns::DnsDb;
 use haystack_net::{DayBin, StudyWindow};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-/// A compiled daily index.
+/// Pack a lookup key into one word: IP in the high 32 bits, port in the
+/// low 16. The top 16 bits stay zero, so [`EMPTY_KEY`] can never be a
+/// real key.
+#[inline]
+fn pack(ip: Ipv4Addr, port: u16) -> u64 {
+    (u64::from(u32::from(ip)) << 16) | u64::from(port)
+}
+
+/// Sentinel for an unoccupied probe slot (real keys are < 2⁴⁸).
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// A builder-side entry list: one `(ip, port)` key and its
+/// `(rule, domain)` evidence entries.
+type KeyedEntries = ((Ipv4Addr, u16), Vec<(u16, u16)>);
+
+/// Entries per slot stored inline before spilling to the arena.
+const INLINE: usize = 2;
+
+/// One compiled table slot: the evidence entries for a single key.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    /// Number of `(rule, domain)` entries under this key.
+    count: u16,
+    /// The entries themselves when `count <= INLINE`.
+    inline: [(u16, u16); INLINE],
+    /// Arena offset of the entries when `count > INLINE`.
+    spill: u32,
+}
+
+/// The naive `HashMap`-backed hitlist: the builder for the compiled
+/// [`HitList`] and the reference oracle the equivalence tests probe
+/// against. Not used on the per-record hot path.
+#[derive(Debug, Clone, Default)]
+pub struct MapHitList {
+    /// The day this hitlist is valid for.
+    pub day: Option<DayBin>,
+    index: HashMap<(Ipv4Addr, u16), Vec<(u16, u16)>>,
+}
+
+impl MapHitList {
+    /// Build the hitlist for `day` from the rule set and passive DNS.
+    /// Domains whose IPs came from the Censys expansion (static over the
+    /// window) fall back to the rule's whole-window union when passive
+    /// DNS has nothing for that day.
+    pub fn for_day(rules: &RuleSet, dnsdb: &DnsDb, day: DayBin) -> MapHitList {
+        let day_window = StudyWindow::days(day.0, day.0 + 1);
+        let mut index: HashMap<(Ipv4Addr, u16), Vec<(u16, u16)>> = HashMap::new();
+        for (ri, rule) in rules.rules.iter().enumerate() {
+            for (di, dom) in rule.domains.iter().enumerate() {
+                let mut add = |ip: Ipv4Addr| {
+                    for &port in &dom.ports {
+                        index.entry((ip, port)).or_default().push((ri as u16, di as u16));
+                    }
+                };
+                let daily = dnsdb.ips_of(&dom.name, &day_window);
+                if daily.is_empty() {
+                    for &ip in &dom.ips {
+                        add(ip);
+                    }
+                } else {
+                    for ip in daily {
+                        add(ip);
+                    }
+                }
+            }
+        }
+        MapHitList { day: Some(day), index }
+    }
+
+    /// Build a whole-window hitlist from the rules' IP unions (used by
+    /// the §5 crosscheck, which spans days).
+    pub fn whole_window(rules: &RuleSet) -> MapHitList {
+        let mut index: HashMap<(Ipv4Addr, u16), Vec<(u16, u16)>> = HashMap::new();
+        for (ri, rule) in rules.rules.iter().enumerate() {
+            for (di, dom) in rule.domains.iter().enumerate() {
+                for &ip in &dom.ips {
+                    for &port in &dom.ports {
+                        index.entry((ip, port)).or_default().push((ri as u16, di as u16));
+                    }
+                }
+            }
+        }
+        MapHitList { day: None, index }
+    }
+
+    /// The rule evidence entries matching a flow's (dst, port), if any.
+    pub fn lookup(&self, dst: Ipv4Addr, port: u16) -> &[(u16, u16)] {
+        self.index.get(&(dst, port)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of indexed (ip, port) combinations.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Compile into the open-addressing [`HitList`] the detector probes.
+    pub fn compile(self) -> HitList {
+        let n = self.index.len();
+        if n == 0 {
+            return HitList { day: self.day, ..HitList::default() };
+        }
+        // ≤ 50 % load keeps linear-probe chains short.
+        let cap = (n * 2).next_power_of_two().max(8);
+        let mask = cap - 1;
+        let mut keys = vec![EMPTY_KEY; cap];
+        let mut slots = vec![Slot::default(); cap];
+        let mut spill: Vec<(u16, u16)> = Vec::new();
+        // Sort by packed key so the compiled layout is independent of
+        // HashMap iteration order (probe displacement, spill offsets).
+        let mut items: Vec<KeyedEntries> = self.index.into_iter().collect();
+        items.sort_unstable_by_key(|&((ip, port), _)| pack(ip, port));
+        for ((ip, port), entries) in items {
+            let key = pack(ip, port);
+            let mut i = (mix64(key) as usize) & mask;
+            while keys[i] != EMPTY_KEY {
+                i = (i + 1) & mask;
+            }
+            keys[i] = key;
+            let mut slot = Slot { count: entries.len() as u16, ..Slot::default() };
+            if entries.len() <= INLINE {
+                slot.inline[..entries.len()].copy_from_slice(&entries);
+            } else {
+                slot.spill = spill.len() as u32;
+                spill.extend_from_slice(&entries);
+            }
+            slots[i] = slot;
+        }
+        HitList {
+            day: self.day,
+            keys: keys.into_boxed_slice(),
+            slots: slots.into_boxed_slice(),
+            spill: spill.into_boxed_slice(),
+            len: n,
+        }
+    }
+}
+
+/// A compiled daily index: one open-addressing probe per lookup.
 ///
 /// ```
 /// use haystack_core::hitlist::HitList;
@@ -42,70 +192,68 @@ use std::net::Ipv4Addr;
 pub struct HitList {
     /// The day this hitlist is valid for.
     pub day: Option<DayBin>,
-    index: HashMap<(Ipv4Addr, u16), Vec<(u16, u16)>>,
+    /// Probe array: packed keys (or [`EMPTY_KEY`]), power-of-two sized.
+    keys: Box<[u64]>,
+    /// Entry storage parallel to `keys`.
+    slots: Box<[Slot]>,
+    /// Overflow arena for keys with more than [`INLINE`] entries.
+    spill: Box<[(u16, u16)]>,
+    /// Number of occupied keys.
+    len: usize,
 }
 
 impl HitList {
-    /// Build the hitlist for `day` from the rule set and passive DNS.
-    /// Domains whose IPs came from the Censys expansion (static over the
-    /// window) fall back to the rule's whole-window union when passive
-    /// DNS has nothing for that day.
+    /// Build and compile the hitlist for `day` (see
+    /// [`MapHitList::for_day`] for the derivation rules).
     pub fn for_day(rules: &RuleSet, dnsdb: &DnsDb, day: DayBin) -> HitList {
-        let day_window = StudyWindow::days(day.0, day.0 + 1);
-        let mut index: HashMap<(Ipv4Addr, u16), Vec<(u16, u16)>> = HashMap::new();
-        for (ri, rule) in rules.rules.iter().enumerate() {
-            for (di, dom) in rule.domains.iter().enumerate() {
-                let daily = dnsdb.ips_of(&dom.name, &day_window);
-                let ips: Box<dyn Iterator<Item = Ipv4Addr>> = if daily.is_empty() {
-                    Box::new(dom.ips.iter().copied())
-                } else {
-                    Box::new(daily.into_iter())
-                };
-                for ip in ips {
-                    for &port in &dom.ports {
-                        index
-                            .entry((ip, port))
-                            .or_default()
-                            .push((ri as u16, di as u16));
-                    }
-                }
-            }
-        }
-        HitList { day: Some(day), index }
+        MapHitList::for_day(rules, dnsdb, day).compile()
     }
 
-    /// Build a whole-window hitlist from the rules' IP unions (used by
-    /// the §5 crosscheck, which spans days).
+    /// Build and compile a whole-window hitlist from the rules' IP
+    /// unions (used by the §5 crosscheck, which spans days).
     pub fn whole_window(rules: &RuleSet) -> HitList {
-        let mut index: HashMap<(Ipv4Addr, u16), Vec<(u16, u16)>> = HashMap::new();
-        for (ri, rule) in rules.rules.iter().enumerate() {
-            for (di, dom) in rule.domains.iter().enumerate() {
-                for &ip in &dom.ips {
-                    for &port in &dom.ports {
-                        index
-                            .entry((ip, port))
-                            .or_default()
-                            .push((ri as u16, di as u16));
-                    }
-                }
-            }
-        }
-        HitList { day: None, index }
+        MapHitList::whole_window(rules).compile()
     }
 
     /// The rule evidence entries matching a flow's (dst, port), if any.
+    ///
+    /// This is the per-record hot path: one [`mix64`], one masked probe
+    /// (rarely more — the table is kept at ≤ 50 % load), and the 1–2
+    /// entry common case is read straight out of the slot.
+    #[inline]
     pub fn lookup(&self, dst: Ipv4Addr, port: u16) -> &[(u16, u16)] {
-        self.index.get(&(dst, port)).map(Vec::as_slice).unwrap_or(&[])
+        if self.keys.is_empty() {
+            return &[];
+        }
+        let key = pack(dst, port);
+        let mask = self.keys.len() - 1;
+        let mut i = (mix64(key) as usize) & mask;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                let slot = &self.slots[i];
+                let count = slot.count as usize;
+                return if count <= INLINE {
+                    &slot.inline[..count]
+                } else {
+                    &self.spill[slot.spill as usize..slot.spill as usize + count]
+                };
+            }
+            if k == EMPTY_KEY {
+                return &[];
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// Number of indexed (ip, port) combinations.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.len
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len == 0
     }
 }
 
@@ -158,6 +306,57 @@ mod tests {
         // Wrong port → no match.
         assert!(hl.lookup(ip(1), 80).is_empty());
         assert!(hl.lookup(ip(9), 443).is_empty());
+    }
+
+    #[test]
+    fn compiled_agrees_with_map_oracle() {
+        let rules = ruleset();
+        let map = MapHitList::whole_window(&rules);
+        let compiled = map.clone().compile();
+        assert_eq!(map.len(), compiled.len());
+        for o in 0u8..=255 {
+            for port in [443u16, 80, 8883, 123] {
+                assert_eq!(
+                    compiled.lookup(ip(o), port),
+                    map.lookup(ip(o), port),
+                    "divergence at {o}:{port}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spill_arena_serves_wide_keys() {
+        // One (ip, port) shared by many (rule, domain) pairs must spill
+        // past the inline slots and still return every entry in order.
+        let shared = ip(77);
+        let rules = RuleSet {
+            rules: (0..5)
+                .map(|ri| DetectionRule {
+                    class: ["S0", "S1", "S2", "S3", "S4"][ri],
+                    level: DetectionLevel::Manufacturer,
+                    parent: None,
+                    domains: vec![RuleDomain {
+                        name: DomainName::parse(&format!("d.s{ri}.com")).unwrap(),
+                        ports: [443u16].into_iter().collect(),
+                        ips: [shared].into_iter().collect(),
+                        usage_indicator: false,
+                    }],
+                })
+                .collect(),
+            undetectable: vec![],
+        };
+        let hl = HitList::whole_window(&rules);
+        assert_eq!(hl.lookup(shared, 443), &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]);
+        assert!(hl.lookup(shared, 80).is_empty());
+    }
+
+    #[test]
+    fn empty_hitlist_rejects_everything() {
+        let hl = HitList::default();
+        assert!(hl.is_empty());
+        assert_eq!(hl.len(), 0);
+        assert!(hl.lookup(ip(1), 443).is_empty());
     }
 
     #[test]

@@ -25,11 +25,12 @@
 //! 11. [`pipeline`] — end-to-end orchestration and the §4 funnel counts.
 //!
 //! Supporting systems around the pipeline: [`parallel`] (sharded
-//! multi-core detection), [`mitigation`] (§7.2 block/redirect/notify),
-//! [`dns_assisted`] (§7.4's resolver-log variant), [`staleness`] (§7.3
-//! rule-health monitoring), [`baseline`] (the §8 traffic-feature
-//! comparator), and [`quality`] (precision/recall against the simulation
-//! oracle).
+//! multi-core detection), [`fasthash`] (the hot-path hasher), [`reference`]
+//! (the pre-optimization detector kept as the equivalence oracle),
+//! [`mitigation`] (§7.2 block/redirect/notify), [`dns_assisted`] (§7.4's
+//! resolver-log variant), [`staleness`] (§7.3 rule-health monitoring),
+//! [`baseline`] (the §8 traffic-feature comparator), and [`quality`]
+//! (precision/recall against the simulation oracle).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,12 +41,14 @@ pub mod dedicated;
 pub mod detector;
 pub mod dns_assisted;
 pub mod domains;
+pub mod fasthash;
 pub mod hitlist;
 pub mod mitigation;
 pub mod observations;
 pub mod parallel;
 pub mod pipeline;
 pub mod quality;
+pub mod reference;
 pub mod report;
 pub mod staleness;
 pub mod rules;
@@ -67,9 +70,11 @@ pub(crate) mod testutil {
 
 pub use crosscheck::{GroundTruthVantage, HOME_LINE};
 pub use dedicated::{DedicationVerdict, InfraKnowledge};
-pub use detector::{DetectionQuery, Detector, DetectorConfig};
+pub use detector::{DetectionQuery, Detector, DetectorConfig, RuleHandle};
 pub use domains::{DomainClass, WebIntelligence};
-pub use hitlist::HitList;
+pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
+pub use hitlist::{HitList, MapHitList};
+pub use reference::ReferenceDetector;
 pub use observations::{DomainObservations, DomainUsage};
 pub use parallel::{DetectorPool, ShardedDetector};
 pub use pipeline::{Pipeline, PipelineStats};

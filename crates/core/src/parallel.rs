@@ -137,9 +137,7 @@ impl DetectorPool {
                         while let Ok(cmd) = rx.recv() {
                             match cmd {
                                 Cmd::Batch(mut buf) => {
-                                    for r in &buf {
-                                        det.observe_wild(r);
-                                    }
+                                    det.observe_chunk(&buf);
                                     buf.clear();
                                     // Feeder may be gone during teardown.
                                     let _ = recycle_tx.send(buf);

@@ -128,9 +128,7 @@ mod tests {
             DetectorConfig::default(),
         );
         for hour in DayBin(0).hours() {
-            for r in &isp.capture_hour(&p.world, hour).records {
-                det.observe_wild(r);
-            }
+            det.observe_chunk(&isp.capture_hour(&p.world, hour).records);
         }
         let c = evaluate(p, &isp, &mut det, "Alexa Enabled", 0);
         assert!(c.true_pos > 0);

@@ -120,6 +120,14 @@ pub fn run_isp_study(
     let mut result = IspStudyResult::default();
     let mut cum_lines: HashMap<&'static str, BTreeSet<AnonId>> = HashMap::new();
     let mut cum_slash24: HashMap<&'static str, BTreeSet<Prefix4>> = HashMap::new();
+    // Rule handles equal rule positions; resolve each class and its
+    // device group once, not per hour × rule query.
+    let rule_meta: Vec<(u16, &'static str, DeviceGroup)> = rules
+        .rules
+        .iter()
+        .enumerate()
+        .map(|(ri, r)| (ri as u16, r.class, DeviceGroup::of(pipeline, r.class)))
+        .collect();
     // One chunk buffer for the whole study — the streaming vantage point
     // refills it per chunk, so no hour is ever materialized.
     let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
@@ -147,15 +155,12 @@ pub fn run_isp_study(
                 }
             }
             let mut group_lines: BTreeMap<DeviceGroup, BTreeSet<AnonId>> = BTreeMap::new();
-            for rule in &rules.rules {
-                let lines = hourly_det.detected_lines(rule.class);
-                result.hourly.insert((rule.class, hour.0), lines.len() as u64);
-                group_lines
-                    .entry(DeviceGroup::of(pipeline, rule.class))
-                    .or_default()
-                    .extend(lines);
-                let active = usage.active_lines(rule.class);
-                result.active_hourly.insert((rule.class, hour.0), active.len() as u64);
+            for &(ri, class, group) in &rule_meta {
+                let lines = hourly_det.detected_lines_rule(ri);
+                result.hourly.insert((class, hour.0), lines.len() as u64);
+                group_lines.entry(group).or_default().extend(lines);
+                let active = usage.active_lines_rule(ri);
+                result.active_hourly.insert((class, hour.0), active.len() as u64);
             }
             for (g, lines) in group_lines {
                 result.group_hourly.insert((g, hour.0), lines.len() as u64);
@@ -165,24 +170,21 @@ pub fn run_isp_study(
         // Day-end aggregation.
         let mut group_lines: BTreeMap<DeviceGroup, BTreeSet<AnonId>> = BTreeMap::new();
         let mut any_iot: BTreeSet<AnonId> = BTreeSet::new();
-        for rule in &rules.rules {
-            let lines = daily_det.detected_lines(rule.class);
-            result.daily.insert((rule.class, day.0), lines.len() as u64);
-            group_lines
-                .entry(DeviceGroup::of(pipeline, rule.class))
-                .or_default()
-                .extend(lines.iter().copied());
+        for &(ri, class, group) in &rule_meta {
+            let lines = daily_det.detected_lines_rule(ri);
+            result.daily.insert((class, day.0), lines.len() as u64);
+            group_lines.entry(group).or_default().extend(lines.iter().copied());
             any_iot.extend(lines.iter().copied());
-            let cl = cum_lines.entry(rule.class).or_default();
-            let cs = cum_slash24.entry(rule.class).or_default();
+            let cl = cum_lines.entry(class).or_default();
+            let cs = cum_slash24.entry(class).or_default();
             for l in lines {
                 cl.insert(l);
                 if let Some(p) = slash24_of.get(&l) {
                     cs.insert(*p);
                 }
             }
-            result.cumulative_lines.insert((rule.class, day.0), cl.len() as u64);
-            result.cumulative_slash24.insert((rule.class, day.0), cs.len() as u64);
+            result.cumulative_lines.insert((class, day.0), cl.len() as u64);
+            result.cumulative_slash24.insert((class, day.0), cs.len() as u64);
         }
         for (g, lines) in group_lines {
             result.group_daily.insert((g, day.0), lines.len() as u64);
@@ -262,9 +264,9 @@ pub fn run_ixp_study(
             }
         }
         let mut group_ips: BTreeMap<DeviceGroup, BTreeSet<Ipv4Addr>> = BTreeMap::new();
-        for rule in &rules.rules {
+        for (ri, rule) in rules.rules.iter().enumerate() {
             let group = DeviceGroup::of(pipeline, rule.class);
-            for line in daily_det.detected_lines(rule.class) {
+            for line in daily_det.detected_lines_rule(ri as u16) {
                 if let Some(ip) = ip_of.get(&line) {
                     group_ips.entry(group).or_default().insert(*ip);
                 }

@@ -10,11 +10,11 @@
 //! flags domains (and whole rules) whose evidence collapsed — the signal
 //! to re-run the testbed pipeline for that vendor.
 
+use crate::fasthash::FastMap;
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
 use haystack_net::DayBin;
 use haystack_wild::WildRecord;
-use std::collections::HashMap;
 
 /// Decay factor per day for the baseline average (≈ two-week memory).
 const DECAY: f64 = 0.85;
@@ -44,22 +44,29 @@ pub struct StaleDomain {
 pub struct StalenessMonitor {
     hitlist: HitList,
     /// (rule, domain) → today's matched packets.
-    today: HashMap<(u16, u16), u64>,
+    today: FastMap<(u16, u16), u64>,
     /// (rule, domain) → decayed baseline.
-    baseline: HashMap<(u16, u16), f64>,
+    baseline: FastMap<(u16, u16), f64>,
     days_seen: u32,
 }
 
 impl StalenessMonitor {
     /// New monitor over the day's hitlist.
     pub fn new(hitlist: HitList) -> Self {
-        StalenessMonitor { hitlist, today: HashMap::new(), baseline: HashMap::new(), days_seen: 0 }
+        StalenessMonitor {
+            hitlist,
+            today: FastMap::default(),
+            baseline: FastMap::default(),
+            days_seen: 0,
+        }
     }
 
-    /// Observe one record of the current day.
+    /// Observe one record of the current day. Allocation-free on the
+    /// steady-state matching path (disjoint hitlist/count borrows).
     pub fn observe(&mut self, r: &WildRecord) {
-        for &(ri, di) in self.hitlist.lookup(r.dst, r.dport).to_vec().iter() {
-            *self.today.entry((ri, di)).or_default() += r.packets;
+        let StalenessMonitor { hitlist, today, .. } = self;
+        for &(ri, di) in hitlist.lookup(r.dst, r.dport) {
+            *today.entry((ri, di)).or_default() += r.packets;
         }
     }
 

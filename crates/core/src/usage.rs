@@ -13,11 +13,12 @@
 //!
 //! The tracker is windowed per hour: callers reset it at hour boundaries.
 
+use crate::fasthash::{FastMap, FastSet};
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
 use haystack_net::AnonId;
 use haystack_wild::WildRecord;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Usage-detection configuration.
 #[derive(Debug, Clone, Copy)]
@@ -38,16 +39,23 @@ pub struct UsageTracker<'r> {
     rules: &'r RuleSet,
     hitlist: HitList,
     config: UsageConfig,
-    /// (line, rule) → sampled packets this hour.
-    packets: HashMap<(AnonId, u16), u64>,
-    /// (line, rule) pairs that touched a usage-indicator domain.
-    indicator: BTreeSet<(AnonId, u16)>,
+    /// Per-rule: line → sampled packets this hour.
+    packets: Vec<FastMap<AnonId, u64>>,
+    /// Per-rule: lines that touched a usage-indicator domain.
+    indicator: Vec<FastSet<AnonId>>,
 }
 
 impl<'r> UsageTracker<'r> {
     /// Create a tracker sharing the detector's rule set and hitlist.
     pub fn new(rules: &'r RuleSet, hitlist: HitList, config: UsageConfig) -> Self {
-        UsageTracker { rules, hitlist, config, packets: HashMap::new(), indicator: BTreeSet::new() }
+        let n = rules.rules.len();
+        UsageTracker {
+            rules,
+            hitlist,
+            config,
+            packets: (0..n).map(|_| FastMap::default()).collect(),
+            indicator: (0..n).map(|_| FastSet::default()).collect(),
+        }
     }
 
     /// Swap the daily hitlist.
@@ -55,40 +63,46 @@ impl<'r> UsageTracker<'r> {
         self.hitlist = hitlist;
     }
 
-    /// Observe one record of the current hour.
+    /// Observe one record of the current hour. Allocation-free on the
+    /// steady-state matching path: the hitlist and the per-rule maps are
+    /// disjoint fields, so entries are iterated in place.
     pub fn observe(&mut self, r: &WildRecord) {
-        let entries = self.hitlist.lookup(r.dst, r.dport);
-        if entries.is_empty() {
-            return;
-        }
-        for &(ri, di) in entries.to_vec().iter() {
-            *self.packets.entry((r.line, ri)).or_default() += r.packets;
-            if self.rules.rules[ri as usize].domains[di as usize].usage_indicator {
-                self.indicator.insert((r.line, ri));
+        let UsageTracker { rules, hitlist, packets, indicator, .. } = self;
+        for &(ri, di) in hitlist.lookup(r.dst, r.dport) {
+            *packets[ri as usize].entry(r.line).or_default() += r.packets;
+            if rules.rules[ri as usize].domains[di as usize].usage_indicator {
+                indicator[ri as usize].insert(r.line);
             }
         }
     }
 
     /// Lines actively using `class` this hour (either signal).
     pub fn active_lines(&self, class: &str) -> BTreeSet<AnonId> {
-        let Some(ri) = self.rules.rule_index(class) else {
-            return BTreeSet::new();
-        };
-        let ri = ri as u16;
-        let mut out: BTreeSet<AnonId> = self
-            .packets
+        self.rules
+            .rule_index(class)
+            .map_or_else(BTreeSet::new, |ri| self.active_lines_rule(ri as u16))
+    }
+
+    /// [`UsageTracker::active_lines`] by rule index (the rule's position
+    /// in the rule set), for callers that already enumerate the rules.
+    pub fn active_lines_rule(&self, ri: u16) -> BTreeSet<AnonId> {
+        let mut out: BTreeSet<AnonId> = self.packets[ri as usize]
             .iter()
-            .filter(|((_, r), pkts)| *r == ri && **pkts >= self.config.packet_threshold)
-            .map(|((l, _), _)| *l)
+            .filter(|(_, pkts)| **pkts >= self.config.packet_threshold)
+            .map(|(l, _)| *l)
             .collect();
-        out.extend(self.indicator.iter().filter(|(_, r)| *r == ri).map(|(l, _)| *l));
+        out.extend(self.indicator[ri as usize].iter().copied());
         out
     }
 
     /// Start the next hour.
     pub fn reset(&mut self) {
-        self.packets.clear();
-        self.indicator.clear();
+        for m in &mut self.packets {
+            m.clear();
+        }
+        for s in &mut self.indicator {
+            s.clear();
+        }
     }
 }
 

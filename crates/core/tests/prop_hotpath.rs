@@ -1,0 +1,171 @@
+//! Equivalence pin for the flattened hot path.
+//!
+//! The optimized structures — the compiled open-addressing
+//! [`HitList`] and the per-rule fast-hash [`Detector`] — must be
+//! observationally identical to the naive reference implementations they
+//! replaced ([`MapHitList`], [`ReferenceDetector`]). These properties
+//! drive random rulesets (flat and hierarchical, with shared IPs across
+//! rules to exercise the spill arena) and random flow streams through
+//! both sides and require identical `lookup`, `detected_lines`,
+//! `first_detection`, and `confidence` — across chunk sizes too, since
+//! `observe_chunk` is the entry point the shard workers use.
+
+use haystack_core::detector::{Detector, DetectorConfig};
+use haystack_core::hitlist::MapHitList;
+use haystack_core::reference::ReferenceDetector;
+use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_dns::DomainName;
+use haystack_net::ports::Proto;
+use haystack_net::{AnonId, HourBin, Prefix4};
+use haystack_wild::WildRecord;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Class names for generated rules ('static required by `RuleSet`).
+const CLASSES: [&str; 6] = ["R0", "R1", "R2", "R3", "R4", "R5"];
+
+/// Spec for one generated rule: domain count and, per domain, which IP
+/// octets it resolves to (shared octets across rules collide in the
+/// hitlist and exercise the spill arena).
+type RuleSpec = Vec<Vec<u8>>;
+
+/// Build a rule set from generated specs. Rule `i > 0` is optionally a
+/// child of rule `i - 1` (chained hierarchy) when `chain` is set.
+fn ruleset(specs: &[RuleSpec], chain: bool) -> RuleSet {
+    let rules = specs
+        .iter()
+        .enumerate()
+        .map(|(ri, doms)| DetectionRule {
+            class: CLASSES[ri],
+            level: haystack_testbed::catalog::DetectionLevel::Manufacturer,
+            parent: if chain && ri > 0 { Some(CLASSES[ri - 1]) } else { None },
+            domains: doms
+                .iter()
+                .enumerate()
+                .map(|(di, ips)| RuleDomain {
+                    name: DomainName::parse(&format!("d{di}.r{ri}.test")).unwrap(),
+                    ports: [443u16, 8883].into_iter().collect(),
+                    ips: ips.iter().map(|o| Ipv4Addr::new(198, 18, 40, *o)).collect(),
+                    usage_indicator: false,
+                })
+                .collect(),
+        })
+        .collect();
+    RuleSet { rules, undetectable: vec![] }
+}
+
+/// Turn generated (line, octet, port-choice, hour) tuples into records.
+fn records(hits: &[(u64, u8, bool, u32)]) -> Vec<WildRecord> {
+    let src = Ipv4Addr::new(100, 64, 9, 9);
+    hits.iter()
+        .map(|&(line, octet, alt_port, hour)| WildRecord {
+            line: AnonId(line),
+            line_slash24: Prefix4::slash24_of(src),
+            src_ip: src,
+            dst: Ipv4Addr::new(198, 18, 40, octet),
+            dport: if alt_port { 8883 } else { 443 },
+            proto: Proto::Tcp,
+            packets: 1,
+            bytes: 80,
+            established: true,
+            hour: HourBin(hour),
+        })
+        .collect()
+}
+
+/// Strategy: 1–6 rules × 1–4 domains × 1–3 IP octets each, octets drawn
+/// from a small range so rules share IPs (spill-arena pressure).
+fn specs() -> impl Strategy<Value = Vec<RuleSpec>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::collection::vec(0u8..24, 1..4), 1..5),
+        1..7,
+    )
+}
+
+proptest! {
+    /// The compiled hitlist answers every probe exactly like the map
+    /// oracle — hits, misses, entry order, and spill-arena slices.
+    #[test]
+    fn compiled_hitlist_equals_map_oracle(
+        sp in specs(),
+        probes in prop::collection::vec((0u8..32, any::<bool>()), 0..64),
+    ) {
+        let rules = ruleset(&sp, false);
+        let map = MapHitList::whole_window(&rules);
+        let compiled = map.clone().compile();
+        prop_assert_eq!(map.len(), compiled.len());
+        prop_assert_eq!(map.is_empty(), compiled.is_empty());
+        // Exhaustive over the octet range plus generated off-range probes.
+        for octet in 0u8..32 {
+            for port in [443u16, 8883, 80] {
+                let ip = Ipv4Addr::new(198, 18, 40, octet);
+                prop_assert_eq!(
+                    compiled.lookup(ip, port),
+                    map.lookup(ip, port),
+                    "divergence at {}:{}", ip, port
+                );
+            }
+        }
+        for (octet, alt) in probes {
+            let ip = Ipv4Addr::new(198, 18, 40, octet);
+            let port = if alt { 8883 } else { 443 };
+            prop_assert_eq!(compiled.lookup(ip, port), map.lookup(ip, port));
+        }
+    }
+
+    /// The optimized detector matches the reference detector on every
+    /// query surface, for flat and chained-hierarchy rulesets, and the
+    /// answers are invariant to the chunk size records arrive in.
+    #[test]
+    fn detector_equals_reference_across_chunk_sizes(
+        sp in specs(),
+        chain in any::<bool>(),
+        threshold in prop_oneof![Just(0.4), Just(0.6), Just(1.0)],
+        hits in prop::collection::vec((0u64..12, 0u8..26, any::<bool>(), 0u32..48), 0..120),
+        chunk_size in prop_oneof![Just(1usize), Just(7), Just(1024)],
+    ) {
+        let rules = ruleset(&sp, chain);
+        let config = DetectorConfig { threshold, require_established: false };
+        let recs = records(&hits);
+
+        let mut reference = ReferenceDetector::new(&rules, MapHitList::whole_window(&rules), config);
+        for r in &recs {
+            reference.observe_wild(r);
+        }
+        let mut fast = Detector::new(&rules, MapHitList::whole_window(&rules).compile(), config);
+        for chunk in recs.chunks(chunk_size.max(1)) {
+            fast.observe_chunk(chunk);
+        }
+
+        prop_assert_eq!(fast.state_size(), reference.state_size());
+        let lines: Vec<AnonId> = (0u64..12).map(AnonId).collect();
+        for rule in &rules.rules {
+            prop_assert_eq!(
+                fast.detected_lines(rule.class),
+                reference.detected_lines(rule.class),
+                "detected_lines({}) diverged", rule.class
+            );
+            for &line in &lines {
+                prop_assert_eq!(
+                    fast.is_detected(line, rule.class),
+                    reference.is_detected(line, rule.class)
+                );
+                prop_assert_eq!(
+                    fast.first_detection(line, rule.class),
+                    reference.first_detection(line, rule.class),
+                    "first_detection({:?}, {}) diverged", line, rule.class
+                );
+                let (cf, cr) = (
+                    fast.confidence(line, rule.class),
+                    reference.confidence(line, rule.class),
+                );
+                prop_assert!(
+                    (cf - cr).abs() < 1e-12,
+                    "confidence({:?}, {}): {} vs {}", line, rule.class, cf, cr
+                );
+            }
+        }
+        // Unknown classes answer identically too.
+        prop_assert_eq!(fast.detected_lines("NoSuchClass"), reference.detected_lines("NoSuchClass"));
+    }
+}
