@@ -1,0 +1,188 @@
+//! The §11 zero-overhead claim, measured: run the identical
+//! instrumented pipeline shape — chunked stream wrapped in
+//! [`InstrumentedStream`], detector batches flushed into
+//! [`HotStatsCounters`] — once with telemetry runtime-disabled and once
+//! enabled, and report the enabled/disabled time ratio.
+//!
+//! Both runs compile the `telemetry` feature in; the only difference is
+//! the runtime flag, which is exactly the configuration the acceptance
+//! gate cares about ("compiled in but disabled" must not tax the hot
+//! path, "enabled" must stay under 2 %).
+//!
+//! Output:
+//!
+//! * a per-variant records/sec table on stdout;
+//! * `BENCH_telemetry.json` — the trajectory row CI archives;
+//! * with `--check`, exits non-zero if the enabled variant costs more
+//!   than [`OVERHEAD_CEILING`] over the disabled one.
+
+use haystack_core::detector::{Detector, DetectorConfig};
+use haystack_core::hitlist::HitList;
+use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use haystack_core::telemetry::{self, HotStats, HotStatsCounters, InstrumentedStream};
+use haystack_net::ports::Proto;
+use haystack_net::{AnonId, HourBin, Prefix4};
+use haystack_wild::{RecordChunk, RecordStream, VecStream, WildRecord, DEFAULT_CHUNK_RECORDS};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Records per measured pass.
+const RECORDS: usize = 200_000;
+/// Timed passes per variant; the best is reported (minimum noise floor).
+const PASSES: usize = 9;
+/// CI gate: enabled telemetry may cost at most this fraction extra.
+const OVERHEAD_CEILING: f64 = 0.02;
+
+fn root_path(name: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(name);
+    if p.is_absolute() {
+        return p.to_path_buf();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
+}
+
+fn pipeline() -> &'static Pipeline {
+    static P: OnceLock<Pipeline> = OnceLock::new();
+    P.get_or_init(|| Pipeline::run(PipelineConfig::fast(42)))
+}
+
+/// The detector_throughput wild mix: 70 % background, 30 % rule hits.
+fn stream(n: usize, seed: u64) -> Vec<WildRecord> {
+    let p = pipeline();
+    let mut rule_ips: Vec<(Ipv4Addr, u16)> = Vec::new();
+    for r in &p.rules.rules {
+        for d in &r.domains {
+            for ip in &d.ips {
+                for port in &d.ports {
+                    rule_ips.push((*ip, *port));
+                }
+            }
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let (dst, dport) = if rng.gen_bool(0.3) {
+                rule_ips[rng.gen_range(0..rule_ips.len())]
+            } else {
+                (Ipv4Addr::new(151, 64, (i % 250) as u8, (i % 200) as u8), 443)
+            };
+            let src = Ipv4Addr::new(100, 64, rng.gen(), rng.gen());
+            WildRecord {
+                line: AnonId(rng.gen_range(0..500_000)),
+                line_slash24: Prefix4::slash24_of(src),
+                src_ip: src,
+                dst,
+                dport,
+                proto: Proto::Tcp,
+                packets: 1 + rng.gen_range(0u64..4),
+                bytes: 400,
+                established: true,
+                hour: HourBin(0),
+            }
+        })
+        .collect()
+}
+
+/// One timed pass of the instrumented shape. The stream wrapper and the
+/// counter handles are (re)bound inside the pass *after* the runtime
+/// flag is set, exactly as a real stage binds them at construction.
+fn timed_pass(records: &[WildRecord], scope: &telemetry::Scope) -> (f64, usize) {
+    let p = pipeline();
+    let mut det =
+        Detector::new(&p.rules, HitList::whole_window(&p.rules), DetectorConfig::default());
+    let inner = VecStream::new(records.to_vec(), DEFAULT_CHUNK_RECORDS);
+    let mut stream = InstrumentedStream::new(inner, scope);
+    let hot = HotStatsCounters::new(&scope.sub("shard0"));
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
+    let mut flushed = HotStats::default();
+    let t0 = Instant::now();
+    while stream.next_chunk(&mut chunk) {
+        det.observe_chunk(&chunk.records);
+        let now = det.hot_stats();
+        hot.flush(now.since(&flushed));
+        flushed = now;
+    }
+    (t0.elapsed().as_secs_f64(), det.state_size())
+}
+
+/// Best-of-[`PASSES`] records/sec with telemetry on or off.
+fn measure(records: &[WildRecord], enabled: bool, scope_name: &str) -> f64 {
+    telemetry::set_enabled(enabled);
+    let scope = telemetry::Scope::named(scope_name);
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let (dt, states) = timed_pass(records, &scope);
+        assert!(states > 0, "a pass must accumulate state");
+        best = best.min(dt);
+    }
+    telemetry::set_enabled(false);
+    records.len() as f64 / best
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let check = argv.iter().any(|a| a == "--check");
+
+    let records = stream(RECORDS, 7);
+    // Warm both variants once (page-in, hitlist build) before timing,
+    // then interleave-fair: disabled first, enabled second.
+    let _ = timed_pass(&records, &telemetry::Scope::named("overhead.warmup"));
+    let off_rps = measure(&records, false, "overhead.off");
+    let on_rps = measure(&records, true, "overhead.on");
+    let overhead = off_rps / on_rps - 1.0;
+
+    // Sanity: the enabled pass must actually have counted the workload.
+    let snap = telemetry::global().snapshot();
+    let counted = snap.counter("overhead.on.shard0.records_observed").unwrap_or(0);
+    assert_eq!(
+        counted as usize,
+        RECORDS * PASSES,
+        "enabled telemetry must count every record of every pass"
+    );
+    assert_eq!(
+        snap.counter("overhead.off.shard0.records_observed").unwrap_or(0),
+        0,
+        "disabled telemetry must count nothing"
+    );
+
+    println!("variant\trecords\trecords_per_sec");
+    println!("telemetry_off\t{RECORDS}\t{off_rps:.0}");
+    println!("telemetry_on\t{RECORDS}\t{on_rps:.0}");
+    println!("# enabled overhead: {:.2}% (ceiling {:.0}%)", overhead * 100.0, OVERHEAD_CEILING * 100.0);
+
+    let doc = serde_json::Value::Array(vec![serde_json::json!({
+        "bench": "telemetry_overhead",
+        "records": RECORDS,
+        "passes": PASSES,
+        "off_records_per_sec": off_rps,
+        "on_records_per_sec": on_rps,
+        "overhead": overhead,
+        "ceiling": OVERHEAD_CEILING,
+    })]);
+    let text = serde_json::to_string_pretty(&doc).expect("serializable");
+    std::fs::write(root_path("BENCH_telemetry.json"), &text).unwrap_or_else(|e| {
+        eprintln!("error: cannot write BENCH_telemetry.json: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("# wrote BENCH_telemetry.json");
+
+    if check {
+        if overhead > OVERHEAD_CEILING {
+            eprintln!(
+                "error: enabled telemetry costs {:.2}% (> {:.0}% ceiling)",
+                overhead * 100.0,
+                OVERHEAD_CEILING * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "# overhead gate OK: {:.2}% <= {:.0}%",
+            overhead * 100.0,
+            OVERHEAD_CEILING * 100.0
+        );
+    }
+}

@@ -12,17 +12,21 @@ use haystack_core::detector::DetectorConfig;
 use haystack_core::hitlist::HitList;
 use haystack_core::parallel::DetectorPool;
 use haystack_core::quality::evaluate;
+use haystack_core::telemetry::{self, InstrumentedStream};
 use haystack_net::DayBin;
 use haystack_wild::{RecordChunk, VantagePoint, DEFAULT_CHUNK_RECORDS};
 
 fn main() {
     let args = Args::parse();
+    telemetry::set_enabled(true);
     let p = build_pipeline(&args);
     let isp = build_isp(&p, &args);
     let days = if args.fast { 1u32 } else { 3 };
 
     let mut pool = DetectorPool::new(&p.rules, &HitList::default(), DetectorConfig::default(), 4);
+    pool.attach_telemetry(&telemetry::Scope::named("pool"));
     let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
+    let stream_scope = telemetry::Scope::named("stream");
     println!("# accuracy over {days} day(s), {} lines, sampling 1/1000, D=0.4", isp.config().lines);
     println!("day\tclass\ttp\tfp\tfn\tprecision\trecall\tf1");
     for day in 0..days {
@@ -30,8 +34,11 @@ fn main() {
         // Evidence accumulates across days (the detector is cumulative
         // here, matching Figure 13's multi-day view).
         for hour in DayBin(day).hours() {
-            let mut stream = isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS);
-            pool.observe_stream(&mut *stream, &mut chunk);
+            let mut stream = InstrumentedStream::new(
+                isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS),
+                &stream_scope,
+            );
+            pool.observe_stream(&mut stream, &mut chunk);
         }
         let mut rows: Vec<(&str, haystack_core::quality::Confusion)> = p
             .rules
@@ -53,4 +60,7 @@ fn main() {
         }
     }
     println!("# note: owner identities churn with daily IP reassignment; the oracle tracks it.");
+    println!("# telemetry");
+    let snap = telemetry::global().snapshot();
+    println!("{}", serde_json::to_string_pretty(&snap.to_json()).expect("serializable"));
 }

@@ -22,6 +22,7 @@ use haystack_core::hitlist::HitList;
 use haystack_core::parallel::DetectorPool;
 use haystack_core::quality::{evaluate, Confusion};
 use haystack_core::pipeline::Pipeline;
+use haystack_core::telemetry::{self, InstrumentedStream};
 use haystack_flow::export::{ExportProtocol, Exporter};
 use haystack_flow::key::FlowKey;
 use haystack_flow::tcp_flags::TcpFlags;
@@ -93,6 +94,8 @@ fn wire_step(severity: f64, seed: u64, records: &[FlowRecord]) -> (u64, u64, usi
 
 /// Run the ISP study at one severity; `None` severity = clean vantage.
 fn detection_step(p: &Pipeline, args: &Args, severity: Option<f64>, days: u32) -> Confusion {
+    let label = severity.map_or("clean".to_string(), |s| format!("{s:.1}"));
+    let scope = telemetry::Scope::named(&format!("detect.{label}"));
     let mut isp = build_isp(p, args);
     if let Some(s) = severity {
         isp = IspVantage::with_chaos(isp, ChaosConfig::at_severity(s, args.seed ^ 0xC4A0));
@@ -100,13 +103,17 @@ fn detection_step(p: &Pipeline, args: &Args, severity: Option<f64>, days: u32) -
     // The degraded feed streams chunk-by-chunk into the persistent
     // worker pool; degradation accounting rides along on the chunks.
     let mut pool = DetectorPool::new(&p.rules, &HitList::default(), DetectorConfig::default(), 4);
+    pool.attach_telemetry(&scope.sub("pool"));
     let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     let mut degradation = haystack_wild::FeedDegradation::default();
     for day in 0..days {
         pool.set_hitlist(&HitList::for_day(&p.rules, &p.dnsdb, DayBin(day)));
         for hour in DayBin(day).hours() {
-            let mut stream = isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS);
-            let (_records, _packets, deg) = pool.observe_stream(&mut *stream, &mut chunk);
+            let mut stream = InstrumentedStream::new(
+                isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS),
+                &scope.sub("stream"),
+            );
+            let (_records, _packets, deg) = pool.observe_stream(&mut stream, &mut chunk);
             degradation.absorb(deg);
         }
     }
@@ -119,7 +126,6 @@ fn detection_step(p: &Pipeline, args: &Args, severity: Option<f64>, days: u32) -
         total.false_pos += c.false_pos;
         total.false_neg += c.false_neg;
     }
-    let label = severity.map_or("clean".to_string(), |s| format!("{s:.1}"));
     println!(
         "{label}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{}",
         total.true_pos,
@@ -135,6 +141,9 @@ fn detection_step(p: &Pipeline, args: &Args, severity: Option<f64>, days: u32) -
 
 fn main() {
     let args = Args::parse();
+    // The report doubles as the telemetry showcase: every stage below
+    // feeds the global registry, dumped as JSON at the end (§11).
+    telemetry::set_enabled(true);
 
     // ---- Section 1: the wire path under chaos -------------------------
     let records = synthetic_records(if args.fast { 4_000 } else { 20_000 }, args.seed);
@@ -182,6 +191,7 @@ fn main() {
     assert!(collector.missed_datagrams() > 0, "10% loss must register sequence gaps");
     assert!(collector.restarts_detected() >= 1, "the restart must be detected");
     assert!(decoded > 0, "most records still decode");
+    telemetry::observe_collector(&telemetry::Scope::named("wire.collector"), &collector);
     println!(
         "# acceptance: 10% loss + restart -> decoded {}/{} ({}), missed_dg {}, restarts {}",
         decoded,
@@ -221,4 +231,9 @@ fn main() {
         det_severities.last().copied().unwrap_or(0.0),
         pct(last_recall),
     );
+
+    // ---- Section 3: pipeline telemetry --------------------------------
+    println!("# telemetry");
+    let snap = telemetry::global().snapshot();
+    println!("{}", serde_json::to_string_pretty(&snap.to_json()).expect("serializable"));
 }

@@ -6,18 +6,24 @@
 //! haystack detect   --rules rules.json [--lines N] [--days D] [--threshold T] [--workers W]
 //! haystack mitigate --rules rules.json --class NAME [--redirect IP]
 //! haystack chaos    [--severity S] [--seed N] [--records N]
+//! haystack metrics  [--rules rules.json] [--severity S] [--records N] [--json]
 //! ```
 //!
 //! `rules` runs the full §2–§4 pipeline (it needs the testbeds) and
 //! persists the detection rules; the other commands work from the JSON
 //! document alone, the way a collector-side deployment would.
+//!
+//! `--quiet` silences progress notes on any command (errors still
+//! print), keeping stdout machine-readable and stderr clean. All
+//! progress/error output routes through [`haystack_cli::log`].
 
-use haystack_cli::{rules_from_json, rules_to_json};
+use haystack_cli::{cli_error, note, rules_from_json, rules_to_json};
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
 use haystack_core::mitigation::{block_plan, Action};
 use haystack_core::parallel::DetectorPool;
 use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use haystack_core::telemetry;
 use haystack_dns::DnsDb;
 use haystack_net::DayBin;
 use haystack_testbed::catalog::data::standard_catalog;
@@ -27,9 +33,9 @@ use std::collections::HashMap;
 use std::process::exit;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]"
-    );
+    haystack_cli::log::raw_args(format_args!(
+        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
+    ));
     exit(2);
 }
 
@@ -38,8 +44,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            if key == "fast" {
-                out.insert("fast".into(), "true".into());
+            if matches!(key, "fast" | "quiet" | "json") {
+                out.insert(key.to_string(), "true".into());
             } else {
                 match it.next() {
                     Some(v) => {
@@ -58,15 +64,15 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn load_rules(flags: &HashMap<String, String>) -> haystack_core::rules::RuleSet {
     let path = flags.get("rules").unwrap_or_else(|| usage());
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("error: cannot read {path}: {e}");
+        cli_error!("cannot read {path}: {e}");
         exit(1);
     });
     let doc: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
-        eprintln!("error: {path} is not JSON: {e}");
+        cli_error!("{path} is not JSON: {e}");
         exit(1);
     });
     rules_from_json(&doc).unwrap_or_else(|e| {
-        eprintln!("error: {path}: {e}");
+        cli_error!("{path}: {e}");
         exit(1);
     })
 }
@@ -76,7 +82,7 @@ fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
         .get(key)
         .map(|v| {
             v.parse().unwrap_or_else(|_| {
-                eprintln!("error: --{key} needs a number");
+                cli_error!("--{key} needs a number");
                 exit(2);
             })
         })
@@ -90,17 +96,17 @@ fn cmd_rules(flags: HashMap<String, String>) {
     } else {
         PipelineConfig { seed, ..Default::default() }
     };
-    eprintln!("running the ground-truth pipeline (this is the slow part) ...");
+    note!("running the ground-truth pipeline (this is the slow part) ...");
     let pipeline = Pipeline::run(config);
     let doc = rules_to_json(&pipeline.rules);
     let text = serde_json::to_string_pretty(&doc).expect("serializable");
     match flags.get("out") {
         Some(path) => {
             std::fs::write(path, text).unwrap_or_else(|e| {
-                eprintln!("error: cannot write {path}: {e}");
+                cli_error!("cannot write {path}: {e}");
                 exit(1);
             });
-            eprintln!(
+            note!(
                 "wrote {} rules ({} undetectable classes) to {path}",
                 pipeline.rules.rules.len(),
                 pipeline.rules.undetectable.len()
@@ -134,11 +140,11 @@ fn cmd_detect(flags: HashMap<String, String>) {
     let seed: u64 = num(&flags, "seed", 42);
     let workers: usize = num(&flags, "workers", 4);
     if workers == 0 {
-        eprintln!("error: --workers must be at least 1");
+        cli_error!("--workers must be at least 1");
         exit(2);
     }
 
-    eprintln!("building the simulated ISP ({lines} lines) ...");
+    note!("building the simulated ISP ({lines} lines) ...");
     let catalog = standard_catalog();
     let world = materialize(&catalog);
     let isp = IspVantage::new(
@@ -164,7 +170,7 @@ fn cmd_detect(flags: HashMap<String, String>) {
             records += recs;
         }
         pool.finish();
-        eprintln!("day {day}: {records} records streamed through {workers} workers");
+        note!("day {day}: {records} records streamed through {workers} workers");
         for rule in &rules.rules {
             println!("{day}\t{}\t{}", rule.class, pool.detected_lines(rule.class).len());
         }
@@ -177,7 +183,7 @@ fn cmd_mitigate(flags: HashMap<String, String>) {
     let class: &'static str = Box::leak(class.clone().into_boxed_str());
     let action = match flags.get("redirect") {
         Some(ip) => Action::Redirect(ip.parse().unwrap_or_else(|_| {
-            eprintln!("error: --redirect needs an IPv4 address");
+            cli_error!("--redirect needs an IPv4 address");
             exit(2);
         })),
         None => Action::Block,
@@ -192,7 +198,7 @@ fn cmd_mitigate(flags: HashMap<String, String>) {
             }
         }
         None => {
-            eprintln!("error: no rule for class {class:?} (try `haystack inspect`)");
+            cli_error!("no rule for class {class:?} (try `haystack inspect`)");
             exit(1);
         }
     }
@@ -207,19 +213,19 @@ fn cmd_capture(flags: HashMap<String, String>) {
     let driver = ExperimentDriver::new(standard_catalog(), seed);
     let world = materialize(driver.catalog());
     let mut packets = Vec::new();
-    eprintln!("capturing {hours} h of the idle experiment at the Home-VP ...");
+    note!("capturing {hours} h of the idle experiment at the Home-VP ...");
     for hour in haystack_net::StudyWindow::IDLE_GT.hour_bins().take(hours as usize) {
         packets.extend(driver.generate_hour(&world, hour));
     }
     let file = std::fs::File::create(out).unwrap_or_else(|e| {
-        eprintln!("error: cannot create {out}: {e}");
+        cli_error!("cannot create {out}: {e}");
         exit(1);
     });
     write_trace(std::io::BufWriter::new(file), &packets).unwrap_or_else(|e| {
-        eprintln!("error: write failed: {e}");
+        cli_error!("write failed: {e}");
         exit(1);
     });
-    eprintln!("wrote {} packets to {out}", packets.len());
+    note!("wrote {} packets to {out}", packets.len());
 }
 
 fn cmd_replay(flags: HashMap<String, String>) {
@@ -230,15 +236,15 @@ fn cmd_replay(flags: HashMap<String, String>) {
     let sampling: u64 = num(&flags, "sampling", 1_000);
     let threshold: f64 = num(&flags, "threshold", 0.4);
     let file = std::fs::File::open(trace_path).unwrap_or_else(|e| {
-        eprintln!("error: cannot open {trace_path}: {e}");
+        cli_error!("cannot open {trace_path}: {e}");
         exit(1);
     });
     let packets = read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
-        eprintln!("error: {trace_path}: {e}");
+        cli_error!("{trace_path}: {e}");
         exit(1);
     });
     let mut sampler = SystematicSampler::new(sampling, 3).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
+        cli_error!("{e}");
         exit(1);
     });
     let mut det = Detector::new(
@@ -261,36 +267,19 @@ fn cmd_replay(flags: HashMap<String, String>) {
             );
         }
     }
-    eprintln!("{} packets replayed, {kept} sampled (1/{sampling})", packets.len());
+    note!("{} packets replayed, {kept} sampled (1/{sampling})", packets.len());
     println!("class\tdetected");
     for (ri, rule) in rules.rules.iter().enumerate() {
         println!("{}\t{}", rule.class, det.is_detected_rule(line, ri as u16));
     }
 }
 
-/// Push one synthetic hour through Exporter → ChaosLink → Collector at
-/// the given severity and print what survived — a quick operator-facing
-/// smoke test of the collector's fault tolerance (DESIGN.md, "Fault
-/// model"). `haystack chaos --severity 0` must report a lossless path.
-fn cmd_chaos(flags: HashMap<String, String>) {
-    use haystack_flow::export::{ExportProtocol, Exporter};
-    use haystack_flow::{ChaosConfig, ChaosLink, Collector, FlowKey, FlowRecord, TcpFlags};
+/// Deterministic synthetic flow records shared by `chaos` and `metrics`.
+fn synthetic_flow_records(n_records: usize, seed: u64) -> Vec<haystack_flow::FlowRecord> {
+    use haystack_flow::{FlowKey, FlowRecord, TcpFlags};
     use haystack_net::ports::Proto;
     use haystack_net::SimTime;
-
-    let seed: u64 = num(&flags, "seed", 42);
-    let n_records: usize = num(&flags, "records", 10_000);
-    let severities: Vec<f64> = match flags.get("severity") {
-        Some(v) => match v.parse::<f64>() {
-            Ok(s) if (0.0..=1.0).contains(&s) => vec![s],
-            _ => {
-                eprintln!("error: --severity needs a number in [0, 1]");
-                exit(2);
-            }
-        },
-        None => vec![0.0, 0.25, 0.5, 0.75, 1.0],
-    };
-    let records: Vec<FlowRecord> = (0..n_records)
+    (0..n_records)
         .map(|i| {
             let x = (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed);
             FlowRecord {
@@ -308,7 +297,30 @@ fn cmd_chaos(flags: HashMap<String, String>) {
                 last: SimTime(i as u64 + 30),
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Push one synthetic hour through Exporter → ChaosLink → Collector at
+/// the given severity and print what survived — a quick operator-facing
+/// smoke test of the collector's fault tolerance (DESIGN.md, "Fault
+/// model"). `haystack chaos --severity 0` must report a lossless path.
+fn cmd_chaos(flags: HashMap<String, String>) {
+    use haystack_flow::export::{ExportProtocol, Exporter};
+    use haystack_flow::{ChaosConfig, ChaosLink, Collector};
+
+    let seed: u64 = num(&flags, "seed", 42);
+    let n_records: usize = num(&flags, "records", 10_000);
+    let severities: Vec<f64> = match flags.get("severity") {
+        Some(v) => match v.parse::<f64>() {
+            Ok(s) if (0.0..=1.0).contains(&s) => vec![s],
+            _ => {
+                cli_error!("--severity needs a number in [0, 1]");
+                exit(2);
+            }
+        },
+        None => vec![0.0, 0.25, 0.5, 0.75, 1.0],
+    };
+    let records = synthetic_flow_records(n_records, seed);
     println!(
         "severity\tsent\tdelivered\tdecoded\tdecode_rate\tmissed_dg\trestarts\tmalformed\tquarantined"
     );
@@ -338,9 +350,96 @@ fn cmd_chaos(flags: HashMap<String, String>) {
             collector.quarantined_sources().len(),
         );
         if severity == 0.0 && decoded != records.len() {
-            eprintln!("error: clean link lost records ({decoded}/{})", records.len());
+            cli_error!("clean link lost records ({decoded}/{})", records.len());
             exit(1);
         }
+    }
+}
+
+/// Run an instrumented slice of the pipeline and print the telemetry
+/// snapshot — Prometheus text exposition by default, the structured
+/// JSON document with `--json` (DESIGN.md §11).
+///
+/// The wire stage (Exporter → ChaosLink → Collector) always runs; the
+/// detect stage (simulated ISP hour → instrumented stream → sharded
+/// detector pool) runs when `--rules` is given.
+fn cmd_metrics(flags: HashMap<String, String>) {
+    use haystack_core::telemetry::{observe_collector, observe_hitlist, InstrumentedStream};
+    use haystack_flow::export::{ExportProtocol, Exporter};
+    use haystack_flow::{ChaosConfig, ChaosLink, Collector};
+
+    telemetry::set_enabled(true);
+    let seed: u64 = num(&flags, "seed", 42);
+    let severity: f64 = num(&flags, "severity", 0.25);
+    let n_records: usize = num(&flags, "records", 10_000);
+    if !(0.0..=1.0).contains(&severity) {
+        cli_error!("--severity needs a number in [0, 1]");
+        exit(2);
+    }
+
+    note!("wire stage: {n_records} records through a severity-{severity:.2} link ...");
+    let records = synthetic_flow_records(n_records, seed);
+    let mut exporter = Exporter::new(ExportProtocol::NetflowV9, 7);
+    let mut link = ChaosLink::new(ChaosConfig::at_severity(severity, seed));
+    let mut collector = Collector::new();
+    let wire = telemetry::Scope::named("wire");
+    let mut decoded = 0u64;
+    for (hour, chunk) in records.chunks(512).enumerate() {
+        let msgs = exporter.export(chunk, 3_600 * hour as u32).expect("export");
+        for d in link.transmit_all(msgs) {
+            decoded += collector.feed_netflow_v9(d).map_or(0, |rs| rs.len()) as u64;
+        }
+    }
+    for d in link.shutdown() {
+        decoded += collector.feed_netflow_v9(d).map_or(0, |rs| rs.len()) as u64;
+    }
+    let s = link.stats();
+    wire.counter("records_sent").add(records.len() as u64);
+    wire.counter("records_decoded").add(decoded);
+    wire.gauge("datagrams_sent").set(s.sent);
+    wire.gauge("datagrams_delivered").set(s.delivered);
+    wire.gauge("datagrams_dropped").set(s.dropped);
+    observe_collector(&telemetry::Scope::named("collector"), &collector);
+
+    if flags.contains_key("rules") {
+        let rules = load_rules(&flags);
+        let lines: u32 = num(&flags, "lines", 2_000);
+        let workers: usize = num(&flags, "workers", 2);
+        if workers == 0 {
+            cli_error!("--workers must be at least 1");
+            exit(2);
+        }
+        note!("detect stage: simulated ISP hour over {lines} lines, {workers} workers ...");
+        let catalog = standard_catalog();
+        let world = materialize(&catalog);
+        let isp = IspVantage::new(
+            &catalog,
+            IspConfig { lines, sampling: 1_000, seed, background: false },
+        );
+        let hitlist = HitList::whole_window(&rules);
+        observe_hitlist(&telemetry::Scope::named("hitlist"), &hitlist);
+        let mut pool = DetectorPool::new(
+            &rules,
+            &hitlist,
+            DetectorConfig { threshold: 0.4, require_established: false },
+            workers,
+        );
+        pool.attach_telemetry(&telemetry::Scope::named("pool"));
+        let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
+        let hour = DayBin(0).hours().next().expect("a day has hours");
+        let mut stream = InstrumentedStream::new(
+            isp.stream_hour(&world, hour, DEFAULT_CHUNK_RECORDS),
+            &telemetry::Scope::named("stream"),
+        );
+        pool.observe_stream(&mut stream, &mut chunk);
+        pool.finish();
+    }
+
+    let snap = telemetry::global().snapshot();
+    if flags.contains_key("json") {
+        println!("{}", serde_json::to_string_pretty(&snap.to_json()).expect("serializable"));
+    } else {
+        print!("{}", snap.to_prometheus());
     }
 }
 
@@ -350,6 +449,7 @@ fn main() {
         usage();
     };
     let flags = parse_flags(rest);
+    haystack_cli::log::set_quiet(flags.contains_key("quiet"));
     match cmd.as_str() {
         "rules" => cmd_rules(flags),
         "inspect" => cmd_inspect(flags),
@@ -358,6 +458,7 @@ fn main() {
         "capture" => cmd_capture(flags),
         "replay" => cmd_replay(flags),
         "chaos" => cmd_chaos(flags),
+        "metrics" => cmd_metrics(flags),
         _ => usage(),
     }
 }

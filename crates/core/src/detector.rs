@@ -29,6 +29,7 @@
 use crate::fasthash::FastMap;
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
+use crate::telemetry::HotStats;
 use haystack_net::ports::Proto;
 use haystack_net::{AnonId, HourBin};
 use haystack_wild::WildRecord;
@@ -128,6 +129,9 @@ pub struct Detector<'r> {
     /// Per-rule line state: `state[ri]` maps line → evidence for rule
     /// `ri`. Indexed by rule so class queries touch one map.
     state: Vec<FastMap<AnonId, LineState>>,
+    /// Plain (non-atomic) hot-path tallies; owners flush them into
+    /// telemetry counters at chunk granularity.
+    stats: HotStats,
 }
 
 impl<'r> Detector<'r> {
@@ -154,7 +158,16 @@ impl<'r> Detector<'r> {
             .map(|(ri, r)| (r.class, ri as u16))
             .collect();
         let state = rules.rules.iter().map(|_| FastMap::default()).collect();
-        Detector { rules, config, hitlist, required, parent, class_index, state }
+        Detector {
+            rules,
+            config,
+            hitlist,
+            required,
+            parent,
+            class_index,
+            state,
+            stats: HotStats::default(),
+        }
     }
 
     /// Swap in the next day's hitlist, keeping accumulated evidence.
@@ -191,13 +204,16 @@ impl<'r> Detector<'r> {
         established: bool,
         hour: HourBin,
     ) {
+        self.stats.records += 1;
         if self.config.require_established && proto == Proto::Tcp && !established {
             return;
         }
         // Disjoint borrows: the hitlist slice must not alias the state
         // maps, which destructuring proves to the borrow checker.
-        let Detector { hitlist, state, required, .. } = self;
+        let Detector { hitlist, state, required, stats, .. } = self;
+        stats.probes += 1;
         for &(ri, di) in hitlist.lookup(dst, dport) {
+            stats.matches += 1;
             let entry = state[ri as usize].entry(line).or_default();
             let bit = 1u64 << di;
             if entry.mask & bit != 0 {
@@ -206,6 +222,7 @@ impl<'r> Detector<'r> {
             entry.mask |= bit;
             if entry.mask.count_ones() == required[ri as usize] && entry.first_met.is_none() {
                 entry.first_met = Some(hour);
+                stats.detections += 1;
             }
         }
     }
@@ -337,6 +354,14 @@ impl<'r> Detector<'r> {
     /// The configuration.
     pub fn config(&self) -> DetectorConfig {
         self.config
+    }
+
+    /// Cumulative hot-path tallies (records offered, hitlist probes,
+    /// entry matches, rule thresholds newly met). Plain counters — take
+    /// deltas with [`HotStats::since`] and flush them into telemetry at
+    /// chunk granularity. Not cleared by [`Detector::reset`].
+    pub fn hot_stats(&self) -> HotStats {
+        self.stats
     }
 }
 
@@ -536,6 +561,22 @@ mod tests {
             );
             assert_eq!(det.detected_lines_rule(ri), det.detected_lines(rule.class));
         }
+    }
+
+    #[test]
+    fn hot_stats_tally_probes_matches_and_detections() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 0.4);
+        let before = det.hot_stats();
+        assert_eq!(before, crate::telemetry::HotStats::default());
+        hit(&mut det, ip(200), 0); // non-rule traffic: probe, no match
+        hit(&mut det, ip(1), 1); // matches Fam d0, fires Fam (required 1)
+        hit(&mut det, ip(1), 2); // re-observed evidence: match, no detection
+        let s = det.hot_stats().since(&before);
+        assert_eq!(s.records, 3);
+        assert_eq!(s.probes, 3);
+        assert_eq!(s.matches, 2);
+        assert_eq!(s.detections, 1);
     }
 
     #[test]

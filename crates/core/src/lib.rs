@@ -30,7 +30,10 @@
 //! [`mitigation`] (§7.2 block/redirect/notify), [`dns_assisted`] (§7.4's
 //! resolver-log variant), [`staleness`] (§7.3 rule-health monitoring),
 //! [`baseline`] (the §8 traffic-feature comparator), and [`quality`]
-//! (precision/recall against the simulation oracle).
+//! (precision/recall against the simulation oracle). [`telemetry`] is
+//! the pipeline-wide metrics/span substrate (DESIGN.md §11): a no-op
+//! unless compiled with the `telemetry` feature *and* enabled at
+//! runtime, so the hot path pays nothing by default.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +55,7 @@ pub mod reference;
 pub mod report;
 pub mod staleness;
 pub mod rules;
+pub mod telemetry;
 pub mod usage;
 pub mod visibility;
 
@@ -79,3 +83,4 @@ pub use observations::{DomainObservations, DomainUsage};
 pub use parallel::{DetectorPool, ShardedDetector};
 pub use pipeline::{Pipeline, PipelineStats};
 pub use rules::{DetectionRule, RuleSet};
+pub use telemetry::{Counter, Gauge, Histogram, HotStats, InstrumentedStream, Scope, Snapshot};

@@ -22,9 +22,12 @@
 use crate::detector::{DetectionQuery, Detector, DetectorConfig};
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
+use crate::telemetry::{self, Counter, Gauge, Histogram, HotStats, HotStatsCounters, Scope};
 use haystack_net::{AnonId, HourBin};
 use haystack_wild::{RecordChunk, RecordStream, WildRecord};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
+};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -50,11 +53,26 @@ fn shard_of(line: AnonId, n: usize) -> usize {
     (z % n as u64) as usize
 }
 
+/// Per-shard telemetry handles, shipped to the worker thread when the
+/// pool is instrumented.
+#[derive(Debug, Clone)]
+struct ShardTelemetry {
+    /// Batches sent but not yet processed by this shard (shared with the
+    /// feeder, which increments on send).
+    queue_depth: Gauge,
+    /// The shard detector's hot-path tallies, flushed per batch.
+    hot: HotStatsCounters,
+    /// Per-batch observe time, microseconds.
+    batch_span_us: Histogram,
+}
+
 /// Commands a worker thread understands. Batches and queries share one
 /// FIFO channel, so a query observes every batch sent before it.
 enum Cmd {
     /// Observe a buffer of records; the cleared buffer is recycled back.
     Batch(Vec<WildRecord>),
+    /// Install telemetry handles on this shard.
+    Telemetry(ShardTelemetry),
     /// Swap the daily hitlist, keeping accumulated evidence.
     SetHitlist(HitList),
     /// Clear accumulated evidence.
@@ -97,6 +115,32 @@ pub struct DetectorPool {
     /// Chunk buffers ever allocated — the pool's peak resident buffer
     /// count, since buffers recycle instead of dropping.
     buffers_created: usize,
+    /// Feeder-side telemetry, present only after
+    /// [`DetectorPool::attach_telemetry`] on an enabled registry.
+    telemetry: Option<FeederTelemetry>,
+}
+
+/// Feeder-side telemetry handles for an instrumented pool.
+#[derive(Debug)]
+struct FeederTelemetry {
+    /// Records accepted by `observe_records`.
+    records_in: Counter,
+    /// Full or partial buffers shipped to workers.
+    batches_shipped: Counter,
+    /// Ships that found the shard's channel full and had to block — the
+    /// backpressure signal.
+    backpressure_stalls: Counter,
+    /// Fresh buffer allocations (nothing came back on the recycle lane).
+    buffers_created: Counter,
+    /// Ships served by a recycled buffer.
+    buffers_recycled: Counter,
+    /// Staged records discarded by `reset` (they belong to the window
+    /// being cleared). Keeps the conservation invariant exact:
+    /// `records_in == Σ shard records_observed + records_discarded`.
+    records_discarded: Counter,
+    /// Per-shard in-flight batch gauges (shared with the workers, which
+    /// decrement after processing).
+    queue_depth: Vec<Gauge>,
 }
 
 impl std::fmt::Debug for Worker {
@@ -134,17 +178,45 @@ impl DetectorPool {
                     .name(format!("detector-shard-{i}"))
                     .spawn(move || {
                         let mut det = Detector::new(&rules, hitlist, config);
+                        let mut tel: Option<ShardTelemetry> = None;
+                        let mut flushed = HotStats::default();
+                        // Fold the detector's tallies accrued since the
+                        // last flush into the shard's atomic counters —
+                        // one set of adds per batch, not per record.
+                        let flush_stats = |det: &Detector<'_>,
+                                           tel: &Option<ShardTelemetry>,
+                                           flushed: &mut HotStats| {
+                            if let Some(t) = tel {
+                                let now = det.hot_stats();
+                                t.hot.flush(now.since(flushed));
+                                *flushed = now;
+                            }
+                        };
                         while let Ok(cmd) = rx.recv() {
                             match cmd {
                                 Cmd::Batch(mut buf) => {
+                                    let span =
+                                        tel.as_ref().map(|t| t.batch_span_us.start_span());
                                     det.observe_chunk(&buf);
+                                    drop(span);
+                                    if let Some(t) = &tel {
+                                        t.queue_depth.dec();
+                                    }
+                                    flush_stats(&det, &tel, &mut flushed);
                                     buf.clear();
                                     // Feeder may be gone during teardown.
                                     let _ = recycle_tx.send(buf);
                                 }
+                                Cmd::Telemetry(t) => {
+                                    tel = Some(t);
+                                    flush_stats(&det, &tel, &mut flushed);
+                                }
                                 Cmd::SetHitlist(hl) => det.set_hitlist(hl),
                                 Cmd::Reset => det.reset(),
                                 Cmd::Barrier(reply) => {
+                                    // Counters are exact at every barrier:
+                                    // `finish()` syncs them for snapshots.
+                                    flush_stats(&det, &tel, &mut flushed);
                                     let _ = reply.send(());
                                 }
                                 Cmd::DetectedLines(class, reply) => {
@@ -175,7 +247,44 @@ impl DetectorPool {
             staging: (0..n).map(|_| Vec::with_capacity(batch_records)).collect(),
             batch_records,
             buffers_created: n,
+            telemetry: None,
         }
+    }
+
+    /// Instrument the pool under `scope`: feeder counters (`records_in`,
+    /// `batches_shipped`, `backpressure_stalls`, buffer churn) plus
+    /// per-shard sub-scopes (`shard0.queue_depth`,
+    /// `shard0.records_observed`, `shard0.batch_span_us`, …). A no-op
+    /// while telemetry is disabled, leaving the feed path byte-for-byte
+    /// as before.
+    pub fn attach_telemetry(&mut self, scope: &Scope) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let feeder = FeederTelemetry {
+            records_in: scope.counter("records_in"),
+            batches_shipped: scope.counter("batches_shipped"),
+            backpressure_stalls: scope.counter("backpressure_stalls"),
+            buffers_created: scope.counter("buffers_created"),
+            buffers_recycled: scope.counter("buffers_recycled"),
+            records_discarded: scope.counter("records_discarded"),
+            queue_depth: (0..self.workers.len())
+                .map(|i| scope.sub(&format!("shard{i}")).gauge("queue_depth"))
+                .collect(),
+        };
+        // The per-worker startup buffers predate instrumentation.
+        feeder.buffers_created.add(self.buffers_created as u64);
+        scope.gauge("workers").set(self.workers.len() as u64);
+        for (i, w) in self.workers.iter().enumerate() {
+            let sub = scope.sub(&format!("shard{i}"));
+            let t = ShardTelemetry {
+                queue_depth: feeder.queue_depth[i].clone(),
+                hot: HotStatsCounters::new(&sub),
+                batch_span_us: sub.histogram("batch_span_us"),
+            };
+            w.tx.send(Cmd::Telemetry(t)).expect("detector shard died");
+        }
+        self.telemetry = Some(feeder);
     }
 
     /// Number of shard workers.
@@ -193,9 +302,17 @@ impl DetectorPool {
     /// otherwise.
     fn take_buffer(&mut self, shard: usize) -> Vec<WildRecord> {
         match self.workers[shard].recycle.try_recv() {
-            Ok(buf) => buf,
+            Ok(buf) => {
+                if let Some(t) = &self.telemetry {
+                    t.buffers_recycled.inc();
+                }
+                buf
+            }
             Err(TryRecvError::Empty) => {
                 self.buffers_created += 1;
+                if let Some(t) = &self.telemetry {
+                    t.buffers_created.inc();
+                }
                 Vec::with_capacity(self.batch_records)
             }
             Err(TryRecvError::Disconnected) => panic!("detector shard {shard} died"),
@@ -210,11 +327,29 @@ impl DetectorPool {
         }
         let empty = self.take_buffer(shard);
         let full = std::mem::replace(&mut self.staging[shard], empty);
-        self.workers[shard].tx.send(Cmd::Batch(full)).expect("detector shard died");
+        let Some(t) = &self.telemetry else {
+            self.workers[shard].tx.send(Cmd::Batch(full)).expect("detector shard died");
+            return;
+        };
+        t.batches_shipped.inc();
+        t.queue_depth[shard].inc();
+        // Distinguish a clean send from one that had to block: the
+        // stall counter is the backpressure signal operators watch.
+        match self.workers[shard].tx.try_send(Cmd::Batch(full)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(cmd)) => {
+                t.backpressure_stalls.inc();
+                self.workers[shard].tx.send(cmd).expect("detector shard died");
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("detector shard {shard} died"),
+        }
     }
 
     /// Observe records: partitioned to shards, shipped as buffers fill.
     pub fn observe_records(&mut self, records: &[WildRecord]) {
+        if let Some(t) = &self.telemetry {
+            t.records_in.add(records.len() as u64);
+        }
         let n = self.workers.len();
         for r in records {
             let shard = shard_of(r.line, n);
@@ -279,6 +414,9 @@ impl DetectorPool {
     /// Clear accumulated evidence (new aggregation window). Records still
     /// staged are discarded — they belong to the window being cleared.
     pub fn reset(&mut self) {
+        if let Some(t) = &self.telemetry {
+            t.records_discarded.add(self.staging.iter().map(Vec::len).sum::<usize>() as u64);
+        }
         for s in &mut self.staging {
             s.clear();
         }
@@ -627,6 +765,50 @@ mod tests {
         for line in par.detected_lines("X") {
             assert!(par.is_detected(line, "X"));
         }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn pool_telemetry_counts_are_conserved() {
+        telemetry::set_enabled(true);
+        let rules = ruleset(4);
+        let hl = HitList::whole_window(&rules);
+        let scope = Scope::named("t_pool_unit");
+        let mut pool = DetectorPool::with_tuning(
+            &rules,
+            &hl,
+            DetectorConfig::default(),
+            3,
+            64,
+            2,
+        );
+        pool.attach_telemetry(&scope);
+        let records = random_records(10_000, 21);
+        pool.observe_records(&records);
+        pool.finish();
+        let snap = telemetry::global().snapshot().filtered("t_pool_unit");
+        assert_eq!(snap.counter("t_pool_unit.records_in"), Some(10_000));
+        let observed: u64 = (0..3)
+            .map(|i| snap.counter(&format!("t_pool_unit.shard{i}.records_observed")).unwrap())
+            .sum();
+        assert_eq!(observed, 10_000, "every fed record observed by some shard");
+        assert!(snap.counter("t_pool_unit.batches_shipped").unwrap() > 0);
+        let created = snap.counter("t_pool_unit.buffers_created").unwrap();
+        let recycled = snap.counter("t_pool_unit.buffers_recycled").unwrap();
+        assert!(created >= 3, "startup buffers counted");
+        assert!(recycled > 0, "tiny buffers at 10k records must recycle");
+        for i in 0..3 {
+            assert_eq!(
+                telemetry::global().snapshot().gauge(&format!("t_pool_unit.shard{i}.queue_depth")),
+                Some(0),
+                "queues drained after finish"
+            );
+        }
+        // Stats flow through reset's discard counter too.
+        pool.observe_records(&records[..10]);
+        pool.reset();
+        let snap = telemetry::global().snapshot();
+        assert_eq!(snap.counter("t_pool_unit.records_discarded"), Some(10));
     }
 
     #[test]

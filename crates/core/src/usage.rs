@@ -16,6 +16,7 @@
 use crate::fasthash::{FastMap, FastSet};
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
+use crate::telemetry::HotStats;
 use haystack_net::AnonId;
 use haystack_wild::WildRecord;
 use std::collections::BTreeSet;
@@ -43,6 +44,8 @@ pub struct UsageTracker<'r> {
     packets: Vec<FastMap<AnonId, u64>>,
     /// Per-rule: lines that touched a usage-indicator domain.
     indicator: Vec<FastSet<AnonId>>,
+    /// Plain hot-path tallies (`detections` counts indicator hits).
+    stats: HotStats,
 }
 
 impl<'r> UsageTracker<'r> {
@@ -55,6 +58,7 @@ impl<'r> UsageTracker<'r> {
             config,
             packets: (0..n).map(|_| FastMap::default()).collect(),
             indicator: (0..n).map(|_| FastSet::default()).collect(),
+            stats: HotStats::default(),
         }
     }
 
@@ -67,10 +71,14 @@ impl<'r> UsageTracker<'r> {
     /// steady-state matching path: the hitlist and the per-rule maps are
     /// disjoint fields, so entries are iterated in place.
     pub fn observe(&mut self, r: &WildRecord) {
-        let UsageTracker { rules, hitlist, packets, indicator, .. } = self;
+        let UsageTracker { rules, hitlist, packets, indicator, stats, .. } = self;
+        stats.records += 1;
+        stats.probes += 1;
         for &(ri, di) in hitlist.lookup(r.dst, r.dport) {
+            stats.matches += 1;
             *packets[ri as usize].entry(r.line).or_default() += r.packets;
             if rules.rules[ri as usize].domains[di as usize].usage_indicator {
+                stats.detections += 1;
                 indicator[ri as usize].insert(r.line);
             }
         }
@@ -103,6 +111,12 @@ impl<'r> UsageTracker<'r> {
         for s in &mut self.indicator {
             s.clear();
         }
+    }
+
+    /// Cumulative hot-path tallies (records, probes, matches, indicator
+    /// hits in `detections`). Not cleared by [`UsageTracker::reset`].
+    pub fn hot_stats(&self) -> HotStats {
+        self.stats
     }
 }
 

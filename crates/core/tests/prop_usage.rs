@@ -1,0 +1,244 @@
+//! Property tests for the §7.1 usage tracker and the §7.3 staleness
+//! monitor against naive per-(line, rule) reference models.
+//!
+//! Both production types share the hitlist index and in-place iteration
+//! tricks of the detector hot path; the references here do none of that
+//! — they scan every rule domain per record with plain set membership —
+//! so any disagreement is a bug in the indexed fast path.
+
+use haystack_core::hitlist::HitList;
+use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_core::staleness::{StaleDomain, StalenessMonitor};
+use haystack_core::usage::{UsageConfig, UsageTracker};
+use haystack_dns::DomainName;
+use haystack_net::ports::Proto;
+use haystack_net::{AnonId, DayBin, HourBin, Prefix4};
+use haystack_testbed::catalog::DetectionLevel;
+use haystack_wild::WildRecord;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Rule classes are `&'static str`; a fixed universe keeps them static.
+const CLASSES: [&str; 3] = ["R0", "R1", "R2"];
+/// Small shared pools so rules overlap on IPs and ports — the
+/// interesting case for the multi-entry hitlist lookups.
+const PORTS: [u16; 2] = [443, 8883];
+
+fn pool_ip(idx: u8) -> Ipv4Addr {
+    Ipv4Addr::new(198, 18, 9, idx % 8)
+}
+
+/// One generated domain: (ip pool index, port pool index, usage flag).
+type DomainSpec = (u8, u8, bool);
+
+fn build_rules(specs: &[Vec<DomainSpec>]) -> RuleSet {
+    RuleSet {
+        rules: specs
+            .iter()
+            .enumerate()
+            .map(|(ri, domains)| DetectionRule {
+                class: CLASSES[ri],
+                level: DetectionLevel::Manufacturer,
+                parent: None,
+                domains: domains
+                    .iter()
+                    .enumerate()
+                    .map(|(di, &(ip, port, usage_indicator))| RuleDomain {
+                        name: DomainName::parse(&format!("d{di}.r{ri}.example")).unwrap(),
+                        ports: [PORTS[port as usize % PORTS.len()]].into_iter().collect(),
+                        ips: [pool_ip(ip)].into_iter().collect(),
+                        usage_indicator,
+                    })
+                    .collect(),
+            })
+            .collect(),
+        undetectable: vec![],
+    }
+}
+
+/// One generated record: (line, ip pool index, port pool index, packets).
+type RecordSpec = (u64, u8, u8, u64);
+
+fn build_record(&(line, ip, port, packets): &RecordSpec) -> WildRecord {
+    let src = Ipv4Addr::new(100, 64, 0, line as u8);
+    WildRecord {
+        line: AnonId(line),
+        line_slash24: Prefix4::slash24_of(src),
+        src_ip: src,
+        dst: pool_ip(ip),
+        dport: PORTS[port as usize % PORTS.len()],
+        proto: Proto::Tcp,
+        packets,
+        bytes: packets * 500,
+        established: true,
+        hour: HourBin(0),
+    }
+}
+
+/// The reference: full scan of every rule domain per record.
+fn matching_domains<'r>(
+    rules: &'r RuleSet,
+    r: &WildRecord,
+) -> impl Iterator<Item = (usize, usize)> + 'r {
+    let (dst, dport) = (r.dst, r.dport);
+    rules.rules.iter().enumerate().flat_map(move |(ri, rule)| {
+        rule.domains
+            .iter()
+            .enumerate()
+            .filter(move |(_, d)| d.ips.contains(&dst) && d.ports.contains(&dport))
+            .map(move |(di, _)| (ri, di))
+    })
+}
+
+proptest! {
+    /// The tracker's active-lines verdicts equal a naive per-(line, rule)
+    /// packet-sum / indicator-set model, and its hot-stats tallies equal
+    /// the reference match counts.
+    #[test]
+    fn usage_tracker_matches_reference(
+        specs in prop::collection::vec(
+            prop::collection::vec((0u8..8, 0u8..2, any::<bool>()), 1..4),
+            1..=3,
+        ),
+        records in prop::collection::vec((0u64..6, 0u8..8, 0u8..2, 1u64..30), 0..80),
+        threshold in 1u64..40,
+    ) {
+        let rules = build_rules(&specs);
+        let mut tracker = UsageTracker::new(
+            &rules,
+            HitList::whole_window(&rules),
+            UsageConfig { packet_threshold: threshold },
+        );
+
+        // Reference state: (rule, line) → packets, plus indicator sets.
+        let mut packets: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+        let mut indicator: BTreeSet<(usize, u64)> = BTreeSet::new();
+        let mut ref_matches = 0u64;
+        let mut ref_detections = 0u64;
+        for spec in &records {
+            let r = build_record(spec);
+            tracker.observe(&r);
+            for (ri, di) in matching_domains(&rules, &r) {
+                ref_matches += 1;
+                *packets.entry((ri, spec.0)).or_default() += r.packets;
+                if rules.rules[ri].domains[di].usage_indicator {
+                    ref_detections += 1;
+                    indicator.insert((ri, spec.0));
+                }
+            }
+        }
+
+        for (ri, rule) in rules.rules.iter().enumerate() {
+            let expected: BTreeSet<AnonId> = (0u64..6)
+                .filter(|line| {
+                    packets.get(&(ri, *line)).copied().unwrap_or(0) >= threshold
+                        || indicator.contains(&(ri, *line))
+                })
+                .map(AnonId)
+                .collect();
+            prop_assert_eq!(
+                tracker.active_lines(rule.class),
+                expected,
+                "class {} disagrees with the reference",
+                rule.class
+            );
+        }
+
+        let stats = tracker.hot_stats();
+        prop_assert_eq!(stats.records, records.len() as u64);
+        prop_assert_eq!(stats.probes, records.len() as u64);
+        prop_assert_eq!(stats.matches, ref_matches);
+        prop_assert_eq!(stats.detections, ref_detections);
+    }
+
+    /// Resetting at an hour boundary forgets exactly the first hour: the
+    /// tracker equals a reference fed only the second hour's records.
+    #[test]
+    fn usage_reset_isolates_hours(
+        specs in prop::collection::vec(
+            prop::collection::vec((0u8..8, 0u8..2, any::<bool>()), 1..4),
+            1..=2,
+        ),
+        hour_a in prop::collection::vec((0u64..6, 0u8..8, 0u8..2, 1u64..30), 0..40),
+        hour_b in prop::collection::vec((0u64..6, 0u8..8, 0u8..2, 1u64..30), 0..40),
+    ) {
+        let rules = build_rules(&specs);
+        let config = UsageConfig::default();
+        let mut tracker = UsageTracker::new(&rules, HitList::whole_window(&rules), config);
+        let mut fresh = UsageTracker::new(&rules, HitList::whole_window(&rules), config);
+        for spec in &hour_a {
+            tracker.observe(&build_record(spec));
+        }
+        tracker.reset();
+        for spec in &hour_b {
+            tracker.observe(&build_record(spec));
+            fresh.observe(&build_record(spec));
+        }
+        for rule in &rules.rules {
+            prop_assert_eq!(
+                tracker.active_lines(rule.class),
+                fresh.active_lines(rule.class)
+            );
+        }
+    }
+
+    /// The staleness monitor's verdicts equal a naive reimplementation
+    /// that replays the same per-day fold with plain maps — same keys,
+    /// same float sequence, so verdicts must match *exactly*.
+    #[test]
+    fn staleness_matches_reference(
+        specs in prop::collection::vec(
+            prop::collection::vec((0u8..8, 0u8..2, any::<bool>()), 1..4),
+            1..=3,
+        ),
+        days in prop::collection::vec(
+            prop::collection::vec((0u64..6, 0u8..8, 0u8..2, 1u64..200), 0..30),
+            1..8,
+        ),
+    ) {
+        const DECAY: f64 = 0.85;
+        const STALE_FRACTION: f64 = 0.2;
+        const WARMUP_DAYS: u32 = 3;
+
+        let rules = build_rules(&specs);
+        let mut monitor = StalenessMonitor::new(HitList::whole_window(&rules));
+
+        // Reference state, keyed like the monitor's internals.
+        let mut baseline: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for (day, day_records) in days.iter().enumerate() {
+            let mut today: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+            for spec in day_records {
+                let r = build_record(spec);
+                monitor.observe(&r);
+                for key in matching_domains(&rules, &r) {
+                    *today.entry(key).or_default() += r.packets;
+                }
+            }
+
+            let mut expected: Vec<StaleDomain> = Vec::new();
+            let days_seen = day as u32 + 1;
+            for (ri, rule) in rules.rules.iter().enumerate() {
+                for (di, dom) in rule.domains.iter().enumerate() {
+                    let t = today.get(&(ri, di)).copied().unwrap_or(0);
+                    let b = baseline.entry((ri, di)).or_insert(t as f64);
+                    if days_seen > WARMUP_DAYS && *b > 10.0 && (t as f64) < STALE_FRACTION * *b {
+                        expected.push(StaleDomain {
+                            class: rule.class,
+                            domain_index: di,
+                            domain: dom.name.as_str().to_string(),
+                            baseline: *b,
+                            today: t,
+                        });
+                    }
+                    *b = DECAY * *b + (1.0 - DECAY) * t as f64;
+                }
+            }
+
+            let verdicts =
+                monitor.end_of_day(&rules, HitList::whole_window(&rules), DayBin(day as u32));
+            prop_assert_eq!(verdicts, expected, "day {} verdicts diverged", day);
+            prop_assert_eq!(monitor.days_seen(), days_seen);
+        }
+    }
+}

@@ -89,6 +89,15 @@ pub struct Collector {
     malformed_sets: u64,
     /// Templates evicted by the LRU bound.
     templates_evicted: u64,
+    /// Datagrams offered to any `feed*` entry point (including ones that
+    /// later fail to parse or are discarded under quarantine).
+    datagrams_received: u64,
+    /// Flow records successfully decoded and returned to the caller.
+    records_decoded: u64,
+    /// Data sets whose (data or options) template was in the cache.
+    template_hits: u64,
+    /// Template records accepted (data + options announcements).
+    template_announcements: u64,
 }
 
 impl Default for Collector {
@@ -107,6 +116,10 @@ impl Default for Collector {
             malformed_messages: 0,
             malformed_sets: 0,
             templates_evicted: 0,
+            datagrams_received: 0,
+            records_decoded: 0,
+            template_hits: 0,
+            template_announcements: 0,
         }
     }
 }
@@ -148,6 +161,7 @@ impl Collector {
             Some(9) => self.feed_netflow_v9(datagram),
             Some(10) => self.feed_ipfix(datagram),
             found => {
+                self.datagrams_received += 1;
                 self.malformed_messages += 1;
                 Err(FlowError::BadVersion { expected: 9, found: found.unwrap_or(0) })
             }
@@ -177,6 +191,7 @@ impl Collector {
     }
 
     fn feed_v9_inner(&mut self, datagram: Bytes, strict: bool) -> Result<Vec<FlowRecord>, FlowError> {
+        self.datagrams_received += 1;
         let source_hint = peek_source(&datagram).filter(|(v, _)| *v == 9).map(|(_, s)| s);
         if let Some(source) = source_hint {
             if self.consume_quarantine(source) {
@@ -212,10 +227,12 @@ impl Collector {
             }
         }
         self.finish_message(source, msg.header.sequence, out.len(), clean);
+        self.records_decoded += out.len() as u64;
         Ok(out)
     }
 
     fn feed_ipfix_inner(&mut self, datagram: Bytes, strict: bool) -> Result<Vec<FlowRecord>, FlowError> {
+        self.datagrams_received += 1;
         let source_hint = peek_source(&datagram).filter(|(v, _)| *v == 10).map(|(_, s)| s);
         if let Some(source) = source_hint {
             if self.consume_quarantine(source) {
@@ -251,6 +268,7 @@ impl Collector {
             }
         }
         self.finish_message(source, msg.header.sequence, out.len(), clean);
+        self.records_decoded += out.len() as u64;
         Ok(out)
     }
 
@@ -258,6 +276,7 @@ impl Collector {
     /// The header's sampling announcement, if present, is recorded under
     /// the engine id as source.
     pub fn feed_netflow_v5(&mut self, datagram: Bytes) -> Result<Vec<FlowRecord>, FlowError> {
+        self.datagrams_received += 1;
         let msg = match v5::decode(datagram) {
             Ok(m) => m,
             Err(e) => {
@@ -271,6 +290,7 @@ impl Collector {
                 SamplingOptions { interval: u32::from(interval), algorithm: 1 },
             );
         }
+        self.records_decoded += msg.records.len() as u64;
         Ok(msg.records)
     }
 
@@ -369,6 +389,7 @@ impl Collector {
 
     fn insert_template(&mut self, source: u32, t: Template) {
         let key = (source, t.id);
+        self.template_announcements += 1;
         self.lru_clock += 1;
         self.template_lru.insert(key, self.lru_clock);
         self.templates.insert(key, t);
@@ -383,6 +404,7 @@ impl Collector {
 
     fn insert_options_template(&mut self, source: u32, t: OptionsTemplate) {
         let key = (source, t.id);
+        self.template_announcements += 1;
         self.lru_clock += 1;
         self.options_lru.insert(key, self.lru_clock);
         self.options_templates.insert(key, t);
@@ -409,6 +431,7 @@ impl Collector {
         // an id across the two.
         let key = (source, template_id);
         if self.options_templates.contains_key(&key) {
+            self.template_hits += 1;
             self.lru_clock += 1;
             self.options_lru.insert(key, self.lru_clock);
             let ot = &self.options_templates[&key];
@@ -429,6 +452,7 @@ impl Collector {
         }
         match self.templates.get(&key) {
             Some(t) => {
+                self.template_hits += 1;
                 // RFC 3954/7011 allow at most 3 bytes of padding to the
                 // next 4-byte boundary; a longer remainder means the set
                 // was truncated or corrupted mid-record.
@@ -527,6 +551,27 @@ impl Collector {
         self.templates_evicted
     }
 
+    /// Datagrams offered to any `feed*` entry point, including ones that
+    /// failed to parse or were discarded under quarantine.
+    pub fn datagrams_received(&self) -> u64 {
+        self.datagrams_received
+    }
+
+    /// Flow records successfully decoded and returned to callers.
+    pub fn records_decoded(&self) -> u64 {
+        self.records_decoded
+    }
+
+    /// Data sets that found their (data or options) template cached.
+    pub fn template_hits(&self) -> u64 {
+        self.template_hits
+    }
+
+    /// Template records accepted (data + options announcements).
+    pub fn template_announcements(&self) -> u64 {
+        self.template_announcements
+    }
+
     /// Number of cached templates.
     pub fn template_count(&self) -> usize {
         self.templates.len()
@@ -601,6 +646,10 @@ mod tests {
         assert_eq!(collector.dropped_unknown_template(), 0);
         assert_eq!(collector.missed_datagrams(), 0);
         assert_eq!(collector.restarts_detected(), 0);
+        assert_eq!(collector.records_decoded(), 20);
+        assert!(collector.datagrams_received() >= 3, "20 records in batches of 8");
+        assert!(collector.template_announcements() >= 1);
+        assert!(collector.template_hits() >= 3);
     }
 
     #[test]

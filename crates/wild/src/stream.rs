@@ -86,6 +86,18 @@ pub trait RecordStream {
     fn next_chunk(&mut self, out: &mut RecordChunk) -> bool;
 }
 
+impl<S: RecordStream + ?Sized> RecordStream for &mut S {
+    fn next_chunk(&mut self, out: &mut RecordChunk) -> bool {
+        (**self).next_chunk(out)
+    }
+}
+
+impl<S: RecordStream + ?Sized> RecordStream for Box<S> {
+    fn next_chunk(&mut self, out: &mut RecordChunk) -> bool {
+        (**self).next_chunk(out)
+    }
+}
+
 /// Drain a stream into the materialized [`HourTraffic`] shape.
 pub fn materialize(stream: &mut dyn RecordStream) -> HourTraffic {
     let mut out = HourTraffic::default();

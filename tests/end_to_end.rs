@@ -302,6 +302,100 @@ fn streaming_detection_is_worker_and_chunking_invariant() {
     }
 }
 
+/// Golden snapshot of the whole gen → degrade → detect → report path:
+/// the detection report AND the telemetry counters are pinned to
+/// fixtures under `tests/golden/`. Every stage is seeded and the
+/// telemetry subset is counters-only (no gauges, no span histograms),
+/// so a diff means behavior changed — re-bless with
+/// `HAYSTACK_BLESS=1 cargo test golden_e2e` after verifying the change
+/// is intended.
+#[test]
+fn golden_e2e_snapshot_matches_fixture() {
+    use haystack::core::telemetry::{self, HotStats, HotStatsCounters, InstrumentedStream};
+    use haystack::flow::ChaosConfig;
+    use haystack::wild::{DegradeStream, RecordStream};
+
+    telemetry::set_enabled(true);
+    let p = pipeline();
+    let isp = isp(4_000);
+    let scope = telemetry::Scope::named("golden");
+    let chaos = ChaosConfig {
+        drop_probability: 0.05,
+        duplicate_probability: 0.02,
+        seed: 17,
+        ..ChaosConfig::off()
+    };
+    // Single-threaded detector: per-shard pool counters would pin the
+    // worker count into the fixture; the detector itself is invariant.
+    let mut det = Detector::new(
+        &p.rules,
+        HitList::for_day(&p.rules, &p.dnsdb, DayBin(0)),
+        DetectorConfig::default(),
+    );
+    let hot = HotStatsCounters::new(&scope.sub("detector"));
+    let mut flushed = HotStats::default();
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
+    for (h, hour) in DayBin(0).hours().enumerate() {
+        let mut stream = InstrumentedStream::new(
+            DegradeStream::new(
+                isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS),
+                chaos.clone(),
+                h as u64,
+                DEFAULT_CHUNK_RECORDS,
+            ),
+            &scope.sub("stream"),
+        );
+        while stream.next_chunk(&mut chunk) {
+            det.observe_chunk(&chunk.records);
+            let now = det.hot_stats();
+            hot.flush(now.since(&flushed));
+            flushed = now;
+        }
+    }
+
+    let report = serde_json::json!({
+        "window": "day 0",
+        "chaos": {"drop_probability": 0.05, "duplicate_probability": 0.02, "seed": 17},
+        "classes": p.rules.rules.iter().map(|r| serde_json::json!({
+            "class": r.class,
+            "detected_lines": det.detected_lines(r.class).iter().map(|l| l.0).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+    });
+    let filtered = telemetry::global().snapshot().filtered("golden");
+    let report_text = serde_json::to_string_pretty(&report).expect("serializable");
+    let tel_text =
+        serde_json::to_string_pretty(&filtered.counters_to_json()).expect("serializable");
+
+    // CI artifact: the run's full Prometheus exposition (target/ is
+    // uploaded from the golden-e2e job, never committed).
+    let target = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target");
+    let _ = std::fs::create_dir_all(&target);
+    let _ = std::fs::write(target.join("metrics_snapshot.prom"), filtered.to_prometheus());
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    if std::env::var_os("HAYSTACK_BLESS").is_some() {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+        std::fs::write(dir.join("e2e_report.json"), format!("{report_text}\n")).unwrap();
+        std::fs::write(dir.join("e2e_telemetry.json"), format!("{tel_text}\n")).unwrap();
+        return;
+    }
+    let fixture = |name: &str| {
+        std::fs::read_to_string(dir.join(name)).unwrap_or_else(|e| {
+            panic!("missing fixture {name} ({e}); run HAYSTACK_BLESS=1 cargo test golden_e2e")
+        })
+    };
+    assert_eq!(
+        report_text.trim(),
+        fixture("e2e_report.json").trim(),
+        "detection report drifted from tests/golden/e2e_report.json"
+    );
+    assert_eq!(
+        tel_text.trim(),
+        fixture("e2e_telemetry.json").trim(),
+        "telemetry counters drifted from tests/golden/e2e_telemetry.json"
+    );
+}
+
 #[test]
 fn full_flow_pipeline_ipfix_round_trip() {
     // Packets → sampler → flow cache → IPFIX wire → collector → detector:
