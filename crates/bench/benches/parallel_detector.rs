@@ -72,7 +72,7 @@ fn bench(c: &mut Criterion) {
             b.iter_batched(
                 || ShardedDetector::new(&p.rules, &hl, DetectorConfig::default(), workers),
                 |mut det| {
-                    det.observe_batch(&records);
+                    det.observe_batch(&records).unwrap();
                     det.state_size()
                 },
                 BatchSize::LargeInput,
@@ -92,9 +92,9 @@ fn bench(c: &mut Criterion) {
                 },
                 |(mut pool, mut stream)| {
                     let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
-                    pool.observe_stream(&mut stream, &mut chunk);
-                    pool.finish();
-                    pool.state_size()
+                    pool.observe_stream(&mut stream, &mut chunk).unwrap();
+                    pool.finish().unwrap();
+                    pool.state_size().unwrap()
                 },
                 BatchSize::LargeInput,
             )

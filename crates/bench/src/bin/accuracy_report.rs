@@ -24,13 +24,13 @@ fn main() {
     let days = if args.fast { 1u32 } else { 3 };
 
     let mut pool = DetectorPool::new(&p.rules, &HitList::default(), DetectorConfig::default(), 4);
-    pool.attach_telemetry(&telemetry::Scope::named("pool"));
+    pool.attach_telemetry(&telemetry::Scope::named("pool")).unwrap();
     let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     let stream_scope = telemetry::Scope::named("stream");
     println!("# accuracy over {days} day(s), {} lines, sampling 1/1000, D=0.4", isp.config().lines);
     println!("day\tclass\ttp\tfp\tfn\tprecision\trecall\tf1");
     for day in 0..days {
-        pool.set_hitlist(&HitList::for_day(&p.rules, &p.dnsdb, DayBin(day)));
+        pool.set_hitlist(&HitList::for_day(&p.rules, &p.dnsdb, DayBin(day))).unwrap();
         // Evidence accumulates across days (the detector is cumulative
         // here, matching Figure 13's multi-day view).
         for hour in DayBin(day).hours() {
@@ -38,7 +38,7 @@ fn main() {
                 isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS),
                 &stream_scope,
             );
-            pool.observe_stream(&mut stream, &mut chunk);
+            pool.observe_stream(&mut stream, &mut chunk).unwrap();
         }
         let mut rows: Vec<(&str, haystack_core::quality::Confusion)> = p
             .rules

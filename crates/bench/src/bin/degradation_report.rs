@@ -103,21 +103,25 @@ fn detection_step(p: &Pipeline, args: &Args, severity: Option<f64>, days: u32) -
     // The degraded feed streams chunk-by-chunk into the persistent
     // worker pool; degradation accounting rides along on the chunks.
     let mut pool = DetectorPool::new(&p.rules, &HitList::default(), DetectorConfig::default(), 4);
-    pool.attach_telemetry(&scope.sub("pool"));
+    pool.attach_telemetry(&scope.sub("pool")).unwrap();
+    // Supervised like the deployment shape — the hitlist swaps below
+    // double as shard checkpoints, so the `# telemetry` section carries
+    // the checkpoint.* recovery counters.
+    pool.enable_supervision(haystack_core::parallel::DEFAULT_REPLAY_LIMIT).unwrap();
     let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     let mut degradation = haystack_wild::FeedDegradation::default();
     for day in 0..days {
-        pool.set_hitlist(&HitList::for_day(&p.rules, &p.dnsdb, DayBin(day)));
+        pool.set_hitlist(&HitList::for_day(&p.rules, &p.dnsdb, DayBin(day))).unwrap();
         for hour in DayBin(day).hours() {
             let mut stream = InstrumentedStream::new(
                 isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS),
                 &scope.sub("stream"),
             );
-            let (_records, _packets, deg) = pool.observe_stream(&mut stream, &mut chunk);
+            let (_records, _packets, deg) = pool.observe_stream(&mut stream, &mut chunk).unwrap();
             degradation.absorb(deg);
         }
     }
-    pool.finish();
+    pool.finish().unwrap();
     let mut total = Confusion::default();
     let last_day = days - 1;
     for r in &p.rules.rules {

@@ -15,6 +15,8 @@ use serde_json::{json, Value};
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
+pub mod resume;
+
 /// Format version written into every document.
 pub const FORMAT_VERSION: u32 = 1;
 

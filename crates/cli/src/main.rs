@@ -17,6 +17,7 @@
 //! print), keeping stdout machine-readable and stderr clean. All
 //! progress/error output routes through [`haystack_cli::log`].
 
+use haystack_cli::resume::RunCheckpoint;
 use haystack_cli::{cli_error, note, rules_from_json, rules_to_json};
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
@@ -24,17 +25,29 @@ use haystack_core::mitigation::{block_plan, Action};
 use haystack_core::parallel::DetectorPool;
 use haystack_core::pipeline::{Pipeline, PipelineConfig};
 use haystack_core::telemetry;
+use haystack_core::CheckpointDir;
 use haystack_dns::DnsDb;
 use haystack_net::DayBin;
 use haystack_testbed::catalog::data::standard_catalog;
 use haystack_testbed::materialize::materialize;
-use haystack_wild::{IspConfig, IspVantage, RecordChunk, VantagePoint, DEFAULT_CHUNK_RECORDS};
+use haystack_wild::{
+    skip_chunks, IspConfig, IspVantage, RecordChunk, VantagePoint, Watermark,
+    DEFAULT_CHUNK_RECORDS,
+};
 use std::collections::HashMap;
 use std::process::exit;
 
+/// Exit with a checkpoint I/O or decode error.
+fn pool_fatal_ck<T>(r: Result<T, haystack_core::CheckpointError>) -> T {
+    r.unwrap_or_else(|e| {
+        cli_error!("checkpoint: {e}");
+        exit(1);
+    })
+}
+
 fn usage() -> ! {
     haystack_cli::log::raw_args(format_args!(
-        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
+        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
     ));
     exit(2);
 }
@@ -44,7 +57,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            if matches!(key, "fast" | "quiet" | "json") {
+            if matches!(key, "fast" | "quiet" | "json" | "resume") {
                 out.insert(key.to_string(), "true".into());
             } else {
                 match it.next() {
@@ -132,17 +145,77 @@ fn cmd_inspect(flags: HashMap<String, String>) {
     }
 }
 
+/// Exit with the pool error — a shard died and (without supervision or
+/// after repeated deaths) could not be healed.
+fn pool_fatal<T>(r: Result<T, haystack_core::PoolError>) -> T {
+    r.unwrap_or_else(|e| {
+        cli_error!("{e}");
+        exit(1);
+    })
+}
+
 fn cmd_detect(flags: HashMap<String, String>) {
     let rules = load_rules(&flags);
-    let lines: u32 = num(&flags, "lines", 20_000);
-    let days: u32 = num(&flags, "days", 1);
-    let threshold: f64 = num(&flags, "threshold", 0.4);
-    let seed: u64 = num(&flags, "seed", 42);
-    let workers: usize = num(&flags, "workers", 4);
-    if workers == 0 {
-        cli_error!("--workers must be at least 1");
+    let ckpt_dir = flags.get("checkpoint-dir").map(|d| {
+        pool_fatal_ck(CheckpointDir::open(d))
+    });
+    let resume = flags.contains_key("resume");
+    if resume && ckpt_dir.is_none() {
+        cli_error!("--resume needs --checkpoint-dir");
         exit(2);
     }
+    let checkpoint_chunks: u64 = num(&flags, "checkpoint-chunks", 0);
+
+    // A resumed run takes its configuration from the checkpoint — flag
+    // drift between invocations cannot silently change the stream.
+    let loaded: Option<RunCheckpoint> = if resume {
+        let dir = ckpt_dir.as_ref().expect("checked above");
+        match pool_fatal_ck(dir.load_latest(RunCheckpoint::PREFIX, |frame| {
+            RunCheckpoint::decode(frame)
+        })) {
+            Some((gen, ck)) => {
+                note!(
+                    "resuming from checkpoint generation {gen} at day {} hour {} chunk {}",
+                    ck.watermark.day,
+                    ck.watermark.hour,
+                    ck.watermark.chunk
+                );
+                Some(ck)
+            }
+            None => {
+                note!("no checkpoint found; starting fresh");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let (lines, days, threshold, seed, workers, chunk_records) = match &loaded {
+        Some(ck) => (
+            ck.lines,
+            ck.days,
+            ck.threshold,
+            ck.seed,
+            ck.workers as usize,
+            ck.chunk_records as usize,
+        ),
+        None => {
+            let workers: usize = num(&flags, "workers", 4);
+            if workers == 0 {
+                cli_error!("--workers must be at least 1");
+                exit(2);
+            }
+            (
+                num(&flags, "lines", 20_000),
+                num(&flags, "days", 1),
+                num(&flags, "threshold", 0.4),
+                num(&flags, "seed", 42),
+                workers,
+                DEFAULT_CHUNK_RECORDS,
+            )
+        }
+    };
 
     note!("building the simulated ISP ({lines} lines) ...");
     let catalog = standard_catalog();
@@ -159,22 +232,116 @@ fn cmd_detect(flags: HashMap<String, String>) {
         DetectorConfig { threshold, require_established: false },
         workers,
     );
-    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
-    println!("day\tclass\tdetected_lines");
-    for day in 0..days {
-        pool.reset();
-        let mut records = 0u64;
-        for hour in DayBin(day).hours() {
-            let mut stream = isp.stream_hour(&world, hour, DEFAULT_CHUNK_RECORDS);
-            let (recs, _packets, _degradation) = pool.observe_stream(&mut *stream, &mut chunk);
-            records += recs;
+    if ckpt_dir.is_some() {
+        // Checkpointed runs are also supervised: a shard panic is healed
+        // from the pool's in-memory shard checkpoints instead of killing
+        // the run.
+        pool_fatal(pool.enable_supervision(haystack_core::parallel::DEFAULT_REPLAY_LIMIT));
+    }
+
+    // `emit` lines are the run's replayable stdout: checkpointed
+    // verbatim, re-printed on resume, so a resumed run's stdout is
+    // byte-identical to an uninterrupted one.
+    let mut emitted: Vec<String> = Vec::new();
+    let mut wm = Watermark::start();
+    let mut records_this_day = 0u64;
+    match &loaded {
+        Some(ck) => {
+            if ck.done {
+                note!("checkpointed run already complete; re-printing its output");
+            }
+            for line in &ck.emitted {
+                println!("{line}");
+            }
+            emitted = ck.emitted.clone();
+            wm = ck.watermark;
+            records_this_day = ck.records_this_day;
+            pool_fatal(pool.restore_shard_states(&ck.shards));
+            if ck.done {
+                return;
+            }
         }
-        pool.finish();
-        note!("day {day}: {records} records streamed through {workers} workers");
-        for rule in &rules.rules {
-            println!("{day}\t{}\t{}", rule.class, pool.detected_lines(rule.class).len());
+        None => {
+            let header = "day\tclass\tdetected_lines".to_string();
+            println!("{header}");
+            emitted.push(header);
         }
     }
+
+    let save = |pool: &mut DetectorPool,
+                wm: Watermark,
+                records_this_day: u64,
+                done: bool,
+                emitted: &[String]| {
+        let Some(dir) = &ckpt_dir else { return };
+        let ck = RunCheckpoint {
+            seed,
+            lines,
+            days,
+            threshold,
+            workers: workers as u32,
+            chunk_records: chunk_records as u64,
+            watermark: wm,
+            records_this_day,
+            done,
+            emitted: emitted.to_vec(),
+            shards: pool_fatal(pool.shard_states()),
+        };
+        pool_fatal_ck(dir.write(RunCheckpoint::PREFIX, &ck.encode()));
+    };
+
+    let mut chunk = RecordChunk::with_capacity(chunk_records);
+    while wm.day < days {
+        let day = wm.day;
+        for hour_idx in wm.hour..24 {
+            let hour = DayBin(day)
+                .hours()
+                .nth(hour_idx as usize)
+                .expect("a day has 24 hours");
+            let mut stream = isp.stream_hour(&world, hour, chunk_records);
+            // Resuming mid-hour: regenerate the hour and discard the
+            // already-processed prefix (generation is deterministic).
+            let mut chunk_no = if hour_idx == wm.hour && wm.chunk > 0 {
+                skip_chunks(&mut *stream, wm.chunk)
+            } else {
+                0
+            };
+            while stream.next_chunk(&mut chunk) {
+                records_this_day += chunk.records.len() as u64;
+                pool_fatal(pool.observe_records(&chunk.records));
+                chunk_no += 1;
+                if checkpoint_chunks > 0 && chunk_no % checkpoint_chunks == 0 {
+                    save(
+                        &mut pool,
+                        Watermark { day, hour: hour_idx, chunk: chunk_no },
+                        records_this_day,
+                        false,
+                        &emitted,
+                    );
+                }
+            }
+            wm = Watermark::hour_start(day, hour_idx).next_hour();
+            // Hour-boundary cadence — but the day-roll checkpoint waits
+            // for the day's summary rows below.
+            if wm.day == day {
+                save(&mut pool, wm, records_this_day, false, &emitted);
+            }
+        }
+        pool_fatal(pool.finish());
+        note!("day {day}: {records_this_day} records streamed through {workers} workers");
+        for rule in &rules.rules {
+            let n = pool_fatal(pool.detected_lines(rule.class)).len();
+            let row = format!("{day}\t{}\t{n}", rule.class);
+            println!("{row}");
+            emitted.push(row);
+        }
+        // Evidence resets at the day boundary; the day-roll checkpoint
+        // captures the post-reset state so a resume lands exactly here.
+        pool_fatal(pool.reset());
+        records_this_day = 0;
+        save(&mut pool, wm, 0, false, &emitted);
+    }
+    save(&mut pool, wm, 0, true, &emitted);
 }
 
 fn cmd_mitigate(flags: HashMap<String, String>) {
@@ -424,15 +591,52 @@ fn cmd_metrics(flags: HashMap<String, String>) {
             DetectorConfig { threshold: 0.4, require_established: false },
             workers,
         );
-        pool.attach_telemetry(&telemetry::Scope::named("pool"));
+        pool.attach_telemetry(&telemetry::Scope::named("pool"))
+            .unwrap_or_else(|e| {
+                cli_error!("{e}");
+                exit(1);
+            });
+        // Supervision also publishes the `checkpoint.*` counters (shard
+        // checkpoints, restarts, replays) into this snapshot.
+        pool.enable_supervision(haystack_core::parallel::DEFAULT_REPLAY_LIMIT)
+            .unwrap_or_else(|e| {
+                cli_error!("{e}");
+                exit(1);
+            });
         let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
         let hour = DayBin(0).hours().next().expect("a day has hours");
         let mut stream = InstrumentedStream::new(
             isp.stream_hour(&world, hour, DEFAULT_CHUNK_RECORDS),
             &telemetry::Scope::named("stream"),
         );
-        pool.observe_stream(&mut stream, &mut chunk);
-        pool.finish();
+        pool_fatal(pool.observe_stream(&mut stream, &mut chunk));
+        pool_fatal(pool.finish());
+        // One durable checkpoint round-trip, so the snapshot also shows
+        // the CheckpointDir side of DESIGN.md §12 (snapshots_written,
+        // snapshot_bytes, restores) next to the pool-side counters.
+        let ckpt_root =
+            std::env::temp_dir().join(format!("haystack-metrics-ckpt-{}", std::process::id()));
+        match CheckpointDir::open(&ckpt_root) {
+            Ok(dir) => {
+                let states = pool_fatal(pool.shard_states());
+                let mut ok = true;
+                for (i, s) in states.iter().enumerate() {
+                    ok &= dir.write(&format!("shard{i}"), &s.encode()).is_ok();
+                }
+                if ok {
+                    for i in 0..states.len() {
+                        let _ = dir.load_latest(
+                            &format!("shard{i}"),
+                            haystack_core::DetectorState::decode,
+                        );
+                    }
+                } else {
+                    note!("checkpoint slice skipped: checkpoint write failed");
+                }
+                let _ = std::fs::remove_dir_all(&ckpt_root);
+            }
+            Err(e) => note!("checkpoint slice skipped: {e}"),
+        }
     }
 
     let snap = telemetry::global().snapshot();

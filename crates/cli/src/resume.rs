@@ -1,0 +1,184 @@
+//! The run-level checkpoint `haystack detect --checkpoint-dir` persists
+//! (DESIGN.md §12).
+//!
+//! One [`RunCheckpoint`] frame captures everything a killed `detect` run
+//! needs to continue byte-identically:
+//!
+//! * the **configuration** the run was started with — a resumed run uses
+//!   the checkpointed config, so flag drift between invocations cannot
+//!   silently change the stream being generated;
+//! * the **watermark** (`day`, `hour`, `chunk`) of the next chunk to
+//!   process — generation is deterministic and chunking-invariant, so
+//!   the resumed run regenerates the watermark hour and skips the
+//!   already-processed prefix;
+//! * every stdout line **emitted** so far — re-printed on resume, so the
+//!   concatenation rule is trivial: a resumed run's stdout equals an
+//!   uninterrupted run's stdout, full stop (the `kill_resume`
+//!   integration test diffs them byte for byte);
+//! * the per-shard **detector states**, exported by the worker pool.
+//!
+//! The frame rides the `haystack-net` snapshot codec: versioned magic,
+//! length header, FNV-1a checksum. A truncated or bit-flipped file is
+//! rejected with a typed error and `CheckpointDir::load_latest` falls
+//! back to the previous generation.
+
+use haystack_core::DetectorState;
+use haystack_net::snapshot::{open, seal, SnapError, SnapReader, SnapWriter, MAGIC_LEN};
+use haystack_wild::Watermark;
+
+/// Everything needed to resume an interrupted `haystack detect` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCheckpoint {
+    /// `--seed` of the interrupted run.
+    pub seed: u64,
+    /// `--lines` of the interrupted run.
+    pub lines: u32,
+    /// `--days` of the interrupted run.
+    pub days: u32,
+    /// `--threshold` of the interrupted run.
+    pub threshold: f64,
+    /// `--workers` of the interrupted run (shard states are per-shard,
+    /// so the resumed pool must match).
+    pub workers: u32,
+    /// Stream chunk size (watermark chunks are counted in this unit).
+    pub chunk_records: u64,
+    /// Next chunk to process.
+    pub watermark: Watermark,
+    /// Records already streamed in the watermark's day (the day-summary
+    /// note continues from here).
+    pub records_this_day: u64,
+    /// Whether the run had already completed when this was written.
+    pub done: bool,
+    /// Stdout lines already printed, re-printed verbatim on resume.
+    pub emitted: Vec<String>,
+    /// Per-shard detector evidence as of the watermark.
+    pub shards: Vec<DetectorState>,
+}
+
+impl RunCheckpoint {
+    /// Frame magic of a run checkpoint.
+    pub const MAGIC: &'static [u8; MAGIC_LEN] = b"HAYRUNC\0";
+    /// Snapshot format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+    /// File prefix inside the checkpoint directory.
+    pub const PREFIX: &'static str = "run";
+
+    /// Seal the checkpoint as one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.seed);
+        w.put_u32(self.lines);
+        w.put_u32(self.days);
+        w.put_f64_bits(self.threshold);
+        w.put_u32(self.workers);
+        w.put_u64(self.chunk_records);
+        w.put_u32(self.watermark.day);
+        w.put_u32(self.watermark.hour);
+        w.put_u64(self.watermark.chunk);
+        w.put_u64(self.records_this_day);
+        w.put_u8(u8::from(self.done));
+        w.put_u64(self.emitted.len() as u64);
+        for line in &self.emitted {
+            w.put_str(line);
+        }
+        w.put_u64(self.shards.len() as u64);
+        for shard in &self.shards {
+            w.put_bytes(&shard.encode());
+        }
+        seal(Self::MAGIC, Self::VERSION, &w.into_bytes())
+    }
+
+    /// Decode a frame produced by [`RunCheckpoint::encode`].
+    pub fn decode(frame: &[u8]) -> Result<RunCheckpoint, SnapError> {
+        let payload = open(Self::MAGIC, Self::VERSION, frame)?;
+        let mut r = SnapReader::new(payload);
+        let seed = r.u64()?;
+        let lines = r.u32()?;
+        let days = r.u32()?;
+        let threshold = r.f64_bits()?;
+        let workers = r.u32()?;
+        let chunk_records = r.u64()?;
+        let watermark = Watermark { day: r.u32()?, hour: r.u32()?, chunk: r.u64()? };
+        let records_this_day = r.u64()?;
+        let done = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapError::Malformed("bad done flag")),
+        };
+        let n_emitted = r.count(4)?;
+        let mut emitted = Vec::with_capacity(n_emitted);
+        for _ in 0..n_emitted {
+            let s = std::str::from_utf8(r.bytes()?)
+                .map_err(|_| SnapError::Malformed("emitted line is not UTF-8"))?;
+            emitted.push(s.to_string());
+        }
+        let n_shards = r.count(4)?;
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shards.push(DetectorState::decode(r.bytes()?)?);
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed("trailing bytes"));
+        }
+        Ok(RunCheckpoint { seed, lines, days, threshold, workers, chunk_records, watermark, records_this_day, done, emitted, shards })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haystack_core::checkpoint::LineEvidence;
+    use haystack_net::{AnonId, HourBin};
+
+    fn sample() -> RunCheckpoint {
+        RunCheckpoint {
+            seed: 42,
+            lines: 3_000,
+            days: 2,
+            threshold: 0.4,
+            workers: 4,
+            chunk_records: 512,
+            watermark: Watermark { day: 1, hour: 7, chunk: 13 },
+            records_this_day: 99_001,
+            done: false,
+            emitted: vec![
+                "day\tclass\tdetected_lines".to_string(),
+                "0\tAlexa Enabled\t17".to_string(),
+            ],
+            shards: vec![
+                DetectorState {
+                    rules: vec![vec![LineEvidence {
+                        line: AnonId(7),
+                        mask: 0b101,
+                        first_met: Some(HourBin(30)),
+                    }]],
+                },
+                DetectorState { rules: vec![vec![]] },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let ck = sample();
+        assert_eq!(RunCheckpoint::decode(&ck.encode()).unwrap(), ck);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample().encode(), sample().encode());
+    }
+
+    #[test]
+    fn corruption_is_rejected_not_panicking() {
+        let frame = sample().encode();
+        for cut in [0, 7, frame.len() / 2, frame.len() - 1] {
+            assert!(RunCheckpoint::decode(&frame[..cut]).is_err(), "cut {cut}");
+        }
+        for i in (0..frame.len()).step_by(11) {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x40;
+            assert!(RunCheckpoint::decode(&bad).is_err(), "flip at {i}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Crash-injection oracle for `haystack detect --checkpoint-dir`
+//! (DESIGN.md §12): SIGKILL the process mid-stream, resume from the
+//! checkpoint directory, and diff stdout byte-for-byte against an
+//! uninterrupted run. Also proves the corruption fallback: bit-flipping
+//! the newest checkpoint generation makes resume fall back to the
+//! previous one — same byte-identical output, no panic.
+
+use haystack_cli::{rules_to_json};
+use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_haystack");
+
+/// Detect flags shared by every run in this file. Two days at modest
+/// scale: long enough that the kill lands mid-stream with several
+/// checkpoint generations on disk, short enough for CI.
+const DETECT: &[&str] = &[
+    "detect", "--lines", "3000", "--days", "2", "--seed", "7", "--workers", "3", "--quiet",
+];
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "haystack-kill-resume-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Rules JSON on disk, generated once for the whole test binary.
+fn rules_file() -> &'static Path {
+    static FILE: OnceLock<PathBuf> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let p = Pipeline::run(PipelineConfig::fast(7));
+        let path = scratch("rules").join("rules.json");
+        let text = serde_json::to_string(&rules_to_json(&p.rules)).unwrap();
+        std::fs::write(&path, text).unwrap();
+        path
+    })
+}
+
+fn detect_cmd(extra: &[&str]) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args(DETECT).arg("--rules").arg(rules_file()).args(extra);
+    cmd
+}
+
+fn run_to_string(cmd: &mut Command) -> String {
+    let out = cmd.output().unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn ckpt_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+/// Start a checkpointed run, SIGKILL it once at least two checkpoint
+/// generations exist, and return the checkpoint directory. If the run
+/// finishes before the kill lands, that is fine too — the resume path
+/// then just replays the completed run's output.
+fn crashed_run() -> PathBuf {
+    let dir = scratch("ckpt");
+    let mut child = detect_cmd(&["--checkpoint-dir", dir.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if ckpt_files(&dir).len() >= 2 {
+            child.kill().unwrap(); // SIGKILL on unix — no cleanup runs
+            break;
+        }
+        if child.try_wait().unwrap().is_some() {
+            break; // finished before we could kill it
+        }
+        assert!(Instant::now() < deadline, "no checkpoints appeared in 120 s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = child.wait();
+    assert!(!ckpt_files(&dir).is_empty(), "killed run left no checkpoint");
+    dir
+}
+
+#[test]
+fn sigkill_then_resume_is_byte_identical() {
+    let clean = run_to_string(&mut detect_cmd(&[]));
+    assert!(clean.lines().count() > 1, "clean run produced no rows");
+
+    let dir = crashed_run();
+    let resumed = run_to_string(&mut detect_cmd(&[
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]));
+    assert_eq!(resumed, clean, "resumed stdout diverges from the uninterrupted run");
+
+    // A second resume replays the completed run verbatim from its
+    // done-marked checkpoint without recomputing anything.
+    let replayed = run_to_string(&mut detect_cmd(&[
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]));
+    assert_eq!(replayed, clean);
+
+    // Corruption fallback: flip bits throughout the newest generation.
+    // The checksum rejects it, resume falls back to the previous
+    // generation and recomputes the tail — same bytes, no panic.
+    let files = ckpt_files(&dir);
+    assert!(files.len() >= 2, "expected two retained generations, got {files:?}");
+    let newest = files.last().unwrap();
+    let mut bytes = std::fs::read(newest).unwrap();
+    for i in (0..bytes.len()).step_by(7) {
+        bytes[i] ^= 0x5A;
+    }
+    std::fs::write(newest, bytes).unwrap();
+    let fallback = run_to_string(&mut detect_cmd(&[
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]));
+    assert_eq!(fallback, clean, "fallback resume diverges");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_without_a_checkpoint_starts_fresh_and_matches() {
+    let clean = run_to_string(&mut detect_cmd(&[]));
+    let dir = scratch("fresh");
+    let resumed = run_to_string(&mut detect_cmd(&[
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]));
+    assert_eq!(resumed, clean, "fresh --resume diverges from a plain run");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,595 @@
+//! Crash-safe checkpointing of long-lived pipeline state (DESIGN.md §12).
+//!
+//! The paper's deployment runs detection over two weeks of ISP NetFlow
+//! for ~15 M subscriber lines (§6) — losing the accumulated per-line
+//! evidence to a collector restart or a worker crash would cost days of
+//! warm-up. This module provides the two halves of recovery:
+//!
+//! * **State codecs** — [`DetectorState`], [`UsageState`],
+//!   [`StalenessState`]: plain, order-normalized exports of the
+//!   detector's per-rule line maps, the usage tracker's hour window, and
+//!   the staleness monitor's decayed baselines, each encodable as one
+//!   checksummed [`haystack_net::snapshot`] frame. Baselines travel as
+//!   raw IEEE-754 bits, so a restore replays *bit-identical* float state.
+//! * **[`CheckpointDir`]** — generation-numbered snapshot files written
+//!   atomically (temp file + fsync + rename + directory fsync) on a
+//!   caller-chosen cadence, pruned to a bounded number of generations.
+//!   [`CheckpointDir::load_latest`] walks generations newest-first and
+//!   *skips* any frame the checksum rejects, so a torn or bit-rotten
+//!   write degrades to the previous generation instead of a crash loop.
+//!
+//! Everything here reports through the `checkpoint` telemetry scope
+//! (snapshots written, bytes, restores, corrupt generations skipped) so
+//! `haystack metrics` shows recovery activity alongside the pipeline
+//! counters.
+
+use crate::telemetry::{Counter, Scope};
+use haystack_net::snapshot::{open, seal, SnapError, SnapReader, SnapWriter, MAGIC_LEN};
+use haystack_net::{AnonId, HourBin};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Why a checkpoint operation failed.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// A filesystem operation failed.
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        err: std::io::Error,
+    },
+    /// A snapshot frame failed to decode (and no older generation was
+    /// usable either).
+    Snap(SnapError),
+    /// A decoded state does not fit the component it is being restored
+    /// into (e.g. rule-count mismatch — the checkpoint was taken under a
+    /// different rule set).
+    StateMismatch(&'static str),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, err } => {
+                write!(f, "checkpoint I/O error at {}: {err}", path.display())
+            }
+            CheckpointError::Snap(e) => write!(f, "checkpoint snapshot error: {e}"),
+            CheckpointError::StateMismatch(what) => {
+                write!(f, "checkpoint does not match this configuration: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<SnapError> for CheckpointError {
+    fn from(e: SnapError) -> Self {
+        CheckpointError::Snap(e)
+    }
+}
+
+fn io_err(path: &Path, err: std::io::Error) -> CheckpointError {
+    CheckpointError::Io { path: path.to_path_buf(), err }
+}
+
+/// `Option<HourBin>` sentinel: hours in the study window are tiny, so
+/// `u32::MAX` is free to mean "never".
+const NO_HOUR: u32 = u32::MAX;
+
+fn put_opt_hour(w: &mut SnapWriter, h: Option<HourBin>) {
+    w.put_u32(h.map_or(NO_HOUR, |h| h.0));
+}
+
+fn read_opt_hour(r: &mut SnapReader<'_>) -> Result<Option<HourBin>, SnapError> {
+    let v = r.u32()?;
+    Ok(if v == NO_HOUR { None } else { Some(HourBin(v)) })
+}
+
+/// One (line → evidence) entry of a rule's state map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineEvidence {
+    /// The subscriber line.
+    pub line: AnonId,
+    /// Evidence bitmask over the rule's domains.
+    pub mask: u64,
+    /// Hour the rule's own threshold was first met, if ever.
+    pub first_met: Option<HourBin>,
+}
+
+/// The detector's full evidence state: one sorted entry list per rule.
+///
+/// Exported by [`Detector::export_state`](crate::detector::Detector::
+/// export_state), restored by [`Detector::restore_state`](crate::
+/// detector::Detector::restore_state). Entries are sorted by line, so
+/// equal detectors export byte-identical frames.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectorState {
+    /// Per-rule entries, indexed like `RuleSet::rules`.
+    pub rules: Vec<Vec<LineEvidence>>,
+}
+
+impl DetectorState {
+    /// Frame magic of a detector-state snapshot.
+    pub const MAGIC: &'static [u8; MAGIC_LEN] = b"HAYDETC\0";
+    /// Snapshot format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+
+    /// Seal the state as one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.rules.len() as u64);
+        for entries in &self.rules {
+            w.put_u64(entries.len() as u64);
+            for e in entries {
+                w.put_u64(e.line.0);
+                w.put_u64(e.mask);
+                put_opt_hour(&mut w, e.first_met);
+            }
+        }
+        seal(Self::MAGIC, Self::VERSION, &w.into_bytes())
+    }
+
+    /// Decode a frame produced by [`DetectorState::encode`].
+    pub fn decode(frame: &[u8]) -> Result<DetectorState, SnapError> {
+        let payload = open(Self::MAGIC, Self::VERSION, frame)?;
+        let mut r = SnapReader::new(payload);
+        let nrules = r.count(8)?;
+        let mut rules = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            let n = r.count(8 + 8 + 4)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(LineEvidence {
+                    line: AnonId(r.u64()?),
+                    mask: r.u64()?,
+                    first_met: read_opt_hour(&mut r)?,
+                });
+            }
+            rules.push(entries);
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed("trailing bytes"));
+        }
+        Ok(DetectorState { rules })
+    }
+
+    /// Total (line, rule) entries held.
+    pub fn entry_count(&self) -> usize {
+        self.rules.iter().map(Vec::len).sum()
+    }
+}
+
+/// The usage tracker's current hour window, sorted for determinism.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UsageState {
+    /// Per-rule (line, sampled packets) tallies.
+    pub packets: Vec<Vec<(AnonId, u64)>>,
+    /// Per-rule lines that touched a usage-indicator domain.
+    pub indicator: Vec<Vec<AnonId>>,
+}
+
+impl UsageState {
+    /// Frame magic of a usage-state snapshot.
+    pub const MAGIC: &'static [u8; MAGIC_LEN] = b"HAYUSGE\0";
+    /// Snapshot format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+
+    /// Seal the state as one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.packets.len() as u64);
+        for entries in &self.packets {
+            w.put_u64(entries.len() as u64);
+            for (line, pkts) in entries {
+                w.put_u64(line.0);
+                w.put_u64(*pkts);
+            }
+        }
+        w.put_u64(self.indicator.len() as u64);
+        for lines in &self.indicator {
+            w.put_u64(lines.len() as u64);
+            for line in lines {
+                w.put_u64(line.0);
+            }
+        }
+        seal(Self::MAGIC, Self::VERSION, &w.into_bytes())
+    }
+
+    /// Decode a frame produced by [`UsageState::encode`].
+    pub fn decode(frame: &[u8]) -> Result<UsageState, SnapError> {
+        let payload = open(Self::MAGIC, Self::VERSION, frame)?;
+        let mut r = SnapReader::new(payload);
+        let nrules = r.count(8)?;
+        let mut packets = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            let n = r.count(16)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push((AnonId(r.u64()?), r.u64()?));
+            }
+            packets.push(entries);
+        }
+        let nrules = r.count(8)?;
+        let mut indicator = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            let n = r.count(8)?;
+            let mut lines = Vec::with_capacity(n);
+            for _ in 0..n {
+                lines.push(AnonId(r.u64()?));
+            }
+            indicator.push(lines);
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed("trailing bytes"));
+        }
+        Ok(UsageState { packets, indicator })
+    }
+}
+
+/// The staleness monitor's day counts and decayed baselines.
+///
+/// Baselines are carried as raw `f64` bits: the decayed mean depends on
+/// the exact order of float folds, and a resumed monitor must continue
+/// from *bit-identical* values to produce the same verdicts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StalenessState {
+    /// Sorted ((rule, domain), today's matched packets).
+    pub today: Vec<((u16, u16), u64)>,
+    /// Sorted ((rule, domain), decayed baseline).
+    pub baseline: Vec<((u16, u16), f64)>,
+    /// Days folded so far.
+    pub days_seen: u32,
+}
+
+impl StalenessState {
+    /// Frame magic of a staleness-state snapshot.
+    pub const MAGIC: &'static [u8; MAGIC_LEN] = b"HAYSTAL\0";
+    /// Snapshot format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+
+    /// Seal the state as one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u32(self.days_seen);
+        w.put_u64(self.today.len() as u64);
+        for ((ri, di), pkts) in &self.today {
+            w.put_u16(*ri);
+            w.put_u16(*di);
+            w.put_u64(*pkts);
+        }
+        w.put_u64(self.baseline.len() as u64);
+        for ((ri, di), b) in &self.baseline {
+            w.put_u16(*ri);
+            w.put_u16(*di);
+            w.put_f64_bits(*b);
+        }
+        seal(Self::MAGIC, Self::VERSION, &w.into_bytes())
+    }
+
+    /// Decode a frame produced by [`StalenessState::encode`].
+    pub fn decode(frame: &[u8]) -> Result<StalenessState, SnapError> {
+        let payload = open(Self::MAGIC, Self::VERSION, frame)?;
+        let mut r = SnapReader::new(payload);
+        let days_seen = r.u32()?;
+        let n = r.count(12)?;
+        let mut today = Vec::with_capacity(n);
+        for _ in 0..n {
+            today.push(((r.u16()?, r.u16()?), r.u64()?));
+        }
+        let n = r.count(12)?;
+        let mut baseline = Vec::with_capacity(n);
+        for _ in 0..n {
+            baseline.push(((r.u16()?, r.u16()?), r.f64_bits()?));
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed("trailing bytes"));
+        }
+        Ok(StalenessState { today, baseline, days_seen })
+    }
+}
+
+/// Telemetry handles for checkpoint activity, bound once at
+/// [`CheckpointDir::open`] under the `checkpoint` scope.
+#[derive(Debug, Clone)]
+struct DirTelemetry {
+    snapshots_written: Counter,
+    snapshot_bytes: Counter,
+    restores: Counter,
+    corrupt_skipped: Counter,
+}
+
+impl DirTelemetry {
+    fn new() -> DirTelemetry {
+        let scope = Scope::named("checkpoint");
+        DirTelemetry {
+            snapshots_written: scope.counter("snapshots_written"),
+            snapshot_bytes: scope.counter("snapshot_bytes"),
+            restores: scope.counter("restores"),
+            corrupt_skipped: scope.counter("corrupt_skipped"),
+        }
+    }
+}
+
+/// A directory of generation-numbered snapshot files.
+///
+/// Each [`CheckpointDir::write`] produces `{prefix}-{generation:08}.ckpt`
+/// via temp file + fsync + rename + directory fsync, so a crash at any
+/// point leaves either the old generation set or the old set plus one
+/// complete new file — never a half-written visible checkpoint. Old
+/// generations are pruned down to [`CheckpointDir::keep`] per prefix;
+/// the default keeps two, so one corrupt latest generation still leaves
+/// a fallback.
+#[derive(Debug)]
+pub struct CheckpointDir {
+    root: PathBuf,
+    keep: usize,
+    telemetry: DirTelemetry,
+}
+
+impl CheckpointDir {
+    /// Default generations retained per prefix.
+    pub const DEFAULT_KEEP: usize = 2;
+
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<CheckpointDir, CheckpointError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
+        Ok(CheckpointDir { root, keep: Self::DEFAULT_KEEP, telemetry: DirTelemetry::new() })
+    }
+
+    /// Override how many generations are retained per prefix (min 1).
+    pub fn with_keep(mut self, keep: usize) -> CheckpointDir {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// The directory path.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_of(&self, prefix: &str, generation: u64) -> PathBuf {
+        self.root.join(format!("{prefix}-{generation:08}.ckpt"))
+    }
+
+    /// Existing generation numbers for `prefix`, ascending.
+    pub fn generations(&self, prefix: &str) -> Result<Vec<u64>, CheckpointError> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.root).map_err(|e| io_err(&self.root, e))?;
+        let lead = format!("{prefix}-");
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&self.root, e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(&lead) else { continue };
+            let Some(digits) = rest.strip_suffix(".ckpt") else { continue };
+            if digits.len() == 8 {
+                if let Ok(generation) = digits.parse::<u64>() {
+                    out.push(generation);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Atomically write `frame` as the next generation of `prefix`,
+    /// pruning old generations beyond the retention bound. Returns the
+    /// generation number written.
+    pub fn write(&self, prefix: &str, frame: &[u8]) -> Result<u64, CheckpointError> {
+        let generation = self.generations(prefix)?.last().map_or(0, |g| g + 1);
+        let path = self.file_of(prefix, generation);
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(frame).map_err(|e| io_err(&tmp, e))?;
+            f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        // Persist the rename itself: fsync the directory (best effort on
+        // platforms where directories cannot be opened).
+        if let Ok(dir) = fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+        self.telemetry.snapshots_written.inc();
+        self.telemetry.snapshot_bytes.add(frame.len() as u64);
+        self.prune(prefix)?;
+        Ok(generation)
+    }
+
+    fn prune(&self, prefix: &str) -> Result<(), CheckpointError> {
+        let generations = self.generations(prefix)?;
+        if generations.len() > self.keep {
+            for &generation in &generations[..generations.len() - self.keep] {
+                let path = self.file_of(prefix, generation);
+                fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the newest generation of `prefix` that `decode` accepts.
+    ///
+    /// Generations are tried newest-first; a frame that fails to decode
+    /// (truncated by a torn write, bit-flipped on disk) is *skipped* —
+    /// counted in the `checkpoint.corrupt_skipped` telemetry — and the
+    /// previous generation is tried instead. Returns `Ok(None)` when no
+    /// generation exists, and the last decode error when every existing
+    /// generation is corrupt.
+    pub fn load_latest<T>(
+        &self,
+        prefix: &str,
+        mut decode: impl FnMut(&[u8]) -> Result<T, SnapError>,
+    ) -> Result<Option<(u64, T)>, CheckpointError> {
+        let generations = self.generations(prefix)?;
+        let mut last_err: Option<SnapError> = None;
+        for &generation in generations.iter().rev() {
+            let path = self.file_of(prefix, generation);
+            let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+            match decode(&bytes) {
+                Ok(v) => {
+                    self.telemetry.restores.inc();
+                    return Ok(Some((generation, v)));
+                }
+                Err(e) => {
+                    self.telemetry.corrupt_skipped.inc();
+                    last_err = Some(e);
+                }
+            }
+        }
+        match last_err {
+            Some(e) => Err(CheckpointError::Snap(e)),
+            None => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique scratch directory per test (no tempfile dependency).
+    fn scratch(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "haystack-ckpt-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    fn sample_detector_state() -> DetectorState {
+        DetectorState {
+            rules: vec![
+                vec![
+                    LineEvidence { line: AnonId(1), mask: 0b101, first_met: Some(HourBin(7)) },
+                    LineEvidence { line: AnonId(9), mask: 0b1, first_met: None },
+                ],
+                vec![],
+                vec![LineEvidence { line: AnonId(3), mask: u64::MAX, first_met: Some(HourBin(0)) }],
+            ],
+        }
+    }
+
+    #[test]
+    fn detector_state_round_trips() {
+        let s = sample_detector_state();
+        assert_eq!(DetectorState::decode(&s.encode()).unwrap(), s);
+        assert_eq!(s.entry_count(), 3);
+    }
+
+    #[test]
+    fn usage_state_round_trips() {
+        let s = UsageState {
+            packets: vec![vec![(AnonId(1), 12), (AnonId(2), 1)], vec![]],
+            indicator: vec![vec![AnonId(2)], vec![AnonId(5)]],
+        };
+        assert_eq!(UsageState::decode(&s.encode()).unwrap(), s);
+    }
+
+    #[test]
+    fn staleness_state_round_trips_bit_exact() {
+        let s = StalenessState {
+            today: vec![((0, 0), 42), ((0, 1), 0)],
+            baseline: vec![((0, 0), 1.0 / 3.0), ((0, 1), -0.0)],
+            days_seen: 5,
+        };
+        let back = StalenessState::decode(&s.encode()).unwrap();
+        assert_eq!(back.days_seen, 5);
+        assert_eq!(back.today, s.today);
+        for (a, b) in back.baseline.iter().zip(&s.baseline) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "baselines must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn state_magics_are_disjoint() {
+        let det = sample_detector_state().encode();
+        assert!(matches!(UsageState::decode(&det), Err(SnapError::BadMagic)));
+        assert!(matches!(StalenessState::decode(&det), Err(SnapError::BadMagic)));
+    }
+
+    #[test]
+    fn write_load_and_prune_generations() {
+        let root = scratch("gen");
+        let dir = CheckpointDir::open(&root).unwrap();
+        for i in 0..4u64 {
+            let s = DetectorState {
+                rules: vec![vec![LineEvidence { line: AnonId(i), mask: i, first_met: None }]],
+            };
+            assert_eq!(dir.write("det", &s.encode()).unwrap(), i);
+        }
+        // Pruned to the default two generations.
+        assert_eq!(dir.generations("det").unwrap(), vec![2, 3]);
+        let (generation, s) = dir
+            .load_latest("det", DetectorState::decode)
+            .unwrap()
+            .expect("latest generation");
+        assert_eq!(generation, 3);
+        assert_eq!(s.rules[0][0].line, AnonId(3));
+        // Prefixes are independent namespaces.
+        assert!(dir.load_latest("other", DetectorState::decode).unwrap().is_none());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_latest_generation_falls_back_to_previous() {
+        let root = scratch("corrupt");
+        let dir = CheckpointDir::open(&root).unwrap();
+        let good = DetectorState {
+            rules: vec![vec![LineEvidence { line: AnonId(7), mask: 1, first_met: None }]],
+        };
+        dir.write("det", &good.encode()).unwrap();
+        let newer = DetectorState {
+            rules: vec![vec![LineEvidence { line: AnonId(8), mask: 3, first_met: None }]],
+        };
+        let g1 = dir.write("det", &newer.encode()).unwrap();
+
+        // Bit-flip the newest generation on disk.
+        let latest = root.join(format!("det-{g1:08}.ckpt"));
+        let mut bytes = fs::read(&latest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&latest, &bytes).unwrap();
+
+        let (generation, s) = dir
+            .load_latest("det", DetectorState::decode)
+            .unwrap()
+            .expect("fallback generation");
+        assert_eq!(generation, g1 - 1, "fell back to the previous generation");
+        assert_eq!(s, good);
+
+        // Truncate the older generation too: now every generation is
+        // corrupt, and the error is typed, not a panic.
+        let older = root.join(format!("det-{:08}.ckpt", g1 - 1));
+        let bytes = fs::read(&older).unwrap();
+        fs::write(&older, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            dir.load_latest("det", DetectorState::decode),
+            Err(CheckpointError::Snap(_))
+        ));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_write() {
+        let root = scratch("tmp");
+        let dir = CheckpointDir::open(&root).unwrap();
+        dir.write("det", &sample_detector_state().encode()).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files must not outlive a write");
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

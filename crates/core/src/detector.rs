@@ -26,6 +26,7 @@
 //! accept the resulting [`RuleHandle`] so query loops resolve a class
 //! string once, not per line.
 
+use crate::checkpoint::{CheckpointError, DetectorState, LineEvidence};
 use crate::fasthash::FastMap;
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
@@ -362,6 +363,45 @@ impl<'r> Detector<'r> {
     /// chunk granularity. Not cleared by [`Detector::reset`].
     pub fn hot_stats(&self) -> HotStats {
         self.stats
+    }
+
+    /// Export the accumulated per-line evidence for checkpointing.
+    /// Entries are sorted by line, so equal detectors export equal
+    /// (and byte-identical, once encoded) states.
+    pub fn export_state(&self) -> DetectorState {
+        let rules = self
+            .state
+            .iter()
+            .map(|m| {
+                let mut entries: Vec<LineEvidence> = m
+                    .iter()
+                    .map(|(line, s)| LineEvidence {
+                        line: *line,
+                        mask: s.mask,
+                        first_met: s.first_met,
+                    })
+                    .collect();
+                entries.sort_unstable_by_key(|e| e.line);
+                entries
+            })
+            .collect();
+        DetectorState { rules }
+    }
+
+    /// Replace the accumulated evidence with a checkpointed state.
+    /// Configuration, rules, and hitlist are the caller's to rebuild —
+    /// a state taken under a different rule count is rejected.
+    pub fn restore_state(&mut self, state: &DetectorState) -> Result<(), CheckpointError> {
+        if state.rules.len() != self.state.len() {
+            return Err(CheckpointError::StateMismatch("detector rule count"));
+        }
+        for (m, entries) in self.state.iter_mut().zip(&state.rules) {
+            m.clear();
+            for e in entries {
+                m.insert(e.line, LineState { mask: e.mask, first_met: e.first_met });
+            }
+        }
+        Ok(())
     }
 }
 

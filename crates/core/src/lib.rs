@@ -30,7 +30,9 @@
 //! [`mitigation`] (§7.2 block/redirect/notify), [`dns_assisted`] (§7.4's
 //! resolver-log variant), [`staleness`] (§7.3 rule-health monitoring),
 //! [`baseline`] (the §8 traffic-feature comparator), and [`quality`]
-//! (precision/recall against the simulation oracle). [`telemetry`] is
+//! (precision/recall against the simulation oracle). [`checkpoint`] is
+//! the crash-safe snapshot/restore of all long-lived state (DESIGN.md
+//! §12). [`telemetry`] is
 //! the pipeline-wide metrics/span substrate (DESIGN.md §11): a no-op
 //! unless compiled with the `telemetry` feature *and* enabled at
 //! runtime, so the hot path pays nothing by default.
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod checkpoint;
 pub mod crosscheck;
 pub mod dedicated;
 pub mod detector;
@@ -72,6 +75,7 @@ pub(crate) mod testutil {
     }
 }
 
+pub use checkpoint::{CheckpointDir, CheckpointError, DetectorState, StalenessState, UsageState};
 pub use crosscheck::{GroundTruthVantage, HOME_LINE};
 pub use dedicated::{DedicationVerdict, InfraKnowledge};
 pub use detector::{DetectionQuery, Detector, DetectorConfig, RuleHandle};
@@ -80,7 +84,7 @@ pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use hitlist::{HitList, MapHitList};
 pub use reference::ReferenceDetector;
 pub use observations::{DomainObservations, DomainUsage};
-pub use parallel::{DetectorPool, ShardedDetector};
+pub use parallel::{DetectorPool, PoolError, ShardedDetector};
 pub use pipeline::{Pipeline, PipelineStats};
 pub use rules::{DetectionRule, RuleSet};
 pub use telemetry::{Counter, Gauge, Histogram, HotStats, InstrumentedStream, Scope, Snapshot};

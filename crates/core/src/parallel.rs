@@ -1,4 +1,5 @@
-//! Sharded, multi-core detection on a persistent worker pool.
+//! Sharded, multi-core detection on a persistent, *supervised* worker
+//! pool.
 //!
 //! Per-line evidence is embarrassingly parallel: no record of line A ever
 //! touches line B's state. [`DetectorPool`] exploits that — each worker
@@ -16,19 +17,34 @@
 //! in feed order, and the detector's evidence fold is commutative across
 //! lines, so any worker count produces the same detections.
 //!
+//! **Crash safety** (DESIGN.md §12): worker loops run under
+//! `catch_unwind`. A shard that panics surfaces as a typed [`PoolError`]
+//! carrying the shard id and the captured panic payload — never a
+//! process abort. With [`DetectorPool::enable_supervision`] the pool
+//! goes further: each shard keeps a last-checkpoint
+//! [`DetectorState`] plus a bounded replay buffer of the records fed
+//! since, and a dead shard is respawned, restored, and replayed
+//! transparently. Replay is exact, not merely idempotent — the
+//! checkpoint covers everything before the watermark and the buffer
+//! everything after — so a recovered run's detections are byte-identical
+//! to an uninterrupted one (`supervised_recovery_*` tests).
+//!
 //! [`ShardedDetector`] remains as the legacy batch façade: one call
 //! observes a batch and blocks until it is fully absorbed.
 
+use crate::checkpoint::DetectorState;
 use crate::detector::{DetectionQuery, Detector, DetectorConfig};
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
 use crate::telemetry::{self, Counter, Gauge, Histogram, HotStats, HotStatsCounters, Scope};
 use haystack_net::{AnonId, HourBin};
 use haystack_wild::{RecordChunk, RecordStream, WildRecord};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
 };
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Records per worker-bound buffer (the pool's internal chunk size).
@@ -38,6 +54,33 @@ pub const POOL_BATCH_RECORDS: usize = 1_024;
 /// backpressure knob: a feeder outrunning the workers blocks after
 /// `workers × POOL_CHANNEL_BATCHES` in-flight buffers.
 pub const POOL_CHANNEL_BATCHES: usize = 4;
+
+/// Default per-shard replay-buffer bound, in records: once a shard's
+/// buffer reaches this, the pool checkpoints the shard and drains it.
+pub const DEFAULT_REPLAY_LIMIT: usize = 262_144;
+
+/// A detector shard died. Carries the shard id and the panic payload
+/// captured by the worker's `catch_unwind`, when one was recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Which shard died.
+    pub shard: usize,
+    /// The panic payload (if the worker panicked with a string and the
+    /// note survived), e.g. the message passed to
+    /// [`DetectorPool::inject_panic`].
+    pub panic: Option<String>,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.panic {
+            Some(msg) => write!(f, "detector shard {} died: {msg}", self.shard),
+            None => write!(f, "detector shard {} died", self.shard),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// Route an anonymized line id to a shard.
 ///
@@ -69,8 +112,12 @@ struct ShardTelemetry {
 /// Commands a worker thread understands. Batches and queries share one
 /// FIFO channel, so a query observes every batch sent before it.
 enum Cmd {
-    /// Observe a buffer of records; the cleared buffer is recycled back.
-    Batch(Vec<WildRecord>),
+    /// Observe a buffer of records. Batches travel as `Arc`s so the
+    /// supervisor can retain one for replay with a refcount bump instead
+    /// of copying records; when the worker holds the last reference
+    /// (unsupervised, or post-checkpoint), the buffer is recovered,
+    /// cleared, and recycled back to the feeder.
+    Batch(Arc<Vec<WildRecord>>),
     /// Install telemetry handles on this shard.
     Telemetry(ShardTelemetry),
     /// Swap the daily hitlist, keeping accumulated evidence.
@@ -79,6 +126,14 @@ enum Cmd {
     Reset,
     /// Reply when every prior command is processed.
     Barrier(Sender<()>),
+    /// Export this shard's evidence state (processed in FIFO order, so
+    /// the snapshot covers every batch sent before it).
+    Snapshot(Sender<DetectorState>),
+    /// Replace this shard's evidence state with a checkpoint.
+    Restore(DetectorState),
+    /// Deterministic crash injection: panic when this command is
+    /// processed (i.e. after every batch sent before it).
+    PanicNow(String),
     /// All detected lines for a class on this shard.
     DetectedLines(String, Sender<Vec<AnonId>>),
     /// Whether the class is detected for a line owned by this shard.
@@ -95,7 +150,198 @@ struct Worker {
     tx: SyncSender<Cmd>,
     /// Cleared buffers coming back from the worker.
     recycle: Receiver<Vec<WildRecord>>,
+    /// The panic payload, written by the worker thread when its loop
+    /// unwinds; read by the feeder after joining a dead shard.
+    panic_note: Arc<Mutex<Option<String>>>,
     handle: Option<JoinHandle<()>>,
+}
+
+/// The worker loop body; runs under `catch_unwind` so a panic is
+/// captured as a note instead of aborting the process.
+fn worker_loop(
+    rules: &RuleSet,
+    hitlist: HitList,
+    config: DetectorConfig,
+    rx: &Receiver<Cmd>,
+    recycle_tx: &Sender<Vec<WildRecord>>,
+) {
+    let mut det = Detector::new(rules, hitlist, config);
+    let mut tel: Option<ShardTelemetry> = None;
+    let mut flushed = HotStats::default();
+    // Fold the detector's tallies accrued since the last flush into the
+    // shard's atomic counters — one set of adds per batch, not per
+    // record.
+    let flush_stats =
+        |det: &Detector<'_>, tel: &Option<ShardTelemetry>, flushed: &mut HotStats| {
+            if let Some(t) = tel {
+                let now = det.hot_stats();
+                t.hot.flush(now.since(flushed));
+                *flushed = now;
+            }
+        };
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Batch(buf) => {
+                let span = tel.as_ref().map(|t| t.batch_span_us.start_span());
+                det.observe_chunk(&buf);
+                drop(span);
+                if let Some(t) = &tel {
+                    t.queue_depth.dec();
+                }
+                flush_stats(&det, &tel, &mut flushed);
+                // Recycle only when this was the last reference — a
+                // replay-retained batch stays with the supervisor.
+                if let Ok(mut v) = Arc::try_unwrap(buf) {
+                    v.clear();
+                    // Feeder may be gone during teardown.
+                    let _ = recycle_tx.send(v);
+                }
+            }
+            Cmd::Telemetry(t) => {
+                tel = Some(t);
+                flush_stats(&det, &tel, &mut flushed);
+            }
+            Cmd::SetHitlist(hl) => det.set_hitlist(hl),
+            Cmd::Reset => det.reset(),
+            Cmd::Barrier(reply) => {
+                // Counters are exact at every barrier: `finish()` syncs
+                // them for snapshots.
+                flush_stats(&det, &tel, &mut flushed);
+                let _ = reply.send(());
+            }
+            Cmd::Snapshot(reply) => {
+                flush_stats(&det, &tel, &mut flushed);
+                let _ = reply.send(det.export_state());
+            }
+            Cmd::Restore(state) => {
+                det.restore_state(&state).expect("checkpoint matches this rule set");
+            }
+            Cmd::PanicNow(msg) => panic!("{msg}"),
+            Cmd::DetectedLines(class, reply) => {
+                let _ = reply.send(det.detected_lines(&class));
+            }
+            Cmd::IsDetected(line, class, reply) => {
+                let _ = reply.send(det.is_detected(line, &class));
+            }
+            Cmd::Confidence(line, class, reply) => {
+                let _ = reply.send(det.confidence(line, &class));
+            }
+            Cmd::FirstDetection(line, class, reply) => {
+                let _ = reply.send(det.first_detection(line, &class));
+            }
+            Cmd::StateSize(reply) => {
+                let _ = reply.send(det.state_size());
+            }
+        }
+    }
+}
+
+/// Render a panic payload as a message, when it was a string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Spawn one shard worker thread.
+fn spawn_worker(
+    index: usize,
+    rules: Arc<RuleSet>,
+    hitlist: HitList,
+    config: DetectorConfig,
+    channel_batches: usize,
+) -> Worker {
+    let (tx, rx) = sync_channel::<Cmd>(channel_batches.max(1));
+    let (recycle_tx, recycle) = channel::<Vec<WildRecord>>();
+    let panic_note = Arc::new(Mutex::new(None));
+    let note = Arc::clone(&panic_note);
+    let handle = std::thread::Builder::new()
+        .name(format!("detector-shard-{index}"))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                worker_loop(&rules, hitlist, config, &rx, &recycle_tx);
+            }));
+            if let Err(payload) = result {
+                if let Ok(mut n) = note.lock() {
+                    *n = Some(panic_message(payload));
+                }
+            }
+        })
+        .expect("spawn detector shard");
+    Worker { tx, recycle, panic_note, handle: Some(handle) }
+}
+
+/// Supervision state: per-shard checkpoints, replay buffers, and the
+/// recovery telemetry published under the global `checkpoint` scope.
+struct Supervisor {
+    /// Last checkpointed evidence state, per shard.
+    shard_state: Vec<DetectorState>,
+    /// Batches *shipped* to each shard since its last checkpoint,
+    /// retained as `Arc` refcount clones at ship time — no record is
+    /// ever copied for replay coverage. Staged-but-unshipped records
+    /// are still in the feeder's own buffers and need none.
+    replay: Vec<Vec<Arc<Vec<WildRecord>>>>,
+    /// Records covered by `replay`, per shard (cached sum of batch
+    /// lengths, so the bound check is O(1) per feed call).
+    replay_records: Vec<usize>,
+    /// Per-shard replay bound; reaching it triggers an auto-checkpoint.
+    replay_limit: usize,
+    /// Shards respawned after a crash.
+    restarts: Counter,
+    /// Records replayed into respawned shards (this is how far the
+    /// per-shard `records_observed` counters can run ahead of
+    /// `records_in` after recoveries).
+    replayed_records: Counter,
+    /// Per-shard checkpoints taken (explicit and automatic).
+    shard_checkpoints: Counter,
+}
+
+impl fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("replay_limit", &self.replay_limit)
+            .field("buffered", &self.replay_records.iter().sum::<usize>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Supervisor {
+    fn new(shards: usize, nrules: usize, replay_limit: usize) -> Supervisor {
+        let scope = Scope::named("checkpoint");
+        Supervisor {
+            shard_state: (0..shards).map(|_| empty_state(nrules)).collect(),
+            replay: (0..shards).map(|_| Vec::new()).collect(),
+            replay_records: vec![0; shards],
+            replay_limit: replay_limit.max(1),
+            restarts: scope.counter("shard_restarts"),
+            replayed_records: scope.counter("replayed_records"),
+            shard_checkpoints: scope.counter("shard_checkpoints"),
+        }
+    }
+}
+
+fn empty_state(nrules: usize) -> DetectorState {
+    DetectorState { rules: vec![Vec::new(); nrules] }
+}
+
+/// Drain a shard's replay retention into the feeder's spare list. By
+/// the time a replay buffer drains (a checkpoint snapshot replied, so
+/// the worker has long since processed every retained batch), the
+/// supervisor holds the last reference — recover the allocation for
+/// reuse instead of dropping it. The spare list needs no cap: it only
+/// ever holds buffers the replay retention held a moment earlier, so
+/// the pool's peak resident memory is unchanged.
+fn reclaim_replay(replay: &mut Vec<Arc<Vec<WildRecord>>>, spare: &mut Vec<Vec<WildRecord>>) {
+    for batch in replay.drain(..) {
+        if let Ok(mut v) = Arc::try_unwrap(batch) {
+            v.clear();
+            spare.push(v);
+        }
+    }
 }
 
 /// A persistent pool of shard-owning detector workers.
@@ -105,12 +351,28 @@ struct Worker {
 /// [`DetectorPool::finish`] to barrier, then query. Queries flush the
 /// staging buffers themselves, so forgetting an explicit flush can never
 /// lose records.
+///
+/// Every method that talks to a worker returns `Err(`[`PoolError`]`)`
+/// when the shard died (instead of aborting the process). With
+/// [`DetectorPool::enable_supervision`], a dead shard is restored from
+/// its last checkpoint and its replay buffer transparently, and the
+/// operation is retried once before an error is surfaced.
 #[derive(Debug)]
 pub struct DetectorPool {
+    /// Construction parameters, retained so a dead shard can be
+    /// respawned identically.
+    rules: Arc<RuleSet>,
+    hitlist: HitList,
+    config: DetectorConfig,
+    channel_batches: usize,
     workers: Vec<Worker>,
     /// Per-shard partial buffers, reused across calls (the allocation
     /// churn fix: nothing here is rebuilt per batch).
     staging: Vec<Vec<WildRecord>>,
+    /// Buffers reclaimed from drained replay retention (supervised
+    /// pools only — the worker can't recycle a batch the supervisor
+    /// still holds, so the feeder recovers it at checkpoint time).
+    spare: Vec<Vec<WildRecord>>,
     batch_records: usize,
     /// Chunk buffers ever allocated — the pool's peak resident buffer
     /// count, since buffers recycle instead of dropping.
@@ -118,6 +380,10 @@ pub struct DetectorPool {
     /// Feeder-side telemetry, present only after
     /// [`DetectorPool::attach_telemetry`] on an enabled registry.
     telemetry: Option<FeederTelemetry>,
+    /// The telemetry scope, kept so a respawned shard's handles can be
+    /// rebuilt against the same registry entries.
+    scope: Option<Scope>,
+    supervisor: Option<Supervisor>,
 }
 
 /// Feeder-side telemetry handles for an instrumented pool.
@@ -143,8 +409,8 @@ struct FeederTelemetry {
     queue_depth: Vec<Gauge>,
 }
 
-impl std::fmt::Debug for Worker {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Debug for Worker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Worker").finish_non_exhaustive()
     }
 }
@@ -170,85 +436,49 @@ impl DetectorPool {
         let rules = Arc::new(rules.clone());
         let workers = (0..workers)
             .map(|i| {
-                let (tx, rx) = sync_channel::<Cmd>(channel_batches.max(1));
-                let (recycle_tx, recycle) = channel::<Vec<WildRecord>>();
-                let rules = Arc::clone(&rules);
-                let hitlist = hitlist.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("detector-shard-{i}"))
-                    .spawn(move || {
-                        let mut det = Detector::new(&rules, hitlist, config);
-                        let mut tel: Option<ShardTelemetry> = None;
-                        let mut flushed = HotStats::default();
-                        // Fold the detector's tallies accrued since the
-                        // last flush into the shard's atomic counters —
-                        // one set of adds per batch, not per record.
-                        let flush_stats = |det: &Detector<'_>,
-                                           tel: &Option<ShardTelemetry>,
-                                           flushed: &mut HotStats| {
-                            if let Some(t) = tel {
-                                let now = det.hot_stats();
-                                t.hot.flush(now.since(flushed));
-                                *flushed = now;
-                            }
-                        };
-                        while let Ok(cmd) = rx.recv() {
-                            match cmd {
-                                Cmd::Batch(mut buf) => {
-                                    let span =
-                                        tel.as_ref().map(|t| t.batch_span_us.start_span());
-                                    det.observe_chunk(&buf);
-                                    drop(span);
-                                    if let Some(t) = &tel {
-                                        t.queue_depth.dec();
-                                    }
-                                    flush_stats(&det, &tel, &mut flushed);
-                                    buf.clear();
-                                    // Feeder may be gone during teardown.
-                                    let _ = recycle_tx.send(buf);
-                                }
-                                Cmd::Telemetry(t) => {
-                                    tel = Some(t);
-                                    flush_stats(&det, &tel, &mut flushed);
-                                }
-                                Cmd::SetHitlist(hl) => det.set_hitlist(hl),
-                                Cmd::Reset => det.reset(),
-                                Cmd::Barrier(reply) => {
-                                    // Counters are exact at every barrier:
-                                    // `finish()` syncs them for snapshots.
-                                    flush_stats(&det, &tel, &mut flushed);
-                                    let _ = reply.send(());
-                                }
-                                Cmd::DetectedLines(class, reply) => {
-                                    let _ = reply.send(det.detected_lines(&class));
-                                }
-                                Cmd::IsDetected(line, class, reply) => {
-                                    let _ = reply.send(det.is_detected(line, &class));
-                                }
-                                Cmd::Confidence(line, class, reply) => {
-                                    let _ = reply.send(det.confidence(line, &class));
-                                }
-                                Cmd::FirstDetection(line, class, reply) => {
-                                    let _ = reply.send(det.first_detection(line, &class));
-                                }
-                                Cmd::StateSize(reply) => {
-                                    let _ = reply.send(det.state_size());
-                                }
-                            }
-                        }
-                    })
-                    .expect("spawn detector shard");
-                Worker { tx, recycle, handle: Some(handle) }
+                spawn_worker(i, Arc::clone(&rules), hitlist.clone(), config, channel_batches)
             })
             .collect::<Vec<_>>();
         let n = workers.len();
         DetectorPool {
+            rules,
+            hitlist: hitlist.clone(),
+            config,
+            channel_batches,
             workers,
             staging: (0..n).map(|_| Vec::with_capacity(batch_records)).collect(),
+            spare: Vec::new(),
             batch_records,
             buffers_created: n,
             telemetry: None,
+            scope: None,
+            supervisor: None,
         }
+    }
+
+    /// Turn on supervised recovery: checkpoint every shard now, then
+    /// keep a bounded replay buffer (at most `replay_limit` records per
+    /// shard — reaching the bound auto-checkpoints the shard). From this
+    /// point a shard panic is healed transparently: the shard is
+    /// respawned, restored from its last checkpoint, and replayed, and
+    /// the interrupted operation retried.
+    pub fn enable_supervision(&mut self, replay_limit: usize) -> Result<(), PoolError> {
+        let sup =
+            Supervisor::new(self.workers.len(), self.rules.rules.len(), replay_limit);
+        self.supervisor = Some(sup);
+        // Capture whatever evidence the shards already hold, so a crash
+        // right after enabling loses nothing.
+        self.checkpoint_all()
+    }
+
+    /// Whether supervised recovery is enabled.
+    pub fn supervised(&self) -> bool {
+        self.supervisor.is_some()
+    }
+
+    /// Records currently held in replay buffers across all shards.
+    pub fn replay_buffered(&self) -> usize {
+        self.supervisor.as_ref().map_or(0, |s| s.replay_records.iter().sum())
     }
 
     /// Instrument the pool under `scope`: feeder counters (`records_in`,
@@ -257,9 +487,9 @@ impl DetectorPool {
     /// `shard0.records_observed`, `shard0.batch_span_us`, …). A no-op
     /// while telemetry is disabled, leaving the feed path byte-for-byte
     /// as before.
-    pub fn attach_telemetry(&mut self, scope: &Scope) {
+    pub fn attach_telemetry(&mut self, scope: &Scope) -> Result<(), PoolError> {
         if !telemetry::enabled() {
-            return;
+            return Ok(());
         }
         let feeder = FeederTelemetry {
             records_in: scope.counter("records_in"),
@@ -275,16 +505,27 @@ impl DetectorPool {
         // The per-worker startup buffers predate instrumentation.
         feeder.buffers_created.add(self.buffers_created as u64);
         scope.gauge("workers").set(self.workers.len() as u64);
-        for (i, w) in self.workers.iter().enumerate() {
-            let sub = scope.sub(&format!("shard{i}"));
-            let t = ShardTelemetry {
-                queue_depth: feeder.queue_depth[i].clone(),
-                hot: HotStatsCounters::new(&sub),
-                batch_span_us: sub.histogram("batch_span_us"),
-            };
-            w.tx.send(Cmd::Telemetry(t)).expect("detector shard died");
-        }
         self.telemetry = Some(feeder);
+        self.scope = Some(scope.clone());
+        for shard in 0..self.workers.len() {
+            let t = self.shard_telemetry(shard);
+            self.with_shard(shard, |w| w.tx.send(Cmd::Telemetry(t.clone())).ok())?;
+        }
+        Ok(())
+    }
+
+    /// Build shard `i`'s telemetry handles against the pool's scope.
+    /// Handles re-acquire existing registry entries, so a respawned
+    /// shard continues the same counters.
+    fn shard_telemetry(&self, shard: usize) -> ShardTelemetry {
+        let scope = self.scope.as_ref().expect("scope set when telemetry attached");
+        let feeder = self.telemetry.as_ref().expect("telemetry attached");
+        let sub = scope.sub(&format!("shard{shard}"));
+        ShardTelemetry {
+            queue_depth: feeder.queue_depth[shard].clone(),
+            hot: HotStatsCounters::new(&sub),
+            batch_span_us: sub.histogram("batch_span_us"),
+        }
     }
 
     /// Number of shard workers.
@@ -298,40 +539,133 @@ impl DetectorPool {
         self.buffers_created
     }
 
-    /// A send buffer for `shard`: recycled if one came back, fresh
-    /// otherwise.
-    fn take_buffer(&mut self, shard: usize) -> Vec<WildRecord> {
-        match self.workers[shard].recycle.try_recv() {
+    /// Join a dead shard's thread and build its typed error.
+    fn shard_error(&mut self, shard: usize) -> PoolError {
+        let w = &mut self.workers[shard];
+        if let Some(handle) = w.handle.take() {
+            let _ = handle.join();
+        }
+        let panic = w.panic_note.lock().map(|mut n| n.take()).unwrap_or(None);
+        PoolError { shard, panic }
+    }
+
+    /// A shard's channel disconnected mid-operation. Unsupervised, this
+    /// surfaces the typed error. Supervised, the shard is respawned,
+    /// restored from its last checkpoint, and replayed — after which the
+    /// caller retries the interrupted operation.
+    fn handle_dead_shard(&mut self, shard: usize) -> Result<(), PoolError> {
+        let err = self.shard_error(shard);
+        if self.supervisor.is_none() {
+            return Err(err);
+        }
+        self.workers[shard] = spawn_worker(
+            shard,
+            Arc::clone(&self.rules),
+            self.hitlist.clone(),
+            self.config,
+            self.channel_batches,
+        );
+        // Batches lost in the dead worker's channel were inc'd but never
+        // dec'd; the respawned shard starts with an empty queue.
+        if self.telemetry.is_some() {
+            let t = self.shard_telemetry(shard);
+            t.queue_depth.set(0);
+            let _ = self.workers[shard].tx.send(Cmd::Telemetry(t));
+        }
+        let sup = self.supervisor.as_mut().expect("supervised");
+        sup.restarts.inc();
+        let state = sup.shard_state[shard].clone();
+        // Staging is left alone: those records were never shipped, are
+        // not in the replay buffer, and will ship to the respawned
+        // worker in their normal turn.
+        let replay = sup.replay[shard].clone();
+        let replayed = sup.replay_records[shard] as u64;
+        let w = &self.workers[shard];
+        if w.tx.send(Cmd::Restore(state)).is_err() {
+            return Err(self.shard_error(shard));
+        }
+        // Re-ship the retained batches as-is: each is already shard-
+        // partitioned and batch-sized, so no re-chunking (and no copy —
+        // `Cmd::Batch` carries a refcount clone).
+        for batch in replay {
+            if let Some(t) = &self.telemetry {
+                t.queue_depth[shard].inc();
+            }
+            if self.workers[shard].tx.send(Cmd::Batch(batch)).is_err() {
+                return Err(self.shard_error(shard));
+            }
+        }
+        let sup = self.supervisor.as_mut().expect("supervised");
+        sup.replayed_records.add(replayed);
+        // The replay buffer stays: these records are still
+        // since-checkpoint, and a second crash needs them again.
+        Ok(())
+    }
+
+    /// Run `op` against a shard, healing (under supervision) and
+    /// retrying once if the shard died mid-operation.
+    fn with_shard<T>(
+        &mut self,
+        shard: usize,
+        op: impl Fn(&Worker) -> Option<T>,
+    ) -> Result<T, PoolError> {
+        for _ in 0..2 {
+            if let Some(v) = op(&self.workers[shard]) {
+                return Ok(v);
+            }
+            self.handle_dead_shard(shard)?;
+        }
+        Err(PoolError { shard, panic: Some("shard died again during recovery".to_string()) })
+    }
+
+    /// Ship `shard`'s staging buffer to its worker (blocking if the
+    /// channel is full — this is the backpressure point). Returns `true`
+    /// on success, `false` when the shard is dead.
+    fn try_ship(&mut self, shard: usize) -> bool {
+        if self.staging[shard].is_empty() {
+            return true;
+        }
+        let empty = match self.workers[shard].recycle.try_recv() {
             Ok(buf) => {
                 if let Some(t) = &self.telemetry {
                     t.buffers_recycled.inc();
                 }
                 buf
             }
-            Err(TryRecvError::Empty) => {
-                self.buffers_created += 1;
-                if let Some(t) = &self.telemetry {
-                    t.buffers_created.inc();
+            Err(TryRecvError::Empty) => match self.spare.pop() {
+                Some(buf) => {
+                    if let Some(t) = &self.telemetry {
+                        t.buffers_recycled.inc();
+                    }
+                    buf
                 }
-                Vec::with_capacity(self.batch_records)
-            }
-            Err(TryRecvError::Disconnected) => panic!("detector shard {shard} died"),
-        }
-    }
-
-    /// Ship `shard`'s staging buffer to its worker (blocking if the
-    /// channel is full — this is the backpressure point).
-    fn ship(&mut self, shard: usize) {
-        if self.staging[shard].is_empty() {
-            return;
-        }
-        let empty = self.take_buffer(shard);
-        let full = std::mem::replace(&mut self.staging[shard], empty);
-        let Some(t) = &self.telemetry else {
-            self.workers[shard].tx.send(Cmd::Batch(full)).expect("detector shard died");
-            return;
+                None => {
+                    self.buffers_created += 1;
+                    if let Some(t) = &self.telemetry {
+                        t.buffers_created.inc();
+                    }
+                    Vec::with_capacity(self.batch_records)
+                }
+            },
+            Err(TryRecvError::Disconnected) => return false,
         };
-        t.batches_shipped.inc();
+        let full = Arc::new(std::mem::replace(&mut self.staging[shard], empty));
+        // Retain the batch for replay *before* any send attempt: a
+        // batch lost in a dead worker's channel (or dropped by a failed
+        // send) is then always recoverable. This is a refcount bump,
+        // not a copy — the records themselves are never duplicated.
+        if let Some(sup) = &mut self.supervisor {
+            sup.replay_records[shard] += full.len();
+            sup.replay[shard].push(Arc::clone(&full));
+        }
+        let Some(t) = &self.telemetry else {
+            return self.workers[shard].tx.send(Cmd::Batch(full)).is_ok();
+        };
+        // Inc the queue gauge *before* the send: the worker decs after
+        // processing, and `Gauge::dec` saturates at zero — a dec racing
+        // ahead of a post-send inc would strand the gauge at +1. A
+        // failed send leaves a stale inc, but the shard is dead then and
+        // recovery resets the gauge on respawn.
         t.queue_depth[shard].inc();
         // Distinguish a clean send from one that had to block: the
         // stall counter is the backpressure signal operators watch.
@@ -339,14 +673,31 @@ impl DetectorPool {
             Ok(()) => {}
             Err(TrySendError::Full(cmd)) => {
                 t.backpressure_stalls.inc();
-                self.workers[shard].tx.send(cmd).expect("detector shard died");
+                if self.workers[shard].tx.send(cmd).is_err() {
+                    return false;
+                }
             }
-            Err(TrySendError::Disconnected(_)) => panic!("detector shard {shard} died"),
+            Err(TrySendError::Disconnected(_)) => return false,
         }
+        t.batches_shipped.inc();
+        true
+    }
+
+    /// Ship with supervised retry. A failed ship may drop the staged
+    /// buffer, but under supervision those records live in the replay
+    /// buffer, which recovery re-feeds.
+    fn ship(&mut self, shard: usize) -> Result<(), PoolError> {
+        for _ in 0..2 {
+            if self.try_ship(shard) {
+                return Ok(());
+            }
+            self.handle_dead_shard(shard)?;
+        }
+        Err(PoolError { shard, panic: Some("shard died again during recovery".to_string()) })
     }
 
     /// Observe records: partitioned to shards, shipped as buffers fill.
-    pub fn observe_records(&mut self, records: &[WildRecord]) {
+    pub fn observe_records(&mut self, records: &[WildRecord]) -> Result<(), PoolError> {
         if let Some(t) = &self.telemetry {
             t.records_in.add(records.len() as u64);
         }
@@ -355,9 +706,20 @@ impl DetectorPool {
             let shard = shard_of(r.line, n);
             self.staging[shard].push(*r);
             if self.staging[shard].len() >= self.batch_records {
-                self.ship(shard);
+                self.ship(shard)?;
             }
         }
+        // Bound the replay buffers: a shard at the limit is checkpointed
+        // (which drains its buffer) before the next call.
+        if let Some(sup) = &self.supervisor {
+            let limit = sup.replay_limit;
+            let over: Vec<usize> =
+                (0..n).filter(|&s| sup.replay_records[s] >= limit).collect();
+            for shard in over {
+                self.checkpoint_shard(shard)?;
+            }
+        }
+        Ok(())
     }
 
     /// Drain a whole [`RecordStream`] through the pool, reusing one
@@ -367,7 +729,7 @@ impl DetectorPool {
         &mut self,
         stream: &mut dyn RecordStream,
         chunk: &mut RecordChunk,
-    ) -> (u64, u64, haystack_wild::FeedDegradation) {
+    ) -> Result<(u64, u64, haystack_wild::FeedDegradation), PoolError> {
         let mut records = 0u64;
         let mut packets = 0u64;
         let mut degradation = haystack_wild::FeedDegradation::default();
@@ -375,122 +737,258 @@ impl DetectorPool {
             records += chunk.records.len() as u64;
             packets += chunk.sampled_packets;
             degradation.absorb(chunk.degradation);
-            self.observe_records(&chunk.records);
+            self.observe_records(&chunk.records)?;
         }
-        (records, packets, degradation)
+        Ok((records, packets, degradation))
     }
 
     /// Push every partial staging buffer to its worker.
-    pub fn flush(&mut self) {
+    pub fn flush(&mut self) -> Result<(), PoolError> {
         for shard in 0..self.workers.len() {
-            self.ship(shard);
+            self.ship(shard)?;
         }
+        Ok(())
     }
 
     /// Flush, then block until every worker has processed everything
-    /// sent so far.
-    pub fn finish(&mut self) {
-        self.flush();
-        let (tx, rx) = channel();
+    /// sent so far. Per-shard barriers, so a dead shard is identified
+    /// (and healed, under supervision) individually.
+    pub fn finish(&mut self) -> Result<(), PoolError> {
+        self.flush()?;
+        for shard in 0..self.workers.len() {
+            self.with_shard(shard, |w| {
+                let (tx, rx) = channel();
+                w.tx.send(Cmd::Barrier(tx)).ok()?;
+                rx.recv().ok()
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint one shard: flush its staging, snapshot its evidence
+    /// state (FIFO — the snapshot covers everything fed so far), and
+    /// drain its replay buffer. Requires supervision.
+    pub fn checkpoint_shard(&mut self, shard: usize) -> Result<(), PoolError> {
+        assert!(self.supervisor.is_some(), "enable_supervision first");
+        self.ship(shard)?;
+        let state = self.with_shard(shard, |w| {
+            let (tx, rx) = channel();
+            w.tx.send(Cmd::Snapshot(tx)).ok()?;
+            rx.recv().ok()
+        })?;
+        let sup = self.supervisor.as_mut().expect("supervised");
+        sup.shard_state[shard] = state;
+        reclaim_replay(&mut sup.replay[shard], &mut self.spare);
+        sup.replay_records[shard] = 0;
+        sup.shard_checkpoints.inc();
+        Ok(())
+    }
+
+    /// Checkpoint every shard (e.g. on an hour boundary). Requires
+    /// supervision. Snapshot commands are broadcast before any reply is
+    /// awaited, so the shards export their states concurrently — the
+    /// boundary costs one shard's export, not the sum of all of them.
+    pub fn checkpoint_all(&mut self) -> Result<(), PoolError> {
+        assert!(self.supervisor.is_some(), "enable_supervision first");
+        self.flush()?;
+        let mut pending: Vec<Option<Receiver<DetectorState>>> = Vec::new();
         for w in &self.workers {
-            w.tx.send(Cmd::Barrier(tx.clone())).expect("detector shard died");
+            let (tx, rx) = channel();
+            pending.push(w.tx.send(Cmd::Snapshot(tx)).ok().map(|()| rx));
         }
-        drop(tx);
-        for _ in 0..self.workers.len() {
-            rx.recv().expect("detector shard died");
+        for (shard, slot) in pending.into_iter().enumerate() {
+            match slot.and_then(|rx| rx.recv().ok()) {
+                Some(state) => {
+                    let sup = self.supervisor.as_mut().expect("supervised");
+                    sup.shard_state[shard] = state;
+                    reclaim_replay(&mut sup.replay[shard], &mut self.spare);
+                    sup.replay_records[shard] = 0;
+                    sup.shard_checkpoints.inc();
+                }
+                // Dead shard: heal it, then take its snapshot on the
+                // (recovered) slow path.
+                None => {
+                    self.handle_dead_shard(shard)?;
+                    self.checkpoint_shard(shard)?;
+                }
+            }
         }
+        Ok(())
+    }
+
+    /// Export every shard's evidence state, flushing first so the
+    /// states cover everything fed. Under supervision this doubles as a
+    /// checkpoint (replay buffers drain). The returned vector is
+    /// indexed by shard and must be restored into a pool with the same
+    /// worker count ([`DetectorPool::restore_shard_states`]).
+    pub fn shard_states(&mut self) -> Result<Vec<DetectorState>, PoolError> {
+        if self.supervisor.is_some() {
+            self.checkpoint_all()?;
+            return Ok(self.supervisor.as_ref().expect("supervised").shard_state.clone());
+        }
+        self.flush()?;
+        let mut states = Vec::with_capacity(self.workers.len());
+        for shard in 0..self.workers.len() {
+            states.push(self.with_shard(shard, |w| {
+                let (tx, rx) = channel();
+                w.tx.send(Cmd::Snapshot(tx)).ok()?;
+                rx.recv().ok()
+            })?);
+        }
+        Ok(states)
+    }
+
+    /// Restore per-shard evidence states exported by
+    /// [`DetectorPool::shard_states`] from a pool with the same worker
+    /// count and rule set. Under supervision the states become the
+    /// shards' checkpoints and the replay buffers drain.
+    pub fn restore_shard_states(&mut self, states: &[DetectorState]) -> Result<(), PoolError> {
+        assert_eq!(
+            states.len(),
+            self.workers.len(),
+            "shard states must match the worker count"
+        );
+        for s in &mut self.staging {
+            s.clear();
+        }
+        if let Some(sup) = &mut self.supervisor {
+            sup.shard_state = states.to_vec();
+            for r in &mut sup.replay {
+                reclaim_replay(r, &mut self.spare);
+            }
+            sup.replay_records.fill(0);
+        }
+        for (shard, state) in states.iter().enumerate() {
+            let state = state.clone();
+            self.with_shard(shard, move |w| w.tx.send(Cmd::Restore(state.clone())).ok())?;
+        }
+        Ok(())
+    }
+
+    /// Deterministic crash injection: make `shard` panic with `msg` once
+    /// every batch sent before this call is processed. The next
+    /// operation touching the shard observes the death (and heals it,
+    /// under supervision).
+    pub fn inject_panic(&mut self, shard: usize, msg: &str) -> Result<(), PoolError> {
+        let msg = msg.to_string();
+        self.with_shard(shard, move |w| w.tx.send(Cmd::PanicNow(msg.clone())).ok())
     }
 
     /// Swap the daily hitlist on every shard. Staged records are flushed
     /// first, so they are observed under the hitlist that was current
-    /// when they were fed.
-    pub fn set_hitlist(&mut self, hitlist: &HitList) {
-        self.flush();
-        for w in &self.workers {
-            w.tx.send(Cmd::SetHitlist(hitlist.clone())).expect("detector shard died");
+    /// when they were fed. Under supervision every shard is checkpointed
+    /// first, so a replay never crosses a hitlist swap.
+    pub fn set_hitlist(&mut self, hitlist: &HitList) -> Result<(), PoolError> {
+        if self.supervisor.is_some() {
+            self.checkpoint_all()?;
+        } else {
+            self.flush()?;
         }
+        self.hitlist = hitlist.clone();
+        for shard in 0..self.workers.len() {
+            let hl = hitlist.clone();
+            self.with_shard(shard, move |w| w.tx.send(Cmd::SetHitlist(hl.clone())).ok())?;
+        }
+        Ok(())
     }
 
     /// Clear accumulated evidence (new aggregation window). Records still
     /// staged are discarded — they belong to the window being cleared.
-    pub fn reset(&mut self) {
+    pub fn reset(&mut self) -> Result<(), PoolError> {
         if let Some(t) = &self.telemetry {
             t.records_discarded.add(self.staging.iter().map(Vec::len).sum::<usize>() as u64);
         }
         for s in &mut self.staging {
             s.clear();
         }
-        for w in &self.workers {
-            w.tx.send(Cmd::Reset).expect("detector shard died");
+        let nrules = self.rules.rules.len();
+        if let Some(sup) = &mut self.supervisor {
+            for r in &mut sup.replay {
+                reclaim_replay(r, &mut self.spare);
+            }
+            sup.replay_records.fill(0);
+            for s in &mut sup.shard_state {
+                *s = empty_state(nrules);
+            }
         }
+        for shard in 0..self.workers.len() {
+            self.with_shard(shard, |w| w.tx.send(Cmd::Reset).ok())?;
+        }
+        Ok(())
     }
 
     /// All lines for which `class` is detected, merged across shards.
-    pub fn detected_lines(&mut self, class: &str) -> Vec<AnonId> {
-        self.flush();
-        let (tx, rx) = channel();
-        for w in &self.workers {
-            w.tx.send(Cmd::DetectedLines(class.to_string(), tx.clone()))
-                .expect("detector shard died");
+    pub fn detected_lines(&mut self, class: &str) -> Result<Vec<AnonId>, PoolError> {
+        self.flush()?;
+        let mut out = Vec::new();
+        for shard in 0..self.workers.len() {
+            let lines = self.with_shard(shard, |w| {
+                let (tx, rx) = channel();
+                w.tx.send(Cmd::DetectedLines(class.to_string(), tx)).ok()?;
+                rx.recv().ok()
+            })?;
+            out.extend(lines);
         }
-        drop(tx);
-        let mut out: Vec<AnonId> = rx.iter().flatten().collect();
         out.sort_unstable();
-        out
+        Ok(out)
     }
 
     /// Whether `class` is detected for `line` (asks the owning shard).
-    pub fn is_detected(&mut self, line: AnonId, class: &str) -> bool {
+    pub fn is_detected(&mut self, line: AnonId, class: &str) -> Result<bool, PoolError> {
         let shard = shard_of(line, self.workers.len());
-        self.ship(shard);
-        let (tx, rx) = channel();
-        self.workers[shard]
-            .tx
-            .send(Cmd::IsDetected(line, class.to_string(), tx))
-            .expect("detector shard died");
-        rx.recv().expect("detector shard died")
+        self.ship(shard)?;
+        self.with_shard(shard, |w| {
+            let (tx, rx) = channel();
+            w.tx.send(Cmd::IsDetected(line, class.to_string(), tx)).ok()?;
+            rx.recv().ok()
+        })
     }
 
     /// Graded detection confidence for `(line, class)` in `[0, 1]`.
-    pub fn confidence(&mut self, line: AnonId, class: &str) -> f64 {
+    pub fn confidence(&mut self, line: AnonId, class: &str) -> Result<f64, PoolError> {
         let shard = shard_of(line, self.workers.len());
-        self.ship(shard);
-        let (tx, rx) = channel();
-        self.workers[shard]
-            .tx
-            .send(Cmd::Confidence(line, class.to_string(), tx))
-            .expect("detector shard died");
-        rx.recv().expect("detector shard died")
+        self.ship(shard)?;
+        self.with_shard(shard, |w| {
+            let (tx, rx) = channel();
+            w.tx.send(Cmd::Confidence(line, class.to_string(), tx)).ok()?;
+            rx.recv().ok()
+        })
     }
 
     /// First hour the full (hierarchy-gated) detection held for
     /// `(line, class)`.
-    pub fn first_detection(&mut self, line: AnonId, class: &str) -> Option<HourBin> {
+    pub fn first_detection(
+        &mut self,
+        line: AnonId,
+        class: &str,
+    ) -> Result<Option<HourBin>, PoolError> {
         let shard = shard_of(line, self.workers.len());
-        self.ship(shard);
-        let (tx, rx) = channel();
-        self.workers[shard]
-            .tx
-            .send(Cmd::FirstDetection(line, class.to_string(), tx))
-            .expect("detector shard died");
-        rx.recv().expect("detector shard died")
+        self.ship(shard)?;
+        self.with_shard(shard, |w| {
+            let (tx, rx) = channel();
+            w.tx.send(Cmd::FirstDetection(line, class.to_string(), tx)).ok()?;
+            rx.recv().ok()
+        })
     }
 
     /// Total per-(line, rule) states held across shards.
-    pub fn state_size(&mut self) -> usize {
-        self.flush();
-        let (tx, rx) = channel();
-        for w in &self.workers {
-            w.tx.send(Cmd::StateSize(tx.clone())).expect("detector shard died");
+    pub fn state_size(&mut self) -> Result<usize, PoolError> {
+        self.flush()?;
+        let mut total = 0usize;
+        for shard in 0..self.workers.len() {
+            total += self.with_shard(shard, |w| {
+                let (tx, rx) = channel();
+                w.tx.send(Cmd::StateSize(tx)).ok()?;
+                rx.recv().ok()
+            })?;
         }
-        drop(tx);
-        rx.iter().sum()
+        Ok(total)
     }
 }
 
 impl DetectionQuery for DetectorPool {
     fn query_detected_lines(&mut self, class: &str) -> Vec<AnonId> {
-        self.detected_lines(class)
+        self.detected_lines(class).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -533,42 +1031,42 @@ impl ShardedDetector {
     }
 
     /// Swap the daily hitlist on every shard.
-    pub fn set_hitlist(&mut self, hitlist: &HitList) {
-        self.pool.set_hitlist(hitlist);
+    pub fn set_hitlist(&mut self, hitlist: &HitList) -> Result<(), PoolError> {
+        self.pool.set_hitlist(hitlist)
     }
 
     /// Process one batch of records across all shards, blocking until
     /// every record is absorbed.
-    pub fn observe_batch(&mut self, records: &[WildRecord]) {
-        self.pool.observe_records(records);
-        self.pool.finish();
+    pub fn observe_batch(&mut self, records: &[WildRecord]) -> Result<(), PoolError> {
+        self.pool.observe_records(records)?;
+        self.pool.finish()
     }
 
     /// Whether `class` is detected for `line` (dispatches to the shard
     /// owning the line).
-    pub fn is_detected(&mut self, line: AnonId, class: &str) -> bool {
+    pub fn is_detected(&mut self, line: AnonId, class: &str) -> Result<bool, PoolError> {
         self.pool.is_detected(line, class)
     }
 
     /// All lines for which `class` is detected, merged across shards.
-    pub fn detected_lines(&mut self, class: &str) -> Vec<AnonId> {
+    pub fn detected_lines(&mut self, class: &str) -> Result<Vec<AnonId>, PoolError> {
         self.pool.detected_lines(class)
     }
 
     /// Total per-(line, rule) states held across shards.
-    pub fn state_size(&mut self) -> usize {
+    pub fn state_size(&mut self) -> Result<usize, PoolError> {
         self.pool.state_size()
     }
 
     /// Reset every shard (new aggregation window).
-    pub fn reset(&mut self) {
-        self.pool.reset();
+    pub fn reset(&mut self) -> Result<(), PoolError> {
+        self.pool.reset()
     }
 }
 
 impl DetectionQuery for ShardedDetector {
     fn query_detected_lines(&mut self, class: &str) -> Vec<AnonId> {
-        self.detected_lines(class)
+        self.detected_lines(class).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -638,13 +1136,13 @@ mod tests {
         }
         for workers in [1usize, 2, 4, 7] {
             let mut par = ShardedDetector::new(&rules, &hl, config, workers);
-            par.observe_batch(&records);
+            par.observe_batch(&records).unwrap();
             assert_eq!(
-                par.detected_lines("X"),
+                par.detected_lines("X").unwrap(),
                 seq.detected_lines("X"),
                 "{workers} workers diverge from sequential"
             );
-            assert_eq!(par.state_size(), seq.state_size());
+            assert_eq!(par.state_size().unwrap(), seq.state_size());
         }
     }
 
@@ -661,9 +1159,9 @@ mod tests {
             let mut pool = DetectorPool::new(&rules, &hl, config, workers);
             let mut chunk = RecordChunk::default();
             let mut stream = VecStream::new(records.clone(), 333);
-            pool.observe_stream(&mut stream, &mut chunk);
-            pool.finish();
-            results.push((pool.detected_lines("X"), pool.state_size()));
+            pool.observe_stream(&mut stream, &mut chunk).unwrap();
+            pool.finish().unwrap();
+            results.push((pool.detected_lines("X").unwrap(), pool.state_size().unwrap()));
         }
         assert_eq!(results[0], results[1], "2 workers diverge from 1");
         assert_eq!(results[0], results[2], "8 workers diverge from 1");
@@ -678,14 +1176,17 @@ mod tests {
         let records = random_records(10_000, 5);
 
         let mut batched = ShardedDetector::new(&rules, &hl, config, 3);
-        batched.observe_batch(&records);
+        batched.observe_batch(&records).unwrap();
 
         let mut streamed = DetectorPool::new(&rules, &hl, config, 3);
         for piece in records.chunks(17) {
-            streamed.observe_records(piece);
+            streamed.observe_records(piece).unwrap();
         }
-        streamed.finish();
-        assert_eq!(streamed.detected_lines("X"), batched.detected_lines("X"));
+        streamed.finish().unwrap();
+        assert_eq!(
+            streamed.detected_lines("X").unwrap(),
+            batched.detected_lines("X").unwrap()
+        );
     }
 
     #[test]
@@ -695,10 +1196,10 @@ mod tests {
         let hl = HitList::whole_window(&rules);
         let mut pool = DetectorPool::new(&rules, &hl, DetectorConfig::default(), 2);
         let records = random_records(10, 8);
-        pool.observe_records(&records); // far below POOL_BATCH_RECORDS
-        assert!(pool.state_size() > 0, "staged records visible to queries");
-        for line in pool.detected_lines("X") {
-            assert!(pool.is_detected(line, "X"));
+        pool.observe_records(&records).unwrap(); // far below POOL_BATCH_RECORDS
+        assert!(pool.state_size().unwrap() > 0, "staged records visible to queries");
+        for line in pool.detected_lines("X").unwrap() {
+            assert!(pool.is_detected(line, "X").unwrap());
         }
     }
 
@@ -718,8 +1219,8 @@ mod tests {
             100,
             channel_batches,
         );
-        pool.observe_records(&random_records(100_000, 2));
-        pool.finish();
+        pool.observe_records(&random_records(100_000, 2)).unwrap();
+        pool.finish().unwrap();
         // Per shard: 1 staging + channel_batches in flight + 1 being
         // processed + 1 in the recycle queue.
         let bound = workers * (channel_batches + 3);
@@ -761,9 +1262,9 @@ mod tests {
         let config = DetectorConfig::default();
         let mut par = ShardedDetector::new(&rules, &hl, config, 4);
         let records = random_records(5_000, 9);
-        par.observe_batch(&records);
-        for line in par.detected_lines("X") {
-            assert!(par.is_detected(line, "X"));
+        par.observe_batch(&records).unwrap();
+        for line in par.detected_lines("X").unwrap() {
+            assert!(par.is_detected(line, "X").unwrap());
         }
     }
 
@@ -782,10 +1283,10 @@ mod tests {
             64,
             2,
         );
-        pool.attach_telemetry(&scope);
+        pool.attach_telemetry(&scope).unwrap();
         let records = random_records(10_000, 21);
-        pool.observe_records(&records);
-        pool.finish();
+        pool.observe_records(&records).unwrap();
+        pool.finish().unwrap();
         let snap = telemetry::global().snapshot().filtered("t_pool_unit");
         assert_eq!(snap.counter("t_pool_unit.records_in"), Some(10_000));
         let observed: u64 = (0..3)
@@ -805,8 +1306,8 @@ mod tests {
             );
         }
         // Stats flow through reset's discard counter too.
-        pool.observe_records(&records[..10]);
-        pool.reset();
+        pool.observe_records(&records[..10]).unwrap();
+        pool.reset().unwrap();
         let snap = telemetry::global().snapshot();
         assert_eq!(snap.counter("t_pool_unit.records_discarded"), Some(10));
     }
@@ -816,10 +1317,188 @@ mod tests {
         let rules = ruleset(2);
         let hl = HitList::whole_window(&rules);
         let mut par = ShardedDetector::new(&rules, &hl, DetectorConfig::default(), 3);
-        par.observe_batch(&random_records(2_000, 1));
-        assert!(par.state_size() > 0);
-        par.reset();
-        assert_eq!(par.state_size(), 0);
-        assert!(par.detected_lines("X").is_empty());
+        par.observe_batch(&random_records(2_000, 1)).unwrap();
+        assert!(par.state_size().unwrap() > 0);
+        par.reset().unwrap();
+        assert_eq!(par.state_size().unwrap(), 0);
+        assert!(par.detected_lines("X").unwrap().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Crash safety
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn unsupervised_shard_death_is_a_typed_error_not_an_abort() {
+        let rules = ruleset(2);
+        let hl = HitList::whole_window(&rules);
+        let mut pool = DetectorPool::new(&rules, &hl, DetectorConfig::default(), 3);
+        pool.observe_records(&random_records(1_000, 4)).unwrap();
+        pool.inject_panic(1, "injected crash").unwrap();
+        let err = pool.finish().expect_err("dead shard must surface as Err");
+        assert_eq!(err.shard, 1);
+        assert_eq!(err.panic.as_deref(), Some("injected crash"));
+        assert!(err.to_string().contains("shard 1"));
+        assert!(err.to_string().contains("injected crash"));
+        // The error is sticky for that shard, not fatal to the process.
+        assert!(pool.finish().is_err());
+    }
+
+    #[test]
+    fn supervised_recovery_is_byte_identical() {
+        // Kill a shard mid-feed; the supervised pool must produce
+        // exactly the detections of an uninterrupted run.
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(30_000, 17);
+
+        let mut clean = DetectorPool::new(&rules, &hl, config, 4);
+        clean.observe_records(&records).unwrap();
+        clean.finish().unwrap();
+        let want = (clean.detected_lines("X").unwrap(), clean.state_size().unwrap());
+
+        for kill_at in [0usize, 10_000, 29_999] {
+            let mut pool = DetectorPool::new(&rules, &hl, config, 4);
+            pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+            pool.observe_records(&records[..kill_at]).unwrap();
+            pool.inject_panic(2, "chaos kill").unwrap();
+            pool.observe_records(&records[kill_at..]).unwrap();
+            pool.finish().unwrap();
+            let got = (pool.detected_lines("X").unwrap(), pool.state_size().unwrap());
+            assert_eq!(got, want, "kill at {kill_at} diverges");
+        }
+    }
+
+    #[test]
+    fn supervised_recovery_with_mid_feed_checkpoints() {
+        // Checkpoints between the kill points: replay starts from the
+        // last checkpoint, not from zero, and stays byte-identical.
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(24_000, 23);
+
+        let mut clean = DetectorPool::new(&rules, &hl, config, 3);
+        clean.observe_records(&records).unwrap();
+        clean.finish().unwrap();
+        let want = clean.detected_lines("X").unwrap();
+
+        let mut pool = DetectorPool::new(&rules, &hl, config, 3);
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+        for (i, piece) in records.chunks(4_000).enumerate() {
+            pool.observe_records(piece).unwrap();
+            if i % 2 == 0 {
+                pool.checkpoint_all().unwrap();
+            }
+            if i == 3 {
+                pool.inject_panic(0, "mid-feed kill").unwrap();
+            }
+        }
+        pool.finish().unwrap();
+        assert_eq!(pool.detected_lines("X").unwrap(), want);
+    }
+
+    #[test]
+    fn replay_buffer_is_bounded_by_auto_checkpoints() {
+        let rules = ruleset(4);
+        let hl = HitList::whole_window(&rules);
+        let mut pool = DetectorPool::new(&rules, &hl, DetectorConfig::default(), 2);
+        let limit = 500usize;
+        pool.enable_supervision(limit).unwrap();
+        let records = random_records(20_000, 31);
+        for piece in records.chunks(100) {
+            pool.observe_records(piece).unwrap();
+            // A shard's buffer can overshoot by at most one feed call
+            // before the auto-checkpoint drains it.
+            assert!(
+                pool.replay_buffered() <= 2 * (limit + 100),
+                "replay grew unbounded: {}",
+                pool.replay_buffered()
+            );
+        }
+        // Auto-checkpoints + kill still recover byte-identically.
+        pool.inject_panic(1, "late kill").unwrap();
+        pool.finish().unwrap();
+        let mut clean = DetectorPool::new(&rules, &hl, DetectorConfig::default(), 2);
+        clean.observe_records(&records).unwrap();
+        clean.finish().unwrap();
+        assert_eq!(
+            pool.detected_lines("X").unwrap(),
+            clean.detected_lines("X").unwrap()
+        );
+    }
+
+    #[test]
+    fn shard_states_round_trip_into_a_fresh_pool() {
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(12_000, 41);
+        let split = 7_000;
+
+        let mut whole = DetectorPool::new(&rules, &hl, config, 3);
+        whole.observe_records(&records).unwrap();
+        whole.finish().unwrap();
+        let want = (whole.detected_lines("X").unwrap(), whole.state_size().unwrap());
+
+        // First pool processes half, exports; a fresh pool restores and
+        // finishes the rest — the CLI resume path in miniature.
+        let mut first = DetectorPool::new(&rules, &hl, config, 3);
+        first.observe_records(&records[..split]).unwrap();
+        let states = first.shard_states().unwrap();
+        drop(first);
+
+        let mut second = DetectorPool::new(&rules, &hl, config, 3);
+        second.restore_shard_states(&states).unwrap();
+        second.observe_records(&records[split..]).unwrap();
+        second.finish().unwrap();
+        let got = (second.detected_lines("X").unwrap(), second.state_size().unwrap());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn supervised_set_hitlist_never_replays_across_a_swap() {
+        // Kill a shard right after a hitlist swap: the replayed records
+        // must be observed under the hitlist they were fed under.
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(10_000, 53);
+        let split = 5_000;
+
+        let run = |supervise: bool, kill: bool| {
+            let mut pool = DetectorPool::new(&rules, &hl, config, 3);
+            if supervise {
+                pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+            }
+            pool.observe_records(&records[..split]).unwrap();
+            pool.set_hitlist(&hl).unwrap();
+            if kill {
+                pool.inject_panic(0, "post-swap kill").unwrap();
+            }
+            pool.observe_records(&records[split..]).unwrap();
+            pool.finish().unwrap();
+            pool.detected_lines("X").unwrap()
+        };
+        let want = run(false, false);
+        assert_eq!(run(true, true), want);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn recovery_telemetry_counts_restarts_and_replays() {
+        telemetry::set_enabled(true);
+        let rules = ruleset(4);
+        let hl = HitList::whole_window(&rules);
+        let before = telemetry::global().snapshot();
+        let mut pool = DetectorPool::new(&rules, &hl, DetectorConfig::default(), 2);
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+        pool.observe_records(&random_records(2_000, 61)).unwrap();
+        pool.inject_panic(0, "counted kill").unwrap();
+        pool.finish().unwrap();
+        let delta = telemetry::global().snapshot().delta_since(&before);
+        assert!(delta.counter("checkpoint.shard_restarts").unwrap_or(0) >= 1);
+        assert!(delta.counter("checkpoint.shard_checkpoints").unwrap_or(0) >= 2);
     }
 }

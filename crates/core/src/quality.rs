@@ -147,9 +147,9 @@ mod tests {
         use haystack_wild::VantagePoint;
         for hour in DayBin(0).hours() {
             let mut stream = isp.stream_hour(&p.world, hour, 4_096);
-            pool.observe_stream(&mut *stream, &mut chunk);
+            pool.observe_stream(&mut *stream, &mut chunk).unwrap();
         }
-        pool.finish();
+        pool.finish().unwrap();
         let cp = evaluate(p, &isp, &mut pool, "Alexa Enabled", 0);
         assert_eq!(c, cp, "pooled evaluation diverges from sequential");
     }

@@ -10,6 +10,7 @@
 //! flags domains (and whole rules) whose evidence collapsed — the signal
 //! to re-run the testbed pipeline for that vendor.
 
+use crate::checkpoint::StalenessState;
 use crate::fasthash::FastMap;
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
@@ -110,6 +111,29 @@ impl StalenessMonitor {
     /// Days folded so far.
     pub fn days_seen(&self) -> u32 {
         self.days_seen
+    }
+
+    /// Export counts and baselines for checkpointing, sorted for
+    /// deterministic encoding. Baselines are exported as exact `f64`s —
+    /// the snapshot codec carries them as raw bits, so a restored
+    /// monitor continues from bit-identical decayed means.
+    pub fn export_state(&self) -> StalenessState {
+        let mut today: Vec<((u16, u16), u64)> =
+            self.today.iter().map(|(k, v)| (*k, *v)).collect();
+        today.sort_unstable();
+        let mut baseline: Vec<((u16, u16), f64)> =
+            self.baseline.iter().map(|(k, v)| (*k, *v)).collect();
+        baseline.sort_unstable_by_key(|(k, _)| *k);
+        StalenessState { today, baseline, days_seen: self.days_seen }
+    }
+
+    /// Replace counts and baselines with a checkpointed state.
+    pub fn restore_state(&mut self, state: &StalenessState) {
+        self.today.clear();
+        self.today.extend(state.today.iter().copied());
+        self.baseline.clear();
+        self.baseline.extend(state.baseline.iter().copied());
+        self.days_seen = state.days_seen;
     }
 }
 

@@ -13,6 +13,7 @@
 //!
 //! The tracker is windowed per hour: callers reset it at hour boundaries.
 
+use crate::checkpoint::{CheckpointError, UsageState};
 use crate::fasthash::{FastMap, FastSet};
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
@@ -117,6 +118,50 @@ impl<'r> UsageTracker<'r> {
     /// hits in `detections`). Not cleared by [`UsageTracker::reset`].
     pub fn hot_stats(&self) -> HotStats {
         self.stats
+    }
+
+    /// Export the current hour window for checkpointing, sorted for
+    /// deterministic encoding.
+    pub fn export_state(&self) -> UsageState {
+        let packets = self
+            .packets
+            .iter()
+            .map(|m| {
+                let mut entries: Vec<(AnonId, u64)> =
+                    m.iter().map(|(l, p)| (*l, *p)).collect();
+                entries.sort_unstable();
+                entries
+            })
+            .collect();
+        let indicator = self
+            .indicator
+            .iter()
+            .map(|s| {
+                let mut lines: Vec<AnonId> = s.iter().copied().collect();
+                lines.sort_unstable();
+                lines
+            })
+            .collect();
+        UsageState { packets, indicator }
+    }
+
+    /// Replace the hour window with a checkpointed state. A state taken
+    /// under a different rule count is rejected.
+    pub fn restore_state(&mut self, state: &UsageState) -> Result<(), CheckpointError> {
+        if state.packets.len() != self.packets.len()
+            || state.indicator.len() != self.indicator.len()
+        {
+            return Err(CheckpointError::StateMismatch("usage tracker rule count"));
+        }
+        for (m, entries) in self.packets.iter_mut().zip(&state.packets) {
+            m.clear();
+            m.extend(entries.iter().copied());
+        }
+        for (s, lines) in self.indicator.iter_mut().zip(&state.indicator) {
+            s.clear();
+            s.extend(lines.iter().copied());
+        }
+        Ok(())
     }
 }
 

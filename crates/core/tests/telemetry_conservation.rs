@@ -149,14 +149,14 @@ fn stream_and_pool_records_are_conserved_under_loss() {
         let scope = telemetry::Scope::named(&format!("cons.rec{i}"));
         let chaos = ChaosConfig { drop_probability: loss, seed: 11, ..ChaosConfig::off() };
         let mut pool = DetectorPool::new(&rules, &hitlist, DetectorConfig::default(), 3);
-        pool.attach_telemetry(&scope.sub("pool"));
+        pool.attach_telemetry(&scope.sub("pool")).unwrap();
         let mut stream = InstrumentedStream::new(
             DegradeStream::new(VecStream::new(wild_records(n, 5), 1_000), chaos, 5, 1_000),
             &scope.sub("stream"),
         );
         let mut chunk = RecordChunk::with_capacity(1_000);
-        pool.observe_stream(&mut stream, &mut chunk);
-        pool.finish();
+        pool.observe_stream(&mut stream, &mut chunk).unwrap();
+        pool.finish().unwrap();
 
         let snap = telemetry::global().snapshot();
         let c = |name: &str| {

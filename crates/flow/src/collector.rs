@@ -28,8 +28,9 @@ use crate::ipfix;
 use crate::netflow_v5 as v5;
 use crate::netflow_v9 as v9;
 use crate::record::FlowRecord;
-use crate::wire::{decode_records, OptionsTemplate, SamplingOptions, Template};
+use crate::wire::{decode_records, OptionsTemplate, SamplingOptions, Template, TemplateField};
 use bytes::Bytes;
+use haystack_net::snapshot::{open, seal, SnapError, SnapReader, SnapWriter, MAGIC_LEN};
 use std::collections::HashMap;
 
 /// Per-source health counters, as a copyable snapshot.
@@ -576,6 +577,217 @@ impl Collector {
     pub fn template_count(&self) -> usize {
         self.templates.len()
     }
+
+    /// Frame magic of a collector snapshot.
+    pub const SNAPSHOT_MAGIC: &'static [u8; MAGIC_LEN] = b"HAYCOLL\0";
+    /// Snapshot format version this build writes and reads.
+    pub const SNAPSHOT_VERSION: u32 = 1;
+
+    /// Serialize the collector's entire long-lived state — template and
+    /// options caches with their LRU stamps, per-source sequence/health
+    /// tracking, learned sampling configurations, and all counters — as
+    /// one checksummed frame. Encoding iterates every map in sorted key
+    /// order, so equal collectors produce byte-identical snapshots.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.template_cache_cap as u64);
+        w.put_u64(self.options_cache_cap as u64);
+        w.put_u64(self.lru_clock);
+
+        let mut tmpl_keys: Vec<(u32, u16)> = self.templates.keys().copied().collect();
+        tmpl_keys.sort_unstable();
+        w.put_u64(tmpl_keys.len() as u64);
+        for key in &tmpl_keys {
+            let t = &self.templates[key];
+            w.put_u32(key.0);
+            w.put_u16(key.1);
+            put_fields(&mut w, &t.fields);
+        }
+        put_lru(&mut w, &self.template_lru);
+
+        let mut opt_keys: Vec<(u32, u16)> = self.options_templates.keys().copied().collect();
+        opt_keys.sort_unstable();
+        w.put_u64(opt_keys.len() as u64);
+        for key in &opt_keys {
+            let t = &self.options_templates[key];
+            w.put_u32(key.0);
+            w.put_u16(key.1);
+            put_fields(&mut w, &t.scope_fields);
+            put_fields(&mut w, &t.option_fields);
+        }
+        put_lru(&mut w, &self.options_lru);
+
+        let mut src_keys: Vec<u32> = self.sources.keys().copied().collect();
+        src_keys.sort_unstable();
+        w.put_u64(src_keys.len() as u64);
+        for source in &src_keys {
+            let st = &self.sources[source];
+            w.put_u32(*source);
+            w.put_u64(st.stats.missed_datagrams);
+            w.put_u64(st.stats.missed_records);
+            w.put_u64(st.stats.out_of_order);
+            w.put_u64(st.stats.restarts);
+            w.put_u64(st.stats.dropped_unknown_template);
+            w.put_u64(st.stats.quarantines);
+            w.put_u64(st.stats.quarantined_dropped);
+            match st.expected_seq {
+                Some(seq) => {
+                    w.put_u8(1);
+                    w.put_u32(seq);
+                }
+                None => {
+                    w.put_u8(0);
+                    w.put_u32(0);
+                }
+            }
+            w.put_u32(st.malformed_streak);
+            w.put_u32(st.quarantine_remaining);
+        }
+
+        let mut samp_keys: Vec<u32> = self.sampling.keys().copied().collect();
+        samp_keys.sort_unstable();
+        w.put_u64(samp_keys.len() as u64);
+        for source in &samp_keys {
+            let s = &self.sampling[source];
+            w.put_u32(*source);
+            w.put_u32(s.interval);
+            w.put_u8(s.algorithm);
+        }
+
+        w.put_u64(self.dropped_unknown_template);
+        w.put_u64(self.malformed_messages);
+        w.put_u64(self.malformed_sets);
+        w.put_u64(self.templates_evicted);
+        w.put_u64(self.datagrams_received);
+        w.put_u64(self.records_decoded);
+        w.put_u64(self.template_hits);
+        w.put_u64(self.template_announcements);
+
+        seal(Self::SNAPSHOT_MAGIC, Self::SNAPSHOT_VERSION, &w.into_bytes())
+    }
+
+    /// Rebuild a collector from a [`Collector::snapshot`] frame. A
+    /// truncated, bit-flipped, or foreign frame is a typed [`SnapError`];
+    /// this never panics on corrupt input.
+    pub fn restore(frame: &[u8]) -> Result<Collector, SnapError> {
+        let payload = open(Self::SNAPSHOT_MAGIC, Self::SNAPSHOT_VERSION, frame)?;
+        let mut r = SnapReader::new(payload);
+        let mut c = Collector::new();
+        let template_cache_cap = r.u64()? as usize;
+        let options_cache_cap = r.u64()? as usize;
+        if template_cache_cap == 0 || options_cache_cap == 0 {
+            return Err(SnapError::Malformed("zero cache cap"));
+        }
+        c.template_cache_cap = template_cache_cap;
+        c.options_cache_cap = options_cache_cap;
+        c.lru_clock = r.u64()?;
+
+        let n = r.count(6)?;
+        for _ in 0..n {
+            let source = r.u32()?;
+            let id = r.u16()?;
+            let fields = read_fields(&mut r)?;
+            c.templates.insert((source, id), Template { id, fields });
+        }
+        read_lru(&mut r, &mut c.template_lru)?;
+
+        let n = r.count(6)?;
+        for _ in 0..n {
+            let source = r.u32()?;
+            let id = r.u16()?;
+            let scope_fields = read_fields(&mut r)?;
+            let option_fields = read_fields(&mut r)?;
+            c.options_templates.insert((source, id), OptionsTemplate { id, scope_fields, option_fields });
+        }
+        read_lru(&mut r, &mut c.options_lru)?;
+
+        let n = r.count(4 + 7 * 8 + 1 + 4 + 4 + 4)?;
+        for _ in 0..n {
+            let source = r.u32()?;
+            let stats = SourceStats {
+                missed_datagrams: r.u64()?,
+                missed_records: r.u64()?,
+                out_of_order: r.u64()?,
+                restarts: r.u64()?,
+                dropped_unknown_template: r.u64()?,
+                quarantines: r.u64()?,
+                quarantined_dropped: r.u64()?,
+            };
+            let has_seq = r.u8()?;
+            let seq = r.u32()?;
+            let expected_seq = match has_seq {
+                0 => None,
+                1 => Some(seq),
+                _ => return Err(SnapError::Malformed("bad expected_seq flag")),
+            };
+            let malformed_streak = r.u32()?;
+            let quarantine_remaining = r.u32()?;
+            c.sources.insert(
+                source,
+                SourceState { stats, expected_seq, malformed_streak, quarantine_remaining },
+            );
+        }
+
+        let n = r.count(4 + 4 + 1)?;
+        for _ in 0..n {
+            let source = r.u32()?;
+            let interval = r.u32()?;
+            let algorithm = r.u8()?;
+            c.sampling.insert(source, SamplingOptions { interval, algorithm });
+        }
+
+        c.dropped_unknown_template = r.u64()?;
+        c.malformed_messages = r.u64()?;
+        c.malformed_sets = r.u64()?;
+        c.templates_evicted = r.u64()?;
+        c.datagrams_received = r.u64()?;
+        c.records_decoded = r.u64()?;
+        c.template_hits = r.u64()?;
+        c.template_announcements = r.u64()?;
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed("trailing bytes"));
+        }
+        Ok(c)
+    }
+}
+
+fn put_fields(w: &mut SnapWriter, fields: &[TemplateField]) {
+    w.put_u64(fields.len() as u64);
+    for f in fields {
+        w.put_u16(f.id);
+        w.put_u16(f.len);
+    }
+}
+
+fn read_fields(r: &mut SnapReader<'_>) -> Result<Vec<TemplateField>, SnapError> {
+    let n = r.count(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(TemplateField { id: r.u16()?, len: r.u16()? });
+    }
+    Ok(out)
+}
+
+fn put_lru(w: &mut SnapWriter, lru: &HashMap<(u32, u16), u64>) {
+    let mut keys: Vec<(u32, u16)> = lru.keys().copied().collect();
+    keys.sort_unstable();
+    w.put_u64(keys.len() as u64);
+    for key in &keys {
+        w.put_u32(key.0);
+        w.put_u16(key.1);
+        w.put_u64(lru[key]);
+    }
+}
+
+fn read_lru(r: &mut SnapReader<'_>, into: &mut HashMap<(u32, u16), u64>) -> Result<(), SnapError> {
+    let n = r.count(4 + 2 + 8)?;
+    for _ in 0..n {
+        let source = r.u32()?;
+        let id = r.u16()?;
+        let stamp = r.u64()?;
+        into.insert((source, id), stamp);
+    }
+    Ok(())
 }
 
 /// Least-recently-used key, never the just-inserted one.
@@ -909,5 +1121,99 @@ mod tests {
         }
         let decoded = collector.feed_netflow_v9(msgs9[0].clone()).unwrap();
         assert_eq!(decoded.len(), 4, "source 9 resumes after probation");
+    }
+
+    /// A messy multi-source feed: templates, data, a dropped datagram, a
+    /// duplicate, and a malformed flood that quarantines one source.
+    fn messy_feed() -> Vec<Bytes> {
+        let mut msgs = Vec::new();
+        let mut e1 = Exporter::new(ExportProtocol::NetflowV9, 1).with_batch_size(5);
+        let mut e2 = Exporter::new(ExportProtocol::Ipfix, 2).with_batch_size(4);
+        let m1 = e1.export(&recs(20), 100).unwrap();
+        let m2 = e2.export(&recs(12), 100).unwrap();
+        msgs.push(m1[0].clone());
+        msgs.push(m2[0].clone());
+        msgs.push(m1[2].clone()); // m1[1] lost → sequence gap
+        msgs.push(m2[1].clone());
+        msgs.push(m2[1].clone()); // duplicate → out of order
+        let mut bad_set = Vec::new();
+        bad_set.extend_from_slice(&256u16.to_be_bytes());
+        bad_set.extend_from_slice(&3u16.to_be_bytes());
+        for i in 0..Collector::QUARANTINE_THRESHOLD {
+            msgs.push(v9_datagram(9, u32::from(i), &bad_set));
+        }
+        msgs.push(m1[3].clone());
+        msgs.push(m2[2].clone());
+        msgs
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let msgs = messy_feed();
+        let split = msgs.len() / 2;
+        // Reference: uninterrupted run over the whole feed.
+        let mut whole = Collector::new();
+        let mut whole_records = Vec::new();
+        for m in &msgs {
+            if let Ok(rs) = whole.feed(m.clone()) {
+                whole_records.extend(rs);
+            }
+        }
+        // Snapshot after the first half, restore, continue on the rest.
+        let mut front = Collector::new();
+        let mut resumed_records = Vec::new();
+        for m in &msgs[..split] {
+            if let Ok(rs) = front.feed(m.clone()) {
+                resumed_records.extend(rs);
+            }
+        }
+        let frame = front.snapshot();
+        let mut back = Collector::restore(&frame).expect("restore");
+        for m in &msgs[split..] {
+            if let Ok(rs) = back.feed(m.clone()) {
+                resumed_records.extend(rs);
+            }
+        }
+        assert_eq!(resumed_records, whole_records, "decoded records diverge after restore");
+        assert_eq!(back.snapshot(), whole.snapshot(), "full state diverges after restore");
+        assert_eq!(back.datagrams_received(), whole.datagrams_received());
+        assert_eq!(back.records_decoded(), whole.records_decoded());
+        assert_eq!(back.missed_datagrams(), whole.missed_datagrams());
+        assert_eq!(back.quarantined_sources(), whole.quarantined_sources());
+        assert_eq!(back.sampling_of(2), whole.sampling_of(2));
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let msgs = messy_feed();
+        let run = || {
+            let mut c = Collector::new();
+            for m in &msgs {
+                let _ = c.feed(m.clone());
+            }
+            c.snapshot()
+        };
+        assert_eq!(run(), run(), "same feed must snapshot to identical bytes");
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected_not_panicking() {
+        let msgs = messy_feed();
+        let mut c = Collector::new();
+        for m in &msgs {
+            let _ = c.feed(m.clone());
+        }
+        let frame = c.snapshot();
+        assert!(Collector::restore(&frame).is_ok());
+        // Truncations at every prefix length fail cleanly.
+        for cut in [0, 1, frame.len() / 2, frame.len() - 1] {
+            assert!(Collector::restore(&frame[..cut]).is_err(), "cut {cut}");
+        }
+        // Any single bit flip is caught by the checksum.
+        for i in (0..frame.len()).step_by(7) {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x10;
+            assert!(Collector::restore(&bad).is_err(), "flip at byte {i}");
+        }
     }
 }

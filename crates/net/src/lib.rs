@@ -12,6 +12,8 @@
 //!   taxonomy needed for the IXP analysis (§6.3, Figure 16).
 //! * [`anonymize`] — the keyed one-way anonymization applied to user IPs
 //!   before any record leaves a vantage point.
+//! * [`snapshot`] — the versioned, checksummed binary snapshot codec the
+//!   crash-safe checkpoint/restore machinery shares (DESIGN.md §12).
 //!
 //! Everything here is deterministic and allocation-light; these types sit on
 //! the hot path of the flow pipeline (millions of records per simulated
@@ -26,6 +28,7 @@ pub mod asn;
 pub mod error;
 pub mod ports;
 pub mod prefix;
+pub mod snapshot;
 pub mod time;
 
 pub use addr::{IpClass, Ipv4AddrExt};

@@ -54,6 +54,6 @@ pub use plan::ContactPlan;
 pub use population::{Population, PopulationConfig};
 pub use record::WildRecord;
 pub use stream::{
-    materialize, FilterStream, RecordChunk, RecordStream, VantagePoint, VecStream,
-    DEFAULT_CHUNK_RECORDS,
+    materialize, skip_chunks, FilterStream, RecordChunk, RecordStream, VantagePoint, VecStream,
+    Watermark, DEFAULT_CHUNK_RECORDS,
 };

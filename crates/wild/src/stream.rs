@@ -201,6 +201,70 @@ impl<S: RecordStream, F: FnMut(&WildRecord) -> bool> RecordStream for FilterStre
     }
 }
 
+/// A resume position inside a multi-day record feed: the next chunk to
+/// process is chunk number `chunk` (zero-based) of hour `hour` (index
+/// within the day) of day `day`.
+///
+/// Watermarks order lexicographically — `(day, hour, chunk)` — so "how
+/// far did we get" comparisons are plain `<`/`>`. A checkpointed run
+/// resumes by regenerating the watermark's hour stream and discarding
+/// the first `chunk` chunks with [`skip_chunks`]; generation is
+/// deterministic and chunking-invariant (the `stream_equivalence`
+/// tests), so the skipped prefix is byte-identical to what the
+/// interrupted run already processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Watermark {
+    /// Day index within the study window.
+    pub day: u32,
+    /// Hour index within the day (`0..24`).
+    pub hour: u32,
+    /// Chunks of this hour already processed.
+    pub chunk: u64,
+}
+
+impl Watermark {
+    /// The position before any record: day 0, hour 0, chunk 0.
+    pub fn start() -> Watermark {
+        Watermark::default()
+    }
+
+    /// The first chunk of `(day, hour)`.
+    pub fn hour_start(day: u32, hour: u32) -> Watermark {
+        Watermark { day, hour, chunk: 0 }
+    }
+
+    /// The first chunk of the next hour (rolling into the next day after
+    /// hour 23).
+    pub fn next_hour(self) -> Watermark {
+        if self.hour + 1 >= 24 {
+            Watermark::hour_start(self.day + 1, 0)
+        } else {
+            Watermark::hour_start(self.day, self.hour + 1)
+        }
+    }
+}
+
+/// Pull and discard up to `n` chunks from `stream`, returning how many
+/// were actually pulled (fewer when the stream runs dry first).
+///
+/// This is the resume primitive: chunk generation is deterministic, so
+/// re-generating an hour and discarding the first `watermark.chunk`
+/// chunks reproduces exactly the state the interrupted run had.
+/// Discarded accounting (sampled packets, degradation) belongs to the
+/// already-processed prefix and must come from the checkpoint, not be
+/// re-folded.
+pub fn skip_chunks(stream: &mut dyn RecordStream, n: u64) -> u64 {
+    let mut scratch = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
+    let mut skipped = 0u64;
+    while skipped < n {
+        if !stream.next_chunk(&mut scratch) {
+            break;
+        }
+        skipped += 1;
+    }
+    skipped
+}
+
 /// The capture interface shared by every vantage point: the ISP
 /// ([`crate::isp::IspVantage`]), the IXP ([`crate::ixp::IxpVantage`]),
 /// and the ground-truth testbed replay (`haystack-core`'s crosscheck).
@@ -292,6 +356,55 @@ mod tests {
         assert!(chunk.records.is_empty());
         assert_eq!(chunk.sampled_packets, 9);
         assert!(!s.next_chunk(&mut chunk));
+    }
+
+    #[test]
+    fn skip_then_drain_equals_the_suffix() {
+        let records = recs(100);
+        for chunk_size in [1usize, 7, 32] {
+            let mut whole = VecStream::new(records.clone(), chunk_size);
+            let mut chunk = RecordChunk::default();
+            let mut all_chunks: Vec<Vec<WildRecord>> = Vec::new();
+            while whole.next_chunk(&mut chunk) {
+                all_chunks.push(chunk.records.clone());
+            }
+            for skip in [0u64, 1, 3, all_chunks.len() as u64] {
+                let mut s = VecStream::new(records.clone(), chunk_size);
+                assert_eq!(skip_chunks(&mut s, skip), skip.min(all_chunks.len() as u64));
+                let mut got = Vec::new();
+                while s.next_chunk(&mut chunk) {
+                    got.extend_from_slice(&chunk.records);
+                }
+                let want: Vec<WildRecord> = all_chunks
+                    .iter()
+                    .skip(skip as usize)
+                    .flatten()
+                    .copied()
+                    .collect();
+                assert_eq!(got, want, "chunk {chunk_size} skip {skip}");
+            }
+        }
+    }
+
+    #[test]
+    fn skipping_past_the_end_reports_what_was_there() {
+        let mut s = VecStream::new(recs(10), 4);
+        // 3 chunks exist (4+4+2); asking for 100 skips only those.
+        assert_eq!(skip_chunks(&mut s, 100), 3);
+        let mut chunk = RecordChunk::default();
+        assert!(!s.next_chunk(&mut chunk));
+    }
+
+    #[test]
+    fn watermarks_order_and_roll_over() {
+        let a = Watermark { day: 0, hour: 23, chunk: 9 };
+        let b = a.next_hour();
+        assert_eq!(b, Watermark::hour_start(1, 0));
+        assert!(a < b);
+        assert!(Watermark::start() < a);
+        assert!(
+            Watermark { day: 1, hour: 0, chunk: 0 } < Watermark { day: 1, hour: 0, chunk: 1 }
+        );
     }
 
     #[test]

@@ -46,12 +46,12 @@ fn main() {
     let mut pool = DetectorPool::new(&pipeline.rules, &hitlist, DetectorConfig::default(), workers);
     let mut stream = VecStream::new(replay, DEFAULT_CHUNK_RECORDS);
     let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
-    pool.observe_stream(&mut stream, &mut chunk);
-    pool.finish();
+    pool.observe_stream(&mut stream, &mut chunk).unwrap();
+    pool.finish().unwrap();
     let par_time = t0.elapsed();
 
     let seq_alexa = seq.detected_lines("Alexa Enabled").len();
-    let par_alexa = pool.detected_lines("Alexa Enabled").len();
+    let par_alexa = pool.detected_lines("Alexa Enabled").unwrap().len();
     assert_eq!(seq_alexa, par_alexa, "sharding must not change results");
 
     println!("\nsequential: {seq_time:?}; streamed pool x{workers}: {par_time:?}");

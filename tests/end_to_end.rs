@@ -58,10 +58,10 @@ fn alexa_detection_has_high_precision_and_useful_recall() {
     let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
     for hour in DayBin(0).hours() {
         let mut stream = isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS);
-        pool.observe_stream(&mut *stream, &mut chunk);
+        pool.observe_stream(&mut *stream, &mut chunk).unwrap();
     }
-    pool.finish();
-    let detected: BTreeSet<AnonId> = pool.detected_lines("Alexa Enabled").into_iter().collect();
+    pool.finish().unwrap();
+    let detected: BTreeSet<AnonId> = pool.detected_lines("Alexa Enabled").unwrap().into_iter().collect();
     let owners = owner_ids(&isp, "Alexa Enabled", 0);
     assert!(!detected.is_empty(), "nothing detected");
     let true_pos = detected.intersection(&owners).count();
@@ -288,12 +288,12 @@ fn streaming_detection_is_worker_and_chunking_invariant() {
         let mut chunk = RecordChunk::default();
         for hour in DayBin(0).hours().take(hours) {
             let mut stream = isp.stream_hour(&p.world, hour, 1_013);
-            pool.observe_stream(&mut *stream, &mut chunk);
+            pool.observe_stream(&mut *stream, &mut chunk).unwrap();
         }
-        pool.finish();
+        pool.finish().unwrap();
         for rule in &p.rules.rules {
             assert_eq!(
-                pool.detected_lines(rule.class),
+                pool.detected_lines(rule.class).unwrap(),
                 det.detected_lines(rule.class),
                 "class {} diverges at {workers} workers",
                 rule.class
