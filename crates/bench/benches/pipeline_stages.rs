@@ -40,7 +40,7 @@ fn bench(c: &mut Criterion) {
             p.observations
                 .domains()
                 .map(|(name, _)| dnsdb_verdict(&p.dnsdb, &infra, name, &window))
-                .count()
+                .collect::<Vec<_>>()
         })
     });
 

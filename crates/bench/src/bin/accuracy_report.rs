@@ -46,7 +46,7 @@ fn main() {
             .iter()
             .map(|r| (r.class, evaluate(&p, &isp, &mut pool, r.class, day)))
             .collect();
-        rows.sort_by(|a, b| (b.1.true_pos).cmp(&a.1.true_pos));
+        rows.sort_by_key(|row| std::cmp::Reverse(row.1.true_pos));
         for (class, c) in rows {
             println!(
                 "{day}\t{class}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}",

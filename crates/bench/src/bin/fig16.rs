@@ -31,7 +31,7 @@ fn main() {
                 )
             })
             .collect();
-        counts.sort_by(|a, b| b.2.cmp(&a.2));
+        counts.sort_by_key(|row| std::cmp::Reverse(row.2));
         let total: u64 = counts.iter().map(|(_, _, n)| n).sum();
         println!("\n# fig16 [{}]: per-AS share of unique detected IPs, day 0", group.label());
         println!("member\tcategory\tips\tshare");

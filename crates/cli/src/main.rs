@@ -17,7 +17,10 @@
 //! print), keeping stdout machine-readable and stderr clean. All
 //! progress/error output routes through [`haystack_cli::log`].
 
-use haystack_cli::resume::RunCheckpoint;
+mod serve;
+mod sig;
+
+use haystack_cli::resume::{flag_conflicts, load_resume_checkpoint, RunCheckpoint};
 use haystack_cli::{cli_error, note, rules_from_json, rules_to_json};
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
@@ -47,7 +50,7 @@ fn pool_fatal_ck<T>(r: Result<T, haystack_core::CheckpointError>) -> T {
 
 fn usage() -> ! {
     haystack_cli::log::raw_args(format_args!(
-        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
+        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N]\n  haystack serve    --rules FILE [--udp-port N] [--tcp-port N] [--http-port N] [--host IP]\n                    [--workers W] [--threshold T] [--seed N] [--queue-capacity N]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-secs N]\n                    [--ports-file FILE] [--watchdog-ms N] [--watchdog-timeout-ms N] [--chaos]\n  haystack send     --port N [--host IP] [--mode tcp|udp] [--rules FILE] [--lines N]\n                    [--records N] [--packets N] [--seed N] [--source N] [--hour N]\n                    [--malformed N] [--repeat N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
     ));
     exit(2);
 }
@@ -57,7 +60,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            if matches!(key, "fast" | "quiet" | "json" | "resume") {
+            if matches!(key, "fast" | "quiet" | "json" | "resume" | "chaos") {
                 out.insert(key.to_string(), "true".into());
             } else {
                 match it.next() {
@@ -167,24 +170,33 @@ fn cmd_detect(flags: HashMap<String, String>) {
     let checkpoint_chunks: u64 = num(&flags, "checkpoint-chunks", 0);
 
     // A resumed run takes its configuration from the checkpoint — flag
-    // drift between invocations cannot silently change the stream.
+    // drift between invocations cannot silently change the stream. An
+    // *explicitly* conflicting flag, a version-skewed frame, or a fully
+    // corrupt directory each fail with a message naming the generation
+    // (and field) at fault, not a generic codec error.
     let loaded: Option<RunCheckpoint> = if resume {
         let dir = ckpt_dir.as_ref().expect("checked above");
-        match pool_fatal_ck(dir.load_latest(RunCheckpoint::PREFIX, |frame| {
-            RunCheckpoint::decode(frame)
-        })) {
-            Some((gen, ck)) => {
+        match load_resume_checkpoint(dir) {
+            Ok(Some((generation, ck))) => {
+                if let Err(e) = flag_conflicts(&ck, generation, &flags) {
+                    cli_error!("resume: {e}");
+                    exit(1);
+                }
                 note!(
-                    "resuming from checkpoint generation {gen} at day {} hour {} chunk {}",
+                    "resuming from checkpoint generation {generation} at day {} hour {} chunk {}",
                     ck.watermark.day,
                     ck.watermark.hour,
                     ck.watermark.chunk
                 );
                 Some(ck)
             }
-            None => {
+            Ok(None) => {
                 note!("no checkpoint found; starting fresh");
                 None
+            }
+            Err(e) => {
+                cli_error!("resume: {e}");
+                exit(1);
             }
         }
     } else {
@@ -235,8 +247,10 @@ fn cmd_detect(flags: HashMap<String, String>) {
     if ckpt_dir.is_some() {
         // Checkpointed runs are also supervised: a shard panic is healed
         // from the pool's in-memory shard checkpoints instead of killing
-        // the run.
+        // the run. They drain on SIGTERM too — checkpoint at the current
+        // watermark, exit 0 — so an orchestrator's stop is never a crash.
         pool_fatal(pool.enable_supervision(haystack_core::parallel::DEFAULT_REPLAY_LIMIT));
+        sig::install();
     }
 
     // `emit` lines are the run's replayable stdout: checkpointed
@@ -318,6 +332,22 @@ fn cmd_detect(flags: HashMap<String, String>) {
                         false,
                         &emitted,
                     );
+                }
+                // SIGTERM drain: the in-flight chunk is finished (it was
+                // observed above), the watermark checkpoint makes resume
+                // land exactly here, and the exit is clean.
+                if ckpt_dir.is_some() && sig::triggered() {
+                    save(
+                        &mut pool,
+                        Watermark { day, hour: hour_idx, chunk: chunk_no },
+                        records_this_day,
+                        false,
+                        &emitted,
+                    );
+                    note!(
+                        "sigterm: checkpointed at day {day} hour {hour_idx} chunk {chunk_no}; exiting"
+                    );
+                    exit(0);
                 }
             }
             wm = Watermark::hour_start(day, hour_idx).next_hour();
@@ -658,6 +688,8 @@ fn main() {
         "rules" => cmd_rules(flags),
         "inspect" => cmd_inspect(flags),
         "detect" => cmd_detect(flags),
+        "serve" => serve::cmd_serve(flags),
+        "send" => serve::cmd_send(flags),
         "mitigate" => cmd_mitigate(flags),
         "capture" => cmd_capture(flags),
         "replay" => cmd_replay(flags),

@@ -22,9 +22,13 @@
 //! rejected with a typed error and `CheckpointDir::load_latest` falls
 //! back to the previous generation.
 
-use haystack_core::DetectorState;
-use haystack_net::snapshot::{open, seal, SnapError, SnapReader, SnapWriter, MAGIC_LEN};
+use haystack_core::{CheckpointDir, CheckpointError, DetectorState};
+use haystack_net::snapshot::{
+    checksum_ok, open, seal, SnapError, SnapReader, SnapWriter, MAGIC_LEN,
+};
 use haystack_wild::Watermark;
+use std::collections::HashMap;
+use std::fmt;
 
 /// Everything needed to resume an interrupted `haystack detect` run.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +128,164 @@ impl RunCheckpoint {
     }
 }
 
+/// Why a checkpoint directory could not be resumed from — each variant
+/// names the offending generation, so the operator knows exactly which
+/// file to inspect or delete.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// Directory-level I/O failed (or every generation was unreadable).
+    Checkpoint(CheckpointError),
+    /// The newest generation has a *valid checksum* but was written by a
+    /// different format version — falling back would silently resume an
+    /// older run, so this is a hard error naming both versions.
+    VersionSkew {
+        /// Generation that carries the skewed frame.
+        generation: u64,
+        /// Version the frame declares.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// Every on-disk generation failed its checksum or decode; the
+    /// newest generation's error is reported.
+    AllCorrupt {
+        /// Newest (first-tried) generation.
+        generation: u64,
+        /// Its decode failure.
+        err: SnapError,
+    },
+    /// An explicit command-line flag contradicts the checkpointed
+    /// configuration — resuming would silently change the stream.
+    Conflict {
+        /// Generation the configuration was read from.
+        generation: u64,
+        /// The conflicting configuration field.
+        field: &'static str,
+        /// Value given on the command line.
+        flag: String,
+        /// Value recorded in the checkpoint.
+        checkpoint: String,
+    },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Checkpoint(e) => write!(f, "{e}"),
+            ResumeError::VersionSkew { generation, found, expected } => write!(
+                f,
+                "checkpoint generation {generation} was written by snapshot format \
+                 version {found}, but this build reads version {expected}; \
+                 re-run the writing build or remove the checkpoint directory"
+            ),
+            ResumeError::AllCorrupt { generation, err } => write!(
+                f,
+                "no usable checkpoint: every generation is corrupt \
+                 (newest generation {generation}: {err})"
+            ),
+            ResumeError::Conflict { generation, field, flag, checkpoint } => write!(
+                f,
+                "--{field} {flag} conflicts with checkpoint generation {generation} \
+                 ({field} = {checkpoint}); drop the flag or start a fresh checkpoint directory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl From<CheckpointError> for ResumeError {
+    fn from(e: CheckpointError) -> Self {
+        ResumeError::Checkpoint(e)
+    }
+}
+
+/// Load the newest usable generation of `prefix`, with *explained*
+/// failures (unlike `CheckpointDir::load_latest`, which only falls
+/// back):
+///
+/// * a frame whose **checksum verifies** but whose version differs is
+///   genuine version skew — a hard [`ResumeError::VersionSkew`] naming
+///   the generation, never a silent fallback to an older run;
+/// * a frame whose checksum fails is bit rot or a torn write — skipped,
+///   falling back to the previous generation exactly as before;
+/// * when every generation is corrupt, the newest generation's error is
+///   reported with its generation number.
+pub fn load_validated<T>(
+    dir: &CheckpointDir,
+    prefix: &str,
+    mut decode: impl FnMut(&[u8]) -> Result<T, SnapError>,
+) -> Result<Option<(u64, T)>, ResumeError> {
+    let generations = dir.generations(prefix)?;
+    let mut newest_err: Option<(u64, SnapError)> = None;
+    for &generation in generations.iter().rev() {
+        let frame = dir.read_generation(prefix, generation)?;
+        match decode(&frame) {
+            Ok(v) => return Ok(Some((generation, v))),
+            Err(SnapError::BadVersion { found, expected }) if checksum_ok(&frame) => {
+                return Err(ResumeError::VersionSkew { generation, found, expected });
+            }
+            Err(e) => {
+                if newest_err.is_none() {
+                    newest_err = Some((generation, e));
+                }
+            }
+        }
+    }
+    match newest_err {
+        Some((generation, err)) => Err(ResumeError::AllCorrupt { generation, err }),
+        None => Ok(None),
+    }
+}
+
+/// Load the newest usable [`RunCheckpoint`] (see [`load_validated`]).
+pub fn load_resume_checkpoint(
+    dir: &CheckpointDir,
+) -> Result<Option<(u64, RunCheckpoint)>, ResumeError> {
+    load_validated(dir, RunCheckpoint::PREFIX, RunCheckpoint::decode)
+}
+
+/// Reject explicit flags that contradict the checkpointed configuration.
+///
+/// A resumed run takes its configuration from the checkpoint; a flag the
+/// operator *did not pass* simply defers to it. But an explicitly passed
+/// value that disagrees is a footgun — the run would silently ignore it —
+/// so each one fails loudly, naming the field, both values, and the
+/// generation they came from.
+pub fn flag_conflicts(
+    ck: &RunCheckpoint,
+    generation: u64,
+    flags: &HashMap<String, String>,
+) -> Result<(), ResumeError> {
+    fn check<T: std::str::FromStr + PartialEq + fmt::Display>(
+        flags: &HashMap<String, String>,
+        generation: u64,
+        field: &'static str,
+        checkpoint: T,
+    ) -> Result<(), ResumeError> {
+        let Some(flag) = flags.get(field) else { return Ok(()) };
+        // Values are compared *parsed*, so `--threshold 0.40` does not
+        // conflict with a stored 0.4. A flag value that does not parse
+        // conflicts trivially (it cannot equal the checkpoint's).
+        if flag.parse::<T>().is_ok_and(|v| v == checkpoint) {
+            return Ok(());
+        }
+        Err(ResumeError::Conflict {
+            generation,
+            field,
+            flag: flag.clone(),
+            checkpoint: checkpoint.to_string(),
+        })
+    }
+    check(flags, generation, "seed", ck.seed)?;
+    check(flags, generation, "lines", ck.lines)?;
+    check(flags, generation, "days", ck.days)?;
+    check(flags, generation, "threshold", ck.threshold)?;
+    check(flags, generation, "workers", ck.workers)?;
+    check(flags, generation, "chunk-records", ck.chunk_records)?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +329,107 @@ mod tests {
     #[test]
     fn encoding_is_deterministic() {
         assert_eq!(sample().encode(), sample().encode());
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "haystack-resume-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn version_skew_is_a_hard_error_naming_the_generation() {
+        let dir = CheckpointDir::open(scratch("skew")).unwrap();
+        dir.write(RunCheckpoint::PREFIX, &sample().encode()).unwrap();
+        // A frame from a "future" build: valid checksum, bumped version.
+        let mut w = SnapWriter::new();
+        w.put_u64(99);
+        let future = seal(RunCheckpoint::MAGIC, RunCheckpoint::VERSION + 1, &w.into_bytes());
+        let generation = dir.write(RunCheckpoint::PREFIX, &future).unwrap();
+        let err = load_resume_checkpoint(&dir).unwrap_err();
+        match err {
+            ResumeError::VersionSkew { generation: g, found, expected } => {
+                assert_eq!(g, generation);
+                assert_eq!(found, RunCheckpoint::VERSION + 1);
+                assert_eq!(expected, RunCheckpoint::VERSION);
+            }
+            other => panic!("expected VersionSkew, got {other:?}"),
+        }
+        let msg = load_resume_checkpoint(&dir).unwrap_err().to_string();
+        assert!(msg.contains(&format!("generation {generation}")), "{msg}");
+        assert!(msg.contains("version 2"), "{msg}");
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn bit_rot_still_falls_back_but_total_loss_names_the_generation() {
+        let dir = CheckpointDir::open(scratch("rot")).unwrap();
+        let ck = sample();
+        let g0 = dir.write(RunCheckpoint::PREFIX, &ck.encode()).unwrap();
+        let mut rotten = ck.encode();
+        let mid = rotten.len() / 2;
+        rotten[mid] ^= 0x20;
+        let g1 = dir.write(RunCheckpoint::PREFIX, &rotten).unwrap();
+        // Newest is rotten: fall back to the previous generation.
+        let (generation, loaded) = load_resume_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(generation, g0);
+        assert_eq!(loaded, ck);
+        // Rot the older one too: the error names the *newest* generation.
+        let mut older = dir.read_generation(RunCheckpoint::PREFIX, g0).unwrap();
+        older.truncate(older.len() / 2);
+        std::fs::write(
+            dir.root().join(format!("{}-{g0:08}.ckpt", RunCheckpoint::PREFIX)),
+            older,
+        )
+        .unwrap();
+        match load_resume_checkpoint(&dir).unwrap_err() {
+            ResumeError::AllCorrupt { generation, .. } => assert_eq!(generation, g1),
+            other => panic!("expected AllCorrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn empty_directory_resumes_fresh() {
+        let dir = CheckpointDir::open(scratch("empty")).unwrap();
+        assert!(load_resume_checkpoint(&dir).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn explicit_flag_conflicts_name_field_and_generation() {
+        let ck = sample();
+        let mut flags = HashMap::new();
+        // Absent flags defer to the checkpoint.
+        flag_conflicts(&ck, 3, &flags).unwrap();
+        // Matching explicit flags are fine, including re-formatted floats.
+        flags.insert("lines".into(), "3000".into());
+        flags.insert("threshold".into(), "0.40".into());
+        flag_conflicts(&ck, 3, &flags).unwrap();
+        // A disagreeing flag names the field, both values, the generation.
+        flags.insert("lines".into(), "5000".into());
+        let err = flag_conflicts(&ck, 3, &flags).unwrap_err();
+        match &err {
+            ResumeError::Conflict { generation, field, flag, checkpoint } => {
+                assert_eq!(*generation, 3);
+                assert_eq!(*field, "lines");
+                assert_eq!(flag, "5000");
+                assert_eq!(checkpoint, "3000");
+            }
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("--lines 5000"), "{msg}");
+        assert!(msg.contains("generation 3"), "{msg}");
+        assert!(msg.contains("3000"), "{msg}");
+        // Unparseable values conflict rather than being ignored.
+        flags.remove("lines");
+        flags.insert("workers".into(), "many".into());
+        assert!(flag_conflicts(&ck, 3, &flags).is_err());
     }
 
     #[test]

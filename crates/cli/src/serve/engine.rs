@@ -1,0 +1,603 @@
+//! The daemon's engine: one thread that owns every piece of mutable
+//! pipeline state (collector, detector pool, usage tracker, staleness
+//! monitor) and serializes the two things that touch it — ingested
+//! datagrams and control-plane queries — through channels.
+//!
+//! Single ownership is the robustness story: there are no locks to
+//! poison, no partially-updated state for a query to observe, and the
+//! drain path is just "consume the queue to disconnection, finish the
+//! pool, write the final checkpoint".
+//!
+//! The engine never exits on ingest trouble. Malformed datagrams are
+//! counted and dropped (the collector quarantines the source); a shard
+//! panic is healed by the pool's supervision; a shard *stall* (a worker
+//! alive but stuck) is caught by the watchdog probe, which respawns the
+//! shard from its last checkpoint after two consecutive failed probes.
+
+use super::state::ServeCheckpoint;
+use bytes::Bytes;
+use haystack_cli::note;
+use haystack_core::checkpoint::CheckpointDir;
+use haystack_core::detector::DetectorConfig;
+use haystack_core::hitlist::HitList;
+use haystack_core::parallel::{DetectorPool, ShardHealth, DEFAULT_REPLAY_LIMIT};
+use haystack_core::rules::RuleSet;
+use haystack_core::staleness::StalenessMonitor;
+use haystack_core::telemetry;
+use haystack_core::usage::{UsageConfig, UsageTracker};
+use haystack_flow::listener::AdmissionStats;
+use haystack_flow::Collector;
+use haystack_net::{Anonymizer, Prefix4};
+use haystack_wild::WildRecord;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Consecutive failed watchdog probes before a shard is force-respawned
+/// (one failure can be a barrier queued behind a deep backlog; two in a
+/// row across a probe interval is a stuck worker).
+const WATCHDOG_STRIKES: u8 = 2;
+
+/// A control-plane query, answered by the engine between ingest chunks.
+#[derive(Debug)]
+pub enum Query {
+    /// Ingest / shed / collector counters.
+    Stats,
+    /// Detected lines, optionally for one class.
+    Detections {
+        /// Restrict to this class (404 if unknown).
+        class: Option<String>,
+    },
+    /// Per-class verdicts for one line.
+    Line {
+        /// The anonymized line id.
+        id: u64,
+    },
+    /// Active-use lines, optionally for one class.
+    Usage {
+        /// Restrict to this class (404 if unknown).
+        class: Option<String>,
+    },
+    /// The staleness monitor's day counts and baselines.
+    Staleness,
+    /// Per-source health and shed attribution.
+    Sources,
+    /// Write a checkpoint generation now.
+    CheckpointNow,
+    /// Chaos: panic one shard (healed by supervision).
+    Panic {
+        /// Shard index.
+        shard: usize,
+    },
+    /// Chaos: stall one shard (healed by the watchdog).
+    Stall {
+        /// Shard index.
+        shard: usize,
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Chaos: slow the engine's ingest loop (a controlled overload —
+    /// the admission queue fills and the UDP path sheds).
+    Slow {
+        /// Added latency per datagram, in microseconds (0 clears it).
+        us: u64,
+    },
+}
+
+/// One control-plane request: a query plus its reply channel.
+#[derive(Debug)]
+pub struct CtlRequest {
+    /// What is being asked.
+    pub query: Query,
+    /// Where the JSON answer goes.
+    pub reply: Sender<CtlReply>,
+}
+
+/// The engine's answer: an HTTP status and a JSON body.
+#[derive(Debug)]
+pub struct CtlReply {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body (always an object).
+    pub body: String,
+}
+
+fn ok(body: String) -> CtlReply {
+    CtlReply { status: 200, body }
+}
+
+fn err(status: u16, msg: &str) -> CtlReply {
+    CtlReply { status, body: format!("{{\"error\":{msg:?}}}") }
+}
+
+/// Fixed configuration the engine runs under.
+pub struct EngineConfig {
+    /// Detector worker (shard) count.
+    pub workers: usize,
+    /// Detection threshold.
+    pub threshold: f64,
+    /// Anonymization seed.
+    pub seed: u64,
+    /// Where checkpoints go, if anywhere.
+    pub ckpt: Option<CheckpointDir>,
+    /// Seconds between automatic checkpoints (0 = only on demand/drain).
+    pub checkpoint_secs: u64,
+    /// Whether chaos endpoints are armed.
+    pub chaos: bool,
+    /// Watchdog probe interval.
+    pub watchdog_every: Duration,
+    /// Watchdog probe timeout (per probe round).
+    pub watchdog_timeout: Duration,
+}
+
+/// The engine state — see the module docs.
+pub struct Engine {
+    rules: &'static RuleSet,
+    config: EngineConfig,
+    collector: Collector,
+    pool: DetectorPool,
+    usage: UsageTracker<'static>,
+    staleness: StalenessMonitor,
+    anon: Anonymizer,
+    stats: Arc<AdmissionStats>,
+    datagrams: u64,
+    records: u64,
+    decode_errors: u64,
+    pool_errors: u64,
+    watchdog_probes: u64,
+    watchdog_respawns: u64,
+    strikes: Vec<u8>,
+    wild_buf: Vec<WildRecord>,
+    ingest_delay: Duration,
+}
+
+impl Engine {
+    /// Build a fresh engine (no checkpoint), with supervision enabled.
+    pub fn new(
+        rules: &'static RuleSet,
+        config: EngineConfig,
+        stats: Arc<AdmissionStats>,
+    ) -> Result<Engine, String> {
+        let hitlist = HitList::whole_window(rules);
+        let mut pool = DetectorPool::new(
+            rules,
+            &hitlist,
+            DetectorConfig { threshold: config.threshold, require_established: false },
+            config.workers,
+        );
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).map_err(|e| e.to_string())?;
+        pool.attach_telemetry(&telemetry::Scope::named("pool")).map_err(|e| e.to_string())?;
+        let usage = UsageTracker::new(rules, hitlist.clone(), UsageConfig::default());
+        let staleness = StalenessMonitor::new(hitlist);
+        let anon = Anonymizer::new(config.seed, config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let workers = config.workers;
+        Ok(Engine {
+            rules,
+            config,
+            collector: Collector::new(),
+            pool,
+            usage,
+            staleness,
+            anon,
+            stats,
+            datagrams: 0,
+            records: 0,
+            decode_errors: 0,
+            pool_errors: 0,
+            watchdog_probes: 0,
+            watchdog_respawns: 0,
+            strikes: vec![0; workers],
+            wild_buf: Vec::new(),
+            ingest_delay: Duration::ZERO,
+        })
+    }
+
+    /// Restore a restarted engine from a serve checkpoint. The caller
+    /// has already validated that `config.workers` matches.
+    pub fn restore(
+        rules: &'static RuleSet,
+        config: EngineConfig,
+        stats: Arc<AdmissionStats>,
+        ck: &ServeCheckpoint,
+    ) -> Result<Engine, String> {
+        let mut engine = Engine::new(rules, config, stats)?;
+        engine.collector = Collector::restore(&ck.collector)
+            .map_err(|e| format!("collector snapshot: {e}"))?;
+        engine.pool.restore_shard_states(&ck.shards).map_err(|e| e.to_string())?;
+        engine.usage.restore_state(&ck.usage).map_err(|e| e.to_string())?;
+        engine.staleness.restore_state(&ck.staleness);
+        engine.datagrams = ck.datagrams;
+        engine.records = ck.records;
+        engine.decode_errors = ck.decode_errors;
+        Ok(engine)
+    }
+
+    /// Run until the data channel disconnects (every listener gone and
+    /// the queue fully drained), then finish the pool and write the
+    /// final checkpoint. This is the whole lifecycle: SIGTERM stops the
+    /// listeners, the engine consumes what was already admitted, and
+    /// exits with durable state.
+    pub fn run(mut self, data_rx: Receiver<Bytes>, ctl_rx: Receiver<CtlRequest>) {
+        let mut last_probe = Instant::now();
+        let mut last_ckpt = Instant::now();
+        loop {
+            while let Ok(req) = ctl_rx.try_recv() {
+                self.handle_ctl(req);
+            }
+            match data_rx.recv_timeout(Duration::from_millis(20)) {
+                Ok(d) => self.ingest(d),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if last_probe.elapsed() >= self.config.watchdog_every {
+                self.watchdog_probe();
+                self.publish_telemetry();
+                last_probe = Instant::now();
+            }
+            if self.config.checkpoint_secs > 0
+                && self.config.ckpt.is_some()
+                && last_ckpt.elapsed() >= Duration::from_secs(self.config.checkpoint_secs)
+            {
+                if let Err(e) = self.write_checkpoint() {
+                    note!("serve: periodic checkpoint failed: {e}");
+                }
+                last_ckpt = Instant::now();
+            }
+        }
+        // Drain epilogue: all admitted datagrams are ingested; make the
+        // evidence durable before exiting.
+        if let Err(e) = self.pool.finish() {
+            note!("serve: pool finish during drain: {e}");
+        }
+        if self.config.ckpt.is_some() {
+            match self.write_checkpoint() {
+                Ok(generation) => note!("serve: final checkpoint generation {generation}"),
+                Err(e) => note!("serve: final checkpoint failed: {e}"),
+            }
+        }
+        // Answer any control requests that raced the shutdown, so the
+        // HTTP plane never hangs on a dropped reply channel.
+        while let Ok(req) = ctl_rx.try_recv() {
+            self.handle_ctl(req);
+        }
+    }
+
+    /// Spawn the engine loop on its own thread.
+    pub fn spawn(
+        self,
+        data_rx: Receiver<Bytes>,
+        ctl_rx: Receiver<CtlRequest>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::Builder::new()
+            .name("hay-engine".into())
+            .spawn(move || self.run(data_rx, ctl_rx))
+            .expect("spawn engine")
+    }
+
+    fn ingest(&mut self, datagram: Bytes) {
+        if !self.ingest_delay.is_zero() {
+            std::thread::sleep(self.ingest_delay);
+        }
+        self.datagrams += 1;
+        match self.collector.feed(datagram) {
+            Ok(records) => {
+                self.records += records.len() as u64;
+                self.wild_buf.clear();
+                for r in &records {
+                    let w = WildRecord {
+                        line: self.anon.anonymize(r.key.src),
+                        line_slash24: Prefix4::slash24_of(r.key.src),
+                        src_ip: r.key.src,
+                        dst: r.key.dst,
+                        dport: r.key.dport,
+                        proto: r.key.proto,
+                        packets: r.packets,
+                        bytes: r.bytes,
+                        established: r.tcp_flags.is_established_evidence(),
+                        hour: r.first.hour(),
+                    };
+                    self.usage.observe(&w);
+                    self.staleness.observe(&w);
+                    self.wild_buf.push(w);
+                }
+                if let Err(e) = self.pool.observe_records(&self.wild_buf) {
+                    // Supervision already tried to heal; dropping the
+                    // batch and staying up beats dying mid-stream.
+                    self.pool_errors += 1;
+                    note!("serve: pool rejected a batch: {e}");
+                }
+            }
+            Err(_) => {
+                // The collector has counted the malformed message and
+                // advanced the source's quarantine state machine.
+                self.decode_errors += 1;
+            }
+        }
+    }
+
+    fn watchdog_probe(&mut self) {
+        self.watchdog_probes += 1;
+        let health = self.pool.shard_health(self.config.watchdog_timeout);
+        for (shard, h) in health.iter().enumerate() {
+            match h {
+                ShardHealth::Responsive => self.strikes[shard] = 0,
+                ShardHealth::Stalled | ShardHealth::Dead => {
+                    self.strikes[shard] += 1;
+                    if self.strikes[shard] >= WATCHDOG_STRIKES
+                        || matches!(h, ShardHealth::Dead)
+                    {
+                        note!("serve: watchdog respawning shard {shard} ({})", h.label());
+                        match self.pool.force_respawn(shard) {
+                            Ok(()) => self.watchdog_respawns += 1,
+                            Err(e) => note!("serve: respawn of shard {shard} failed: {e}"),
+                        }
+                        self.strikes[shard] = 0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirror the engine's counters into the telemetry registry so
+    /// `/metrics` (served off-thread from a snapshot) stays current.
+    fn publish_telemetry(&self) {
+        let scope = telemetry::Scope::named("serve");
+        scope.gauge("received").set(self.stats.received());
+        scope.gauge("admitted").set(self.stats.admitted());
+        scope.gauge("shed").set(self.stats.shed());
+        scope.gauge("datagrams_processed").set(self.datagrams);
+        scope.gauge("records_decoded").set(self.records);
+        scope.gauge("decode_errors").set(self.decode_errors);
+        scope.gauge("watchdog_probes").set(self.watchdog_probes);
+        scope.gauge("watchdog_respawns").set(self.watchdog_respawns);
+        telemetry::observe_collector(&telemetry::Scope::named("collector"), &self.collector);
+    }
+
+    fn write_checkpoint(&mut self) -> Result<u64, String> {
+        let shards = self.pool.shard_states().map_err(|e| e.to_string())?;
+        let ck = ServeCheckpoint {
+            workers: self.config.workers as u32,
+            threshold: self.config.threshold,
+            seed: self.config.seed,
+            datagrams: self.datagrams,
+            records: self.records,
+            decode_errors: self.decode_errors,
+            collector: self.collector.snapshot(),
+            shards,
+            usage: self.usage.export_state(),
+            staleness: self.staleness.export_state(),
+        };
+        let dir = self.config.ckpt.as_ref().ok_or("no --checkpoint-dir")?;
+        dir.write(ServeCheckpoint::PREFIX, &ck.encode()).map_err(|e| e.to_string())
+    }
+
+    fn handle_ctl(&mut self, req: CtlRequest) {
+        let reply = match req.query {
+            Query::Stats => self.stats_body(),
+            Query::Detections { class } => self.detections_body(class.as_deref()),
+            Query::Line { id } => self.line_body(id),
+            Query::Usage { class } => self.usage_body(class.as_deref()),
+            Query::Staleness => self.staleness_body(),
+            Query::Sources => self.sources_body(),
+            Query::CheckpointNow => match self.write_checkpoint() {
+                Ok(generation) => ok(format!("{{\"generation\":{generation}}}")),
+                Err(e) => err(409, &e),
+            },
+            Query::Panic { shard } => self.chaos_panic(shard),
+            Query::Stall { shard, ms } => self.chaos_stall(shard, ms),
+            Query::Slow { us } => self.chaos_slow(us),
+        };
+        // A dropped reply channel just means the client went away.
+        let _ = req.reply.send(reply);
+    }
+
+    /// Classes the query applies to, or `None` for an unknown class.
+    fn class_filter(&self, class: Option<&str>) -> Option<Vec<&'static str>> {
+        match class {
+            None => Some(self.rules.rules.iter().map(|r| r.class).collect()),
+            Some(c) => self
+                .rules
+                .rules
+                .iter()
+                .find(|r| r.class == c)
+                .map(|r| vec![r.class]),
+        }
+    }
+
+    fn stats_body(&mut self) -> CtlReply {
+        let shed_by_source: Vec<String> = self
+            .stats
+            .shed_by_source()
+            .iter()
+            .map(|(id, n)| format!("[{id},{n}]"))
+            .collect();
+        ok(format!(
+            "{{\"received\":{},\"admitted\":{},\"shed\":{},\"shed_by_source\":[{}],\
+             \"datagrams\":{},\"records\":{},\"decode_errors\":{},\"pool_errors\":{},\
+             \"watchdog\":{{\"probes\":{},\"respawns\":{}}},\
+             \"collector\":{{\"missed_datagrams\":{},\"restarts_detected\":{},\
+             \"malformed_messages\":{},\"malformed_sets\":{},\"quarantined\":{},\
+             \"requarantined\":{}}}}}",
+            self.stats.received(),
+            self.stats.admitted(),
+            self.stats.shed(),
+            shed_by_source.join(","),
+            self.datagrams,
+            self.records,
+            self.decode_errors,
+            self.pool_errors,
+            self.watchdog_probes,
+            self.watchdog_respawns,
+            self.collector.missed_datagrams(),
+            self.collector.restarts_detected(),
+            self.collector.malformed_messages(),
+            self.collector.malformed_sets(),
+            self.collector.quarantined_sources().len(),
+            self.collector.requarantines_total(),
+        ))
+    }
+
+    fn detections_body(&mut self, class: Option<&str>) -> CtlReply {
+        let Some(classes) = self.class_filter(class) else {
+            return err(404, "unknown class");
+        };
+        if let Err(e) = self.pool.flush() {
+            return err(500, &e.to_string());
+        }
+        let mut parts = Vec::with_capacity(classes.len());
+        for c in classes {
+            let mut lines = match self.pool.detected_lines(c) {
+                Ok(l) => l,
+                Err(e) => return err(500, &e.to_string()),
+            };
+            lines.sort_unstable();
+            let ids: Vec<String> = lines.iter().map(|l| l.0.to_string()).collect();
+            parts.push(format!(
+                "{{\"class\":{c:?},\"count\":{},\"lines\":[{}]}}",
+                lines.len(),
+                ids.join(",")
+            ));
+        }
+        ok(format!("{{\"classes\":[{}]}}", parts.join(",")))
+    }
+
+    fn line_body(&mut self, id: u64) -> CtlReply {
+        if let Err(e) = self.pool.flush() {
+            return err(500, &e.to_string());
+        }
+        let line = haystack_net::AnonId(id);
+        let mut parts = Vec::with_capacity(self.rules.rules.len());
+        for rule in &self.rules.rules {
+            let detected = match self.pool.is_detected(line, rule.class) {
+                Ok(d) => d,
+                Err(e) => return err(500, &e.to_string()),
+            };
+            let confidence = match self.pool.confidence(line, rule.class) {
+                Ok(c) => c,
+                Err(e) => return err(500, &e.to_string()),
+            };
+            parts.push(format!(
+                "{{\"class\":{:?},\"detected\":{detected},\"confidence\":{confidence}}}",
+                rule.class
+            ));
+        }
+        ok(format!("{{\"line\":{id},\"classes\":[{}]}}", parts.join(",")))
+    }
+
+    fn usage_body(&mut self, class: Option<&str>) -> CtlReply {
+        let Some(classes) = self.class_filter(class) else {
+            return err(404, "unknown class");
+        };
+        let mut parts = Vec::with_capacity(classes.len());
+        for c in classes {
+            let active = self.usage.active_lines(c);
+            let ids: Vec<String> = active.iter().map(|l| l.0.to_string()).collect();
+            parts.push(format!(
+                "{{\"class\":{c:?},\"count\":{},\"active\":[{}]}}",
+                active.len(),
+                ids.join(",")
+            ));
+        }
+        ok(format!("{{\"classes\":[{}]}}", parts.join(",")))
+    }
+
+    fn staleness_body(&mut self) -> CtlReply {
+        // `export_state` is order-normalized, and baselines are reported
+        // as raw IEEE-754 bits — the restart-determinism proof diffs
+        // this body byte-for-byte.
+        let state = self.staleness.export_state();
+        let today: Vec<String> = state
+            .today
+            .iter()
+            .map(|((ri, di), pkts)| format!("[{ri},{di},{pkts}]"))
+            .collect();
+        let baseline: Vec<String> = state
+            .baseline
+            .iter()
+            .map(|((ri, di), b)| format!("[{ri},{di},\"{:#018x}\"]", b.to_bits()))
+            .collect();
+        ok(format!(
+            "{{\"days_seen\":{},\"today\":[{}],\"baseline_bits\":[{}]}}",
+            state.days_seen,
+            today.join(","),
+            baseline.join(",")
+        ))
+    }
+
+    fn sources_body(&mut self) -> CtlReply {
+        let healths = self.collector.source_healths();
+        let shed = self.stats.shed_by_source();
+        let shed_of = |id: u32| shed.iter().find(|(s, _)| *s == id).map_or(0, |(_, n)| *n);
+        let mut seen: Vec<u32> = healths.iter().map(|(id, _)| *id).collect();
+        let mut parts: Vec<String> = healths
+            .iter()
+            .map(|(id, h)| {
+                format!(
+                    "{{\"id\":{id},\"health\":{:?},\"shed\":{}}}",
+                    h.label(),
+                    shed_of(*id)
+                )
+            })
+            .collect();
+        // Sources that only ever shed (never decoded) still show up.
+        for (id, n) in &shed {
+            if !seen.contains(id) {
+                seen.push(*id);
+                parts.push(format!("{{\"id\":{id},\"health\":\"unseen\",\"shed\":{n}}}"));
+            }
+        }
+        ok(format!("{{\"sources\":[{}]}}", parts.join(",")))
+    }
+
+    fn chaos_panic(&mut self, shard: usize) -> CtlReply {
+        if !self.config.chaos {
+            return err(403, "chaos endpoints need --chaos");
+        }
+        if shard >= self.pool.workers() {
+            return err(400, "shard out of range");
+        }
+        match self.pool.inject_panic(shard, "chaos: forced shard panic") {
+            Ok(()) => ok(format!("{{\"shard\":{shard},\"injected\":\"panic\"}}")),
+            Err(e) => err(500, &e.to_string()),
+        }
+    }
+
+    fn chaos_stall(&mut self, shard: usize, ms: u64) -> CtlReply {
+        if !self.config.chaos {
+            return err(403, "chaos endpoints need --chaos");
+        }
+        if shard >= self.pool.workers() {
+            return err(400, "shard out of range");
+        }
+        match self.pool.inject_stall(shard, Duration::from_millis(ms)) {
+            Ok(()) => ok(format!("{{\"shard\":{shard},\"injected\":\"stall\",\"ms\":{ms}}}")),
+            Err(e) => err(500, &e.to_string()),
+        }
+    }
+
+    fn chaos_slow(&mut self, us: u64) -> CtlReply {
+        if !self.config.chaos {
+            return err(403, "chaos endpoints need --chaos");
+        }
+        self.ingest_delay = Duration::from_micros(us);
+        ok(format!("{{\"injected\":\"slow\",\"us\":{us}}}"))
+    }
+}
+
+/// `true` while the engine thread is alive — used by the orchestrator's
+/// poll loop to notice an engine death.
+pub fn engine_alive(handle: &std::thread::JoinHandle<()>) -> bool {
+    !handle.is_finished()
+}
+
+/// Shared shutdown flag helper: the listeners and the HTTP plane all
+/// poll one `AtomicBool`.
+pub fn new_shutdown_flag() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(false))
+}
+
+/// Set the shared flag (listener/HTTP side of the drain).
+pub fn trip(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst);
+}

@@ -1,0 +1,221 @@
+//! `haystack serve` — the hardened long-running detection daemon
+//! (DESIGN.md §13).
+//!
+//! Wiring, front to back:
+//!
+//! ```text
+//!   UDP socket ──┐                       ┌── HTTP plane (queries/admin)
+//!                ├─ bounded admission ───┤
+//!   TCP replay ──┘   queue (sheds on     └─▶ control channel
+//!                     the UDP path)            │
+//!                          │ data              │
+//!                          ▼                   ▼
+//!                    engine thread (collector → pool → usage/staleness)
+//! ```
+//!
+//! Lifecycle state machine: **serving** → (SIGTERM, SIGINT, or
+//! `POST /admin/drain`) → **draining** (listeners stop, `/readyz` turns
+//! 503, the engine consumes every already-admitted datagram) →
+//! **checkpointed exit** (pool finished, one final checkpoint
+//! generation, exit 0). A daemon restarted with `--resume` restores
+//! collector, shard evidence, usage window, staleness baselines, and
+//! counters, and answers queries byte-identically to a run that was
+//! never interrupted.
+
+mod engine;
+mod http;
+mod send;
+mod state;
+
+pub use send::cmd_send;
+
+use engine::{Engine, EngineConfig};
+use haystack_cli::resume::{load_validated, ResumeError};
+use haystack_cli::{cli_error, note};
+use haystack_core::checkpoint::CheckpointDir;
+use haystack_core::telemetry;
+use haystack_flow::listener::{spawn_tcp_listener, spawn_udp_listener, AdmissionQueue};
+use state::ServeCheckpoint;
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, TcpListener, UdpSocket};
+use std::process::exit;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::channel;
+use std::time::Duration;
+
+fn fatal<T, E: std::fmt::Display>(what: &str, r: Result<T, E>) -> T {
+    r.unwrap_or_else(|e| {
+        cli_error!("{what}: {e}");
+        exit(1);
+    })
+}
+
+/// Reject an explicit flag that contradicts the checkpointed daemon
+/// configuration (same policy as `detect --resume`).
+fn serve_conflicts(
+    ck: &ServeCheckpoint,
+    generation: u64,
+    flags: &HashMap<String, String>,
+) -> Result<(), ResumeError> {
+    fn check<T: std::str::FromStr + PartialEq + std::fmt::Display>(
+        flags: &HashMap<String, String>,
+        generation: u64,
+        field: &'static str,
+        checkpoint: T,
+    ) -> Result<(), ResumeError> {
+        let Some(flag) = flags.get(field) else { return Ok(()) };
+        if flag.parse::<T>().is_ok_and(|v| v == checkpoint) {
+            return Ok(());
+        }
+        Err(ResumeError::Conflict {
+            generation,
+            field,
+            flag: flag.clone(),
+            checkpoint: checkpoint.to_string(),
+        })
+    }
+    check(flags, generation, "workers", ck.workers)?;
+    check(flags, generation, "threshold", ck.threshold)?;
+    check(flags, generation, "seed", ck.seed)?;
+    Ok(())
+}
+
+pub fn cmd_serve(flags: HashMap<String, String>) {
+    telemetry::set_enabled(true);
+    crate::sig::install();
+
+    let rules: &'static haystack_core::rules::RuleSet =
+        Box::leak(Box::new(crate::load_rules(&flags)));
+
+    let ckpt_dir = flags
+        .get("checkpoint-dir")
+        .map(|d| fatal("checkpoint", CheckpointDir::open(d)));
+    let resume = flags.contains_key("resume");
+    if resume && ckpt_dir.is_none() {
+        cli_error!("--resume needs --checkpoint-dir");
+        exit(2);
+    }
+
+    // A resumed daemon takes its configuration from the checkpoint;
+    // explicit flags may confirm it but not contradict it.
+    let loaded: Option<(u64, ServeCheckpoint)> = if resume {
+        let dir = ckpt_dir.as_ref().expect("checked above");
+        match load_validated(dir, ServeCheckpoint::PREFIX, ServeCheckpoint::decode) {
+            Ok(Some((generation, ck))) => {
+                fatal("resume", serve_conflicts(&ck, generation, &flags).map_err(|e| e.to_string()));
+                note!(
+                    "resuming from serve checkpoint generation {generation} \
+                     ({} datagrams, {} records)",
+                    ck.datagrams,
+                    ck.records
+                );
+                Some((generation, ck))
+            }
+            Ok(None) => {
+                note!("no serve checkpoint found; starting fresh");
+                None
+            }
+            Err(e) => {
+                cli_error!("resume: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
+    let (workers, threshold, seed) = match &loaded {
+        Some((_, ck)) => (ck.workers as usize, ck.threshold, ck.seed),
+        None => (
+            crate::num(&flags, "workers", 4),
+            crate::num(&flags, "threshold", 0.4),
+            crate::num(&flags, "seed", 42),
+        ),
+    };
+    if workers == 0 {
+        cli_error!("--workers must be at least 1");
+        exit(2);
+    }
+    let queue_capacity: usize = crate::num(&flags, "queue-capacity", 1_024);
+    if queue_capacity == 0 {
+        cli_error!("--queue-capacity must be at least 1");
+        exit(2);
+    }
+    let chaos = flags.contains_key("chaos");
+    let config = EngineConfig {
+        workers,
+        threshold,
+        seed,
+        ckpt: ckpt_dir,
+        checkpoint_secs: crate::num(&flags, "checkpoint-secs", 0),
+        chaos,
+        watchdog_every: Duration::from_millis(crate::num(&flags, "watchdog-ms", 1_000)),
+        watchdog_timeout: Duration::from_millis(crate::num(&flags, "watchdog-timeout-ms", 500)),
+    };
+
+    // Bind every socket before spawning anything, so a port clash fails
+    // fast and `--ports-file` describes a fully-listening daemon.
+    let host = flags.get("host").cloned().unwrap_or_else(|| "127.0.0.1".into());
+    let host_ip: Ipv4Addr = fatal("--host", host.parse());
+    let udp = fatal(
+        "udp bind",
+        UdpSocket::bind((host_ip, crate::num::<u16>(&flags, "udp-port", 0))),
+    );
+    let tcp = fatal(
+        "tcp bind",
+        TcpListener::bind((host_ip, crate::num::<u16>(&flags, "tcp-port", 0))),
+    );
+    let http_sock = fatal(
+        "http bind",
+        TcpListener::bind((host_ip, crate::num::<u16>(&flags, "http-port", 0))),
+    );
+    let udp_port = fatal("udp addr", udp.local_addr()).port();
+    let tcp_port = fatal("tcp addr", tcp.local_addr()).port();
+    let http_port = fatal("http addr", http_sock.local_addr()).port();
+    note!(
+        "haystack serve: udp {host}:{udp_port}  tcp {host}:{tcp_port}  http {host}:{http_port}  \
+         ({workers} workers, queue {queue_capacity}{})",
+        if chaos { ", chaos armed" } else { "" }
+    );
+    if let Some(path) = flags.get("ports-file") {
+        let doc = format!(
+            "{{\"udp\":{udp_port},\"tcp\":{tcp_port},\"http\":{http_port},\"pid\":{}}}\n",
+            std::process::id()
+        );
+        fatal("ports file", std::fs::write(path, doc));
+    }
+
+    let (queue, data_rx, stats) = AdmissionQueue::bounded(queue_capacity);
+    let engine = match &loaded {
+        Some((_, ck)) => {
+            fatal("restore", Engine::restore(rules, config, stats.clone(), ck))
+        }
+        None => fatal("engine", Engine::new(rules, config, stats.clone())),
+    };
+
+    let shutdown = engine::new_shutdown_flag();
+    let (ctl_tx, ctl_rx) = channel();
+    let udp_handle = spawn_udp_listener(udp, queue.clone(), shutdown.clone());
+    let tcp_handle = spawn_tcp_listener(tcp, queue.clone(), shutdown.clone());
+    let http_handle = http::spawn_http(http_sock, ctl_tx, chaos, shutdown.clone());
+    // The engine's data channel must disconnect when the listeners
+    // exit, so the orchestrator holds no producer of its own.
+    drop(queue);
+    let engine_handle = engine.spawn(data_rx, ctl_rx);
+
+    // Park until a drain begins (signal or /admin/drain) or the engine
+    // dies underneath us (listener sockets torn down, nothing to serve).
+    while !crate::sig::triggered() && engine::engine_alive(&engine_handle) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    note!("serve: draining (stopping listeners, flushing admitted datagrams)");
+    engine::trip(&shutdown);
+    let _ = udp_handle.join();
+    let _ = tcp_handle.join();
+    // Listener producers are gone: the engine drains to disconnection,
+    // finishes the pool, writes the final checkpoint, and exits.
+    let _ = engine_handle.join();
+    let _ = http_handle.join();
+    debug_assert!(shutdown.load(Ordering::SeqCst));
+    note!("serve: drained and checkpointed; exiting");
+}

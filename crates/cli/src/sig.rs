@@ -1,0 +1,53 @@
+//! SIGTERM/SIGINT → a cooperative shutdown flag.
+//!
+//! The daemon (and a checkpointing `detect` run) must *drain* on
+//! SIGTERM: finish in-flight work, write a final checkpoint, exit 0 —
+//! not die mid-write. The handler therefore does the only async-safe
+//! thing possible: it sets an atomic flag that every blocking loop in
+//! the binary polls (all socket reads run with short timeouts for
+//! exactly this reason — glibc installs handlers with `SA_RESTART`, so
+//! a signal alone does not interrupt a blocking `recv`).
+//!
+//! This is the one unsafe corner of the binary (the `haystack-cli`
+//! library itself is `#![forbid(unsafe_code)]`): a single libc
+//! `signal(2)` call per signal, installing a handler that touches
+//! nothing but an `AtomicBool`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler; polled by every long-running loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" fn on_signal(_signum: i32) {
+    // Storing an AtomicBool is async-signal-safe; nothing else here is
+    // allowed to be.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Install the drain handler for SIGTERM and SIGINT.
+pub fn install() {
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Whether a shutdown signal has been received.
+pub fn triggered() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Request shutdown from inside the process (the `/admin/drain`
+/// endpoint goes through the same flag as SIGTERM, so there is exactly
+/// one drain path).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}

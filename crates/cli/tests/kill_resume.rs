@@ -5,8 +5,11 @@
 //! the newest checkpoint generation makes resume fall back to the
 //! previous one — same byte-identical output, no panic.
 
-use haystack_cli::{rules_to_json};
+use haystack_cli::resume::RunCheckpoint;
+use haystack_cli::rules_to_json;
 use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use haystack_core::CheckpointDir;
+use haystack_net::snapshot::{seal, SnapWriter};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::OnceLock;
@@ -135,6 +138,116 @@ fn sigkill_then_resume_is_byte_identical() {
     ]));
     assert_eq!(fallback, clean, "fallback resume diverges");
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Run a command expecting failure; return its stderr.
+fn run_to_failure(cmd: &mut Command) -> String {
+    let out = cmd.output().unwrap();
+    assert!(
+        !out.status.success(),
+        "expected failure, got success with stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn sigterm_drains_to_a_final_checkpoint_and_resumes_byte_identical() {
+    let clean = run_to_string(&mut detect_cmd(&[]));
+
+    let dir = scratch("sigterm");
+    let mut child = detect_cmd(&["--checkpoint-dir", dir.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Wait until the run is demonstrably mid-stream (one durable
+    // generation), then ask for a graceful drain.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut terminated = false;
+    loop {
+        if !ckpt_files(&dir).is_empty() {
+            let ok = Command::new("kill")
+                .args(["-TERM", &child.id().to_string()])
+                .status()
+                .unwrap()
+                .success();
+            terminated = ok;
+            break;
+        }
+        if child.try_wait().unwrap().is_some() {
+            break; // finished before the drain request
+        }
+        assert!(Instant::now() < deadline, "no checkpoints appeared in 120 s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let out = child.wait_with_output().unwrap();
+    // Unlike SIGKILL, a drain is an orderly exit: status 0, and when the
+    // signal landed mid-run the process says what it checkpointed.
+    assert!(out.status.success(), "SIGTERM drain exited nonzero: {:?}", out.status);
+    if terminated {
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        if stderr.contains("sigterm") {
+            assert!(stderr.contains("checkpointed"), "drain message missing: {stderr}");
+        }
+    }
+    assert!(!ckpt_files(&dir).is_empty(), "drained run left no checkpoint");
+
+    let resumed = run_to_string(&mut detect_cmd(&[
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]));
+    assert_eq!(resumed, clean, "post-SIGTERM resume diverges from the uninterrupted run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_skew_refuses_resume_and_names_the_generation() {
+    // A directory holding one valid-checksum frame from a "future"
+    // snapshot format version: resume must refuse loudly rather than
+    // silently recompute or misparse.
+    let dir = scratch("skew");
+    let ckpt = CheckpointDir::open(&dir).unwrap();
+    let mut w = SnapWriter::new();
+    w.put_u64(0xDEAD);
+    let future = seal(RunCheckpoint::MAGIC, RunCheckpoint::VERSION + 1, &w.into_bytes());
+    let generation = ckpt.write(RunCheckpoint::PREFIX, &future).unwrap();
+
+    let stderr = run_to_failure(&mut detect_cmd(&[
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--resume",
+    ]));
+    assert!(
+        stderr.contains(&format!("generation {generation}")),
+        "error does not name the generation: {stderr}"
+    );
+    assert!(
+        stderr.contains(&format!("version {}", RunCheckpoint::VERSION + 1)),
+        "error does not name the found version: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn conflicting_flag_refuses_resume_and_names_the_field() {
+    let dir = crashed_run();
+    // The checkpointed run used --lines 3000; resuming under a
+    // different synthetic-universe size would silently answer for the
+    // wrong world, so it must be refused by name.
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "detect", "--lines", "4321", "--days", "2", "--seed", "7", "--workers", "3", "--quiet",
+    ])
+    .arg("--rules")
+    .arg(rules_file())
+    .args(["--checkpoint-dir", dir.to_str().unwrap(), "--resume"]);
+    let stderr = run_to_failure(&mut cmd);
+    assert!(stderr.contains("--lines"), "error does not name the flag: {stderr}");
+    assert!(stderr.contains("4321"), "error does not echo the flag value: {stderr}");
+    assert!(stderr.contains("generation"), "error does not name the generation: {stderr}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,333 @@
+//! End-to-end robustness oracle for `haystack serve` (DESIGN.md §13).
+//!
+//! Two proofs, each against a real daemon process on loopback sockets:
+//!
+//! * **chaos**: under a forced shard panic, injected stalls, a malformed
+//!   flood, and a 2× overload burst, the daemon stays up, sheds with
+//!   exact accounting (`received == admitted + shed`, attributed per
+//!   source), heals its shards, and re-admits the flapped source.
+//! * **restart determinism**: SIGTERM mid-stream drains to a final
+//!   checkpoint; a `--resume` restart fed the remaining records answers
+//!   every query byte-identically to a daemon that was never
+//!   interrupted.
+
+use haystack_cli::rules_to_json;
+use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_haystack");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("haystack-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Rules JSON on disk, generated once for the whole test binary.
+fn rules_file() -> &'static Path {
+    static FILE: OnceLock<PathBuf> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let p = Pipeline::run(PipelineConfig::fast(7));
+        let path = scratch("rules").join("rules.json");
+        let text = serde_json::to_string(&rules_to_json(&p.rules)).unwrap();
+        std::fs::write(&path, text).unwrap();
+        path
+    })
+}
+
+/// A running daemon plus the ports it bound.
+struct Daemon {
+    child: Child,
+    udp: u16,
+    tcp: u16,
+    http: u16,
+}
+
+impl Daemon {
+    /// Start `haystack serve` and wait for its ports file.
+    fn start(tag: &str, ckpt: &Path, extra: &[&str]) -> Daemon {
+        let ports_file = scratch(tag).join("ports.json");
+        let child = Command::new(BIN)
+            .args(["serve", "--workers", "3", "--seed", "11"])
+            .arg("--rules")
+            .arg(rules_file())
+            .args(["--checkpoint-dir", ckpt.to_str().unwrap()])
+            .args(["--ports-file", ports_file.to_str().unwrap()])
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let ports = loop {
+            if let Ok(text) = std::fs::read_to_string(&ports_file) {
+                if text.ends_with('\n') {
+                    break serde_json::from_str(&text).unwrap();
+                }
+            }
+            assert!(Instant::now() < deadline, "daemon never wrote its ports file");
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        let port = |k: &str| ports[k].as_u64().unwrap() as u16;
+        Daemon { child, udp: port("udp"), tcp: port("tcp"), http: port("http") }
+    }
+
+    /// One HTTP/1.1 request; returns (status, body).
+    fn http(&self, method: &str, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(("127.0.0.1", self.http)).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        write!(stream, "{method} {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let status: u16 =
+            text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+        let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+        (status, body)
+    }
+
+    fn get(&self, target: &str) -> String {
+        let (status, body) = self.http("GET", target);
+        assert_eq!(status, 200, "GET {target} -> {status}: {body}");
+        body
+    }
+
+    fn post(&self, target: &str) -> String {
+        let (status, body) = self.http("POST", target);
+        assert_eq!(status, 200, "POST {target} -> {status}: {body}");
+        body
+    }
+
+    fn stats(&self) -> serde_json::Value {
+        serde_json::from_str(&self.get("/stats")).unwrap()
+    }
+
+    /// Poll `/stats` until the decoded-record counter reaches `want`.
+    fn wait_records(&self, want: u64) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            let got = self.stats()["records"].as_u64().unwrap();
+            if got >= want {
+                assert_eq!(got, want, "daemon decoded more records than were sent");
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "records stuck at {got}, wanted {want}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Graceful shutdown through the admin plane; asserts exit 0.
+    fn drain(mut self) {
+        let _ = self.post("/admin/drain");
+        let status = self.child.wait().unwrap();
+        assert!(status.success(), "daemon drain exited nonzero: {status:?}");
+    }
+
+    /// SIGTERM the daemon and wait for its orderly exit.
+    fn sigterm(mut self) {
+        assert!(Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .unwrap()
+            .success());
+        let status = self.child.wait().unwrap();
+        assert!(status.success(), "daemon SIGTERM exited nonzero: {status:?}");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Drive `haystack send` at a daemon port.
+fn send(args: &[&str]) {
+    let out = Command::new(BIN).arg("send").args(args).output().unwrap();
+    assert!(out.status.success(), "send failed: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// Records per `send --rules --lines 8` burst, read from the sender's
+/// own accounting line (`sent \t records`).
+fn hitting_burst(tcp: u16, hour: &str) -> u64 {
+    let out = Command::new(BIN)
+        .args(["send", "--port", &tcp.to_string(), "--mode", "tcp", "--hour", hour])
+        .arg("--rules")
+        .arg(rules_file())
+        .args(["--lines", "8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "send failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    text.trim().rsplit('\t').next().unwrap().parse().unwrap()
+}
+
+#[test]
+fn chaos_daemon_stays_up_sheds_exactly_and_readmits_flapped_sources() {
+    let ckpt = scratch("chaos-ckpt");
+    let d = Daemon::start("chaos", &ckpt, &["--chaos", "--queue-capacity", "64"]);
+
+    // Baseline traffic: every line hits every rule.
+    let records = hitting_burst(d.tcp, "0");
+    d.wait_records(records);
+    let detections = d.get("/detections");
+    assert!(detections.contains("\"count\":8"), "expected 8 detected lines: {detections}");
+
+    // Forced shard panic: supervision respawns and replays; a stall is
+    // healed by the watchdog. The daemon keeps answering throughout.
+    let _ = d.post("/admin/panic?shard=1");
+    let _ = d.post("/admin/stall?shard=0&ms=700");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let s = d.stats();
+        if s["watchdog"]["respawns"].as_u64().unwrap() >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "watchdog never respawned the panicked shard");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // 2× overload: slow the engine so the bounded queue (64) fills,
+    // then burst over UDP. Shedding must be exact and attributed.
+    let _ = d.post("/admin/slow?us=3000");
+    send(&["--port", &d.udp.to_string(), "--mode", "udp", "--records", "5000", "--source", "44"]);
+    let _ = d.post("/admin/slow?us=0");
+    std::thread::sleep(Duration::from_millis(500));
+    let s = d.stats();
+    let (received, admitted, shed) = (
+        s["received"].as_u64().unwrap(),
+        s["admitted"].as_u64().unwrap(),
+        s["shed"].as_u64().unwrap(),
+    );
+    assert!(shed > 0, "overload burst shed nothing: {s}");
+    assert_eq!(received, admitted + shed, "shed accounting does not balance: {s}");
+    let by_source = s["shed_by_source"].as_array().unwrap();
+    let shed_44: u64 = by_source
+        .iter()
+        .filter(|row| row[0].as_u64() == Some(44))
+        .map(|row| row[1].as_u64().unwrap())
+        .sum();
+    assert_eq!(shed_44, shed, "shed not attributed to the bursting source: {s}");
+
+    // Malformed flood: source 99 is quarantined after consecutive bad
+    // messages, then re-admitted (probation → healthy) by clean sends.
+    send(&[
+        "--port", &d.tcp.to_string(), "--mode", "tcp", "--source", "99", "--records", "600",
+        "--malformed", "10",
+    ]);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let sources = d.get("/sources");
+        if sources.contains("\"id\":99,\"health\":\"quarantined\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "source 99 never quarantined: {sources}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    for _ in 0..6 {
+        send(&["--port", &d.tcp.to_string(), "--mode", "tcp", "--source", "99", "--records",
+            "300"]);
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let sources = d.get("/sources");
+        if sources.contains("\"id\":99,\"health\":\"healthy\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "source 99 never re-admitted: {sources}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // After all injected faults the daemon is still live, ready, and no
+    // detection evidence was lost: every line detected before the chaos
+    // is still detected (background traffic may only have *added*).
+    assert_eq!(d.get("/healthz"), "ok\n");
+    assert_eq!(d.get("/readyz"), "ready\n");
+    let before: serde_json::Value = serde_json::from_str(&detections).unwrap();
+    let after: serde_json::Value = serde_json::from_str(&d.get("/detections")).unwrap();
+    for class in before["classes"].as_array().unwrap() {
+        let name = class["class"].as_str().unwrap();
+        let survived = after["classes"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["class"] == class["class"])
+            .unwrap_or_else(|| panic!("class {name} vanished after chaos"));
+        let lines = survived["lines"].as_array().unwrap();
+        for line in class["lines"].as_array().unwrap() {
+            assert!(
+                lines.contains(line),
+                "line {line} lost from {name} after panic/stall/overload"
+            );
+        }
+    }
+    let metrics = d.get("/metrics");
+    assert!(metrics.contains("haystack_serve_shed"), "shed gauge missing from /metrics");
+
+    d.drain();
+    assert!(
+        std::fs::read_dir(&ckpt).unwrap().count() > 0,
+        "drained daemon left no checkpoint"
+    );
+}
+
+/// Every query surface whose bytes must survive a restart. `/stats` is
+/// deliberately excluded: counters restart from the checkpoint, but the
+/// watchdog-probe count is wall-clock dependent.
+fn query_snapshot(d: &Daemon) -> Vec<(String, String)> {
+    [
+        "/detections",
+        "/detections?class=Alexa+Enabled",
+        "/usage",
+        "/staleness",
+        "/line?id=3112275008770825849",
+        "/sources",
+    ]
+    .iter()
+    .map(|t| (t.to_string(), d.get(t)))
+    .collect()
+}
+
+#[test]
+fn sigterm_restart_answers_queries_byte_identical_to_an_uninterrupted_run() {
+    // Reference: one daemon sees both halves of the stream.
+    let ref_ckpt = scratch("ref-ckpt");
+    let reference = Daemon::start("ref", &ref_ckpt, &[]);
+    let half1 = hitting_burst(reference.tcp, "0");
+    let half2 = hitting_burst(reference.tcp, "5");
+    reference.wait_records(half1 + half2);
+    let want = query_snapshot(&reference);
+    reference.drain();
+
+    // Subject: half the stream, SIGTERM, restart --resume, the rest.
+    let sub_ckpt = scratch("sub-ckpt");
+    let subject = Daemon::start("sub1", &sub_ckpt, &[]);
+    let got1 = hitting_burst(subject.tcp, "0");
+    assert_eq!(got1, half1);
+    subject.wait_records(half1);
+    subject.sigterm();
+
+    let subject = Daemon::start("sub2", &sub_ckpt, &["--resume"]);
+    let carried = subject.stats()["records"].as_u64().unwrap();
+    assert_eq!(carried, half1, "restarted daemon lost checkpointed records");
+    let got2 = hitting_burst(subject.tcp, "5");
+    assert_eq!(got2, half2);
+    subject.wait_records(half1 + half2);
+    let got = query_snapshot(&subject);
+    subject.drain();
+
+    for ((t, want), (_, got)) in want.iter().zip(got.iter()) {
+        assert_eq!(got, want, "{t} diverges after SIGTERM + resume restart");
+    }
+}

@@ -412,6 +412,17 @@ impl CheckpointDir {
         Ok(())
     }
 
+    /// Read the raw frame of one specific generation, without decoding.
+    ///
+    /// Loaders that need to *explain* a rejected checkpoint (rather than
+    /// silently fall back) read the frame themselves and classify the
+    /// failure — see `haystack-cli`'s resume validation, which separates
+    /// genuine version skew from on-disk corruption.
+    pub fn read_generation(&self, prefix: &str, generation: u64) -> Result<Vec<u8>, CheckpointError> {
+        let path = self.file_of(prefix, generation);
+        fs::read(&path).map_err(|e| io_err(&path, e))
+    }
+
     /// Load the newest generation of `prefix` that `decode` accepts.
     ///
     /// Generations are tried newest-first; a frame that fails to decode

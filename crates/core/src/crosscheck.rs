@@ -365,7 +365,7 @@ mod tests {
     fn replay_produces_flow_records() {
         let p = pipeline();
         let flows = replay_flows(
-            &p,
+            p,
             &CrosscheckConfig { sampling: 100, kind: ExperimentKind::Idle, hours: Some(3) },
         );
         assert_eq!(flows.len(), 3);
@@ -377,8 +377,8 @@ mod tests {
     fn vantage_stream_matches_replay_flows() {
         let p = pipeline();
         let config = CrosscheckConfig { sampling: 100, kind: ExperimentKind::Idle, hours: Some(3) };
-        let flows = replay_flows(&p, &config);
-        let vantage = GroundTruthVantage::new(&p, config);
+        let flows = replay_flows(p, &config);
+        let vantage = GroundTruthVantage::new(p, config);
         let mut chunk = RecordChunk::default();
         for (hour, records) in &flows {
             let expected: Vec<WildRecord> = records.iter().map(|r| home_record(r, *hour)).collect();
@@ -401,7 +401,7 @@ mod tests {
     fn hot_classes_detected_quickly_at_low_threshold() {
         let p = pipeline();
         let times = detection_times(
-            &p,
+            p,
             &CrosscheckConfig { sampling: 1_000, kind: ExperimentKind::Active, hours: Some(12) },
             &[0.4],
         );
@@ -417,7 +417,7 @@ mod tests {
     fn higher_threshold_never_detects_earlier() {
         let p = pipeline();
         let times = detection_times(
-            &p,
+            p,
             &CrosscheckConfig { sampling: 500, kind: ExperimentKind::Active, hours: Some(8) },
             &[0.2, 1.0],
         );
@@ -451,7 +451,7 @@ mod tests {
             .collect();
         assert!(!yi.is_empty());
         let detected = detected_classes(
-            &p,
+            p,
             &yi,
             &CrosscheckConfig { sampling: 100, kind: ExperimentKind::Active, hours: Some(10) },
             0.4,

@@ -62,6 +62,20 @@ pub mod telemetry;
 pub mod usage;
 pub mod visibility;
 
+pub use checkpoint::{CheckpointDir, CheckpointError, DetectorState, StalenessState, UsageState};
+pub use crosscheck::{GroundTruthVantage, HOME_LINE};
+pub use dedicated::{DedicationVerdict, InfraKnowledge};
+pub use detector::{DetectionQuery, Detector, DetectorConfig, RuleHandle};
+pub use domains::{DomainClass, WebIntelligence};
+pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
+pub use hitlist::{HitList, MapHitList};
+pub use reference::ReferenceDetector;
+pub use observations::{DomainObservations, DomainUsage};
+pub use parallel::{DetectorPool, PoolError, ShardHealth, ShardedDetector};
+pub use pipeline::{Pipeline, PipelineStats};
+pub use rules::{DetectionRule, RuleSet};
+pub use telemetry::{Counter, Gauge, Histogram, HotStats, InstrumentedStream, Scope, Snapshot};
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use crate::pipeline::{Pipeline, PipelineConfig};
@@ -74,17 +88,3 @@ pub(crate) mod testutil {
         PIPELINE.get_or_init(|| Pipeline::run(PipelineConfig::fast(13)))
     }
 }
-
-pub use checkpoint::{CheckpointDir, CheckpointError, DetectorState, StalenessState, UsageState};
-pub use crosscheck::{GroundTruthVantage, HOME_LINE};
-pub use dedicated::{DedicationVerdict, InfraKnowledge};
-pub use detector::{DetectionQuery, Detector, DetectorConfig, RuleHandle};
-pub use domains::{DomainClass, WebIntelligence};
-pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
-pub use hitlist::{HitList, MapHitList};
-pub use reference::ReferenceDetector;
-pub use observations::{DomainObservations, DomainUsage};
-pub use parallel::{DetectorPool, PoolError, ShardedDetector};
-pub use pipeline::{Pipeline, PipelineStats};
-pub use rules::{DetectionRule, RuleSet};
-pub use telemetry::{Counter, Gauge, Histogram, HotStats, InstrumentedStream, Scope, Snapshot};

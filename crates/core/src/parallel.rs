@@ -42,10 +42,12 @@ use haystack_wild::{RecordChunk, RecordStream, WildRecord};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{
-    channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError,
+    TrySendError,
 };
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Records per worker-bound buffer (the pool's internal chunk size).
 pub const POOL_BATCH_RECORDS: usize = 1_024;
@@ -81,6 +83,31 @@ impl fmt::Display for PoolError {
 }
 
 impl std::error::Error for PoolError {}
+
+/// One shard's answer to a liveness probe ([`DetectorPool::shard_health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The shard answered a barrier within the probe timeout.
+    Responsive,
+    /// The shard's thread is alive (channel connected) but did not
+    /// answer in time — wedged or hopelessly behind. Escalate with
+    /// [`DetectorPool::force_respawn`].
+    Stalled,
+    /// The shard's thread has exited; its channel is disconnected. The
+    /// next pool operation heals it via the normal respawn path.
+    Dead,
+}
+
+impl ShardHealth {
+    /// Stable lowercase label for telemetry and status endpoints.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardHealth::Responsive => "responsive",
+            ShardHealth::Stalled => "stalled",
+            ShardHealth::Dead => "dead",
+        }
+    }
+}
 
 /// Route an anonymized line id to a shard.
 ///
@@ -134,6 +161,11 @@ enum Cmd {
     /// Deterministic crash injection: panic when this command is
     /// processed (i.e. after every batch sent before it).
     PanicNow(String),
+    /// Deterministic stall injection: sleep when this command is
+    /// processed. Unlike a panic the thread stays alive, so the channel
+    /// never disconnects — exactly the failure a liveness probe (not a
+    /// join) has to catch.
+    StallFor(Duration),
     /// All detected lines for a class on this shard.
     DetectedLines(String, Sender<Vec<AnonId>>),
     /// Whether the class is detected for a line owned by this shard.
@@ -217,6 +249,7 @@ fn worker_loop(
                 det.restore_state(&state).expect("checkpoint matches this rule set");
             }
             Cmd::PanicNow(msg) => panic!("{msg}"),
+            Cmd::StallFor(d) => std::thread::sleep(d),
             Cmd::DetectedLines(class, reply) => {
                 let _ = reply.send(det.detected_lines(&class));
             }
@@ -558,6 +591,16 @@ impl DetectorPool {
         if self.supervisor.is_none() {
             return Err(err);
         }
+        self.respawn_and_replay(shard)
+    }
+
+    /// Replace `shard`'s worker with a fresh one restored from its last
+    /// checkpoint and replayed. The old `Worker` (and its command
+    /// channel) is dropped, not joined — callers decide whether joining
+    /// is safe ([`DetectorPool::handle_dead_shard`] joins first because
+    /// the thread provably exited; [`DetectorPool::force_respawn`] must
+    /// not, because a stalled thread would block the join forever).
+    fn respawn_and_replay(&mut self, shard: usize) -> Result<(), PoolError> {
         self.workers[shard] = spawn_worker(
             shard,
             Arc::clone(&self.rules),
@@ -872,6 +915,66 @@ impl DetectorPool {
     pub fn inject_panic(&mut self, shard: usize, msg: &str) -> Result<(), PoolError> {
         let msg = msg.to_string();
         self.with_shard(shard, move |w| w.tx.send(Cmd::PanicNow(msg.clone())).ok())
+    }
+
+    /// Deterministic stall injection: make `shard` sleep for `dur` once
+    /// every batch sent before this call is processed. The thread stays
+    /// alive — this is the wedged-not-dead failure
+    /// [`DetectorPool::shard_health`] exists to catch.
+    pub fn inject_stall(&mut self, shard: usize, dur: Duration) -> Result<(), PoolError> {
+        self.with_shard(shard, move |w| w.tx.send(Cmd::StallFor(dur)).ok())
+    }
+
+    /// Probe every shard's liveness: each gets a barrier and `timeout`
+    /// to answer it (enqueue time counts — a shard too wedged to drain
+    /// its channel is as stalled as one that never replies). Purely
+    /// observational: no healing, no flushing, no blocking beyond the
+    /// timeout per shard.
+    pub fn shard_health(&self, timeout: Duration) -> Vec<ShardHealth> {
+        self.workers
+            .iter()
+            .map(|w| {
+                let deadline = Instant::now() + timeout;
+                let (tx, rx) = channel();
+                let mut cmd = Cmd::Barrier(tx);
+                loop {
+                    match w.tx.try_send(cmd) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(c)) => {
+                            if Instant::now() >= deadline {
+                                return ShardHealth::Stalled;
+                            }
+                            cmd = c;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(TrySendError::Disconnected(_)) => return ShardHealth::Dead,
+                    }
+                }
+                match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                    Ok(()) => ShardHealth::Responsive,
+                    Err(RecvTimeoutError::Timeout) => ShardHealth::Stalled,
+                    Err(RecvTimeoutError::Disconnected) => ShardHealth::Dead,
+                }
+            })
+            .collect()
+    }
+
+    /// Watchdog escalation for a shard that is alive but unresponsive:
+    /// abandon its thread (detach — joining a wedged thread would hang
+    /// the supervisor with it) and bring up a replacement restored from
+    /// the last checkpoint plus replay. Recovery is exact for the same
+    /// reason crash recovery is: the checkpoint covers everything before
+    /// the watermark, the replay buffer everything after, and the
+    /// abandoned worker's un-checkpointed state is discarded with it.
+    /// Requires supervision.
+    pub fn force_respawn(&mut self, shard: usize) -> Result<(), PoolError> {
+        assert!(self.supervisor.is_some(), "enable_supervision first");
+        // Detach: the old thread keeps draining its channel at its own
+        // pace until the dropped sender disconnects it, then exits. Its
+        // recycle lane is already orphaned, so nothing it touches flows
+        // back into the pool.
+        drop(self.workers[shard].handle.take());
+        self.respawn_and_replay(shard)
     }
 
     /// Swap the daily hitlist on every shard. Staged records are flushed
@@ -1483,6 +1586,95 @@ mod tests {
         };
         let want = run(false, false);
         assert_eq!(run(true, true), want);
+    }
+
+    #[test]
+    fn shard_health_distinguishes_responsive_stalled_dead() {
+        let rules = ruleset(2);
+        let hl = HitList::whole_window(&rules);
+        let mut pool = DetectorPool::new(&rules, &hl, DetectorConfig::default(), 3);
+        pool.observe_records(&random_records(500, 71)).unwrap();
+        assert_eq!(
+            pool.shard_health(Duration::from_secs(5)),
+            vec![ShardHealth::Responsive; 3],
+            "healthy pool must probe responsive"
+        );
+        // Wedge shard 1: alive, channel connected, not answering. Kept
+        // short — this shard is never respawned, so the pool's Drop
+        // joins it and would wait out the whole stall.
+        pool.inject_stall(1, Duration::from_secs(3)).unwrap();
+        let health = pool.shard_health(Duration::from_millis(100));
+        assert_eq!(health[0], ShardHealth::Responsive);
+        assert_eq!(health[1], ShardHealth::Stalled);
+        assert_eq!(health[2], ShardHealth::Responsive);
+        assert_eq!(ShardHealth::Stalled.label(), "stalled");
+        // Kill shard 2 and wait for the thread to actually exit.
+        pool.inject_panic(2, "probe kill").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let h = pool.shard_health(Duration::from_millis(50));
+            if h[2] == ShardHealth::Dead {
+                break;
+            }
+            assert!(Instant::now() < deadline, "shard 2 never probed dead: {h:?}");
+        }
+    }
+
+    #[test]
+    fn force_respawn_recovers_a_stalled_shard_byte_identically() {
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(20_000, 83);
+        let split = 9_000;
+
+        let mut clean = DetectorPool::new(&rules, &hl, config, 3);
+        clean.observe_records(&records).unwrap();
+        clean.finish().unwrap();
+        let want = (clean.detected_lines("X").unwrap(), clean.state_size().unwrap());
+
+        let mut pool = DetectorPool::new(&rules, &hl, config, 3);
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+        pool.observe_records(&records[..split]).unwrap();
+        // Wedge a shard long enough that only a detaching respawn can
+        // recover within the test's lifetime, then escalate exactly as
+        // the daemon's watchdog would.
+        pool.inject_stall(1, Duration::from_secs(600)).unwrap();
+        assert_eq!(pool.shard_health(Duration::from_millis(100))[1], ShardHealth::Stalled);
+        pool.force_respawn(1).unwrap();
+        assert_eq!(
+            pool.shard_health(Duration::from_secs(10))[1],
+            ShardHealth::Responsive,
+            "replacement shard must be live"
+        );
+        pool.observe_records(&records[split..]).unwrap();
+        pool.finish().unwrap();
+        let got = (pool.detected_lines("X").unwrap(), pool.state_size().unwrap());
+        assert_eq!(got, want, "stalled-shard recovery diverges from clean run");
+    }
+
+    #[test]
+    fn force_respawn_after_checkpoint_replays_only_the_tail() {
+        let rules = ruleset(4);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(12_000, 97);
+
+        let mut clean = DetectorPool::new(&rules, &hl, config, 2);
+        clean.observe_records(&records).unwrap();
+        clean.finish().unwrap();
+        let want = clean.detected_lines("X").unwrap();
+
+        let mut pool = DetectorPool::new(&rules, &hl, config, 2);
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+        pool.observe_records(&records[..6_000]).unwrap();
+        pool.checkpoint_all().unwrap();
+        pool.observe_records(&records[6_000..10_000]).unwrap();
+        pool.inject_stall(0, Duration::from_secs(600)).unwrap();
+        pool.force_respawn(0).unwrap();
+        pool.observe_records(&records[10_000..]).unwrap();
+        pool.finish().unwrap();
+        assert_eq!(pool.detected_lines("X").unwrap(), want);
     }
 
     #[cfg(feature = "telemetry")]

@@ -306,7 +306,7 @@ mod tests {
             IspConfig { lines: 8_000, sampling: 1_000, seed: 3, background: false },
         );
         let cfg = IspStudyConfig { window: StudyWindow::days(0, 2), ..Default::default() };
-        let r = run_isp_study(&p, &p.world, &isp, &cfg);
+        let r = run_isp_study(p, &p.world, &isp, &cfg);
         // Alexa daily detections beat hourly ones (§6.2's ×2 gain).
         let alexa_daily = r.daily.get(&("Alexa Enabled", 0)).copied().unwrap_or(0);
         let alexa_hour = r.hourly.get(&("Alexa Enabled", 12)).copied().unwrap_or(0);
@@ -335,11 +335,10 @@ mod tests {
                 tail_lines: 200,
                 route_visibility: 0.6,
                 spoofed_per_hour: 300,
-                ..Default::default()
             },
         );
         let cfg = IxpStudyConfig { window: StudyWindow::days(0, 1), ..Default::default() };
-        let r = run_ixp_study(&p, &p.world, &ixp, &cfg);
+        let r = run_ixp_study(p, &p.world, &ixp, &cfg);
         assert!(r.records_before_filter > r.records_after_filter, "filter drops spoofed records");
         let alexa = r.daily_ips.get(&(DeviceGroup::Alexa, 0)).copied().unwrap_or(0);
         assert!(alexa > 0, "Alexa visible at the IXP");
@@ -355,7 +354,7 @@ mod tests {
             IspConfig { lines: 6_000, sampling: 1_000, seed: 8, background: false },
         );
         let cfg = IspStudyConfig { window: StudyWindow::days(0, 2), ..Default::default() };
-        let r = run_isp_study(&p, &p.world, &isp, &cfg);
+        let r = run_isp_study(p, &p.world, &isp, &cfg);
         for rule in &p.rules.rules {
             for day in 0..2u32 {
                 let daily = r.daily.get(&(rule.class, day)).copied().unwrap_or(0);
@@ -394,7 +393,7 @@ mod tests {
             IspConfig { lines: 6_000, sampling: 1_000, seed: 8, background: false },
         );
         let cfg = IspStudyConfig { window: StudyWindow::days(0, 1), ..Default::default() };
-        let r = run_isp_study(&p, &p.world, &isp, &cfg);
+        let r = run_isp_study(p, &p.world, &isp, &cfg);
         for hour in 0..24u32 {
             let active = r.active_hourly.get(&("Alexa Enabled", hour)).copied().unwrap_or(0);
             let present = r
@@ -415,9 +414,9 @@ mod tests {
     #[test]
     fn group_labels() {
         let p = pipeline();
-        assert_eq!(DeviceGroup::of(&p, "Fire TV"), DeviceGroup::Alexa);
-        assert_eq!(DeviceGroup::of(&p, "Samsung TV"), DeviceGroup::Samsung);
-        assert_eq!(DeviceGroup::of(&p, "Yi Camera"), DeviceGroup::Other);
+        assert_eq!(DeviceGroup::of(p, "Fire TV"), DeviceGroup::Alexa);
+        assert_eq!(DeviceGroup::of(p, "Samsung TV"), DeviceGroup::Samsung);
+        assert_eq!(DeviceGroup::of(p, "Yi Camera"), DeviceGroup::Other);
         assert_eq!(DeviceGroup::Other.label(), "Other 32 IoT Device types");
     }
 }

@@ -623,6 +623,7 @@ pub fn observe_collector(scope: &Scope, c: &haystack_flow::Collector) {
     scope.gauge("malformed_messages").set(c.malformed_messages());
     scope.gauge("malformed_sets").set(c.malformed_sets());
     scope.gauge("quarantined_sources").set(c.quarantined_sources().len() as u64);
+    scope.gauge("requarantined").set(c.requarantines_total());
 }
 
 /// Handles for one instrumented record stream.
@@ -764,6 +765,7 @@ pub fn observe_hitlist(scope: &Scope, hitlist: &HitList) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "telemetry")]
     use haystack_wild::VecStream;
 
     /// Every test uses its own scope prefix: the registry is global and

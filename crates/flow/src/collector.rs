@@ -20,8 +20,12 @@
 //!   least-recently-used eviction; a misbehaving exporter announcing
 //!   endless template ids cannot grow collector memory without bound.
 //! * **Malformed floods** — a source producing repeated malformed
-//!   messages is quarantined for a fixed number of datagrams; other
-//!   sources are unaffected.
+//!   messages is quarantined; other sources are unaffected. Quarantine is
+//!   not one-way: after the discard window the source enters *probation*
+//!   (half-open — traffic flows again but is monitored), and a single
+//!   malformed message during probation re-quarantines it with an
+//!   exponentially longer window, while a run of clean messages restores
+//!   it to full health and resets the backoff.
 
 use crate::error::FlowError;
 use crate::ipfix;
@@ -51,6 +55,40 @@ pub struct SourceStats {
     pub quarantines: u64,
     /// Datagrams discarded while quarantined.
     pub quarantined_dropped: u64,
+    /// Times this source was re-quarantined out of probation (each one
+    /// doubles the next quarantine window, up to the backoff cap).
+    pub requarantines: u64,
+}
+
+/// Where a source stands in the quarantine lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceHealth {
+    /// Decoding normally; malformed streaks are below the threshold.
+    Healthy,
+    /// Feed is being discarded; `remaining` datagrams left to drop.
+    Quarantined {
+        /// Datagrams still to be discarded before probation.
+        remaining: u32,
+    },
+    /// Half-open: traffic flows again, but one malformed message
+    /// re-quarantines with a doubled window. `clean_needed` more clean
+    /// messages restore full health.
+    Probation {
+        /// Clean messages still required to return to `Healthy`.
+        clean_needed: u32,
+    },
+}
+
+impl SourceHealth {
+    /// Stable lowercase label (`healthy` / `quarantined` / `probation`)
+    /// for telemetry and the daemon's source endpoint.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SourceHealth::Healthy => "healthy",
+            SourceHealth::Quarantined { .. } => "quarantined",
+            SourceHealth::Probation { .. } => "probation",
+        }
+    }
 }
 
 /// Internal per-source state (the snapshot plus bookkeeping).
@@ -63,6 +101,13 @@ struct SourceState {
     malformed_streak: u32,
     /// Datagrams left to discard while quarantined.
     quarantine_remaining: u32,
+    /// Clean messages still required to graduate from probation
+    /// (0 = not on probation).
+    probation_remaining: u32,
+    /// How many times quarantine has recurred without an intervening
+    /// clean probation; scales the next window as
+    /// `QUARANTINE_DATAGRAMS << backoff_level` (capped).
+    backoff_level: u32,
 }
 
 /// A collector accepting NetFlow v5/v9 and IPFIX feeds.
@@ -134,6 +179,12 @@ impl Collector {
     pub const QUARANTINE_THRESHOLD: u32 = 4;
     /// Datagrams a quarantined source has discarded before probation.
     pub const QUARANTINE_DATAGRAMS: u32 = 32;
+    /// Clean messages a probationary source must deliver to return to
+    /// full health (and reset its backoff).
+    pub const PROBATION_CLEAN: u32 = 8;
+    /// Cap on the exponential backoff: the discard window never exceeds
+    /// `QUARANTINE_DATAGRAMS << MAX_BACKOFF_LEVEL`.
+    pub const MAX_BACKOFF_LEVEL: u32 = 6;
     /// A backward sequence jump larger than this is a restart even when
     /// the new sequence is not zero.
     const RESTART_BACKJUMP: u32 = 100_000;
@@ -296,7 +347,8 @@ impl Collector {
     }
 
     /// True (and consumes one quarantine slot) when the source's feed is
-    /// currently being discarded.
+    /// currently being discarded. Exhausting the window moves the source
+    /// to probation rather than straight back to full health.
     fn consume_quarantine(&mut self, source: u32) -> bool {
         let Some(st) = self.sources.get_mut(&source) else {
             return false;
@@ -306,6 +358,9 @@ impl Collector {
         }
         st.quarantine_remaining -= 1;
         st.stats.quarantined_dropped += 1;
+        if st.quarantine_remaining == 0 {
+            st.probation_remaining = Self::PROBATION_CLEAN;
+        }
         true
     }
 
@@ -320,10 +375,21 @@ impl Collector {
 
     fn bump_malformed_streak(&mut self, source: u32) {
         let st = self.sources.entry(source).or_default();
+        if st.probation_remaining > 0 {
+            // Half-open: a single malformed message during probation
+            // trips the source straight back, with a doubled window.
+            st.probation_remaining = 0;
+            st.malformed_streak = 0;
+            st.backoff_level = (st.backoff_level + 1).min(Self::MAX_BACKOFF_LEVEL);
+            st.quarantine_remaining = Self::QUARANTINE_DATAGRAMS << st.backoff_level;
+            st.stats.quarantines += 1;
+            st.stats.requarantines += 1;
+            return;
+        }
         st.malformed_streak += 1;
         if st.malformed_streak >= Self::QUARANTINE_THRESHOLD {
             st.malformed_streak = 0;
-            st.quarantine_remaining = Self::QUARANTINE_DATAGRAMS;
+            st.quarantine_remaining = Self::QUARANTINE_DATAGRAMS << st.backoff_level;
             st.stats.quarantines += 1;
         }
     }
@@ -373,6 +439,14 @@ impl Collector {
         }
         if clean {
             st.malformed_streak = 0;
+            if st.probation_remaining > 0 {
+                st.probation_remaining -= 1;
+                if st.probation_remaining == 0 {
+                    // Probation served cleanly: full health, backoff
+                    // forgiven.
+                    st.backoff_level = 0;
+                }
+            }
         } else {
             self.bump_malformed_streak(source);
         }
@@ -547,6 +621,35 @@ impl Collector {
         out
     }
 
+    /// Quarantine-lifecycle position of one source ([`SourceHealth::Healthy`]
+    /// for sources never seen).
+    pub fn source_health(&self, source_id: u32) -> SourceHealth {
+        match self.sources.get(&source_id) {
+            Some(st) if st.quarantine_remaining > 0 => {
+                SourceHealth::Quarantined { remaining: st.quarantine_remaining }
+            }
+            Some(st) if st.probation_remaining > 0 => {
+                SourceHealth::Probation { clean_needed: st.probation_remaining }
+            }
+            _ => SourceHealth::Healthy,
+        }
+    }
+
+    /// Every seen source with its health, sorted by source id — the
+    /// daemon's source-status endpoint renders this directly.
+    pub fn source_healths(&self) -> Vec<(u32, SourceHealth)> {
+        let mut out: Vec<(u32, SourceHealth)> =
+            self.sources.keys().map(|&id| (id, self.source_health(id))).collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Total probation failures across all sources (the
+    /// `collector.requarantined` telemetry counter).
+    pub fn requarantines_total(&self) -> u64 {
+        self.sources.values().map(|s| s.stats.requarantines).sum()
+    }
+
     /// Templates evicted by the cache bounds so far.
     pub fn templates_evicted(&self) -> u64 {
         self.templates_evicted
@@ -580,8 +683,9 @@ impl Collector {
 
     /// Frame magic of a collector snapshot.
     pub const SNAPSHOT_MAGIC: &'static [u8; MAGIC_LEN] = b"HAYCOLL\0";
-    /// Snapshot format version this build writes and reads.
-    pub const SNAPSHOT_VERSION: u32 = 1;
+    /// Snapshot format version this build writes and reads. v2 added the
+    /// probation/backoff fields and the requarantine counter.
+    pub const SNAPSHOT_VERSION: u32 = 2;
 
     /// Serialize the collector's entire long-lived state — template and
     /// options caches with their LRU stamps, per-source sequence/health
@@ -630,6 +734,7 @@ impl Collector {
             w.put_u64(st.stats.dropped_unknown_template);
             w.put_u64(st.stats.quarantines);
             w.put_u64(st.stats.quarantined_dropped);
+            w.put_u64(st.stats.requarantines);
             match st.expected_seq {
                 Some(seq) => {
                     w.put_u8(1);
@@ -642,6 +747,8 @@ impl Collector {
             }
             w.put_u32(st.malformed_streak);
             w.put_u32(st.quarantine_remaining);
+            w.put_u32(st.probation_remaining);
+            w.put_u32(st.backoff_level);
         }
 
         let mut samp_keys: Vec<u32> = self.sampling.keys().copied().collect();
@@ -701,7 +808,7 @@ impl Collector {
         }
         read_lru(&mut r, &mut c.options_lru)?;
 
-        let n = r.count(4 + 7 * 8 + 1 + 4 + 4 + 4)?;
+        let n = r.count(4 + 8 * 8 + 1 + 4 + 4 + 4 + 4 + 4)?;
         for _ in 0..n {
             let source = r.u32()?;
             let stats = SourceStats {
@@ -712,6 +819,7 @@ impl Collector {
                 dropped_unknown_template: r.u64()?,
                 quarantines: r.u64()?,
                 quarantined_dropped: r.u64()?,
+                requarantines: r.u64()?,
             };
             let has_seq = r.u8()?;
             let seq = r.u32()?;
@@ -722,9 +830,18 @@ impl Collector {
             };
             let malformed_streak = r.u32()?;
             let quarantine_remaining = r.u32()?;
+            let probation_remaining = r.u32()?;
+            let backoff_level = r.u32()?;
             c.sources.insert(
                 source,
-                SourceState { stats, expected_seq, malformed_streak, quarantine_remaining },
+                SourceState {
+                    stats,
+                    expected_seq,
+                    malformed_streak,
+                    quarantine_remaining,
+                    probation_remaining,
+                    backoff_level,
+                },
             );
         }
 
@@ -804,8 +921,9 @@ fn peek_version(datagram: &[u8]) -> Option<u16> {
 
 /// Cheap header peek: `(version, source id)` for v9/IPFIX datagrams long
 /// enough to carry one, used to attribute failures and enforce
-/// quarantine before full decoding.
-fn peek_source(datagram: &[u8]) -> Option<(u16, u32)> {
+/// quarantine before full decoding. Public so the socket front-end can
+/// attribute shed datagrams to a source without decoding them.
+pub fn peek_source(datagram: &[u8]) -> Option<(u16, u32)> {
     let at = match peek_version(datagram)? {
         9 if datagram.len() >= 20 => 16,
         10 if datagram.len() >= 16 => 12,
@@ -1099,7 +1217,7 @@ mod tests {
         bad_set.extend_from_slice(&256u16.to_be_bytes());
         bad_set.extend_from_slice(&3u16.to_be_bytes());
         for i in 0..Collector::QUARANTINE_THRESHOLD {
-            let bad = v9_datagram(9, u32::from(i), &bad_set);
+            let bad = v9_datagram(9, i, &bad_set);
             assert!(collector.feed_netflow_v9(bad).is_err());
         }
         assert_eq!(collector.quarantined_sources(), vec![9]);
@@ -1123,6 +1241,144 @@ mod tests {
         assert_eq!(decoded.len(), 4, "source 9 resumes after probation");
     }
 
+    /// Drive source 9 into quarantine with a malformed flood, then burn
+    /// through the whole discard window, leaving it on probation.
+    fn quarantine_then_probation(collector: &mut Collector, window: u32) -> Vec<Bytes> {
+        let mut bad_set = Vec::new();
+        bad_set.extend_from_slice(&256u16.to_be_bytes());
+        bad_set.extend_from_slice(&3u16.to_be_bytes());
+        for i in 0..Collector::QUARANTINE_THRESHOLD {
+            let bad = v9_datagram(9, i, &bad_set);
+            assert!(collector.feed_netflow_v9(bad).is_err());
+        }
+        assert!(matches!(collector.source_health(9), SourceHealth::Quarantined { remaining } if remaining == window));
+        let mut e9 = Exporter::new(ExportProtocol::NetflowV9, 9).with_batch_size(4);
+        let msgs9 = e9.export(&recs(4), 100).unwrap();
+        for _ in 0..window {
+            assert_eq!(collector.feed_netflow_v9(msgs9[0].clone()).unwrap(), vec![]);
+        }
+        assert_eq!(
+            collector.source_health(9),
+            SourceHealth::Probation { clean_needed: Collector::PROBATION_CLEAN }
+        );
+        msgs9
+    }
+
+    #[test]
+    fn probation_graduates_to_healthy_after_clean_run() {
+        let mut collector = Collector::new();
+        let msgs9 = quarantine_then_probation(&mut collector, Collector::QUARANTINE_DATAGRAMS);
+        // Clean messages flow during probation (half-open, not closed)…
+        for i in 0..Collector::PROBATION_CLEAN {
+            let decoded = collector.feed_netflow_v9(msgs9[0].clone()).unwrap();
+            assert_eq!(decoded.len(), 4, "probation message {i} must decode");
+        }
+        // …and a full clean run restores health and forgives the backoff.
+        assert_eq!(collector.source_health(9), SourceHealth::Healthy);
+        assert_eq!(collector.requarantines_total(), 0);
+        let st = collector.source_stats(9).unwrap();
+        assert_eq!(st.quarantines, 1);
+        assert_eq!(st.requarantines, 0);
+    }
+
+    #[test]
+    fn malformed_during_probation_requarantines_with_backoff() {
+        let mut collector = Collector::new();
+        let msgs9 = quarantine_then_probation(&mut collector, Collector::QUARANTINE_DATAGRAMS);
+        // One malformed message during probation trips it immediately —
+        // no 4-strike grace — and doubles the window.
+        let mut bad_set = Vec::new();
+        bad_set.extend_from_slice(&256u16.to_be_bytes());
+        bad_set.extend_from_slice(&3u16.to_be_bytes());
+        assert!(collector.feed_netflow_v9(v9_datagram(9, 50, &bad_set)).is_err());
+        assert_eq!(
+            collector.source_health(9),
+            SourceHealth::Quarantined { remaining: Collector::QUARANTINE_DATAGRAMS << 1 }
+        );
+        assert_eq!(collector.requarantines_total(), 1);
+        let st = collector.source_stats(9).unwrap();
+        assert_eq!(st.quarantines, 2);
+        assert_eq!(st.requarantines, 1);
+        // Serve the doubled window; next failure doubles again.
+        let _ = quarantine_backoff_cycle(&mut collector, &msgs9, Collector::QUARANTINE_DATAGRAMS << 1);
+        assert_eq!(
+            collector.source_health(9),
+            SourceHealth::Quarantined { remaining: Collector::QUARANTINE_DATAGRAMS << 2 }
+        );
+        assert_eq!(collector.requarantines_total(), 2);
+    }
+
+    /// Consume a quarantine window of `window` datagrams, then fail the
+    /// resulting probation with one malformed message.
+    fn quarantine_backoff_cycle(collector: &mut Collector, msgs9: &[Bytes], window: u32) -> u32 {
+        for _ in 0..window {
+            assert_eq!(collector.feed_netflow_v9(msgs9[0].clone()).unwrap(), vec![]);
+        }
+        assert!(matches!(collector.source_health(9), SourceHealth::Probation { .. }));
+        let mut bad_set = Vec::new();
+        bad_set.extend_from_slice(&256u16.to_be_bytes());
+        bad_set.extend_from_slice(&3u16.to_be_bytes());
+        assert!(collector.feed_netflow_v9(v9_datagram(9, 99, &bad_set)).is_err());
+        window
+    }
+
+    #[test]
+    fn backoff_window_is_capped() {
+        let mut collector = Collector::new();
+        let msgs9 = quarantine_then_probation(&mut collector, Collector::QUARANTINE_DATAGRAMS);
+        let mut bad_set = Vec::new();
+        bad_set.extend_from_slice(&256u16.to_be_bytes());
+        bad_set.extend_from_slice(&3u16.to_be_bytes());
+        assert!(collector.feed_netflow_v9(v9_datagram(9, 50, &bad_set)).is_err());
+        for level in 2..=(Collector::MAX_BACKOFF_LEVEL + 3) {
+            let got = match collector.source_health(9) {
+                SourceHealth::Quarantined { remaining } => remaining,
+                other => panic!("expected quarantine at level {level}, got {other:?}"),
+            };
+            quarantine_backoff_cycle(&mut collector, &msgs9, got);
+        }
+        // Window is pinned at the cap, not growing without bound.
+        assert_eq!(
+            collector.source_health(9),
+            SourceHealth::Quarantined {
+                remaining: Collector::QUARANTINE_DATAGRAMS << Collector::MAX_BACKOFF_LEVEL
+            }
+        );
+    }
+
+    #[test]
+    fn source_healths_reports_every_source() {
+        let mut collector = Collector::new();
+        let mut e5 = Exporter::new(ExportProtocol::NetflowV9, 5).with_batch_size(4);
+        for msg in e5.export(&recs(4), 100).unwrap() {
+            collector.feed_netflow_v9(msg).unwrap();
+        }
+        quarantine_then_probation(&mut collector, Collector::QUARANTINE_DATAGRAMS);
+        let healths = collector.source_healths();
+        assert_eq!(healths.len(), 2);
+        assert_eq!(healths[0], (5, SourceHealth::Healthy));
+        assert!(matches!(healths[1], (9, SourceHealth::Probation { .. })));
+        assert_eq!(SourceHealth::Healthy.label(), "healthy");
+        assert_eq!(SourceHealth::Quarantined { remaining: 1 }.label(), "quarantined");
+        assert_eq!(SourceHealth::Probation { clean_needed: 1 }.label(), "probation");
+    }
+
+    #[test]
+    fn probation_state_survives_snapshot() {
+        let mut collector = Collector::new();
+        let msgs9 = quarantine_then_probation(&mut collector, Collector::QUARANTINE_DATAGRAMS);
+        // Partially serve probation, then fail it once to raise backoff.
+        collector.feed_netflow_v9(msgs9[0].clone()).unwrap();
+        let mut bad_set = Vec::new();
+        bad_set.extend_from_slice(&256u16.to_be_bytes());
+        bad_set.extend_from_slice(&3u16.to_be_bytes());
+        assert!(collector.feed_netflow_v9(v9_datagram(9, 60, &bad_set)).is_err());
+        let restored = Collector::restore(&collector.snapshot()).expect("restore");
+        assert_eq!(restored.source_health(9), collector.source_health(9));
+        assert_eq!(restored.requarantines_total(), collector.requarantines_total());
+        assert_eq!(restored.snapshot(), collector.snapshot());
+    }
+
     /// A messy multi-source feed: templates, data, a dropped datagram, a
     /// duplicate, and a malformed flood that quarantines one source.
     fn messy_feed() -> Vec<Bytes> {
@@ -1140,7 +1396,7 @@ mod tests {
         bad_set.extend_from_slice(&256u16.to_be_bytes());
         bad_set.extend_from_slice(&3u16.to_be_bytes());
         for i in 0..Collector::QUARANTINE_THRESHOLD {
-            msgs.push(v9_datagram(9, u32::from(i), &bad_set));
+            msgs.push(v9_datagram(9, i, &bad_set));
         }
         msgs.push(m1[3].clone());
         msgs.push(m2[2].clone());

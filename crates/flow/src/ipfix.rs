@@ -232,7 +232,7 @@ mod tests {
     fn full_message_round_trip() {
         let t = Template::standard(400);
         let records: Vec<_> = (0..7).map(rec).collect();
-        let wire = encode(&header(), &[t.clone()], &[(&t, &records)]).unwrap();
+        let wire = encode(&header(), std::slice::from_ref(&t), &[(&t, &records)]).unwrap();
         // Header length field covers the whole message.
         assert_eq!(u16::from_be_bytes([wire[2], wire[3]]) as usize, wire.len());
         let msg = decode(wire).unwrap();

@@ -39,6 +39,7 @@ pub mod error;
 pub mod export;
 pub mod ipfix;
 pub mod key;
+pub mod listener;
 pub mod netflow_v5;
 pub mod netflow_v9;
 pub mod packet;
@@ -49,10 +50,11 @@ pub mod wire;
 
 pub use cache::{FlowCache, FlowCacheConfig};
 pub use chaos::{ChaosConfig, ChaosLink, ChaosStats};
-pub use collector::{Collector, SourceStats};
+pub use collector::{Collector, SourceHealth, SourceStats};
 pub use error::FlowError;
 pub use export::Exporter;
 pub use key::FlowKey;
+pub use listener::{AdmissionQueue, AdmissionStats};
 pub use packet::Packet;
 pub use record::FlowRecord;
 pub use sampling::{binomial_thin, PacketSampler, RandomSampler, SystematicSampler};

@@ -1,0 +1,410 @@
+//! The daemon's socket front-end: bounded admission with explicit shed
+//! accounting, plus the two transports `haystack serve` listens on.
+//!
+//! Overload policy (DESIGN.md §13): the admission queue between the
+//! sockets and the collector engine is *bounded*. When the engine falls
+//! behind, the UDP path sheds — drops the datagram and counts it, per
+//! source — because UDP gives no backpressure and an unbounded buffer
+//! is just a slow OOM. The TCP replay path blocks instead: it exists
+//! for tests and controlled replays, where losing a datagram to timing
+//! would make "byte-identical after restart" unprovable. The invariant
+//! the bench gate asserts: `received == admitted + shed`, always.
+//!
+//! TCP framing is trivial — a big-endian `u32` length then the datagram
+//! bytes — because NetFlow/IPFIX datagrams are self-contained; the
+//! stream just needs record boundaries.
+
+use crate::collector::peek_source;
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest frame the TCP replay path accepts. A NetFlow/IPFIX datagram
+/// rides UDP in deployment, so nothing legitimate exceeds 64 KiB; a
+/// larger length prefix is a corrupt or hostile stream.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// How long socket reads block before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Shared admission counters. All monotonic; `received` is every
+/// datagram a listener pulled off a socket, and exactly one of
+/// `admitted` / `shed` is bumped for each, so
+/// `received == admitted + shed` holds at every instant.
+#[derive(Debug, Default)]
+pub struct AdmissionStats {
+    received: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    shed_by_source: Mutex<HashMap<u32, u64>>,
+}
+
+impl AdmissionStats {
+    /// Datagrams pulled off a socket (admitted or shed).
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams handed to the engine.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams dropped because the queue was full (or the engine
+    /// was gone).
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Shed counts attributed to a source id (datagrams too short to
+    /// carry one land under source 0), sorted by source id.
+    pub fn shed_by_source(&self) -> Vec<(u32, u64)> {
+        let map = self.shed_by_source.lock().expect("shed map poisoned");
+        let mut out: Vec<(u32, u64)> = map.iter().map(|(k, v)| (*k, *v)).collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    fn note_shed(&self, datagram: &[u8]) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        let source = peek_source(datagram).map_or(0, |(_, s)| s);
+        let mut map = self.shed_by_source.lock().expect("shed map poisoned");
+        *map.entry(source).or_insert(0) += 1;
+    }
+}
+
+/// Producer side of the bounded admission queue. Clone freely — every
+/// listener thread holds one.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    tx: SyncSender<Bytes>,
+    stats: Arc<AdmissionStats>,
+}
+
+impl AdmissionQueue {
+    /// A queue holding at most `capacity` in-flight datagrams. Returns
+    /// the producer handle, the engine's receive side, and the shared
+    /// counters.
+    pub fn bounded(capacity: usize) -> (AdmissionQueue, Receiver<Bytes>, Arc<AdmissionStats>) {
+        assert!(capacity > 0, "admission queue capacity must be positive");
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+        let stats = Arc::new(AdmissionStats::default());
+        (AdmissionQueue { tx, stats: Arc::clone(&stats) }, rx, stats)
+    }
+
+    /// Non-blocking admission — the UDP path. Returns `false` (and
+    /// counts a shed) when the queue is full or the engine is gone.
+    pub fn offer(&self, datagram: Bytes) -> bool {
+        self.stats.received.fetch_add(1, Ordering::Relaxed);
+        match self.tx.try_send(datagram) {
+            Ok(()) => {
+                self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(TrySendError::Full(d)) | Err(TrySendError::Disconnected(d)) => {
+                self.stats.note_shed(&d);
+                false
+            }
+        }
+    }
+
+    /// Blocking admission — the lossless TCP replay path. Backpressures
+    /// the sender instead of shedding; returns `false` only when the
+    /// engine has shut down (counted as a shed to keep the invariant).
+    pub fn push(&self, datagram: Bytes) -> bool {
+        self.stats.received.fetch_add(1, Ordering::Relaxed);
+        match self.tx.send(datagram) {
+            Ok(()) => {
+                self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(e) => {
+                self.stats.note_shed(&e.0);
+                false
+            }
+        }
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> Arc<AdmissionStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, datagram: &[u8]) -> io::Result<()> {
+    assert!(datagram.len() <= MAX_FRAME_LEN, "datagram exceeds frame bound");
+    w.write_all(&(datagram.len() as u32).to_be_bytes())?;
+    w.write_all(datagram)
+}
+
+/// Incremental frame reader over a possibly-timeout-interrupted stream.
+/// A read timeout surfaces as `WouldBlock`/`TimedOut` with all partial
+/// bytes retained, so callers can poll a shutdown flag and resume
+/// without losing framing.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a stream.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader { inner, buf: Vec::new() }
+    }
+
+    /// The next complete frame, `Ok(None)` on clean EOF at a frame
+    /// boundary. EOF mid-frame is `UnexpectedEof`; an implausible
+    /// length prefix is `InvalidData`.
+    pub fn next_frame(&mut self) -> io::Result<Option<Bytes>> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_be_bytes(self.buf[..4].try_into().unwrap()) as usize;
+                if len > MAX_FRAME_LEN {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame length {len} exceeds bound {MAX_FRAME_LEN}"),
+                    ));
+                }
+                if self.buf.len() >= 4 + len {
+                    let frame = Bytes::from(&self.buf[4..4 + len]);
+                    self.buf.drain(..4 + len);
+                    return Ok(Some(frame));
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream ended mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Run a UDP listener until `shutdown` is set: each datagram is offered
+/// to the queue, shedding (with accounting) when the engine is behind.
+pub fn spawn_udp_listener(
+    socket: UdpSocket,
+    queue: AdmissionQueue,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    socket.set_read_timeout(Some(POLL_INTERVAL)).expect("udp read timeout");
+    std::thread::Builder::new()
+        .name("hay-udp".into())
+        .spawn(move || {
+            let mut buf = [0u8; MAX_FRAME_LEN];
+            while !shutdown.load(Ordering::Relaxed) {
+                match socket.recv_from(&mut buf) {
+                    Ok((n, _)) => {
+                        queue.offer(Bytes::from(&buf[..n]));
+                    }
+                    Err(e) if is_timeout(&e) => {}
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn udp listener")
+}
+
+/// Run a TCP accept loop until `shutdown` is set. Each connection gets
+/// its own handler thread reading length-prefixed frames and pushing
+/// them losslessly (blocking on backpressure). Handler threads are
+/// joined before the accept thread exits.
+pub fn spawn_tcp_listener(
+    listener: TcpListener,
+    queue: AdmissionQueue,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    listener.set_nonblocking(true).expect("tcp nonblocking");
+    std::thread::Builder::new()
+        .name("hay-tcp".into())
+        .spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            while !shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let q = queue.clone();
+                        let stop = Arc::clone(&shutdown);
+                        let h = std::thread::Builder::new()
+                            .name("hay-tcp-conn".into())
+                            .spawn(move || handle_tcp_conn(stream, q, stop))
+                            .expect("spawn tcp handler");
+                        handlers.push(h);
+                    }
+                    Err(e) if is_timeout(&e) => std::thread::sleep(POLL_INTERVAL),
+                    Err(_) => break,
+                }
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        })
+        .expect("spawn tcp listener")
+}
+
+fn handle_tcp_conn(stream: TcpStream, queue: AdmissionQueue, shutdown: Arc<AtomicBool>) {
+    stream.set_read_timeout(Some(POLL_INTERVAL)).expect("tcp read timeout");
+    let mut frames = FrameReader::new(stream);
+    while !shutdown.load(Ordering::Relaxed) {
+        match frames.next_frame() {
+            Ok(Some(datagram)) => {
+                if !queue.push(datagram) {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(e) if is_timeout(&e) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::net::{Ipv4Addr, SocketAddr};
+
+    /// A minimal v9 header carrying `source` in its source-id word.
+    fn v9_stub(source: u32) -> Bytes {
+        let mut b = Vec::new();
+        b.extend_from_slice(&9u16.to_be_bytes());
+        b.extend_from_slice(&0u16.to_be_bytes());
+        b.extend_from_slice(&[0u8; 12]);
+        b.extend_from_slice(&source.to_be_bytes());
+        Bytes::from(b)
+    }
+
+    #[test]
+    fn offer_sheds_at_capacity_with_source_attribution() {
+        let (q, rx, stats) = AdmissionQueue::bounded(2);
+        assert!(q.offer(v9_stub(7)));
+        assert!(q.offer(v9_stub(7)));
+        // Queue full: the next two shed, attributed to their sources.
+        assert!(!q.offer(v9_stub(7)));
+        assert!(!q.offer(v9_stub(8)));
+        // Too short to peek a source: attributed to source 0.
+        assert!(!q.offer(Bytes::from_static(&[0, 9])));
+        assert_eq!(stats.received(), 5);
+        assert_eq!(stats.admitted(), 2);
+        assert_eq!(stats.shed(), 3);
+        assert_eq!(stats.received(), stats.admitted() + stats.shed());
+        assert_eq!(stats.shed_by_source(), vec![(0, 1), (7, 1), (8, 1)]);
+        // Draining frees capacity; admission resumes.
+        rx.recv().unwrap();
+        assert!(q.offer(v9_stub(9)));
+    }
+
+    #[test]
+    fn push_blocks_instead_of_shedding() {
+        let (q, rx, stats) = AdmissionQueue::bounded(1);
+        assert!(q.push(v9_stub(1)));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.push(v9_stub(2)));
+        // The push above blocks until we drain one slot.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(stats.admitted(), 1, "second push must still be waiting");
+        rx.recv().unwrap();
+        assert!(h.join().unwrap());
+        assert_eq!(stats.admitted(), 2);
+        assert_eq!(stats.shed(), 0);
+        // Receiver gone: push fails and is accounted as shed.
+        drop(rx);
+        assert!(!q.push(v9_stub(3)));
+        assert_eq!(stats.received(), stats.admitted() + stats.shed());
+    }
+
+    #[test]
+    fn frame_codec_round_trips() {
+        let mut wire = Vec::new();
+        let frames = [v9_stub(1), Bytes::from_static(b""), v9_stub(u32::MAX)];
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = FrameReader::new(Cursor::new(wire));
+        for f in &frames {
+            assert_eq!(r.next_frame().unwrap().as_deref(), Some(f.as_ref()));
+        }
+        assert_eq!(r.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn frame_reader_rejects_midstream_eof_and_huge_lengths() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &v9_stub(5)).unwrap();
+        let mut r = FrameReader::new(Cursor::new(wire[..wire.len() - 3].to_vec()));
+        assert_eq!(r.next_frame().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_be_bytes().to_vec();
+        let mut r = FrameReader::new(Cursor::new(huge));
+        assert_eq!(r.next_frame().unwrap_err().kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn udp_listener_delivers_datagrams() {
+        let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr: SocketAddr = socket.local_addr().unwrap();
+        let (q, rx, stats) = AdmissionQueue::bounded(64);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let h = spawn_udp_listener(socket, q, Arc::clone(&shutdown));
+        let sender = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        for _ in 0..3 {
+            sender.send_to(&v9_stub(4), addr).unwrap();
+        }
+        for _ in 0..3 {
+            let d = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(d, v9_stub(4));
+        }
+        assert_eq!(stats.admitted(), 3);
+        shutdown.store(true, Ordering::Relaxed);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_listener_is_lossless_under_backpressure() {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Tiny queue: the writer must be backpressured, never shed.
+        let (q, rx, stats) = AdmissionQueue::bounded(2);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let h = spawn_tcp_listener(listener, q, Arc::clone(&shutdown));
+        let total = 50u32;
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            for i in 0..total {
+                write_frame(&mut stream, &v9_stub(i)).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..total {
+            got.push(rx.recv_timeout(Duration::from_secs(10)).unwrap());
+        }
+        writer.join().unwrap();
+        let want: Vec<Bytes> = (0..total).map(v9_stub).collect();
+        assert_eq!(got, want, "tcp path must preserve order and lose nothing");
+        assert_eq!(stats.shed(), 0);
+        assert_eq!(stats.admitted(), u64::from(total));
+        shutdown.store(true, Ordering::Relaxed);
+        h.join().unwrap();
+    }
+}

@@ -195,11 +195,11 @@ mod tests {
                 dst: Ipv4Addr::new(198, 18, 0, 1),
                 sport: 40_000 + u16::from(i),
                 dport: 443,
-                proto: if i % 2 == 0 { Proto::Tcp } else { Proto::Udp },
+                proto: if i.is_multiple_of(2) { Proto::Tcp } else { Proto::Udp },
             },
             packets: u64::from(i) + 1,
             bytes: u64::from(i) * 120 + 40,
-            tcp_flags: if i % 2 == 0 { TcpFlags::ACK } else { TcpFlags::NONE },
+            tcp_flags: if i.is_multiple_of(2) { TcpFlags::ACK } else { TcpFlags::NONE },
             first: SimTime(100),
             last: SimTime(130),
         }

@@ -236,7 +236,7 @@ mod tests {
     fn full_message_round_trip() {
         let t = Template::standard(256);
         let records: Vec<_> = (0..5).map(rec).collect();
-        let wire = encode(&header(), &[t.clone()], &[(&t, &records)]).unwrap();
+        let wire = encode(&header(), std::slice::from_ref(&t), &[(&t, &records)]).unwrap();
         let msg = decode(wire).unwrap();
         assert_eq!(msg.header, header());
         assert_eq!(msg.count, 6); // 1 template + 5 data records
@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn empty_data_flowsets_are_omitted() {
         let t = Template::standard(256);
-        let wire = encode(&header(), &[t.clone()], &[(&t, &[])]).unwrap();
+        let wire = encode(&header(), std::slice::from_ref(&t), &[(&t, &[])]).unwrap();
         let msg = decode(wire).unwrap();
         assert_eq!(msg.flowsets.len(), 1, "only the template flowset");
     }

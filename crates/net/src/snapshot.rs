@@ -122,6 +122,32 @@ pub fn open<'a>(
     Ok(&frame[MAGIC_LEN + 12..body_end])
 }
 
+/// Whether a frame's trailing checksum matches its contents, regardless
+/// of magic or version. [`open`] checks the version *before* the
+/// checksum, so a `BadVersion` alone cannot distinguish "written by a
+/// different build" from "bit rot that happened to land on the version
+/// word". Loaders that want to report version skew precisely (resume
+/// validation, daemon restarts) call this first: checksum-valid +
+/// `BadVersion` is genuine skew worth a targeted error; checksum-invalid
+/// is corruption and falls back to an older generation.
+pub fn checksum_ok(frame: &[u8]) -> bool {
+    if frame.len() < FRAME_OVERHEAD {
+        return false;
+    }
+    let body_end = frame.len() - 8;
+    let stored = u64::from_le_bytes(frame[body_end..].try_into().unwrap());
+    stored == fnv1a64(&frame[..body_end])
+}
+
+/// The version word of a frame, without verifying anything else.
+/// Returns `None` when the buffer is too short to even carry one.
+pub fn peek_version(frame: &[u8]) -> Option<u32> {
+    if frame.len() < MAGIC_LEN + 4 {
+        return None;
+    }
+    Some(u32::from_le_bytes(frame[MAGIC_LEN..MAGIC_LEN + 4].try_into().unwrap()))
+}
+
 /// Little-endian payload writer. All methods append; call
 /// [`SnapWriter::into_bytes`] to take the buffer.
 #[derive(Debug, Default)]
@@ -334,6 +360,24 @@ mod tests {
         assert!(r.bytes().is_err());
         let mut r = SnapReader::new(&garbage);
         assert!(r.count(4).is_err());
+    }
+
+    #[test]
+    fn checksum_ok_separates_skew_from_rot() {
+        let frame = seal(MAGIC, 2, b"state");
+        // Intact frame from a different version: checksum holds, version peeks.
+        assert!(checksum_ok(&frame));
+        assert_eq!(peek_version(&frame), Some(2));
+        assert_eq!(open(MAGIC, 3, &frame), Err(SnapError::BadVersion { found: 2, expected: 3 }));
+        // Flip a bit in the version word: open still says BadVersion, but
+        // the checksum now betrays corruption.
+        let mut rotten = frame.clone();
+        rotten[MAGIC_LEN] ^= 0x04;
+        assert!(matches!(open(MAGIC, 2, &rotten), Err(SnapError::BadVersion { .. })));
+        assert!(!checksum_ok(&rotten));
+        // Too-short buffers are never checksum-valid.
+        assert!(!checksum_ok(&frame[..4]));
+        assert_eq!(peek_version(&frame[..4]), None);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! derive machinery: the workspace serializes via `Value` only.
 
 #![forbid(unsafe_code)]
+// The json! macro builds arrays/objects by recursive push; the expansion
+// trips vec_init_then_push at every invocation site inside this crate.
+#![allow(clippy::vec_init_then_push)]
 
 use std::fmt;
 
