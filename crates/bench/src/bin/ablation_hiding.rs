@@ -27,7 +27,11 @@ fn run(label: &str, catalog: haystack_testbed::catalog::Catalog, args: &Args) {
     eprintln!("# [{label}] rebuilding pipeline ...");
     let p = Pipeline::run_with_catalog(config, catalog);
     let rule = p.rules.rule(CLASS);
-    let excluded = p.rules.undetectable.iter().find(|(c, _)| *c == CLASS);
+    let excluded = p
+        .rules
+        .undetectable
+        .iter()
+        .find(|(c, _)| p.rules.class_name(*c) == CLASS);
     let hours = if args.fast { Some(8) } else { None };
     let detect = |kind: ExperimentKind| -> String {
         let times = detection_times(

@@ -44,7 +44,10 @@ fn main() {
             .rules
             .rules
             .iter()
-            .map(|r| (r.class, evaluate(&p, &isp, &mut pool, r.class, day)))
+            .map(|r| {
+                let class = p.rules.class_name(r.class);
+                (class, evaluate(&p, &isp, &mut pool, class, day))
+            })
             .collect();
         rows.sort_by_key(|row| std::cmp::Reverse(row.1.true_pos));
         for (class, c) in rows {

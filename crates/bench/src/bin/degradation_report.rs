@@ -125,7 +125,7 @@ fn detection_step(p: &Pipeline, args: &Args, severity: Option<f64>, days: u32) -
     let mut total = Confusion::default();
     let last_day = days - 1;
     for r in &p.rules.rules {
-        let c = evaluate(p, &isp, &mut pool, r.class, last_day);
+        let c = evaluate(p, &isp, &mut pool, p.rules.class_name(r.class), last_day);
         total.true_pos += c.true_pos;
         total.false_pos += c.false_pos;
         total.false_neg += c.false_neg;

@@ -34,11 +34,11 @@ fn main() {
         }
         println!();
         for rule in &p.rules.rules {
-            print!("{}{}\t{}", rule.class, rule.level.suffix(), rule.domains.len());
+            print!("{}{}\t{}", p.rules.class_name(rule.class), rule.level.suffix(), rule.domains.len());
             for t in &thresholds {
                 let row = times
                     .iter()
-                    .find(|x| x.class == rule.class && (x.threshold - t).abs() < 1e-9)
+                    .find(|x| x.class == p.rules.class_name(rule.class) && (x.threshold - t).abs() < 1e-9)
                     .unwrap();
                 match row.hours_to_detect {
                     Some(h) => print!("\t{h}"),
@@ -49,19 +49,19 @@ fn main() {
         }
 
         // Headline fractions at the conservative D = 0.4.
-        let man_pr: BTreeSet<&'static str> = p
+        let man_pr: BTreeSet<&str> = p
             .rules
             .rules
             .iter()
             .filter(|r| r.level != DetectionLevel::Platform)
-            .map(|r| r.class)
+            .map(|r| p.rules.class_name(r.class))
             .collect();
-        let pr_only: BTreeSet<&'static str> = p
+        let pr_only: BTreeSet<&str> = p
             .rules
             .rules
             .iter()
             .filter(|r| r.level == DetectionLevel::Product)
-            .map(|r| r.class)
+            .map(|r| p.rules.class_name(r.class))
             .collect();
         println!(
             "# {label} @ D=0.4, man+prod classes within 1/24/72h: {} / {} / {}  (paper active: 72/93/96%, idle: 40/73/76%)",

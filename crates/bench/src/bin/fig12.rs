@@ -25,12 +25,12 @@ fn main() {
     for d in &days {
         print!("{d}");
         for c in CLASSES {
-            print!("\t{}", study.daily.get(&(*c, *d)).copied().unwrap_or(0));
+            print!("\t{}", study.daily.get(&((*c).to_string(), *d)).copied().unwrap_or(0));
         }
         println!();
     }
 
-    let at = |c: &str, d: u32| study.daily.get(&(c, d)).copied().unwrap_or(0) as f64;
+    let at = |c: &str, d: u32| study.daily.get(&(c.to_string(), d)).copied().unwrap_or(0) as f64;
     let d0 = days[0];
     println!("\n# day-0 hierarchy shares:");
     println!(

@@ -26,7 +26,7 @@ fn main() {
     for d in &days {
         print!("{d}");
         for c in CLASSES {
-            print!("\t{}", study.cumulative_lines.get(&(*c, *d)).copied().unwrap_or(0));
+            print!("\t{}", study.cumulative_lines.get(&((*c).to_string(), *d)).copied().unwrap_or(0));
         }
         println!();
     }
@@ -40,7 +40,7 @@ fn main() {
     for d in &days {
         print!("{d}");
         for c in CLASSES {
-            print!("\t{}", study.cumulative_slash24.get(&(*c, *d)).copied().unwrap_or(0));
+            print!("\t{}", study.cumulative_slash24.get(&((*c).to_string(), *d)).copied().unwrap_or(0));
         }
         println!();
     }
@@ -51,10 +51,10 @@ fn main() {
         let last = *days.last().unwrap();
         println!("\n# growth (last/first day) — lines should outgrow /24s:");
         for c in CLASSES {
-            let l0 = study.cumulative_lines.get(&(*c, first)).copied().unwrap_or(0) as f64;
-            let l1 = study.cumulative_lines.get(&(*c, last)).copied().unwrap_or(0) as f64;
-            let p0 = study.cumulative_slash24.get(&(*c, first)).copied().unwrap_or(0) as f64;
-            let p1 = study.cumulative_slash24.get(&(*c, last)).copied().unwrap_or(0) as f64;
+            let l0 = study.cumulative_lines.get(&((*c).to_string(), first)).copied().unwrap_or(0) as f64;
+            let l1 = study.cumulative_lines.get(&((*c).to_string(), last)).copied().unwrap_or(0) as f64;
+            let p0 = study.cumulative_slash24.get(&((*c).to_string(), first)).copied().unwrap_or(0) as f64;
+            let p1 = study.cumulative_slash24.get(&((*c).to_string(), last)).copied().unwrap_or(0) as f64;
             println!(
                 "{c}\tlines x{:.2}\t/24s x{:.2}",
                 l1 / l0.max(1.0),

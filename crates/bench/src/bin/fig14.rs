@@ -38,13 +38,14 @@ fn main() {
         .rules
         .rules
         .iter()
-        .filter(|r| DeviceGroup::of(&p, r.class) == DeviceGroup::Other)
+        .filter(|r| DeviceGroup::of(&p, p.rules.class_name(r.class)) == DeviceGroup::Other)
         .map(|r| {
+            let class = p.rules.class_name(r.class);
             let counts: Vec<u64> = days
                 .iter()
-                .map(|d| study.daily.get(&(r.class, *d)).copied().unwrap_or(0))
+                .map(|d| study.daily.get(&(class.to_string(), *d)).copied().unwrap_or(0))
                 .collect();
-            (r.class, band(r.class), counts)
+            (class, band(class), counts)
         })
         .collect();
     rows.sort_by(|a, b| b.2[0].cmp(&a.2[0]));

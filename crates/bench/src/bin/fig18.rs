@@ -22,18 +22,18 @@ fn main() {
         println!(
             "{h}\t{}\t{}",
             study.group_hourly.get(&(DeviceGroup::Alexa, *h)).copied().unwrap_or(0),
-            study.active_hourly.get(&("Alexa Enabled", *h)).copied().unwrap_or(0),
+            study.active_hourly.get(&("Alexa Enabled".to_string(), *h)).copied().unwrap_or(0),
         );
     }
 
     let peak_hour = hours
         .iter()
-        .max_by_key(|h| study.active_hourly.get(&("Alexa Enabled", **h)).copied().unwrap_or(0));
+        .max_by_key(|h| study.active_hourly.get(&("Alexa Enabled".to_string(), **h)).copied().unwrap_or(0));
     if let Some(h) = peak_hour {
-        let peak = study.active_hourly.get(&("Alexa Enabled", *h)).copied().unwrap_or(0);
+        let peak = study.active_hourly.get(&("Alexa Enabled".to_string(), *h)).copied().unwrap_or(0);
         let night = study
             .active_hourly
-            .get(&("Alexa Enabled", (h / 24) * 24 + 3))
+            .get(&("Alexa Enabled".to_string(), (h / 24) * 24 + 3))
             .copied()
             .unwrap_or(0);
         println!(

@@ -40,7 +40,7 @@ fn main() {
 
     println!("\n# undetectable classes (pipeline-derived, §4.2.3):");
     for (class, reason) in &p.rules.undetectable {
-        println!("excluded\t{class}\t{reason:?}");
+        println!("excluded\t{}\t{reason:?}", p.rules.class_name(*class));
     }
 
     println!("\n# generated rules:");
@@ -49,9 +49,9 @@ fn main() {
         let ips: usize = r.domains.iter().map(|d| d.ips.len()).sum();
         println!(
             "{}\t{:?}\t{}\t{}\t{}",
-            r.class,
+            p.rules.class_name(r.class),
             r.level,
-            r.parent.unwrap_or("-"),
+            r.parent.map(|x| p.rules.class_name(x)).unwrap_or("-"),
             r.domains.len(),
             ips
         );

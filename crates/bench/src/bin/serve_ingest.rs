@@ -82,21 +82,22 @@ fn peak_rss_kb() -> Option<u64> {
 }
 
 /// The serve engine's per-datagram ingest work, minus the daemon shell.
-struct Ingest<'r> {
+struct Ingest {
     collector: Collector,
     pool: DetectorPool,
-    usage: UsageTracker<'r>,
+    usage: UsageTracker,
     staleness: StalenessMonitor,
     anon: Anonymizer,
     records: u64,
     decode_errors: u64,
 }
 
-impl<'r> Ingest<'r> {
-    fn new(p: &'r Pipeline, workers: usize) -> Ingest<'r> {
+impl Ingest {
+    fn new(p: &Pipeline, workers: usize) -> Ingest {
         let hitlist = HitList::whole_window(&p.rules);
         let pool = DetectorPool::new(&p.rules, &hitlist, DetectorConfig::default(), workers);
-        let usage = UsageTracker::new(&p.rules, hitlist.clone(), UsageConfig::default());
+        let usage =
+            UsageTracker::new(std::sync::Arc::clone(&p.rules), hitlist.clone(), UsageConfig::default());
         let staleness = StalenessMonitor::new(hitlist);
         Ingest {
             collector: Collector::new(),

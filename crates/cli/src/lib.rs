@@ -8,7 +8,7 @@
 
 #![forbid(unsafe_code)]
 
-use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
 use haystack_dns::DomainName;
 use haystack_testbed::catalog::DetectionLevel;
 use serde_json::{json, Value};
@@ -42,9 +42,9 @@ pub fn rules_to_json(rules: &RuleSet) -> Value {
     json!({
         "format_version": FORMAT_VERSION,
         "rules": rules.rules.iter().map(|r| json!({
-            "class": r.class,
+            "class": rules.class_name(r.class),
             "level": level_str(r.level),
-            "parent": r.parent,
+            "parent": r.parent.map(|p| rules.class_name(p)),
             "domains": r.domains.iter().map(|d| json!({
                 "name": d.name.as_str(),
                 "ports": d.ports.iter().collect::<Vec<_>>(),
@@ -53,7 +53,7 @@ pub fn rules_to_json(rules: &RuleSet) -> Value {
             })).collect::<Vec<_>>(),
         })).collect::<Vec<_>>(),
         "undetectable": rules.undetectable.iter().map(|(c, r)| json!({
-            "class": c,
+            "class": rules.class_name(*c),
             "reason": format!("{r:?}"),
         })).collect::<Vec<_>>(),
     })
@@ -65,11 +65,8 @@ fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
         .ok_or_else(|| format!("missing string field {key:?}"))
 }
 
-/// Deserialize a rule set.
-///
-/// Class names in the core types are `&'static str` (they normally come
-/// from the compiled catalog); loaded names are interned by leaking — the
-/// rule universe is a few dozen strings for the life of the process.
+/// Deserialize a rule set. Class names are interned into the rule
+/// set's own [`haystack_core::ClassTable`] in document order.
 pub fn rules_from_json(doc: &Value) -> Result<RuleSet, String> {
     let version = doc
         .get("format_version")
@@ -78,15 +75,13 @@ pub fn rules_from_json(doc: &Value) -> Result<RuleSet, String> {
     if version != u64::from(FORMAT_VERSION) {
         return Err(format!("unsupported format version {version}"));
     }
-    let mut out = RuleSet::default();
+    let mut b = RuleSetBuilder::new();
     let rules = doc.get("rules").and_then(Value::as_array).ok_or("missing rules array")?;
     for r in rules {
-        let class: &'static str = Box::leak(str_field(r, "class")?.to_string().into_boxed_str());
+        let class = str_field(r, "class")?;
         let level = level_from(str_field(r, "level")?)?;
         let parent = match r.get("parent") {
-            Some(Value::String(p)) => {
-                Some(&*Box::leak(p.clone().into_boxed_str()) as &'static str)
-            }
+            Some(Value::String(p)) => Some(p.as_str()),
             _ => None,
         };
         let mut domains = Vec::new();
@@ -119,9 +114,9 @@ pub fn rules_from_json(doc: &Value) -> Result<RuleSet, String> {
                 d.get("usage_indicator").and_then(Value::as_bool).unwrap_or(false);
             domains.push(RuleDomain { name, ports, ips, usage_indicator });
         }
-        out.rules.push(DetectionRule { class, level, parent, domains });
+        b.rule(class, level, parent, domains);
     }
-    Ok(out)
+    Ok(b.build())
 }
 
 pub mod log {
@@ -208,35 +203,32 @@ mod tests {
     use super::*;
 
     fn sample() -> RuleSet {
-        RuleSet {
-            rules: vec![
-                DetectionRule {
-                    class: "Alexa Enabled",
-                    level: DetectionLevel::Platform,
-                    parent: None,
-                    domains: vec![RuleDomain {
-                        name: DomainName::parse("avs-alexa.amazon-iot.com").unwrap(),
-                        ports: [443u16].into_iter().collect(),
-                        ips: ["198.18.0.1".parse().unwrap(), "198.18.0.2".parse().unwrap()]
-                            .into_iter()
-                            .collect(),
-                        usage_indicator: false,
-                    }],
-                },
-                DetectionRule {
-                    class: "Amazon Product",
-                    level: DetectionLevel::Manufacturer,
-                    parent: Some("Alexa Enabled"),
-                    domains: vec![RuleDomain {
-                        name: DomainName::parse("d1.amazon-iot.com").unwrap(),
-                        ports: [443u16, 8883].into_iter().collect(),
-                        ips: ["198.18.0.9".parse().unwrap()].into_iter().collect(),
-                        usage_indicator: true,
-                    }],
-                },
-            ],
-            undetectable: vec![],
-        }
+        let mut b = RuleSetBuilder::new();
+        b.rule(
+            "Alexa Enabled",
+            DetectionLevel::Platform,
+            None,
+            vec![RuleDomain {
+                name: DomainName::parse("avs-alexa.amazon-iot.com").unwrap(),
+                ports: [443u16].into_iter().collect(),
+                ips: ["198.18.0.1".parse().unwrap(), "198.18.0.2".parse().unwrap()]
+                    .into_iter()
+                    .collect(),
+                usage_indicator: false,
+            }],
+        );
+        b.rule(
+            "Amazon Product",
+            DetectionLevel::Manufacturer,
+            Some("Alexa Enabled"),
+            vec![RuleDomain {
+                name: DomainName::parse("d1.amazon-iot.com").unwrap(),
+                ports: [443u16, 8883].into_iter().collect(),
+                ips: ["198.18.0.9".parse().unwrap()].into_iter().collect(),
+                usage_indicator: true,
+            }],
+        );
+        b.build()
     }
 
     #[test]
@@ -246,7 +238,7 @@ mod tests {
         let loaded = rules_from_json(&doc).unwrap();
         assert_eq!(loaded.rules.len(), 2);
         for (a, b) in rules.rules.iter().zip(&loaded.rules) {
-            assert_eq!(a.class, b.class);
+            assert_eq!(rules.class_name(a.class), loaded.class_name(b.class));
             assert_eq!(a.level, b.level);
             assert_eq!(a.parent, b.parent);
             assert_eq!(a.domains.len(), b.domains.len());

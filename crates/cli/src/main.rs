@@ -25,6 +25,7 @@ use haystack_cli::{cli_error, note, rules_from_json, rules_to_json};
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
 use haystack_core::mitigation::{block_plan, Action};
+use haystack_core::pack::SignaturePack;
 use haystack_core::parallel::DetectorPool;
 use haystack_core::pipeline::{Pipeline, PipelineConfig};
 use haystack_core::telemetry;
@@ -50,7 +51,7 @@ fn pool_fatal_ck<T>(r: Result<T, haystack_core::CheckpointError>) -> T {
 
 fn usage() -> ! {
     haystack_cli::log::raw_args(format_args!(
-        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack inspect  --rules FILE\n  haystack detect   --rules FILE [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N]\n  haystack serve    --rules FILE [--udp-port N] [--tcp-port N] [--http-port N] [--host IP]\n                    [--workers W] [--threshold T] [--seed N] [--queue-capacity N]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-secs N]\n                    [--ports-file FILE] [--watchdog-ms N] [--watchdog-timeout-ms N] [--chaos]\n  haystack send     --port N [--host IP] [--mode tcp|udp] [--rules FILE] [--lines N]\n                    [--records N] [--packets N] [--seed N] [--source N] [--hour N]\n                    [--malformed N] [--repeat N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
+        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack rules export [--rules FILE] [--threshold T] [--comment TEXT] --out PACK\n  haystack rules show   --pack PACK\n  haystack rules lint   --pack PACK\n  haystack inspect  --rules FILE\n  haystack detect   [--rules FILE|PACK] [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N] [--events FILE]\n  haystack serve    [--rules FILE|PACK] [--udp-port N] [--tcp-port N] [--http-port N] [--host IP]\n                    [--workers W] [--threshold T] [--seed N] [--queue-capacity N]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-secs N]\n                    [--ports-file FILE] [--watchdog-ms N] [--watchdog-timeout-ms N] [--chaos]\n  haystack send     --port N [--host IP] [--mode tcp|udp] [--rules FILE] [--lines N]\n                    [--records N] [--packets N] [--seed N] [--source N] [--hour N]\n                    [--malformed N] [--repeat N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nnotes:\n  --rules accepts a JSON rules file or a binary signature pack (HAYPACK frame);\n  when omitted, the compiled-in default rule set is generated (fast pipeline, seed 42)\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
     ));
     exit(2);
 }
@@ -77,20 +78,57 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     out
 }
 
-fn load_rules(flags: &HashMap<String, String>) -> haystack_core::rules::RuleSet {
-    let path = flags.get("rules").unwrap_or_else(|| usage());
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+/// Provenance string of the compiled-in default rule set — the pack
+/// `haystack rules export` writes when no `--rules` file is given.
+const DEFAULT_PACK_SOURCE: &str = "generate(fast,seed=42)";
+
+/// The compiled-in default rule set: the deterministic fast pipeline at
+/// seed 42. `haystack rules export` (no `--rules`) packs exactly this,
+/// so `detect --rules <that pack>` is byte-identical to `detect` with
+/// no `--rules` at all.
+fn default_rules() -> haystack_core::rules::RuleSet {
+    note!("no --rules: generating the compiled-in default rule set (fast pipeline, seed 42) ...");
+    Pipeline::run(PipelineConfig::fast(42)).rules.as_ref().clone()
+}
+
+/// Load `--rules` from a JSON rules file *or* a binary signature pack
+/// (sniffed by frame magic); absent the flag, generate the compiled-in
+/// default. Returns the pack too when one was loaded, so callers can
+/// pick up its threshold and provenance.
+fn load_rules_full(
+    flags: &HashMap<String, String>,
+) -> (haystack_core::rules::RuleSet, Option<SignaturePack>) {
+    let Some(path) = flags.get("rules") else {
+        return (default_rules(), None);
+    };
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
         cli_error!("cannot read {path}: {e}");
+        exit(1);
+    });
+    if SignaturePack::sniff(&bytes) {
+        let pack = SignaturePack::load(&bytes).unwrap_or_else(|e| {
+            cli_error!("{path}: {e}");
+            exit(1);
+        });
+        return (pack.rules.clone(), Some(pack));
+    }
+    let text = String::from_utf8(bytes).unwrap_or_else(|_| {
+        cli_error!("{path} is neither a signature pack nor UTF-8 JSON");
         exit(1);
     });
     let doc: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
         cli_error!("{path} is not JSON: {e}");
         exit(1);
     });
-    rules_from_json(&doc).unwrap_or_else(|e| {
+    let rules = rules_from_json(&doc).unwrap_or_else(|e| {
         cli_error!("{path}: {e}");
         exit(1);
-    })
+    });
+    (rules, None)
+}
+
+fn load_rules(flags: &HashMap<String, String>) -> haystack_core::rules::RuleSet {
+    load_rules_full(flags).0
 }
 
 fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
@@ -132,15 +170,127 @@ fn cmd_rules(flags: HashMap<String, String>) {
     }
 }
 
+/// `haystack rules export`: seal a rule set (from `--rules`, or the
+/// compiled-in default) as a versioned, checksummed signature pack.
+/// The encoding is deterministic, so exporting the default twice gives
+/// byte-identical packs, and `export → load → export` is a fixpoint.
+fn cmd_rules_export(flags: HashMap<String, String>) {
+    let (rules, loaded) = load_rules_full(&flags);
+    let threshold: f64 = num(
+        &flags,
+        "threshold",
+        loaded.as_ref().map(|p| p.threshold).unwrap_or(0.4),
+    );
+    let source = match &loaded {
+        Some(p) => p.source.clone(),
+        None if flags.contains_key("rules") => "haystack rules export --rules".to_string(),
+        None => DEFAULT_PACK_SOURCE.to_string(),
+    };
+    let comment = flags.get("comment").cloned().unwrap_or_default();
+    let pack = SignaturePack { rules, threshold, source, comment };
+    let defects = pack.lint();
+    if !defects.is_empty() {
+        for d in &defects {
+            cli_error!("lint: {d}");
+        }
+        exit(1);
+    }
+    let bytes = pack.encode();
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    std::fs::write(out, &bytes).unwrap_or_else(|e| {
+        cli_error!("cannot write {out}: {e}");
+        exit(1);
+    });
+    note!(
+        "wrote signature pack v{} ({} classes, {} rules, {} undetectable, {} bytes) to {out}",
+        SignaturePack::VERSION,
+        pack.rules.classes.len(),
+        pack.rules.rules.len(),
+        pack.rules.undetectable.len(),
+        bytes.len()
+    );
+}
+
+/// Read `--pack`, tolerating semantic defects (lint reports them) but
+/// not codec-level corruption.
+fn read_pack(flags: &HashMap<String, String>) -> (String, SignaturePack) {
+    let path = flags.get("pack").unwrap_or_else(|| usage());
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        cli_error!("cannot read {path}: {e}");
+        exit(1);
+    });
+    let pack = SignaturePack::decode(&bytes).unwrap_or_else(|e| {
+        cli_error!("{path}: signature pack unreadable: {e}");
+        exit(1);
+    });
+    (path.clone(), pack)
+}
+
+/// `haystack rules show`: human-readable pack summary (provenance plus
+/// the `inspect` table), with lint defects appended if any.
+fn cmd_rules_show(flags: HashMap<String, String>) {
+    let (_, pack) = read_pack(&flags);
+    println!("format\tHAYPACK v{}", SignaturePack::VERSION);
+    println!("threshold\t{}", pack.threshold);
+    println!("source\t{}", pack.source);
+    println!("comment\t{}", pack.comment);
+    println!("classes\t{}", pack.rules.classes.len());
+    println!();
+    println!("class\tlevel\tparent\tdomains\tservice_ips\tusage_indicators");
+    let rules = &pack.rules;
+    for r in &rules.rules {
+        println!(
+            "{}\t{:?}\t{}\t{}\t{}\t{}",
+            rules.class_name(r.class),
+            r.level,
+            r.parent.map(|p| rules.class_name(p)).unwrap_or("-"),
+            r.domains.len(),
+            r.domains.iter().map(|d| d.ips.len()).sum::<usize>(),
+            r.domains.iter().filter(|d| d.usage_indicator).count(),
+        );
+    }
+    for (class, reason) in &rules.undetectable {
+        println!("{}\tundetectable\t{reason:?}\t-\t-\t-", rules.class_name(*class));
+    }
+    let defects = pack.lint();
+    if !defects.is_empty() {
+        println!();
+        for d in &defects {
+            println!("lint\t{d}");
+        }
+    }
+}
+
+/// `haystack rules lint`: exit 0 on a clean pack, exit 1 with one line
+/// per defect (naming the offending class/domain/field) otherwise.
+fn cmd_rules_lint(flags: HashMap<String, String>) {
+    let (path, pack) = read_pack(&flags);
+    let defects = pack.lint();
+    if defects.is_empty() {
+        println!(
+            "ok: {} classes, {} rules, {} undetectable, threshold {}",
+            pack.rules.classes.len(),
+            pack.rules.rules.len(),
+            pack.rules.undetectable.len(),
+            pack.threshold
+        );
+        return;
+    }
+    for d in &defects {
+        println!("{path}: {d}");
+    }
+    exit(1);
+}
+
 fn cmd_inspect(flags: HashMap<String, String>) {
     let rules = load_rules(&flags);
     println!("class\tlevel\tparent\tdomains\tservice_ips\tusage_indicators");
     for r in &rules.rules {
         println!(
             "{}\t{:?}\t{}\t{}\t{}\t{}",
-            r.class,
+            rules.class_name(r.class),
             r.level,
-            r.parent.unwrap_or("-"),
+            r.parent.map(|p| rules.class_name(p)).unwrap_or("-"),
             r.domains.len(),
             r.domains.iter().map(|d| d.ips.len()).sum::<usize>(),
             r.domains.iter().filter(|d| d.usage_indicator).count(),
@@ -158,7 +308,7 @@ fn pool_fatal<T>(r: Result<T, haystack_core::PoolError>) -> T {
 }
 
 fn cmd_detect(flags: HashMap<String, String>) {
-    let rules = load_rules(&flags);
+    let (rules, pack) = load_rules_full(&flags);
     let ckpt_dir = flags.get("checkpoint-dir").map(|d| {
         pool_fatal_ck(CheckpointDir::open(d))
     });
@@ -221,7 +371,13 @@ fn cmd_detect(flags: HashMap<String, String>) {
             (
                 num(&flags, "lines", 20_000),
                 num(&flags, "days", 1),
-                num(&flags, "threshold", 0.4),
+                // A loaded pack carries the threshold `D` it was
+                // generated for; an explicit --threshold still wins.
+                num(
+                    &flags,
+                    "threshold",
+                    pack.as_ref().map(|p| p.threshold).unwrap_or(0.4),
+                ),
                 num(&flags, "seed", 42),
                 workers,
                 DEFAULT_CHUNK_RECORDS,
@@ -281,6 +437,43 @@ fn cmd_detect(flags: HashMap<String, String>) {
             emitted.push(header);
         }
     }
+
+    // `--events FILE`: the NDJSON detection-event stream, derived from
+    // shard states at each day boundary (evidence resets there). Fresh
+    // runs truncate. Resumed runs rewrite the file keeping only the
+    // days the watermark proves complete, then append — a crash can
+    // land between a day's event append and its day-roll checkpoint,
+    // and re-deriving that day on resume must not duplicate it.
+    let mut events_file = flags.get("events").map(|path| {
+        use std::io::Write;
+        let kept: String = if loaded.is_some() {
+            std::fs::read_to_string(path)
+                .unwrap_or_default()
+                .lines()
+                .filter(|l| {
+                    l.strip_prefix("{\"day\":")
+                        .and_then(|rest| rest.split(',').next())
+                        .and_then(|n| n.parse::<u32>().ok())
+                        .is_some_and(|d| d < wm.day)
+                })
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                })
+        } else {
+            String::new()
+        };
+        let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+            cli_error!("cannot open {path}: {e}");
+            exit(1);
+        });
+        f.write_all(kept.as_bytes()).unwrap_or_else(|e| {
+            cli_error!("events write failed: {e}");
+            exit(1);
+        });
+        f
+    });
 
     let save = |pool: &mut DetectorPool,
                 wm: Watermark,
@@ -360,10 +553,22 @@ fn cmd_detect(flags: HashMap<String, String>) {
         pool_fatal(pool.finish());
         note!("day {day}: {records_this_day} records streamed through {workers} workers");
         for rule in &rules.rules {
-            let n = pool_fatal(pool.detected_lines(rule.class)).len();
-            let row = format!("{day}\t{}\t{n}", rule.class);
+            let name = rules.class_name(rule.class);
+            let n = pool_fatal(pool.detected_lines(name)).len();
+            let row = format!("{day}\t{name}\t{n}");
             println!("{row}");
             emitted.push(row);
+        }
+        if let Some(f) = &mut events_file {
+            use std::io::Write;
+            let states = pool_fatal(pool.shard_states());
+            for e in &haystack_core::events::events_from_states(&rules, &states) {
+                let line = haystack_core::events::ndjson_line(&rules, e, Some(day));
+                writeln!(f, "{line}").unwrap_or_else(|e| {
+                    cli_error!("events write failed: {e}");
+                    exit(1);
+                });
+            }
         }
         // Evidence resets at the day boundary; the day-roll checkpoint
         // captures the post-reset state so a resume lands exactly here.
@@ -467,7 +672,11 @@ fn cmd_replay(flags: HashMap<String, String>) {
     note!("{} packets replayed, {kept} sampled (1/{sampling})", packets.len());
     println!("class\tdetected");
     for (ri, rule) in rules.rules.iter().enumerate() {
-        println!("{}\t{}", rule.class, det.is_detected_rule(line, ri as u16));
+        println!(
+            "{}\t{}",
+            rules.class_name(rule.class),
+            det.is_detected_rule(line, ri as u16)
+        );
     }
 }
 
@@ -682,6 +891,22 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
+    // `rules` grew subcommands; a bare `haystack rules` still runs the
+    // legacy JSON generator.
+    if cmd == "rules" {
+        if let Some((sub, sub_rest)) = rest.split_first() {
+            if !sub.starts_with("--") {
+                let flags = parse_flags(sub_rest);
+                haystack_cli::log::set_quiet(flags.contains_key("quiet"));
+                return match sub.as_str() {
+                    "export" => cmd_rules_export(flags),
+                    "show" => cmd_rules_show(flags),
+                    "lint" => cmd_rules_lint(flags),
+                    _ => usage(),
+                };
+            }
+        }
+    }
     let flags = parse_flags(rest);
     haystack_cli::log::set_quiet(flags.contains_key("quiet"));
     match cmd.as_str() {

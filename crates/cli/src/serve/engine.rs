@@ -19,7 +19,9 @@ use bytes::Bytes;
 use haystack_cli::note;
 use haystack_core::checkpoint::CheckpointDir;
 use haystack_core::detector::DetectorConfig;
+use haystack_core::events::{events_from_states, ndjson_line};
 use haystack_core::hitlist::HitList;
+use haystack_core::pack::{self, SignaturePack};
 use haystack_core::parallel::{DetectorPool, ShardHealth, DEFAULT_REPLAY_LIMIT};
 use haystack_core::rules::RuleSet;
 use haystack_core::staleness::StalenessMonitor;
@@ -63,6 +65,14 @@ pub enum Query {
     Staleness,
     /// Per-source health and shed attribution.
     Sources,
+    /// The NDJSON detection-event stream, derived from shard states.
+    Events,
+    /// Load a signature pack from a daemon-side path and swap it in
+    /// live (checkpoint-first, evidence migrated by class name).
+    ReloadRules {
+        /// Filesystem path of the pack, as seen by the daemon.
+        path: String,
+    },
     /// Write a checkpoint generation now.
     CheckpointNow,
     /// Chaos: panic one shard (healed by supervision).
@@ -94,21 +104,27 @@ pub struct CtlRequest {
     pub reply: Sender<CtlReply>,
 }
 
-/// The engine's answer: an HTTP status and a JSON body.
+/// The engine's answer: an HTTP status, a content type, and a body.
 #[derive(Debug)]
 pub struct CtlReply {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body (always an object).
+    /// `application/json` everywhere except `/events` (NDJSON).
+    pub content_type: &'static str,
+    /// Response body (a JSON object, or NDJSON lines for `/events`).
     pub body: String,
 }
 
 fn ok(body: String) -> CtlReply {
-    CtlReply { status: 200, body }
+    CtlReply { status: 200, content_type: "application/json", body }
 }
 
 fn err(status: u16, msg: &str) -> CtlReply {
-    CtlReply { status, body: format!("{{\"error\":{msg:?}}}") }
+    CtlReply {
+        status,
+        content_type: "application/json",
+        body: format!("{{\"error\":{msg:?}}}"),
+    }
 }
 
 /// Fixed configuration the engine runs under.
@@ -133,11 +149,15 @@ pub struct EngineConfig {
 
 /// The engine state — see the module docs.
 pub struct Engine {
-    rules: &'static RuleSet,
+    rules: Arc<RuleSet>,
+    /// Canonical encoded pack of `rules`, checkpointed so `--resume`
+    /// comes back with the rules that were *live* (possibly reloaded),
+    /// not the ones the daemon was started with.
+    pack_bytes: Vec<u8>,
     config: EngineConfig,
     collector: Collector,
     pool: DetectorPool,
-    usage: UsageTracker<'static>,
+    usage: UsageTracker,
     staleness: StalenessMonitor,
     anon: Anonymizer,
     stats: Arc<AdmissionStats>,
@@ -154,26 +174,29 @@ pub struct Engine {
 
 impl Engine {
     /// Build a fresh engine (no checkpoint), with supervision enabled.
+    /// `pack_bytes` is the canonical encoded signature pack of `rules`.
     pub fn new(
-        rules: &'static RuleSet,
+        rules: Arc<RuleSet>,
+        pack_bytes: Vec<u8>,
         config: EngineConfig,
         stats: Arc<AdmissionStats>,
     ) -> Result<Engine, String> {
-        let hitlist = HitList::whole_window(rules);
+        let hitlist = HitList::whole_window(&rules);
         let mut pool = DetectorPool::new(
-            rules,
+            &rules,
             &hitlist,
             DetectorConfig { threshold: config.threshold, require_established: false },
             config.workers,
         );
         pool.enable_supervision(DEFAULT_REPLAY_LIMIT).map_err(|e| e.to_string())?;
         pool.attach_telemetry(&telemetry::Scope::named("pool")).map_err(|e| e.to_string())?;
-        let usage = UsageTracker::new(rules, hitlist.clone(), UsageConfig::default());
+        let usage = UsageTracker::new(Arc::clone(&rules), hitlist.clone(), UsageConfig::default());
         let staleness = StalenessMonitor::new(hitlist);
         let anon = Anonymizer::new(config.seed, config.seed ^ 0x9E37_79B9_7F4A_7C15);
         let workers = config.workers;
         Ok(Engine {
             rules,
+            pack_bytes,
             config,
             collector: Collector::new(),
             pool,
@@ -194,14 +217,16 @@ impl Engine {
     }
 
     /// Restore a restarted engine from a serve checkpoint. The caller
-    /// has already validated that `config.workers` matches.
+    /// has already validated that `config.workers` matches and decoded
+    /// `rules` from the checkpointed pack.
     pub fn restore(
-        rules: &'static RuleSet,
+        rules: Arc<RuleSet>,
+        pack_bytes: Vec<u8>,
         config: EngineConfig,
         stats: Arc<AdmissionStats>,
         ck: &ServeCheckpoint,
     ) -> Result<Engine, String> {
-        let mut engine = Engine::new(rules, config, stats)?;
+        let mut engine = Engine::new(rules, pack_bytes, config, stats)?;
         engine.collector = Collector::restore(&ck.collector)
             .map_err(|e| format!("collector snapshot: {e}"))?;
         engine.pool.restore_shard_states(&ck.shards).map_err(|e| e.to_string())?;
@@ -367,6 +392,7 @@ impl Engine {
             shards,
             usage: self.usage.export_state(),
             staleness: self.staleness.export_state(),
+            pack: self.pack_bytes.clone(),
         };
         let dir = self.config.ckpt.as_ref().ok_or("no --checkpoint-dir")?;
         dir.write(ServeCheckpoint::PREFIX, &ck.encode()).map_err(|e| e.to_string())
@@ -380,6 +406,8 @@ impl Engine {
             Query::Usage { class } => self.usage_body(class.as_deref()),
             Query::Staleness => self.staleness_body(),
             Query::Sources => self.sources_body(),
+            Query::Events => self.events_body(),
+            Query::ReloadRules { path } => self.reload_rules(&path),
             Query::CheckpointNow => match self.write_checkpoint() {
                 Ok(generation) => ok(format!("{{\"generation\":{generation}}}")),
                 Err(e) => err(409, &e),
@@ -393,15 +421,16 @@ impl Engine {
     }
 
     /// Classes the query applies to, or `None` for an unknown class.
-    fn class_filter(&self, class: Option<&str>) -> Option<Vec<&'static str>> {
+    fn class_filter(&self, class: Option<&str>) -> Option<Vec<String>> {
         match class {
-            None => Some(self.rules.rules.iter().map(|r| r.class).collect()),
-            Some(c) => self
-                .rules
-                .rules
-                .iter()
-                .find(|r| r.class == c)
-                .map(|r| vec![r.class]),
+            None => Some(
+                self.rules
+                    .rules
+                    .iter()
+                    .map(|r| self.rules.class_name(r.class).to_string())
+                    .collect(),
+            ),
+            Some(c) => self.rules.rule_index(c).map(|_| vec![c.to_string()]),
         }
     }
 
@@ -447,7 +476,7 @@ impl Engine {
         }
         let mut parts = Vec::with_capacity(classes.len());
         for c in classes {
-            let mut lines = match self.pool.detected_lines(c) {
+            let mut lines = match self.pool.detected_lines(&c) {
                 Ok(l) => l,
                 Err(e) => return err(500, &e.to_string()),
             };
@@ -467,19 +496,24 @@ impl Engine {
             return err(500, &e.to_string());
         }
         let line = haystack_net::AnonId(id);
-        let mut parts = Vec::with_capacity(self.rules.rules.len());
-        for rule in &self.rules.rules {
-            let detected = match self.pool.is_detected(line, rule.class) {
+        let names: Vec<String> = self
+            .rules
+            .rules
+            .iter()
+            .map(|r| self.rules.class_name(r.class).to_string())
+            .collect();
+        let mut parts = Vec::with_capacity(names.len());
+        for name in &names {
+            let detected = match self.pool.is_detected(line, name) {
                 Ok(d) => d,
                 Err(e) => return err(500, &e.to_string()),
             };
-            let confidence = match self.pool.confidence(line, rule.class) {
+            let confidence = match self.pool.confidence(line, name) {
                 Ok(c) => c,
                 Err(e) => return err(500, &e.to_string()),
             };
             parts.push(format!(
-                "{{\"class\":{:?},\"detected\":{detected},\"confidence\":{confidence}}}",
-                rule.class
+                "{{\"class\":{name:?},\"detected\":{detected},\"confidence\":{confidence}}}"
             ));
         }
         ok(format!("{{\"line\":{id},\"classes\":[{}]}}", parts.join(",")))
@@ -491,7 +525,7 @@ impl Engine {
         };
         let mut parts = Vec::with_capacity(classes.len());
         for c in classes {
-            let active = self.usage.active_lines(c);
+            let active = self.usage.active_lines(&c);
             let ids: Vec<String> = active.iter().map(|l| l.0.to_string()).collect();
             parts.push(format!(
                 "{{\"class\":{c:?},\"count\":{},\"active\":[{}]}}",
@@ -548,6 +582,70 @@ impl Engine {
             }
         }
         ok(format!("{{\"sources\":[{}]}}", parts.join(",")))
+    }
+
+    /// The NDJSON detection-event stream: one line per (line, rule)
+    /// transition into *detected*, derived from exported shard states
+    /// (the hot path pays nothing). Byte-determinate: events sort by
+    /// (hour, rule, line) regardless of shard count or order.
+    fn events_body(&mut self) -> CtlReply {
+        let states = match self.pool.shard_states() {
+            Ok(s) => s,
+            Err(e) => return err(500, &e.to_string()),
+        };
+        let events = events_from_states(&self.rules, &states);
+        let mut body = String::with_capacity(events.len() * 96);
+        for e in &events {
+            body.push_str(&ndjson_line(&self.rules, e, None));
+            body.push('\n');
+        }
+        CtlReply { status: 200, content_type: "application/x-ndjson", body }
+    }
+
+    /// Swap in a signature pack mid-stream. Checkpoint-first: the pool
+    /// exports every shard's evidence under supervision, migrates it to
+    /// the new rule set by class name (identical rules keep their
+    /// evidence verbatim), and ships the new rules + migrated state to
+    /// each worker; usage windows and staleness baselines are rekeyed
+    /// the same way. A defective or unreadable pack changes nothing.
+    fn reload_rules(&mut self, path: &str) -> CtlReply {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => return err(400, &format!("cannot read {path}: {e}")),
+        };
+        let loaded = match SignaturePack::load(&bytes) {
+            Ok(p) => p,
+            Err(e) => return err(400, &e.to_string()),
+        };
+        let new_rules = Arc::new(loaded.rules.clone());
+        let hitlist = HitList::whole_window(&new_rules);
+        if let Err(e) = self.pool.set_rules(&loaded.rules, &hitlist) {
+            return err(500, &e.to_string());
+        }
+        let usage_state =
+            pack::migrate_usage_state(&self.rules, &new_rules, &self.usage.export_state());
+        self.usage.set_rules(Arc::clone(&new_rules), hitlist.clone());
+        if let Err(e) = self.usage.restore_state(&usage_state) {
+            return err(500, &format!("usage migration: {e}"));
+        }
+        let staleness_state =
+            pack::migrate_staleness_state(&self.rules, &new_rules, &self.staleness.export_state());
+        self.staleness = StalenessMonitor::new(hitlist);
+        self.staleness.restore_state(&staleness_state);
+        self.rules = new_rules;
+        self.pack_bytes = loaded.encode();
+        note!(
+            "serve: reloaded signature pack from {path} ({} classes, {} rules)",
+            self.rules.classes.len(),
+            self.rules.rules.len()
+        );
+        ok(format!(
+            "{{\"reloaded\":true,\"classes\":{},\"rules\":{},\"undetectable\":{},\"pack_bytes\":{}}}",
+            self.rules.classes.len(),
+            self.rules.rules.len(),
+            self.rules.undetectable.len(),
+            self.pack_bytes.len()
+        ))
     }
 
     fn chaos_panic(&mut self, shard: usize) -> CtlReply {

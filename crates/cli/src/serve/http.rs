@@ -10,10 +10,11 @@
 //!   telemetry registry). Answered directly on the HTTP thread; they
 //!   must work even when the engine is busy or draining.
 //! * **queries** — `/stats`, `/detections`, `/line`, `/usage`,
-//!   `/staleness`, `/sources`: forwarded to the engine over the control
-//!   channel and answered between ingest chunks, so they always see
-//!   consistent state.
-//! * **admin** — `POST /admin/checkpoint`, `POST /admin/drain`, and
+//!   `/staleness`, `/sources`, `/events` (NDJSON): forwarded to the
+//!   engine over the control channel and answered between ingest
+//!   chunks, so they always see consistent state.
+//! * **admin** — `POST /admin/checkpoint`, `POST /admin/drain`,
+//!   `POST /admin/reload-rules?path=…` (live signature-pack swap), and
 //!   (only with `--chaos`) `POST /admin/panic` / `POST /admin/stall`.
 //!
 //! Requests race the drain: once the shutdown flag is set the accept
@@ -200,7 +201,12 @@ fn route(
         ("GET", "/usage") => ask(ctl, Query::Usage { class: param(query, "class") }),
         ("GET", "/staleness") => ask(ctl, Query::Staleness),
         ("GET", "/sources") => ask(ctl, Query::Sources),
+        ("GET", "/events") => ask(ctl, Query::Events),
         ("POST", "/admin/checkpoint") => ask(ctl, Query::CheckpointNow),
+        ("POST", "/admin/reload-rules") => match param(query, "path") {
+            Some(path) => ask(ctl, Query::ReloadRules { path }),
+            None => bad("reload-rules needs ?path=/abs/pack.hsp"),
+        },
         ("POST", "/admin/drain") => {
             crate::sig::request_shutdown();
             (200, "application/json", "{\"draining\":true}".into())
@@ -238,8 +244,9 @@ fn route(
         (
             _,
             "/healthz" | "/readyz" | "/metrics" | "/stats" | "/detections" | "/line"
-            | "/usage" | "/staleness" | "/sources" | "/admin/checkpoint" | "/admin/drain"
-            | "/admin/panic" | "/admin/stall" | "/admin/slow",
+            | "/usage" | "/staleness" | "/sources" | "/events" | "/admin/checkpoint"
+            | "/admin/drain" | "/admin/reload-rules" | "/admin/panic" | "/admin/stall"
+            | "/admin/slow",
         ) => (405, "application/json", "{\"error\":\"method not allowed\"}".into()),
         _ => (404, "application/json", "{\"error\":\"no such endpoint\"}".into()),
     }
@@ -260,7 +267,7 @@ fn ask(ctl: &Sender<CtlRequest>, query: Query) -> Routed {
         return (503, "application/json", "{\"error\":\"engine gone\"}".into());
     }
     match rx.recv_timeout(ENGINE_TIMEOUT) {
-        Ok(CtlReply { status, body }) => (status, "application/json", body),
+        Ok(CtlReply { status, content_type, body }) => (status, content_type, body),
         Err(_) => (503, "application/json", "{\"error\":\"engine busy\"}".into()),
     }
 }

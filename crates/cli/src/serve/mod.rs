@@ -33,6 +33,8 @@ use engine::{Engine, EngineConfig};
 use haystack_cli::resume::{load_validated, ResumeError};
 use haystack_cli::{cli_error, note};
 use haystack_core::checkpoint::CheckpointDir;
+use haystack_core::pack::SignaturePack;
+use haystack_core::rules::RuleSet;
 use haystack_core::telemetry;
 use haystack_flow::listener::{spawn_tcp_listener, spawn_udp_listener, AdmissionQueue};
 use state::ServeCheckpoint;
@@ -41,6 +43,7 @@ use std::net::{Ipv4Addr, TcpListener, UdpSocket};
 use std::process::exit;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::channel;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn fatal<T, E: std::fmt::Display>(what: &str, r: Result<T, E>) -> T {
@@ -84,8 +87,7 @@ pub fn cmd_serve(flags: HashMap<String, String>) {
     telemetry::set_enabled(true);
     crate::sig::install();
 
-    let rules: &'static haystack_core::rules::RuleSet =
-        Box::leak(Box::new(crate::load_rules(&flags)));
+    let (file_rules, file_pack) = crate::load_rules_full(&flags);
 
     let ckpt_dir = flags
         .get("checkpoint-dir")
@@ -136,6 +138,34 @@ pub fn cmd_serve(flags: HashMap<String, String>) {
         cli_error!("--workers must be at least 1");
         exit(2);
     }
+
+    // A resumed daemon runs the rules it checkpointed (a pack reloaded
+    // via `/admin/reload-rules` survives the restart); a fresh daemon
+    // wraps its `--rules` file into a canonical pack frame.
+    let (rules, pack_bytes): (Arc<RuleSet>, Vec<u8>) = match &loaded {
+        Some((generation, ck)) => {
+            let pack = SignaturePack::load(&ck.pack).unwrap_or_else(|e| {
+                cli_error!("resume: checkpoint generation {generation} pack: {e}");
+                exit(1);
+            });
+            let bytes = pack.encode();
+            (Arc::new(pack.rules), bytes)
+        }
+        None => {
+            let pack = match file_pack {
+                Some(p) => p,
+                None => SignaturePack {
+                    rules: file_rules.clone(),
+                    threshold,
+                    source: "haystack serve --rules".into(),
+                    comment: String::new(),
+                },
+            };
+            let bytes = pack.encode();
+            (Arc::new(pack.rules), bytes)
+        }
+    };
+
     let queue_capacity: usize = crate::num(&flags, "queue-capacity", 1_024);
     if queue_capacity == 0 {
         cli_error!("--queue-capacity must be at least 1");
@@ -187,10 +217,11 @@ pub fn cmd_serve(flags: HashMap<String, String>) {
 
     let (queue, data_rx, stats) = AdmissionQueue::bounded(queue_capacity);
     let engine = match &loaded {
-        Some((_, ck)) => {
-            fatal("restore", Engine::restore(rules, config, stats.clone(), ck))
-        }
-        None => fatal("engine", Engine::new(rules, config, stats.clone())),
+        Some((_, ck)) => fatal(
+            "restore",
+            Engine::restore(rules, pack_bytes, config, stats.clone(), ck),
+        ),
+        None => fatal("engine", Engine::new(rules, pack_bytes, config, stats.clone())),
     };
 
     let shutdown = engine::new_shutdown_flag();

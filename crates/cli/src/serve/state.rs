@@ -36,13 +36,18 @@ pub struct ServeCheckpoint {
     pub usage: UsageState,
     /// The staleness monitor's day counts and decayed baselines.
     pub staleness: StalenessState,
+    /// The live rules as a canonical signature-pack frame — a reloaded
+    /// pack must survive `--resume`, so the daemon persists the rules
+    /// it is actually running, not the path it was started with.
+    pub pack: Vec<u8>,
 }
 
 impl ServeCheckpoint {
     /// Frame magic of a serve checkpoint.
     pub const MAGIC: &'static [u8; MAGIC_LEN] = b"HAYSRVC\0";
-    /// Snapshot format version this build writes and reads.
-    pub const VERSION: u32 = 1;
+    /// Snapshot format version this build writes and reads (v2 added
+    /// the signature-pack frame).
+    pub const VERSION: u32 = 2;
     /// File prefix inside the checkpoint directory.
     pub const PREFIX: &'static str = "serve";
 
@@ -62,6 +67,7 @@ impl ServeCheckpoint {
         }
         w.put_bytes(&self.usage.encode());
         w.put_bytes(&self.staleness.encode());
+        w.put_bytes(&self.pack);
         seal(Self::MAGIC, Self::VERSION, &w.into_bytes())
     }
 
@@ -83,6 +89,7 @@ impl ServeCheckpoint {
         }
         let usage = UsageState::decode(r.bytes()?)?;
         let staleness = StalenessState::decode(r.bytes()?)?;
+        let pack = r.bytes()?.to_vec();
         if r.remaining() != 0 {
             return Err(SnapError::Malformed("trailing bytes"));
         }
@@ -97,6 +104,7 @@ impl ServeCheckpoint {
             shards,
             usage,
             staleness,
+            pack,
         })
     }
 }
@@ -135,6 +143,7 @@ mod tests {
                 baseline: vec![((0, 0), 1.0 / 7.0)],
                 days_seen: 2,
             },
+            pack: b"HAYPACK\0stand-in pack frame".to_vec(),
         }
     }
 

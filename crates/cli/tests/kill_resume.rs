@@ -141,6 +141,57 @@ fn sigkill_then_resume_is_byte_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn events_stream_survives_sigkill_and_resume_byte_identical() {
+    // Reference: the NDJSON event stream of an uninterrupted run.
+    let clean_path = scratch("events-clean").join("clean.ndjson");
+    run_to_string(&mut detect_cmd(&["--events", clean_path.to_str().unwrap()]));
+    let want = std::fs::read_to_string(&clean_path).unwrap();
+    assert!(!want.is_empty(), "clean run emitted no events");
+
+    // Crash a checkpointed run writing the same stream, then resume it
+    // against the same file — the result must be byte-identical, with
+    // no day lost and no day duplicated.
+    let dir = scratch("events-ckpt");
+    let events = scratch("events-out").join("events.ndjson");
+    let mut child = detect_cmd(&[
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--events",
+        events.to_str().unwrap(),
+    ])
+    .stdout(Stdio::null())
+    .stderr(Stdio::null())
+    .spawn()
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if ckpt_files(&dir).len() >= 2 {
+            child.kill().unwrap();
+            break;
+        }
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no checkpoints appeared in 120 s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let _ = child.wait();
+
+    run_to_string(&mut detect_cmd(&[
+        "--checkpoint-dir",
+        dir.to_str().unwrap(),
+        "--resume",
+        "--events",
+        events.to_str().unwrap(),
+    ]));
+    assert_eq!(
+        std::fs::read_to_string(&events).unwrap(),
+        want,
+        "event stream diverges after SIGKILL + resume"
+    );
+}
+
 /// Run a command expecting failure; return its stderr.
 fn run_to_failure(cmd: &mut Command) -> String {
     let out = cmd.output().unwrap();

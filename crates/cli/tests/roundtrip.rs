@@ -19,9 +19,12 @@ fn real_rules_survive_json_and_detect_identically() {
 
     assert_eq!(loaded.rules.len(), p.rules.rules.len());
     for (a, b) in p.rules.rules.iter().zip(&loaded.rules) {
-        assert_eq!(a.class, b.class);
+        assert_eq!(p.rules.class_name(a.class), loaded.class_name(b.class));
         assert_eq!(a.level, b.level);
-        assert_eq!(a.parent, b.parent);
+        assert_eq!(
+            a.parent.map(|x| p.rules.class_name(x)),
+            b.parent.map(|x| loaded.class_name(x))
+        );
         assert_eq!(a.domains.len(), b.domains.len());
         for (da, db) in a.domains.iter().zip(&b.domains) {
             assert_eq!(da.name, db.name);
@@ -58,11 +61,11 @@ fn real_rules_survive_json_and_detect_identically() {
         from_json.observe(line, ip, port, Proto::Tcp, true, HourBin(0));
     }
     for rule in &p.rules.rules {
+        let class = p.rules.class_name(rule.class);
         assert_eq!(
-            orig.is_detected(line, rule.class),
-            from_json.is_detected(line, rule.class),
-            "verdict diverged for {}",
-            rule.class
+            orig.is_detected(line, class),
+            from_json.is_detected(line, class),
+            "verdict diverged for {class}"
         );
     }
 }

@@ -12,7 +12,9 @@
 //!   interrupted.
 
 use haystack_cli::rules_to_json;
+use haystack_core::pack::SignaturePack;
 use haystack_core::pipeline::{Pipeline, PipelineConfig};
+use haystack_core::rules::{RuleSet, RuleSetBuilder};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
@@ -29,13 +31,18 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
+/// The pipeline every daemon in this binary runs, built once.
+fn pipeline() -> &'static Pipeline {
+    static P: OnceLock<Pipeline> = OnceLock::new();
+    P.get_or_init(|| Pipeline::run(PipelineConfig::fast(7)))
+}
+
 /// Rules JSON on disk, generated once for the whole test binary.
 fn rules_file() -> &'static Path {
     static FILE: OnceLock<PathBuf> = OnceLock::new();
     FILE.get_or_init(|| {
-        let p = Pipeline::run(PipelineConfig::fast(7));
         let path = scratch("rules").join("rules.json");
-        let text = serde_json::to_string(&rules_to_json(&p.rules)).unwrap();
+        let text = serde_json::to_string(&rules_to_json(&pipeline().rules)).unwrap();
         std::fs::write(&path, text).unwrap();
         path
     })
@@ -52,11 +59,17 @@ struct Daemon {
 impl Daemon {
     /// Start `haystack serve` and wait for its ports file.
     fn start(tag: &str, ckpt: &Path, extra: &[&str]) -> Daemon {
+        Daemon::start_with_rules(tag, ckpt, extra, rules_file())
+    }
+
+    /// Like [`Daemon::start`], with an explicit rules file (JSON or a
+    /// signature pack).
+    fn start_with_rules(tag: &str, ckpt: &Path, extra: &[&str], rules: &Path) -> Daemon {
         let ports_file = scratch(tag).join("ports.json");
         let child = Command::new(BIN)
             .args(["serve", "--workers", "3", "--seed", "11"])
             .arg("--rules")
-            .arg(rules_file())
+            .arg(rules)
             .args(["--checkpoint-dir", ckpt.to_str().unwrap()])
             .args(["--ports-file", ports_file.to_str().unwrap()])
             .args(extra)
@@ -330,4 +343,130 @@ fn sigterm_restart_answers_queries_byte_identical_to_an_uninterrupted_run() {
     for ((t, want), (_, got)) in want.iter().zip(got.iter()) {
         assert_eq!(got, want, "{t} diverges after SIGTERM + resume restart");
     }
+}
+
+/// Seal the pipeline's rule set minus one class into a pack file.
+fn pack_without(dir: &Path, name: &str, drop: &str) -> PathBuf {
+    let rules = &pipeline().rules;
+    let mut b = RuleSetBuilder::new();
+    for r in &rules.rules {
+        let class = rules.class_name(r.class);
+        if class == drop {
+            continue;
+        }
+        let parent = r.parent.map(|p| rules.class_name(p)).filter(|p| *p != drop);
+        b.rule(class, r.level, parent, r.domains.clone());
+    }
+    let pack = SignaturePack {
+        rules: b.build(),
+        threshold: 0.4,
+        source: format!("serve_daemon e2e, minus {drop}"),
+        comment: String::new(),
+    };
+    let path = dir.join(name);
+    std::fs::write(&path, pack.encode()).unwrap();
+    path
+}
+
+/// Classes no other rule claims as parent — safe to drop from a pack
+/// without dangling the hierarchy.
+fn leaf_classes(rules: &RuleSet) -> Vec<&str> {
+    rules
+        .rules
+        .iter()
+        .filter(|r| !rules.rules.iter().any(|o| o.parent == Some(r.class)))
+        .map(|r| rules.class_name(r.class))
+        // "Alexa Enabled" stays: `query_snapshot` filters on it by name.
+        .filter(|c| *c != "Alexa Enabled")
+        .collect()
+}
+
+#[test]
+fn reload_rules_swaps_pack_mid_stream_without_evidence_loss() {
+    let rules = &pipeline().rules;
+    let leaves = leaf_classes(rules);
+    assert!(leaves.len() >= 2, "need two leaf classes to add/remove: {leaves:?}");
+    let added = leaves[0]; // absent from pack A, present in pack B
+    let removed = leaves[1]; // present in pack A, absent from pack B
+    let packs = scratch("reload-packs");
+    let pack_a = pack_without(&packs, "a.hsp", added);
+    let pack_b = pack_without(&packs, "b.hsp", removed);
+
+    let class_names = |v: &serde_json::Value| -> Vec<String> {
+        v["classes"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c["class"].as_str().unwrap().to_string())
+            .collect()
+    };
+    let count_of = |v: &serde_json::Value, class: &str| -> Option<u64> {
+        v["classes"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["class"].as_str() == Some(class))
+            .map(|c| c["count"].as_u64().unwrap())
+    };
+
+    let ckpt = scratch("reload-ckpt");
+    let d = Daemon::start_with_rules("reload1", &ckpt, &[], &pack_a);
+
+    // First half of the stream: the burst hits every rule of the *full*
+    // set, but the daemon only knows pack A.
+    let half1 = hitting_burst(d.tcp, "0");
+    d.wait_records(half1);
+    let before: serde_json::Value = serde_json::from_str(&d.get("/detections")).unwrap();
+    assert!(!class_names(&before).contains(&added.to_string()), "pack A must not know {added}");
+    assert!(count_of(&before, removed).unwrap() > 0, "{removed} undetected before reload");
+
+    // Swap packs mid-stream: adds `added`, removes `removed`.
+    let reply = d.post(&format!("/admin/reload-rules?path={}", pack_b.display()));
+    assert!(reply.contains("\"reloaded\":true"), "unexpected reload reply: {reply}");
+
+    let after: serde_json::Value = serde_json::from_str(&d.get("/detections")).unwrap();
+    assert!(
+        !class_names(&after).contains(&removed.to_string()),
+        "{removed} still served after a reload that dropped it"
+    );
+    assert_eq!(
+        count_of(&after, added),
+        Some(0),
+        "{added} must appear (still evidence-free) right after the reload"
+    );
+    // No evidence loss: every unchanged rule keeps its detected lines.
+    for class in before["classes"].as_array().unwrap() {
+        let name = class["class"].as_str().unwrap();
+        if name == removed {
+            continue;
+        }
+        let kept = after["classes"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["class"] == class["class"])
+            .unwrap_or_else(|| panic!("class {name} vanished across the reload"));
+        assert_eq!(kept["lines"], class["lines"], "evidence lost for {name} across the reload");
+    }
+
+    // Second half of the stream: the added rule lights up.
+    let half2 = hitting_burst(d.tcp, "5");
+    d.wait_records(half1 + half2);
+    let lit: serde_json::Value = serde_json::from_str(&d.get("/detections")).unwrap();
+    assert!(count_of(&lit, added).unwrap() > 0, "{added} never detected after the reload");
+
+    // SIGTERM + --resume: the reloaded pack survives the restart — the
+    // stale pack A on the command line must lose to the checkpoint.
+    let want = query_snapshot(&d);
+    d.sigterm();
+    let d = Daemon::start_with_rules("reload2", &ckpt, &["--resume"], &pack_a);
+    assert_eq!(d.stats()["records"].as_u64().unwrap(), half1 + half2);
+    let got = query_snapshot(&d);
+    for ((t, want), (_, got)) in want.iter().zip(got.iter()) {
+        assert_eq!(got, want, "{t} diverges after SIGTERM + resume with a reloaded pack");
+    }
+    let resumed: serde_json::Value = serde_json::from_str(&d.get("/detections")).unwrap();
+    assert!(!class_names(&resumed).contains(&removed.to_string()));
+    assert!(count_of(&resumed, added).unwrap() > 0);
+    d.drain();
 }

@@ -47,8 +47,9 @@ pub struct CrosscheckConfig {
 /// Per-class detection timing at one threshold.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectionTime {
-    /// Detection class.
-    pub class: &'static str,
+    /// Detection class name (owned — resolved from the rule set's
+    /// interned table).
+    pub class: String,
     /// Threshold `D`.
     pub threshold: f64,
     /// Hours from window start until detection (`None` = not detected).
@@ -277,7 +278,11 @@ pub fn detection_times(
             let hours_to_detect = det
                 .first_detection_rule(HOME_LINE, ri as u16)
                 .map(|h| h.0 - window_start);
-            out.push(DetectionTime { class: rule.class, threshold, hours_to_detect });
+            out.push(DetectionTime {
+                class: pipeline.rules.class_name(rule.class).to_string(),
+                threshold,
+                hours_to_detect,
+            });
         }
     }
     out
@@ -290,7 +295,7 @@ pub fn detected_classes(
     instances: &BTreeSet<u32>,
     config: &CrosscheckConfig,
     threshold: f64,
-) -> BTreeSet<&'static str> {
+) -> BTreeSet<String> {
     let window = match config.kind {
         ExperimentKind::Active => StudyWindow::ACTIVE_GT,
         ExperimentKind::Idle => StudyWindow::IDLE_GT,
@@ -327,7 +332,7 @@ pub fn detected_classes(
         .iter()
         .enumerate()
         .filter(|(ri, _)| det.is_detected_rule(HOME_LINE, *ri as u16))
-        .map(|(_, r)| r.class)
+        .map(|(_, r)| pipeline.rules.class_name(r.class).to_string())
         .collect()
 }
 
@@ -337,11 +342,11 @@ pub fn fraction_detected_within(
     times: &[DetectionTime],
     threshold: f64,
     within_hours: u32,
-    classes: &BTreeSet<&'static str>,
+    classes: &BTreeSet<&str>,
 ) -> f64 {
     let relevant: Vec<&DetectionTime> = times
         .iter()
-        .filter(|t| (t.threshold - threshold).abs() < 1e-9 && classes.contains(t.class))
+        .filter(|t| (t.threshold - threshold).abs() < 1e-9 && classes.contains(t.class.as_str()))
         .collect();
     if relevant.is_empty() {
         return 0.0;
@@ -422,17 +427,18 @@ mod tests {
             &[0.2, 1.0],
         );
         for rule in &p.rules.rules {
+            let class = p.rules.class_name(rule.class);
             let low = times
                 .iter()
-                .find(|t| t.class == rule.class && t.threshold == 0.2)
+                .find(|t| t.class == class && t.threshold == 0.2)
                 .unwrap();
             let high = times
                 .iter()
-                .find(|t| t.class == rule.class && t.threshold == 1.0)
+                .find(|t| t.class == class && t.threshold == 1.0)
                 .unwrap();
             match (low.hours_to_detect, high.hours_to_detect) {
-                (None, Some(_)) => panic!("{}: high-D detected but low-D missed", rule.class),
-                (Some(l), Some(h)) => assert!(l <= h, "{}: low {l} > high {h}", rule.class),
+                (None, Some(_)) => panic!("{class}: high-D detected but low-D missed"),
+                (Some(l), Some(h)) => assert!(l <= h, "{class}: low {l} > high {h}"),
                 _ => {}
             }
         }
@@ -464,9 +470,9 @@ mod tests {
     #[test]
     fn fraction_helper() {
         let times = vec![
-            DetectionTime { class: "A", threshold: 0.4, hours_to_detect: Some(0) },
-            DetectionTime { class: "B", threshold: 0.4, hours_to_detect: Some(30) },
-            DetectionTime { class: "C", threshold: 0.4, hours_to_detect: None },
+            DetectionTime { class: "A".to_string(), threshold: 0.4, hours_to_detect: Some(0) },
+            DetectionTime { class: "B".to_string(), threshold: 0.4, hours_to_detect: Some(30) },
+            DetectionTime { class: "C".to_string(), threshold: 0.4, hours_to_detect: None },
         ];
         let classes: BTreeSet<&'static str> = ["A", "B", "C"].into_iter().collect();
         assert!((fraction_detected_within(&times, 0.4, 1, &classes) - 1.0 / 3.0).abs() < 1e-9);

@@ -89,25 +89,24 @@ struct LineState {
 /// ```
 /// use haystack_core::detector::{Detector, DetectorConfig};
 /// use haystack_core::hitlist::HitList;
-/// use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+/// use haystack_core::rules::{RuleDomain, RuleSetBuilder};
 /// use haystack_dns::DomainName;
 /// use haystack_net::ports::Proto;
 /// use haystack_net::{AnonId, HourBin};
 ///
-/// let rules = RuleSet {
-///     rules: vec![DetectionRule {
-///         class: "Example Cam",
-///         level: haystack_testbed::catalog::DetectionLevel::Manufacturer,
-///         parent: None,
-///         domains: vec![RuleDomain {
-///             name: DomainName::parse("api.example-cam.com").unwrap(),
-///             ports: [443u16].into_iter().collect(),
-///             ips: ["198.18.0.1".parse().unwrap()].into_iter().collect(),
-///             usage_indicator: false,
-///         }],
+/// let mut b = RuleSetBuilder::new();
+/// b.rule(
+///     "Example Cam",
+///     haystack_testbed::catalog::DetectionLevel::Manufacturer,
+///     None,
+///     vec![RuleDomain {
+///         name: DomainName::parse("api.example-cam.com").unwrap(),
+///         ports: [443u16].into_iter().collect(),
+///         ips: ["198.18.0.1".parse().unwrap()].into_iter().collect(),
+///         usage_indicator: false,
 ///     }],
-///     undetectable: vec![],
-/// };
+/// );
+/// let rules = b.build();
 /// let mut det = Detector::new(
 ///     &rules,
 ///     HitList::whole_window(&rules),
@@ -125,8 +124,6 @@ pub struct Detector<'r> {
     required: Vec<u32>,
     /// Rule index of each rule's parent, resolved at construction.
     parent: Vec<Option<u16>>,
-    /// class → rule index, resolved at construction (FxHash keyed).
-    class_index: FastMap<&'r str, u16>,
     /// Per-rule line state: `state[ri]` maps line → evidence for rule
     /// `ri`. Indexed by rule so class queries touch one map.
     state: Vec<FastMap<AnonId, LineState>>,
@@ -143,20 +140,18 @@ impl<'r> Detector<'r> {
             .rules
             .iter()
             .map(|r| {
-                assert!(r.domains.len() <= 64, "rule {} exceeds 64 domains", r.class);
+                assert!(
+                    r.domains.len() <= 64,
+                    "rule {} exceeds 64 domains",
+                    rules.class_name(r.class)
+                );
                 r.required(config.threshold) as u32
             })
             .collect();
         let parent = rules
             .rules
             .iter()
-            .map(|r| r.parent.and_then(|p| rules.rule_index(p)).map(|p| p as u16))
-            .collect();
-        let class_index = rules
-            .rules
-            .iter()
-            .enumerate()
-            .map(|(ri, r)| (r.class, ri as u16))
+            .map(|r| r.parent.and_then(|p| rules.rule_index_of(p)).map(|p| p as u16))
             .collect();
         let state = rules.rules.iter().map(|_| FastMap::default()).collect();
         Detector {
@@ -165,7 +160,6 @@ impl<'r> Detector<'r> {
             hitlist,
             required,
             parent,
-            class_index,
             state,
             stats: HotStats::default(),
         }
@@ -186,7 +180,7 @@ impl<'r> Detector<'r> {
     /// `RuleSet::rules`.
     #[inline]
     pub fn rule_handle(&self, class: &str) -> Option<RuleHandle> {
-        self.class_index.get(class).copied()
+        self.rules.rule_index(class).map(|i| i as RuleHandle)
     }
 
     /// Observe one flow record's worth of evidence.
@@ -408,7 +402,7 @@ impl<'r> Detector<'r> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{DetectionRule, RuleDomain};
+    use crate::rules::{RuleDomain, RuleSetBuilder};
     use haystack_dns::DomainName;
     use haystack_testbed::catalog::DetectionLevel;
     use std::net::Ipv4Addr;
@@ -428,23 +422,20 @@ mod tests {
 
     /// Parent rule "Fam" (2 domains), child rule "Kid" (2 domains).
     fn ruleset() -> RuleSet {
-        RuleSet {
-            rules: vec![
-                DetectionRule {
-                    class: "Fam",
-                    level: DetectionLevel::Manufacturer,
-                    parent: None,
-                    domains: vec![dom("d0.fam.com", &[1]), dom("d1.fam.com", &[2])],
-                },
-                DetectionRule {
-                    class: "Kid",
-                    level: DetectionLevel::Product,
-                    parent: Some("Fam"),
-                    domains: vec![dom("d0.kid.com", &[10]), dom("d1.kid.com", &[11])],
-                },
-            ],
-            undetectable: vec![],
-        }
+        let mut b = RuleSetBuilder::new();
+        b.rule(
+            "Fam",
+            DetectionLevel::Manufacturer,
+            None,
+            vec![dom("d0.fam.com", &[1]), dom("d1.fam.com", &[2])],
+        );
+        b.rule(
+            "Kid",
+            DetectionLevel::Product,
+            Some("Fam"),
+            vec![dom("d0.kid.com", &[10]), dom("d1.kid.com", &[11])],
+        );
+        b.build()
     }
 
     fn detector(rules: &RuleSet, threshold: f64) -> Detector<'_> {
@@ -593,13 +584,14 @@ mod tests {
         hit(&mut det, ip(1), 3);
         for (ri, rule) in rules.rules.iter().enumerate() {
             let ri = ri as RuleHandle;
-            assert_eq!(det.is_detected_rule(LINE, ri), det.is_detected(LINE, rule.class));
-            assert_eq!(det.confidence_rule(LINE, ri), det.confidence(LINE, rule.class));
+            let class = rules.class_name(rule.class);
+            assert_eq!(det.is_detected_rule(LINE, ri), det.is_detected(LINE, class));
+            assert_eq!(det.confidence_rule(LINE, ri), det.confidence(LINE, class));
             assert_eq!(
                 det.first_detection_rule(LINE, ri),
-                det.first_detection(LINE, rule.class)
+                det.first_detection(LINE, class)
             );
-            assert_eq!(det.detected_lines_rule(ri), det.detected_lines(rule.class));
+            assert_eq!(det.detected_lines_rule(ri), det.detected_lines(class));
         }
     }
 

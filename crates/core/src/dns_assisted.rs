@@ -170,11 +170,12 @@ mod tests {
         let p = pipeline();
         let rules = dns_rules(&p.catalog, &p.observations, &p.classification);
         for flow_rule in &p.rules.rules {
-            let dns_domains = rules.rules.get(flow_rule.class).map(Vec::len).unwrap_or(0);
+            let class = p.rules.class_name(flow_rule.class);
+            let dns_domains = rules.rules.get(class).map(Vec::len).unwrap_or(0);
             assert!(
                 dns_domains >= flow_rule.domains.len(),
                 "{}: dns {} < flow {}",
-                flow_rule.class,
+                class,
                 dns_domains,
                 flow_rule.domains.len()
             );

@@ -166,24 +166,23 @@ impl MapHitList {
 ///
 /// ```
 /// use haystack_core::hitlist::HitList;
-/// use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+/// use haystack_core::rules::{RuleDomain, RuleSetBuilder};
 /// use haystack_dns::DomainName;
 /// use haystack_testbed::catalog::DetectionLevel;
 ///
-/// let rules = RuleSet {
-///     rules: vec![DetectionRule {
-///         class: "Cam",
-///         level: DetectionLevel::Manufacturer,
-///         parent: None,
-///         domains: vec![RuleDomain {
-///             name: DomainName::parse("api.cam.com").unwrap(),
-///             ports: [443u16].into_iter().collect(),
-///             ips: ["198.18.0.7".parse().unwrap()].into_iter().collect(),
-///             usage_indicator: false,
-///         }],
+/// let mut b = RuleSetBuilder::new();
+/// b.rule(
+///     "Cam",
+///     DetectionLevel::Manufacturer,
+///     None,
+///     vec![RuleDomain {
+///         name: DomainName::parse("api.cam.com").unwrap(),
+///         ports: [443u16].into_iter().collect(),
+///         ips: ["198.18.0.7".parse().unwrap()].into_iter().collect(),
+///         usage_indicator: false,
 ///     }],
-///     undetectable: vec![],
-/// };
+/// );
+/// let rules = b.build();
 /// let hl = HitList::whole_window(&rules);
 /// assert_eq!(hl.lookup("198.18.0.7".parse().unwrap(), 443), &[(0, 0)]);
 /// assert!(hl.lookup("198.18.0.7".parse().unwrap(), 80).is_empty());
@@ -260,7 +259,7 @@ impl HitList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{DetectionRule, RuleDomain};
+    use crate::rules::{RuleDomain, RuleSetBuilder};
     use haystack_dns::DomainName;
     use haystack_testbed::catalog::DetectionLevel;
     use std::collections::BTreeSet;
@@ -276,23 +275,15 @@ mod tests {
             ips: ips.iter().map(|i| ip(*i)).collect(),
             usage_indicator: false,
         };
-        RuleSet {
-            rules: vec![
-                DetectionRule {
-                    class: "A",
-                    level: DetectionLevel::Manufacturer,
-                    parent: None,
-                    domains: vec![dom("d0.a.com", &[1, 2], &[443]), dom("d1.a.com", &[3], &[8883])],
-                },
-                DetectionRule {
-                    class: "B",
-                    level: DetectionLevel::Product,
-                    parent: None,
-                    domains: vec![dom("d0.b.com", &[2], &[443])],
-                },
-            ],
-            undetectable: vec![],
-        }
+        let mut b = RuleSetBuilder::new();
+        b.rule(
+            "A",
+            DetectionLevel::Manufacturer,
+            None,
+            vec![dom("d0.a.com", &[1, 2], &[443]), dom("d1.a.com", &[3], &[8883])],
+        );
+        b.rule("B", DetectionLevel::Product, None, vec![dom("d0.b.com", &[2], &[443])]);
+        b.build()
     }
 
     #[test]
@@ -330,22 +321,21 @@ mod tests {
         // One (ip, port) shared by many (rule, domain) pairs must spill
         // past the inline slots and still return every entry in order.
         let shared = ip(77);
-        let rules = RuleSet {
-            rules: (0..5)
-                .map(|ri| DetectionRule {
-                    class: ["S0", "S1", "S2", "S3", "S4"][ri],
-                    level: DetectionLevel::Manufacturer,
-                    parent: None,
-                    domains: vec![RuleDomain {
-                        name: DomainName::parse(&format!("d.s{ri}.com")).unwrap(),
-                        ports: [443u16].into_iter().collect(),
-                        ips: [shared].into_iter().collect(),
-                        usage_indicator: false,
-                    }],
-                })
-                .collect(),
-            undetectable: vec![],
-        };
+        let mut b = RuleSetBuilder::new();
+        for ri in 0..5 {
+            b.rule(
+                &format!("S{ri}"),
+                DetectionLevel::Manufacturer,
+                None,
+                vec![RuleDomain {
+                    name: DomainName::parse(&format!("d.s{ri}.com")).unwrap(),
+                    ports: [443u16].into_iter().collect(),
+                    ips: [shared].into_iter().collect(),
+                    usage_indicator: false,
+                }],
+            );
+        }
+        let rules = b.build();
         let hl = HitList::whole_window(&rules);
         assert_eq!(hl.lookup(shared, 443), &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]);
         assert!(hl.lookup(shared, 80).is_empty());

@@ -35,22 +35,29 @@
 //! §12). [`telemetry`] is
 //! the pipeline-wide metrics/span substrate (DESIGN.md §11): a no-op
 //! unless compiled with the `telemetry` feature *and* enabled at
-//! runtime, so the hot path pays nothing by default.
+//! runtime, so the hot path pays nothing by default. [`classes`] interns
+//! device-class names into compact ids shared by every rule-indexed
+//! structure; [`pack`] is the versioned, checksummed signature-pack
+//! codec that externalizes the rule layer (DESIGN.md §14); [`events`]
+//! derives the NDJSON detection-event stream from detector state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod checkpoint;
+pub mod classes;
 pub mod crosscheck;
 pub mod dedicated;
 pub mod detector;
 pub mod dns_assisted;
 pub mod domains;
+pub mod events;
 pub mod fasthash;
 pub mod hitlist;
 pub mod mitigation;
 pub mod observations;
+pub mod pack;
 pub mod parallel;
 pub mod pipeline;
 pub mod quality;
@@ -63,6 +70,7 @@ pub mod usage;
 pub mod visibility;
 
 pub use checkpoint::{CheckpointDir, CheckpointError, DetectorState, StalenessState, UsageState};
+pub use classes::{ClassId, ClassTable};
 pub use crosscheck::{GroundTruthVantage, HOME_LINE};
 pub use dedicated::{DedicationVerdict, InfraKnowledge};
 pub use detector::{DetectionQuery, Detector, DetectorConfig, RuleHandle};
@@ -72,8 +80,10 @@ pub use hitlist::{HitList, MapHitList};
 pub use reference::ReferenceDetector;
 pub use observations::{DomainObservations, DomainUsage};
 pub use parallel::{DetectorPool, PoolError, ShardHealth, ShardedDetector};
+pub use events::DetectionEvent;
+pub use pack::{PackError, SignaturePack};
 pub use pipeline::{Pipeline, PipelineStats};
-pub use rules::{DetectionRule, RuleSet};
+pub use rules::{DetectionRule, RuleSet, RuleSetBuilder};
 pub use telemetry::{Counter, Gauge, Histogram, HotStats, InstrumentedStream, Scope, Snapshot};
 
 #[cfg(test)]

@@ -135,7 +135,7 @@ mod tests {
     use super::*;
     use crate::detector::DetectorConfig;
     use crate::hitlist::HitList;
-    use crate::rules::{DetectionRule, RuleDomain};
+    use crate::rules::{RuleDomain, RuleSetBuilder};
     use haystack_dns::DomainName;
     use haystack_net::ports::Proto;
     use haystack_net::{HourBin, Prefix4};
@@ -146,20 +146,19 @@ mod tests {
     }
 
     fn ruleset() -> RuleSet {
-        RuleSet {
-            rules: vec![DetectionRule {
-                class: "Vuln Cam",
-                level: DetectionLevel::Manufacturer,
-                parent: None,
-                domains: vec![RuleDomain {
-                    name: DomainName::parse("c2.vulncam.com").unwrap(),
-                    ports: [443u16, 8883].into_iter().collect(),
-                    ips: [ip(1), ip(2)].into_iter().collect(),
-                    usage_indicator: false,
-                }],
+        let mut b = RuleSetBuilder::new();
+        b.rule(
+            "Vuln Cam",
+            DetectionLevel::Manufacturer,
+            None,
+            vec![RuleDomain {
+                name: DomainName::parse("c2.vulncam.com").unwrap(),
+                ports: [443u16, 8883].into_iter().collect(),
+                ips: [ip(1), ip(2)].into_iter().collect(),
+                usage_indicator: false,
             }],
-            undetectable: vec![],
-        }
+        );
+        b.build()
     }
 
     fn rec(line: u64, dst: Ipv4Addr, dport: u16) -> WildRecord {

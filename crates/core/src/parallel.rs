@@ -149,6 +149,10 @@ enum Cmd {
     Telemetry(ShardTelemetry),
     /// Swap the daily hitlist, keeping accumulated evidence.
     SetHitlist(HitList),
+    /// Swap the rule set itself (live reload): rebuild the shard's
+    /// detector against the new rules and hitlist, restoring the
+    /// already-migrated evidence state shipped with the command.
+    SetRules(Arc<RuleSet>, HitList, DetectorState),
     /// Clear accumulated evidence.
     Reset,
     /// Reply when every prior command is processed.
@@ -188,17 +192,58 @@ struct Worker {
     handle: Option<JoinHandle<()>>,
 }
 
+/// Why one [`run_shard`] generation returned.
+enum LoopExit {
+    /// Command channel closed: the pool is shutting down.
+    Done,
+    /// A [`Cmd::SetRules`] arrived: the caller rebuilds the detector
+    /// against the new rule set and re-enters the loop.
+    Swap(Arc<RuleSet>, HitList, DetectorState),
+}
+
 /// The worker loop body; runs under `catch_unwind` so a panic is
-/// captured as a note instead of aborting the process.
+/// captured as a note instead of aborting the process. The loop is
+/// generationed around rule swaps: [`Detector`] borrows its rule set,
+/// so each rule-set generation gets its own inner run, and a
+/// [`Cmd::SetRules`] unwinds to this frame where the `Arc` can be
+/// rebound before the next generation starts.
 fn worker_loop(
-    rules: &RuleSet,
+    rules: Arc<RuleSet>,
     hitlist: HitList,
     config: DetectorConfig,
     rx: &Receiver<Cmd>,
     recycle_tx: &Sender<Vec<WildRecord>>,
 ) {
-    let mut det = Detector::new(rules, hitlist, config);
     let mut tel: Option<ShardTelemetry> = None;
+    let mut cur = (rules, hitlist, None);
+    loop {
+        let (rules, hitlist, restore) = cur;
+        match run_shard(&rules, hitlist, config, restore, rx, recycle_tx, &mut tel) {
+            LoopExit::Done => return,
+            LoopExit::Swap(r, h, s) => cur = (r, h, Some(s)),
+        }
+    }
+}
+
+/// One rule-set generation of a shard worker: build the detector,
+/// restore migrated state if a swap shipped one, then serve commands
+/// until shutdown or the next swap.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    rules: &RuleSet,
+    hitlist: HitList,
+    config: DetectorConfig,
+    restore: Option<DetectorState>,
+    rx: &Receiver<Cmd>,
+    recycle_tx: &Sender<Vec<WildRecord>>,
+    tel: &mut Option<ShardTelemetry>,
+) -> LoopExit {
+    let mut det = Detector::new(rules, hitlist, config);
+    if let Some(state) = restore {
+        det.restore_state(&state).expect("migrated state matches the new rule set");
+    }
+    // A fresh detector's tallies start at zero; the previous
+    // generation's were flushed before the swap returned.
     let mut flushed = HotStats::default();
     // Fold the detector's tallies accrued since the last flush into the
     // shard's atomic counters — one set of adds per batch, not per
@@ -220,7 +265,7 @@ fn worker_loop(
                 if let Some(t) = &tel {
                     t.queue_depth.dec();
                 }
-                flush_stats(&det, &tel, &mut flushed);
+                flush_stats(&det, tel, &mut flushed);
                 // Recycle only when this was the last reference — a
                 // replay-retained batch stays with the supervisor.
                 if let Ok(mut v) = Arc::try_unwrap(buf) {
@@ -230,19 +275,23 @@ fn worker_loop(
                 }
             }
             Cmd::Telemetry(t) => {
-                tel = Some(t);
-                flush_stats(&det, &tel, &mut flushed);
+                *tel = Some(t);
+                flush_stats(&det, tel, &mut flushed);
             }
             Cmd::SetHitlist(hl) => det.set_hitlist(hl),
+            Cmd::SetRules(r, h, s) => {
+                flush_stats(&det, tel, &mut flushed);
+                return LoopExit::Swap(r, h, s);
+            }
             Cmd::Reset => det.reset(),
             Cmd::Barrier(reply) => {
                 // Counters are exact at every barrier: `finish()` syncs
                 // them for snapshots.
-                flush_stats(&det, &tel, &mut flushed);
+                flush_stats(&det, tel, &mut flushed);
                 let _ = reply.send(());
             }
             Cmd::Snapshot(reply) => {
-                flush_stats(&det, &tel, &mut flushed);
+                flush_stats(&det, tel, &mut flushed);
                 let _ = reply.send(det.export_state());
             }
             Cmd::Restore(state) => {
@@ -267,6 +316,7 @@ fn worker_loop(
             }
         }
     }
+    LoopExit::Done
 }
 
 /// Render a panic payload as a message, when it was a string.
@@ -296,7 +346,7 @@ fn spawn_worker(
         .name(format!("detector-shard-{index}"))
         .spawn(move || {
             let result = catch_unwind(AssertUnwindSafe(|| {
-                worker_loop(&rules, hitlist, config, &rx, &recycle_tx);
+                worker_loop(rules, hitlist, config, &rx, &recycle_tx);
             }));
             if let Err(payload) = result {
                 if let Ok(mut n) = note.lock() {
@@ -995,6 +1045,48 @@ impl DetectorPool {
         Ok(())
     }
 
+    /// Swap the rule set itself on every shard without restarting the
+    /// pool — the live-reload primitive behind `POST /admin/reload-rules`
+    /// (DESIGN.md §14).
+    ///
+    /// Checkpoint-first, like [`DetectorPool::set_hitlist`]: every
+    /// shard's evidence is exported (covering every record fed so far),
+    /// migrated to the new rule set by class/domain name
+    /// ([`crate::pack::migrate_detector_state`]), and shipped back with
+    /// the new rules in one [`Cmd::SetRules`] — so unchanged rules lose
+    /// no evidence, removed rules vanish, added rules start empty, and
+    /// a supervised replay never crosses the swap.
+    pub fn set_rules(&mut self, rules: &RuleSet, hitlist: &HitList) -> Result<(), PoolError> {
+        let new_rules = Arc::new(rules.clone());
+        // Under supervision this is a checkpoint_all: replay buffers
+        // drain, so a post-swap respawn restores migrated state only.
+        let old_states = self.shard_states()?;
+        let migrated: Vec<DetectorState> = old_states
+            .iter()
+            .map(|s| {
+                crate::pack::migrate_detector_state(
+                    &self.rules,
+                    &new_rules,
+                    self.config.threshold,
+                    s,
+                )
+            })
+            .collect();
+        if let Some(sup) = &mut self.supervisor {
+            sup.shard_state = migrated.clone();
+        }
+        self.rules = Arc::clone(&new_rules);
+        self.hitlist = hitlist.clone();
+        for (shard, state) in migrated.into_iter().enumerate() {
+            let r = Arc::clone(&new_rules);
+            let hl = hitlist.clone();
+            self.with_shard(shard, move |w| {
+                w.tx.send(Cmd::SetRules(Arc::clone(&r), hl.clone(), state.clone())).ok()
+            })?;
+        }
+        Ok(())
+    }
+
     /// Clear accumulated evidence (new aggregation window). Records still
     /// staged are discarded — they belong to the window being cleared.
     pub fn reset(&mut self) -> Result<(), PoolError> {
@@ -1176,7 +1268,7 @@ impl DetectionQuery for ShardedDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{DetectionRule, RuleDomain};
+    use crate::rules::{RuleDomain, RuleSetBuilder};
     use haystack_dns::DomainName;
     use haystack_net::ports::Proto;
     use haystack_net::{HourBin, Prefix4};
@@ -1187,22 +1279,21 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn ruleset(n: usize) -> RuleSet {
-        RuleSet {
-            rules: vec![DetectionRule {
-                class: "X",
-                level: DetectionLevel::Manufacturer,
-                parent: None,
-                domains: (0..n)
-                    .map(|i| RuleDomain {
-                        name: DomainName::parse(&format!("d{i}.x.com")).unwrap(),
-                        ports: [443u16].into_iter().collect(),
-                        ips: [Ipv4Addr::new(198, 18, 8, i as u8 + 1)].into_iter().collect(),
-                        usage_indicator: false,
-                    })
-                    .collect(),
-            }],
-            undetectable: vec![],
-        }
+        let mut b = RuleSetBuilder::new();
+        b.rule(
+            "X",
+            DetectionLevel::Manufacturer,
+            None,
+            (0..n)
+                .map(|i| RuleDomain {
+                    name: DomainName::parse(&format!("d{i}.x.com")).unwrap(),
+                    ports: [443u16].into_iter().collect(),
+                    ips: [Ipv4Addr::new(198, 18, 8, i as u8 + 1)].into_iter().collect(),
+                    usage_indicator: false,
+                })
+                .collect(),
+        );
+        b.build()
     }
 
     fn random_records(count: usize, seed: u64) -> Vec<WildRecord> {
@@ -1247,6 +1338,88 @@ mod tests {
             );
             assert_eq!(par.state_size().unwrap(), seq.state_size());
         }
+    }
+
+    /// A domain for the swap-target rule "Y", on an IP range rule "X"
+    /// never touches.
+    fn y_domain() -> RuleDomain {
+        RuleDomain {
+            name: DomainName::parse("y.y.com").unwrap(),
+            ports: [443u16].into_iter().collect(),
+            ips: [Ipv4Addr::new(198, 18, 9, 1)].into_iter().collect(),
+            usage_indicator: false,
+        }
+    }
+
+    fn x_domains(n: usize) -> Vec<RuleDomain> {
+        (0..n)
+            .map(|i| RuleDomain {
+                name: DomainName::parse(&format!("d{i}.x.com")).unwrap(),
+                ports: [443u16].into_iter().collect(),
+                ips: [Ipv4Addr::new(198, 18, 8, i as u8 + 1)].into_iter().collect(),
+                usage_indicator: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn set_rules_swaps_live_without_evidence_loss() {
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(20_000, 5);
+        let mut pool = DetectorPool::new(&rules, &hl, config, 4);
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+        pool.observe_records(&records).unwrap();
+        pool.finish().unwrap();
+        let before = pool.detected_lines("X").unwrap();
+        assert!(!before.is_empty());
+
+        // Swap to a set where "X" is unchanged and "Y" appears.
+        let mut b = RuleSetBuilder::new();
+        b.rule("X", DetectionLevel::Manufacturer, None, x_domains(6));
+        b.rule("Y", DetectionLevel::Manufacturer, None, vec![y_domain()]);
+        let with_y = b.build();
+        pool.set_rules(&with_y, &HitList::whole_window(&with_y)).unwrap();
+        assert_eq!(
+            pool.detected_lines("X").unwrap(),
+            before,
+            "unchanged rule keeps its evidence across the swap"
+        );
+        assert!(pool.detected_lines("Y").unwrap().is_empty(), "added rule starts empty");
+
+        // The added rule is live immediately under the new hitlist.
+        let src = Ipv4Addr::new(100, 64, 9, 9);
+        let rec = WildRecord {
+            line: AnonId(42),
+            line_slash24: Prefix4::slash24_of(src),
+            src_ip: src,
+            dst: Ipv4Addr::new(198, 18, 9, 1),
+            dport: 443,
+            proto: Proto::Tcp,
+            packets: 1,
+            bytes: 100,
+            established: true,
+            hour: HourBin(0),
+        };
+        pool.observe_records(&[rec]).unwrap();
+        pool.finish().unwrap();
+        assert!(pool.is_detected(AnonId(42), "Y").unwrap());
+
+        // A crash after the swap recovers under the *new* rules: the
+        // migrated checkpoint plus the replayed post-swap record.
+        pool.inject_panic(1, "post-swap crash").unwrap();
+        assert_eq!(pool.detected_lines("X").unwrap(), before);
+        assert!(pool.is_detected(AnonId(42), "Y").unwrap());
+
+        // Swap again, removing "X": its detections disappear, "Y"
+        // survives by name.
+        let mut b = RuleSetBuilder::new();
+        b.rule("Y", DetectionLevel::Manufacturer, None, vec![y_domain()]);
+        let only_y = b.build();
+        pool.set_rules(&only_y, &HitList::whole_window(&only_y)).unwrap();
+        assert!(pool.detected_lines("X").unwrap().is_empty(), "removed rule disappears");
+        assert!(pool.is_detected(AnonId(42), "Y").unwrap(), "surviving rule keeps evidence");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use haystack_testbed::catalog::{Catalog, DetectionLevel};
 use haystack_testbed::materialize::{materialize, MaterializedWorld, CLOUD_PROVIDER};
 use haystack_testbed::ExperimentDriver;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Pipeline tuning knobs (tests shrink the capture windows).
 #[derive(Debug, Clone)]
@@ -86,8 +87,9 @@ pub struct Pipeline {
     pub classification: HashMap<DomainName, DomainClass>,
     /// §4.2 verdicts (Censys recoveries folded in).
     pub dedication: HashMap<DomainName, DedicationVerdict>,
-    /// §4.3 output.
-    pub rules: RuleSet,
+    /// §4.3 output, shared with the detector pool and the usage tracker
+    /// (and hot-swappable in the daemon, hence the `Arc`).
+    pub rules: Arc<RuleSet>,
     /// The funnel counts.
     pub stats: PipelineStats,
 }
@@ -237,7 +239,7 @@ impl Pipeline {
             observations,
             classification,
             dedication,
-            rules,
+            rules: Arc::new(rules),
             stats,
         }
     }
@@ -283,8 +285,8 @@ mod tests {
             p.rules
                 .undetectable
                 .iter()
-                .find(|(c, _)| *c == class)
-                .map(|(_, r)| r.clone())
+                .find(|(c, _)| p.rules.class_name(*c) == class)
+                .map(|(_, r)| *r)
         };
         for shared in ["Google Home", "Apple TV", "Lefun Cam"] {
             assert_eq!(
@@ -302,9 +304,10 @@ mod tests {
         }
         // And the catalog's exclusion oracle agrees with the pipeline.
         for (class, _) in &p.rules.undetectable {
+            let name = p.rules.class_name(*class);
             assert!(
-                p.catalog.class(class).unwrap().excluded.is_some(),
-                "pipeline excluded {class}, catalog says detectable"
+                p.catalog.class(name).unwrap().excluded.is_some(),
+                "pipeline excluded {name}, catalog says detectable"
             );
         }
     }
@@ -335,7 +338,7 @@ mod tests {
                         AddressPlan::dedicated().contains(*ip)
                             || AddressPlan::cloud().contains(*ip),
                         "rule {} domain {} indexes shared IP {ip}",
-                        rule.class,
+                        p.rules.class_name(rule.class),
                         d.name
                     );
                 }
@@ -351,7 +354,7 @@ mod tests {
         assert_eq!(alexa.domains[0].name.as_str(), "avs-alexa.amazon-iot.com");
         assert_eq!(alexa.level, DetectionLevel::Platform);
         // Hierarchy wiring.
-        assert_eq!(p.rules.rule("Amazon Product").unwrap().parent, Some("Alexa Enabled"));
-        assert_eq!(p.rules.rule("Fire TV").unwrap().parent, Some("Amazon Product"));
+        assert_eq!(p.rules.rule("Amazon Product").unwrap().parent, p.rules.class_id("Alexa Enabled"));
+        assert_eq!(p.rules.rule("Fire TV").unwrap().parent, p.rules.class_id("Amazon Product"));
     }
 }

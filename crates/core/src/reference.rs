@@ -40,7 +40,11 @@ impl<'r> ReferenceDetector<'r> {
             .rules
             .iter()
             .map(|r| {
-                assert!(r.domains.len() <= 64, "rule {} exceeds 64 domains", r.class);
+                assert!(
+                    r.domains.len() <= 64,
+                    "rule {} exceeds 64 domains",
+                    rules.class_name(r.class)
+                );
                 r.required(config.threshold) as u32
             })
             .collect();
@@ -115,7 +119,7 @@ impl<'r> ReferenceDetector<'r> {
             if !self.own_threshold_met(line, ri as u16) {
                 return false;
             }
-            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index(p)) {
+            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index_of(p)) {
                 Some(p) => ri = p,
                 None => return true,
             }
@@ -136,7 +140,7 @@ impl<'r> ReferenceDetector<'r> {
                 .map(|m| f64::from(m.count_ones()))
                 .unwrap_or(0.0);
             conf = conf.min((have / required).min(1.0));
-            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index(p)) {
+            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index_of(p)) {
                 Some(p) => ri = p,
                 None => return conf,
             }
@@ -151,7 +155,7 @@ impl<'r> ReferenceDetector<'r> {
         loop {
             let h = *self.first_met.get(&(line, ri as u16))?;
             latest = Some(latest.map_or(h, |l: HourBin| l.max(h)));
-            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index(p)) {
+            match self.rules.rules[ri].parent.and_then(|p| self.rules.rule_index_of(p)) {
                 Some(p) => ri = p,
                 None => return latest,
             }

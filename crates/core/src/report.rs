@@ -85,15 +85,15 @@ impl Default for IspStudyConfig {
 #[derive(Debug, Default)]
 pub struct IspStudyResult {
     /// Unique lines per (class, hour) — Figure 11(a)/12 hourly.
-    pub hourly: BTreeMap<(&'static str, u32), u64>,
+    pub hourly: BTreeMap<(String, u32), u64>,
     /// Unique lines per (class, day) — Figures 11(b)/12/14.
-    pub daily: BTreeMap<(&'static str, u32), u64>,
+    pub daily: BTreeMap<(String, u32), u64>,
     /// Cumulative unique lines per (class, day) — Figure 13 upper.
-    pub cumulative_lines: BTreeMap<(&'static str, u32), u64>,
+    pub cumulative_lines: BTreeMap<(String, u32), u64>,
     /// Cumulative unique /24s per (class, day) — Figure 13 lower.
-    pub cumulative_slash24: BTreeMap<(&'static str, u32), u64>,
+    pub cumulative_slash24: BTreeMap<(String, u32), u64>,
     /// Lines with *active use* per (class, hour) — Figure 18.
-    pub active_hourly: BTreeMap<(&'static str, u32), u64>,
+    pub active_hourly: BTreeMap<(String, u32), u64>,
     /// Unique lines per (group, hour/day) — Figure 11's three series.
     pub group_hourly: BTreeMap<(DeviceGroup, u32), u64>,
     /// See [`IspStudyResult::group_hourly`].
@@ -115,18 +115,21 @@ pub fn run_isp_study(
     let det_cfg = DetectorConfig { threshold: config.threshold, require_established: false };
     let mut hourly_det = Detector::new(rules, HitList::default(), det_cfg);
     let mut daily_det = Detector::new(rules, HitList::default(), det_cfg);
-    let mut usage = UsageTracker::new(rules, HitList::default(), config.usage);
+    let mut usage = UsageTracker::new(pipeline.rules.clone(), HitList::default(), config.usage);
 
     let mut result = IspStudyResult::default();
-    let mut cum_lines: HashMap<&'static str, BTreeSet<AnonId>> = HashMap::new();
-    let mut cum_slash24: HashMap<&'static str, BTreeSet<Prefix4>> = HashMap::new();
-    // Rule handles equal rule positions; resolve each class and its
+    let mut cum_lines: HashMap<u16, BTreeSet<AnonId>> = HashMap::new();
+    let mut cum_slash24: HashMap<u16, BTreeSet<Prefix4>> = HashMap::new();
+    // Rule handles equal rule positions; resolve each class name and its
     // device group once, not per hour × rule query.
-    let rule_meta: Vec<(u16, &'static str, DeviceGroup)> = rules
+    let rule_meta: Vec<(u16, String, DeviceGroup)> = rules
         .rules
         .iter()
         .enumerate()
-        .map(|(ri, r)| (ri as u16, r.class, DeviceGroup::of(pipeline, r.class)))
+        .map(|(ri, r)| {
+            let class = rules.class_name(r.class);
+            (ri as u16, class.to_string(), DeviceGroup::of(pipeline, class))
+        })
         .collect();
     // One chunk buffer for the whole study — the streaming vantage point
     // refills it per chunk, so no hour is ever materialized.
@@ -155,12 +158,12 @@ pub fn run_isp_study(
                 }
             }
             let mut group_lines: BTreeMap<DeviceGroup, BTreeSet<AnonId>> = BTreeMap::new();
-            for &(ri, class, group) in &rule_meta {
-                let lines = hourly_det.detected_lines_rule(ri);
-                result.hourly.insert((class, hour.0), lines.len() as u64);
-                group_lines.entry(group).or_default().extend(lines);
-                let active = usage.active_lines_rule(ri);
-                result.active_hourly.insert((class, hour.0), active.len() as u64);
+            for (ri, class, group) in &rule_meta {
+                let lines = hourly_det.detected_lines_rule(*ri);
+                result.hourly.insert((class.clone(), hour.0), lines.len() as u64);
+                group_lines.entry(*group).or_default().extend(lines);
+                let active = usage.active_lines_rule(*ri);
+                result.active_hourly.insert((class.clone(), hour.0), active.len() as u64);
             }
             for (g, lines) in group_lines {
                 result.group_hourly.insert((g, hour.0), lines.len() as u64);
@@ -170,21 +173,21 @@ pub fn run_isp_study(
         // Day-end aggregation.
         let mut group_lines: BTreeMap<DeviceGroup, BTreeSet<AnonId>> = BTreeMap::new();
         let mut any_iot: BTreeSet<AnonId> = BTreeSet::new();
-        for &(ri, class, group) in &rule_meta {
-            let lines = daily_det.detected_lines_rule(ri);
-            result.daily.insert((class, day.0), lines.len() as u64);
-            group_lines.entry(group).or_default().extend(lines.iter().copied());
+        for (ri, class, group) in &rule_meta {
+            let lines = daily_det.detected_lines_rule(*ri);
+            result.daily.insert((class.clone(), day.0), lines.len() as u64);
+            group_lines.entry(*group).or_default().extend(lines.iter().copied());
             any_iot.extend(lines.iter().copied());
-            let cl = cum_lines.entry(class).or_default();
-            let cs = cum_slash24.entry(class).or_default();
+            let cl = cum_lines.entry(*ri).or_default();
+            let cs = cum_slash24.entry(*ri).or_default();
             for l in lines {
                 cl.insert(l);
                 if let Some(p) = slash24_of.get(&l) {
                     cs.insert(*p);
                 }
             }
-            result.cumulative_lines.insert((class, day.0), cl.len() as u64);
-            result.cumulative_slash24.insert((class, day.0), cs.len() as u64);
+            result.cumulative_lines.insert((class.clone(), day.0), cl.len() as u64);
+            result.cumulative_slash24.insert((class.clone(), day.0), cs.len() as u64);
         }
         for (g, lines) in group_lines {
             result.group_daily.insert((g, day.0), lines.len() as u64);
@@ -265,7 +268,7 @@ pub fn run_ixp_study(
         }
         let mut group_ips: BTreeMap<DeviceGroup, BTreeSet<Ipv4Addr>> = BTreeMap::new();
         for (ri, rule) in rules.rules.iter().enumerate() {
-            let group = DeviceGroup::of(pipeline, rule.class);
+            let group = DeviceGroup::of(pipeline, rules.class_name(rule.class));
             for line in daily_det.detected_lines_rule(ri as u16) {
                 if let Some(ip) = ip_of.get(&line) {
                     group_ips.entry(group).or_default().insert(*ip);
@@ -308,13 +311,13 @@ mod tests {
         let cfg = IspStudyConfig { window: StudyWindow::days(0, 2), ..Default::default() };
         let r = run_isp_study(p, &p.world, &isp, &cfg);
         // Alexa daily detections beat hourly ones (§6.2's ×2 gain).
-        let alexa_daily = r.daily.get(&("Alexa Enabled", 0)).copied().unwrap_or(0);
-        let alexa_hour = r.hourly.get(&("Alexa Enabled", 12)).copied().unwrap_or(0);
+        let alexa_daily = r.daily.get(&("Alexa Enabled".to_string(), 0)).copied().unwrap_or(0);
+        let alexa_hour = r.hourly.get(&("Alexa Enabled".to_string(), 12)).copied().unwrap_or(0);
         assert!(alexa_daily > 0, "Alexa detected in the wild");
         assert!(alexa_daily >= alexa_hour, "daily {alexa_daily} >= hourly {alexa_hour}");
         // Cumulative counts are monotone.
-        let c0 = r.cumulative_lines.get(&("Alexa Enabled", 0)).copied().unwrap_or(0);
-        let c1 = r.cumulative_lines.get(&("Alexa Enabled", 1)).copied().unwrap_or(0);
+        let c0 = r.cumulative_lines.get(&("Alexa Enabled".to_string(), 0)).copied().unwrap_or(0);
+        let c1 = r.cumulative_lines.get(&("Alexa Enabled".to_string(), 1)).copied().unwrap_or(0);
         assert!(c1 >= c0);
         // Any-IoT share is a plausible fraction of 8 000 lines.
         let any = r.any_iot_daily[&0] as f64 / 8_000.0;
@@ -356,31 +359,20 @@ mod tests {
         let cfg = IspStudyConfig { window: StudyWindow::days(0, 2), ..Default::default() };
         let r = run_isp_study(p, &p.world, &isp, &cfg);
         for rule in &p.rules.rules {
+            let class = p.rules.class_name(rule.class).to_string();
             for day in 0..2u32 {
-                let daily = r.daily.get(&(rule.class, day)).copied().unwrap_or(0);
+                let daily = r.daily.get(&(class.clone(), day)).copied().unwrap_or(0);
                 let max_hourly = (day * 24..(day + 1) * 24)
-                    .filter_map(|h| r.hourly.get(&(rule.class, h)))
+                    .filter_map(|h| r.hourly.get(&(class.clone(), h)))
                     .max()
                     .copied()
                     .unwrap_or(0);
-                assert!(
-                    max_hourly <= daily,
-                    "{} day {day}: hourly {max_hourly} > daily {daily}",
-                    rule.class
-                );
-                let cumulative = r.cumulative_lines.get(&(rule.class, day)).copied().unwrap_or(0);
-                assert!(
-                    daily <= cumulative,
-                    "{} day {day}: daily {daily} > cumulative {cumulative}",
-                    rule.class
-                );
+                assert!(max_hourly <= daily, "{class} day {day}: hourly {max_hourly} > daily {daily}");
+                let cumulative = r.cumulative_lines.get(&(class.clone(), day)).copied().unwrap_or(0);
+                assert!(daily <= cumulative, "{class} day {day}: daily {daily} > cumulative {cumulative}");
                 let slash24 =
-                    r.cumulative_slash24.get(&(rule.class, day)).copied().unwrap_or(0);
-                assert!(
-                    slash24 <= cumulative,
-                    "{}: /24s {slash24} > lines {cumulative}",
-                    rule.class
-                );
+                    r.cumulative_slash24.get(&(class.clone(), day)).copied().unwrap_or(0);
+                assert!(slash24 <= cumulative, "{class}: /24s {slash24} > lines {cumulative}");
             }
         }
     }
@@ -395,7 +387,7 @@ mod tests {
         let cfg = IspStudyConfig { window: StudyWindow::days(0, 1), ..Default::default() };
         let r = run_isp_study(p, &p.world, &isp, &cfg);
         for hour in 0..24u32 {
-            let active = r.active_hourly.get(&("Alexa Enabled", hour)).copied().unwrap_or(0);
+            let active = r.active_hourly.get(&("Alexa Enabled".to_string(), hour)).copied().unwrap_or(0);
             let present = r
                 .group_hourly
                 .get(&(DeviceGroup::Alexa, hour))

@@ -28,8 +28,9 @@ const WARMUP_DAYS: u32 = 3;
 /// Per-domain staleness verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StaleDomain {
-    /// Rule class.
-    pub class: &'static str,
+    /// Rule class name (owned — resolved from the rule set's interned
+    /// table at verdict time, so verdicts outlive a rules hot-reload).
+    pub class: String,
     /// Domain index within the rule.
     pub domain_index: usize,
     /// Domain name.
@@ -93,7 +94,7 @@ impl StalenessMonitor {
                     && (today as f64) < STALE_FRACTION * *baseline
                 {
                     verdicts.push(StaleDomain {
-                        class: rule.class,
+                        class: rules.class_name(rule.class).to_string(),
                         domain_index: di,
                         domain: dom.name.as_str().to_string(),
                         baseline: *baseline,
@@ -140,7 +141,7 @@ impl StalenessMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{DetectionRule, RuleDomain};
+    use crate::rules::{RuleDomain, RuleSetBuilder};
     use haystack_dns::DomainName;
     use haystack_net::ports::Proto;
     use haystack_net::{AnonId, HourBin, Prefix4};
@@ -152,28 +153,27 @@ mod tests {
     }
 
     fn ruleset() -> RuleSet {
-        RuleSet {
-            rules: vec![DetectionRule {
-                class: "Cam",
-                level: DetectionLevel::Manufacturer,
-                parent: None,
-                domains: vec![
-                    RuleDomain {
-                        name: DomainName::parse("api.cam.com").unwrap(),
-                        ports: [443u16].into_iter().collect(),
-                        ips: [ip(1)].into_iter().collect(),
-                        usage_indicator: false,
-                    },
-                    RuleDomain {
-                        name: DomainName::parse("upload.cam.com").unwrap(),
-                        ports: [443u16].into_iter().collect(),
-                        ips: [ip(2)].into_iter().collect(),
-                        usage_indicator: false,
-                    },
-                ],
-            }],
-            undetectable: vec![],
-        }
+        let mut b = RuleSetBuilder::new();
+        b.rule(
+            "Cam",
+            DetectionLevel::Manufacturer,
+            None,
+            vec![
+                RuleDomain {
+                    name: DomainName::parse("api.cam.com").unwrap(),
+                    ports: [443u16].into_iter().collect(),
+                    ips: [ip(1)].into_iter().collect(),
+                    usage_indicator: false,
+                },
+                RuleDomain {
+                    name: DomainName::parse("upload.cam.com").unwrap(),
+                    ports: [443u16].into_iter().collect(),
+                    ips: [ip(2)].into_iter().collect(),
+                    usage_indicator: false,
+                },
+            ],
+        );
+        b.build()
     }
 
     fn rec(dst: Ipv4Addr, packets: u64) -> WildRecord {

@@ -21,6 +21,7 @@ use crate::telemetry::HotStats;
 use haystack_net::AnonId;
 use haystack_wild::WildRecord;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Usage-detection configuration.
 #[derive(Debug, Clone, Copy)]
@@ -37,8 +38,8 @@ impl Default for UsageConfig {
 
 /// Per-hour active-use tracker.
 #[derive(Debug)]
-pub struct UsageTracker<'r> {
-    rules: &'r RuleSet,
+pub struct UsageTracker {
+    rules: Arc<RuleSet>,
     hitlist: HitList,
     config: UsageConfig,
     /// Per-rule: line → sampled packets this hour.
@@ -49,9 +50,9 @@ pub struct UsageTracker<'r> {
     stats: HotStats,
 }
 
-impl<'r> UsageTracker<'r> {
+impl UsageTracker {
     /// Create a tracker sharing the detector's rule set and hitlist.
-    pub fn new(rules: &'r RuleSet, hitlist: HitList, config: UsageConfig) -> Self {
+    pub fn new(rules: Arc<RuleSet>, hitlist: HitList, config: UsageConfig) -> Self {
         let n = rules.rules.len();
         UsageTracker {
             rules,
@@ -66,6 +67,23 @@ impl<'r> UsageTracker<'r> {
     /// Swap the daily hitlist.
     pub fn set_hitlist(&mut self, hitlist: HitList) {
         self.hitlist = hitlist;
+    }
+
+    /// The rule set this tracker observes against.
+    pub fn rules(&self) -> &Arc<RuleSet> {
+        &self.rules
+    }
+
+    /// Swap the rule set (and matching hitlist) after a hot reload. The
+    /// per-rule hour windows are re-sized to the new rule count and
+    /// cleared; callers that want to carry evidence across the swap
+    /// migrate the exported state and restore it afterwards.
+    pub fn set_rules(&mut self, rules: Arc<RuleSet>, hitlist: HitList) {
+        let n = rules.rules.len();
+        self.rules = rules;
+        self.hitlist = hitlist;
+        self.packets = (0..n).map(|_| FastMap::default()).collect();
+        self.indicator = (0..n).map(|_| FastSet::default()).collect();
     }
 
     /// Observe one record of the current hour. Allocation-free on the
@@ -168,7 +186,7 @@ impl<'r> UsageTracker<'r> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{DetectionRule, RuleDomain};
+    use crate::rules::{RuleDomain, RuleSetBuilder};
     use haystack_dns::DomainName;
     use haystack_net::ports::Proto;
     use haystack_net::{HourBin, Prefix4};
@@ -180,28 +198,27 @@ mod tests {
     }
 
     fn ruleset() -> RuleSet {
-        RuleSet {
-            rules: vec![DetectionRule {
-                class: "Alexa Enabled",
-                level: DetectionLevel::Platform,
-                parent: None,
-                domains: vec![
-                    RuleDomain {
-                        name: DomainName::parse("avs.a.com").unwrap(),
-                        ports: [443u16].into_iter().collect(),
-                        ips: [ip(1)].into_iter().collect(),
-                        usage_indicator: false,
-                    },
-                    RuleDomain {
-                        name: DomainName::parse("voice-upload.a.com").unwrap(),
-                        ports: [443u16].into_iter().collect(),
-                        ips: [ip(2)].into_iter().collect(),
-                        usage_indicator: true,
-                    },
-                ],
-            }],
-            undetectable: vec![],
-        }
+        let mut b = RuleSetBuilder::new();
+        b.rule(
+            "Alexa Enabled",
+            DetectionLevel::Platform,
+            None,
+            vec![
+                RuleDomain {
+                    name: DomainName::parse("avs.a.com").unwrap(),
+                    ports: [443u16].into_iter().collect(),
+                    ips: [ip(1)].into_iter().collect(),
+                    usage_indicator: false,
+                },
+                RuleDomain {
+                    name: DomainName::parse("voice-upload.a.com").unwrap(),
+                    ports: [443u16].into_iter().collect(),
+                    ips: [ip(2)].into_iter().collect(),
+                    usage_indicator: true,
+                },
+            ],
+        );
+        b.build()
     }
 
     fn rec(line: u64, dst: Ipv4Addr, packets: u64) -> WildRecord {
@@ -221,8 +238,9 @@ mod tests {
 
     #[test]
     fn volume_threshold() {
-        let rules = ruleset();
-        let mut t = UsageTracker::new(&rules, HitList::whole_window(&rules), UsageConfig::default());
+        let rules = Arc::new(ruleset());
+        let mut t =
+            UsageTracker::new(rules.clone(), HitList::whole_window(&rules), UsageConfig::default());
         t.observe(&rec(1, ip(1), 4));
         t.observe(&rec(1, ip(1), 7)); // cumulative 11 ≥ 10
         t.observe(&rec(2, ip(1), 3)); // idle-level
@@ -233,16 +251,18 @@ mod tests {
 
     #[test]
     fn indicator_domain_wins_regardless_of_volume() {
-        let rules = ruleset();
-        let mut t = UsageTracker::new(&rules, HitList::whole_window(&rules), UsageConfig::default());
+        let rules = Arc::new(ruleset());
+        let mut t =
+            UsageTracker::new(rules.clone(), HitList::whole_window(&rules), UsageConfig::default());
         t.observe(&rec(3, ip(2), 1));
         assert!(t.active_lines("Alexa Enabled").contains(&AnonId(3)));
     }
 
     #[test]
     fn reset_clears_the_hour() {
-        let rules = ruleset();
-        let mut t = UsageTracker::new(&rules, HitList::whole_window(&rules), UsageConfig::default());
+        let rules = Arc::new(ruleset());
+        let mut t =
+            UsageTracker::new(rules.clone(), HitList::whole_window(&rules), UsageConfig::default());
         t.observe(&rec(1, ip(1), 50));
         t.reset();
         assert!(t.active_lines("Alexa Enabled").is_empty());
@@ -250,8 +270,9 @@ mod tests {
 
     #[test]
     fn non_rule_traffic_ignored() {
-        let rules = ruleset();
-        let mut t = UsageTracker::new(&rules, HitList::whole_window(&rules), UsageConfig::default());
+        let rules = Arc::new(ruleset());
+        let mut t =
+            UsageTracker::new(rules.clone(), HitList::whole_window(&rules), UsageConfig::default());
         t.observe(&rec(1, ip(99), 1_000));
         assert!(t.active_lines("Alexa Enabled").is_empty());
     }

@@ -12,7 +12,7 @@
 
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
-use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
 use haystack_dns::DomainName;
 use haystack_net::ports::Proto;
 use haystack_net::{AnonId, HourBin, Prefix4};
@@ -57,25 +57,22 @@ fn ruleset() -> RuleSet {
         ips: octets.iter().map(|o| ip(*o)).collect(),
         usage_indicator: false,
     };
-    RuleSet {
-        rules: vec![
-            DetectionRule {
-                class: "Parent",
-                level: haystack_testbed::catalog::DetectionLevel::Manufacturer,
-                parent: None,
-                // Octet 1 is shared with the child rule: one hitlist key
-                // carrying entries for both rules.
-                domains: vec![dom(0, 0, &[1, 2]), dom(0, 1, &[3]), dom(0, 2, &[4])],
-            },
-            DetectionRule {
-                class: "Child",
-                level: haystack_testbed::catalog::DetectionLevel::Product,
-                parent: Some("Parent"),
-                domains: vec![dom(1, 0, &[1]), dom(1, 1, &[5])],
-            },
-        ],
-        undetectable: vec![],
-    }
+    let mut b = RuleSetBuilder::new();
+    // Octet 1 is shared with the child rule: one hitlist key carrying
+    // entries for both rules.
+    b.rule(
+        "Parent",
+        haystack_testbed::catalog::DetectionLevel::Manufacturer,
+        None,
+        vec![dom(0, 0, &[1, 2]), dom(0, 1, &[3]), dom(0, 2, &[4])],
+    );
+    b.rule(
+        "Child",
+        haystack_testbed::catalog::DetectionLevel::Product,
+        Some("Parent"),
+        vec![dom(1, 0, &[1]), dom(1, 1, &[5])],
+    );
+    b.build()
 }
 
 fn stream(lines: u64) -> Vec<WildRecord> {

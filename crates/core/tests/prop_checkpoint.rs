@@ -13,7 +13,7 @@
 use haystack_core::checkpoint::{DetectorState, StalenessState, UsageState};
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
-use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
 use haystack_core::staleness::StalenessMonitor;
 use haystack_core::usage::{UsageConfig, UsageTracker};
 use haystack_dns::DomainName;
@@ -24,7 +24,7 @@ use haystack_wild::WildRecord;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-/// Rule classes are `&'static str`; a fixed universe keeps them static.
+/// A fixed class-name universe keeps generated rule sets comparable.
 const CLASSES: [&str; 3] = ["R0", "R1", "R2"];
 /// Small shared pools so rules overlap on IPs — the multi-entry case.
 const PORTS: [u16; 2] = [443, 8883];
@@ -37,28 +37,25 @@ fn pool_ip(idx: u8) -> Ipv4Addr {
 type DomainSpec = (u8, u8, bool);
 
 fn build_rules(specs: &[Vec<DomainSpec>]) -> RuleSet {
-    RuleSet {
-        rules: specs
-            .iter()
-            .enumerate()
-            .map(|(ri, domains)| DetectionRule {
-                class: CLASSES[ri],
-                level: DetectionLevel::Manufacturer,
-                parent: None,
-                domains: domains
-                    .iter()
-                    .enumerate()
-                    .map(|(di, &(ip, port, usage_indicator))| RuleDomain {
-                        name: DomainName::parse(&format!("d{di}.r{ri}.example")).unwrap(),
-                        ports: [PORTS[port as usize % PORTS.len()]].into_iter().collect(),
-                        ips: [pool_ip(ip)].into_iter().collect(),
-                        usage_indicator,
-                    })
-                    .collect(),
-            })
-            .collect(),
-        undetectable: vec![],
+    let mut b = RuleSetBuilder::new();
+    for (ri, domains) in specs.iter().enumerate() {
+        b.rule(
+            CLASSES[ri],
+            DetectionLevel::Manufacturer,
+            None,
+            domains
+                .iter()
+                .enumerate()
+                .map(|(di, &(ip, port, usage_indicator))| RuleDomain {
+                    name: DomainName::parse(&format!("d{di}.r{ri}.example")).unwrap(),
+                    ports: [PORTS[port as usize % PORTS.len()]].into_iter().collect(),
+                    ips: [pool_ip(ip)].into_iter().collect(),
+                    usage_indicator,
+                })
+                .collect(),
+        );
     }
+    b.build()
 }
 
 /// One generated record: (line, ip idx, port idx, packets, hour).
@@ -127,10 +124,11 @@ proptest! {
 
         prop_assert_eq!(resumed.export_state(), whole.export_state());
         for rule in &rules.rules {
+            let class = rules.class_name(rule.class);
             prop_assert_eq!(
-                resumed.detected_lines(rule.class),
-                whole.detected_lines(rule.class),
-                "class {} diverges after restore", rule.class
+                resumed.detected_lines(class),
+                whole.detected_lines(class),
+                "class {} diverges after restore", class
             );
         }
         prop_assert_eq!(resumed.state_size(), whole.state_size());
@@ -149,18 +147,19 @@ proptest! {
         let records: Vec<WildRecord> = records.iter().map(build_record).collect();
         let split = ((records.len() as f64) * split_frac) as usize;
 
-        let mut whole = UsageTracker::new(&rules, HitList::whole_window(&rules), config);
+        let rules = std::sync::Arc::new(rules);
+        let mut whole = UsageTracker::new(rules.clone(), HitList::whole_window(&rules), config);
         for r in &records {
             whole.observe(r);
         }
 
-        let mut first = UsageTracker::new(&rules, HitList::whole_window(&rules), config);
+        let mut first = UsageTracker::new(rules.clone(), HitList::whole_window(&rules), config);
         for r in &records[..split] {
             first.observe(r);
         }
         let frame = first.export_state().encode();
         let state = UsageState::decode(&frame).expect("own frame decodes");
-        let mut resumed = UsageTracker::new(&rules, HitList::whole_window(&rules), config);
+        let mut resumed = UsageTracker::new(rules.clone(), HitList::whole_window(&rules), config);
         resumed.restore_state(&state).expect("same rule count");
         for r in &records[split..] {
             resumed.observe(r);
@@ -168,10 +167,11 @@ proptest! {
 
         prop_assert_eq!(resumed.export_state(), whole.export_state());
         for rule in &rules.rules {
+            let class = rules.class_name(rule.class);
             prop_assert_eq!(
-                resumed.active_lines(rule.class),
-                whole.active_lines(rule.class),
-                "class {} diverges after restore", rule.class
+                resumed.active_lines(class),
+                whole.active_lines(class),
+                "class {} diverges after restore", class
             );
         }
     }

@@ -2,7 +2,7 @@
 
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
-use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
 use haystack_dns::DomainName;
 use haystack_net::ports::Proto;
 use haystack_net::{AnonId, HourBin};
@@ -13,22 +13,21 @@ use std::net::Ipv4Addr;
 
 /// Build a single rule with `n` domains, each on one distinct IP.
 fn ruleset(n: usize) -> RuleSet {
-    RuleSet {
-        rules: vec![DetectionRule {
-            class: "X",
-            level: DetectionLevel::Manufacturer,
-            parent: None,
-            domains: (0..n)
-                .map(|i| RuleDomain {
-                    name: DomainName::parse(&format!("d{i}.x.com")).unwrap(),
-                    ports: [443u16].into_iter().collect(),
-                    ips: [Ipv4Addr::new(198, 18, 8, i as u8 + 1)].into_iter().collect(),
-                    usage_indicator: false,
-                })
-                .collect(),
-        }],
-        undetectable: vec![],
-    }
+    let mut b = RuleSetBuilder::new();
+    b.rule(
+        "X",
+        DetectionLevel::Manufacturer,
+        None,
+        (0..n)
+            .map(|i| RuleDomain {
+                name: DomainName::parse(&format!("d{i}.x.com")).unwrap(),
+                ports: [443u16].into_iter().collect(),
+                ips: [Ipv4Addr::new(198, 18, 8, i as u8 + 1)].into_iter().collect(),
+                usage_indicator: false,
+            })
+            .collect(),
+    );
+    b.build()
 }
 
 proptest! {

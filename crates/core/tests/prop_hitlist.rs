@@ -2,7 +2,7 @@
 //! (IP, port) index must agree exactly with the rules it was built from.
 
 use haystack_core::hitlist::HitList;
-use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
 use haystack_dns::DomainName;
 use haystack_testbed::catalog::DetectionLevel;
 use proptest::prelude::*;
@@ -30,29 +30,26 @@ fn arb_domain() -> impl Strategy<Value = DomainSpec> {
 }
 
 fn ruleset(domains_per_rule: &[Vec<DomainSpec>]) -> RuleSet {
-    let classes: &[&'static str] = &["C0", "C1", "C2", "C3", "C4", "C5"];
-    RuleSet {
-        rules: domains_per_rule
-            .iter()
-            .enumerate()
-            .map(|(ri, specs)| DetectionRule {
-                class: classes[ri],
-                level: DetectionLevel::Manufacturer,
-                parent: None,
-                domains: specs
-                    .iter()
-                    .enumerate()
-                    .map(|(di, s)| RuleDomain {
-                        name: DomainName::parse(&format!("d{di}.c{ri}.com")).unwrap(),
-                        ports: s.ports.clone(),
-                        ips: s.ips.clone(),
-                        usage_indicator: false,
-                    })
-                    .collect(),
-            })
-            .collect(),
-        undetectable: vec![],
+    let classes: &[&str] = &["C0", "C1", "C2", "C3", "C4", "C5"];
+    let mut b = RuleSetBuilder::new();
+    for (ri, specs) in domains_per_rule.iter().enumerate() {
+        b.rule(
+            classes[ri],
+            DetectionLevel::Manufacturer,
+            None,
+            specs
+                .iter()
+                .enumerate()
+                .map(|(di, s)| RuleDomain {
+                    name: DomainName::parse(&format!("d{di}.c{ri}.com")).unwrap(),
+                    ports: s.ports.clone(),
+                    ips: s.ips.clone(),
+                    usage_indicator: false,
+                })
+                .collect(),
+        );
     }
+    b.build()
 }
 
 proptest! {

@@ -13,7 +13,7 @@
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::MapHitList;
 use haystack_core::reference::ReferenceDetector;
-use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
 use haystack_dns::DomainName;
 use haystack_net::ports::Proto;
 use haystack_net::{AnonId, HourBin, Prefix4};
@@ -21,7 +21,7 @@ use haystack_wild::WildRecord;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-/// Class names for generated rules ('static required by `RuleSet`).
+/// Class names for generated rules.
 const CLASSES: [&str; 6] = ["R0", "R1", "R2", "R3", "R4", "R5"];
 
 /// Spec for one generated rule: domain count and, per domain, which IP
@@ -32,15 +32,13 @@ type RuleSpec = Vec<Vec<u8>>;
 /// Build a rule set from generated specs. Rule `i > 0` is optionally a
 /// child of rule `i - 1` (chained hierarchy) when `chain` is set.
 fn ruleset(specs: &[RuleSpec], chain: bool) -> RuleSet {
-    let rules = specs
-        .iter()
-        .enumerate()
-        .map(|(ri, doms)| DetectionRule {
-            class: CLASSES[ri],
-            level: haystack_testbed::catalog::DetectionLevel::Manufacturer,
-            parent: if chain && ri > 0 { Some(CLASSES[ri - 1]) } else { None },
-            domains: doms
-                .iter()
+    let mut b = RuleSetBuilder::new();
+    for (ri, doms) in specs.iter().enumerate() {
+        b.rule(
+            CLASSES[ri],
+            haystack_testbed::catalog::DetectionLevel::Manufacturer,
+            if chain && ri > 0 { Some(CLASSES[ri - 1]) } else { None },
+            doms.iter()
                 .enumerate()
                 .map(|(di, ips)| RuleDomain {
                     name: DomainName::parse(&format!("d{di}.r{ri}.test")).unwrap(),
@@ -49,9 +47,9 @@ fn ruleset(specs: &[RuleSpec], chain: bool) -> RuleSet {
                     usage_indicator: false,
                 })
                 .collect(),
-        })
-        .collect();
-    RuleSet { rules, undetectable: vec![] }
+        );
+    }
+    b.build()
 }
 
 /// Turn generated (line, octet, port-choice, hour) tuples into records.
@@ -140,28 +138,29 @@ proptest! {
         prop_assert_eq!(fast.state_size(), reference.state_size());
         let lines: Vec<AnonId> = (0u64..12).map(AnonId).collect();
         for rule in &rules.rules {
+            let class = rules.class_name(rule.class);
             prop_assert_eq!(
-                fast.detected_lines(rule.class),
-                reference.detected_lines(rule.class),
-                "detected_lines({}) diverged", rule.class
+                fast.detected_lines(class),
+                reference.detected_lines(class),
+                "detected_lines({}) diverged", class
             );
             for &line in &lines {
                 prop_assert_eq!(
-                    fast.is_detected(line, rule.class),
-                    reference.is_detected(line, rule.class)
+                    fast.is_detected(line, class),
+                    reference.is_detected(line, class)
                 );
                 prop_assert_eq!(
-                    fast.first_detection(line, rule.class),
-                    reference.first_detection(line, rule.class),
-                    "first_detection({:?}, {}) diverged", line, rule.class
+                    fast.first_detection(line, class),
+                    reference.first_detection(line, class),
+                    "first_detection({:?}, {}) diverged", line, class
                 );
                 let (cf, cr) = (
-                    fast.confidence(line, rule.class),
-                    reference.confidence(line, rule.class),
+                    fast.confidence(line, class),
+                    reference.confidence(line, class),
                 );
                 prop_assert!(
                     (cf - cr).abs() < 1e-12,
-                    "confidence({:?}, {}): {} vs {}", line, rule.class, cf, cr
+                    "confidence({:?}, {}): {} vs {}", line, class, cf, cr
                 );
             }
         }

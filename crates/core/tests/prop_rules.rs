@@ -1,6 +1,7 @@
 //! Property tests for rule semantics: the §4.3.2 evidence formula and the
 //! hierarchy-aware domain assignment.
 
+use haystack_core::classes::ClassId;
 use haystack_core::rules::{common_ancestor, DetectionRule, RuleDomain};
 use haystack_dns::DomainName;
 use haystack_testbed::catalog::data::standard_catalog;
@@ -10,7 +11,7 @@ use std::collections::BTreeSet;
 
 fn rule_with(n: usize) -> DetectionRule {
     DetectionRule {
-        class: "X",
+        class: ClassId(0),
         level: DetectionLevel::Manufacturer,
         parent: None,
         domains: (0..n)

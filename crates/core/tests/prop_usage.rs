@@ -7,7 +7,7 @@
 //! so any disagreement is a bug in the indexed fast path.
 
 use haystack_core::hitlist::HitList;
-use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
 use haystack_core::staleness::{StaleDomain, StalenessMonitor};
 use haystack_core::usage::{UsageConfig, UsageTracker};
 use haystack_dns::DomainName;
@@ -19,7 +19,7 @@ use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
-/// Rule classes are `&'static str`; a fixed universe keeps them static.
+/// A fixed class-name universe keeps generated rule sets comparable.
 const CLASSES: [&str; 3] = ["R0", "R1", "R2"];
 /// Small shared pools so rules overlap on IPs and ports — the
 /// interesting case for the multi-entry hitlist lookups.
@@ -33,28 +33,25 @@ fn pool_ip(idx: u8) -> Ipv4Addr {
 type DomainSpec = (u8, u8, bool);
 
 fn build_rules(specs: &[Vec<DomainSpec>]) -> RuleSet {
-    RuleSet {
-        rules: specs
-            .iter()
-            .enumerate()
-            .map(|(ri, domains)| DetectionRule {
-                class: CLASSES[ri],
-                level: DetectionLevel::Manufacturer,
-                parent: None,
-                domains: domains
-                    .iter()
-                    .enumerate()
-                    .map(|(di, &(ip, port, usage_indicator))| RuleDomain {
-                        name: DomainName::parse(&format!("d{di}.r{ri}.example")).unwrap(),
-                        ports: [PORTS[port as usize % PORTS.len()]].into_iter().collect(),
-                        ips: [pool_ip(ip)].into_iter().collect(),
-                        usage_indicator,
-                    })
-                    .collect(),
-            })
-            .collect(),
-        undetectable: vec![],
+    let mut b = RuleSetBuilder::new();
+    for (ri, domains) in specs.iter().enumerate() {
+        b.rule(
+            CLASSES[ri],
+            DetectionLevel::Manufacturer,
+            None,
+            domains
+                .iter()
+                .enumerate()
+                .map(|(di, &(ip, port, usage_indicator))| RuleDomain {
+                    name: DomainName::parse(&format!("d{di}.r{ri}.example")).unwrap(),
+                    ports: [PORTS[port as usize % PORTS.len()]].into_iter().collect(),
+                    ips: [pool_ip(ip)].into_iter().collect(),
+                    usage_indicator,
+                })
+                .collect(),
+        );
     }
+    b.build()
 }
 
 /// One generated record: (line, ip pool index, port pool index, packets).
@@ -104,9 +101,9 @@ proptest! {
         records in prop::collection::vec((0u64..6, 0u8..8, 0u8..2, 1u64..30), 0..80),
         threshold in 1u64..40,
     ) {
-        let rules = build_rules(&specs);
+        let rules = std::sync::Arc::new(build_rules(&specs));
         let mut tracker = UsageTracker::new(
-            &rules,
+            rules.clone(),
             HitList::whole_window(&rules),
             UsageConfig { packet_threshold: threshold },
         );
@@ -138,10 +135,10 @@ proptest! {
                 .map(AnonId)
                 .collect();
             prop_assert_eq!(
-                tracker.active_lines(rule.class),
+                tracker.active_lines(rules.class_name(rule.class)),
                 expected,
                 "class {} disagrees with the reference",
-                rule.class
+                rules.class_name(rule.class)
             );
         }
 
@@ -163,10 +160,10 @@ proptest! {
         hour_a in prop::collection::vec((0u64..6, 0u8..8, 0u8..2, 1u64..30), 0..40),
         hour_b in prop::collection::vec((0u64..6, 0u8..8, 0u8..2, 1u64..30), 0..40),
     ) {
-        let rules = build_rules(&specs);
+        let rules = std::sync::Arc::new(build_rules(&specs));
         let config = UsageConfig::default();
-        let mut tracker = UsageTracker::new(&rules, HitList::whole_window(&rules), config);
-        let mut fresh = UsageTracker::new(&rules, HitList::whole_window(&rules), config);
+        let mut tracker = UsageTracker::new(rules.clone(), HitList::whole_window(&rules), config);
+        let mut fresh = UsageTracker::new(rules.clone(), HitList::whole_window(&rules), config);
         for spec in &hour_a {
             tracker.observe(&build_record(spec));
         }
@@ -176,9 +173,10 @@ proptest! {
             fresh.observe(&build_record(spec));
         }
         for rule in &rules.rules {
+            let class = rules.class_name(rule.class);
             prop_assert_eq!(
-                tracker.active_lines(rule.class),
-                fresh.active_lines(rule.class)
+                tracker.active_lines(class),
+                fresh.active_lines(class)
             );
         }
     }
@@ -224,7 +222,7 @@ proptest! {
                     let b = baseline.entry((ri, di)).or_insert(t as f64);
                     if days_seen > WARMUP_DAYS && *b > 10.0 && (t as f64) < STALE_FRACTION * *b {
                         expected.push(StaleDomain {
-                            class: rule.class,
+                            class: rules.class_name(rule.class).to_string(),
                             domain_index: di,
                             domain: dom.name.as_str().to_string(),
                             baseline: *b,

@@ -14,7 +14,7 @@
 use haystack_core::detector::DetectorConfig;
 use haystack_core::hitlist::HitList;
 use haystack_core::parallel::DetectorPool;
-use haystack_core::rules::{DetectionRule, RuleDomain, RuleSet};
+use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
 use haystack_core::telemetry::{self, InstrumentedStream};
 use haystack_dns::DomainName;
 use haystack_flow::export::{ExportProtocol, Exporter};
@@ -94,20 +94,19 @@ fn wire_records_are_conserved_under_loss() {
 }
 
 fn small_rules() -> RuleSet {
-    RuleSet {
-        rules: vec![DetectionRule {
-            class: "Conserved",
-            level: DetectionLevel::Platform,
-            parent: None,
-            domains: vec![RuleDomain {
-                name: DomainName::parse("svc.conserved.example").unwrap(),
-                ports: [443u16].into_iter().collect(),
-                ips: [Ipv4Addr::new(198, 18, 7, 1)].into_iter().collect(),
-                usage_indicator: false,
-            }],
+    let mut b = RuleSetBuilder::new();
+    b.rule(
+        "Conserved",
+        DetectionLevel::Platform,
+        None,
+        vec![RuleDomain {
+            name: DomainName::parse("svc.conserved.example").unwrap(),
+            ports: [443u16].into_iter().collect(),
+            ips: [Ipv4Addr::new(198, 18, 7, 1)].into_iter().collect(),
+            usage_indicator: false,
         }],
-        undetectable: vec![],
-    }
+    );
+    b.build()
 }
 
 fn wild_records(n: usize, seed: u64) -> Vec<WildRecord> {

@@ -55,7 +55,8 @@ fn main() {
     println!("\n{:<28} {:>10} {:>12} {:>8}", "class", "suspects", "population", "lift");
     let mut rows: Vec<(&str, usize, usize, f64)> = Vec::new();
     for rule in &pipeline.rules.rules {
-        let all: BTreeSet<AnonId> = det.detected_lines(rule.class).into_iter().collect();
+        let class = pipeline.rules.class_name(rule.class);
+        let all: BTreeSet<AnonId> = det.detected_lines(class).into_iter().collect();
         if all.is_empty() {
             continue;
         }
@@ -65,7 +66,7 @@ fn main() {
         }
         let p_pop = all.len() as f64 / f64::from(lines);
         let p_sus = among as f64 / suspicious.len().max(1) as f64;
-        rows.push((rule.class, among, all.len(), p_sus / p_pop));
+        rows.push((class, among, all.len(), p_sus / p_pop));
     }
     rows.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
     for (class, among, total, lift) in rows.iter().take(10) {
@@ -79,8 +80,9 @@ fn main() {
     // Count how many distinct rule-relevant backend IPs could be blocked.
     let mut block_targets: BTreeMap<&str, usize> = BTreeMap::new();
     for rule in &pipeline.rules.rules {
-        if camera_classes.contains(&rule.class) {
-            block_targets.insert(rule.class, rule.domains.iter().map(|d| d.ips.len()).sum());
+        let class = pipeline.rules.class_name(rule.class);
+        if camera_classes.contains(&class) {
+            block_targets.insert(class, rule.domains.iter().map(|d| d.ips.len()).sum());
         }
     }
     println!("\nbackend IPs available for blocking/redirect per camera class:");

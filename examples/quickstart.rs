@@ -48,7 +48,10 @@ fn main() {
         .rules
         .rules
         .iter()
-        .filter_map(|r| study.daily.get(&(r.class, 0)).map(|n| (r.class, *n)))
+        .filter_map(|r| {
+            let class = pipeline.rules.class_name(r.class);
+            study.daily.get(&(class.to_string(), 0)).map(|n| (class, *n))
+        })
         .collect();
     rows.sort_by_key(|r| std::cmp::Reverse(r.1));
     for (class, n) in rows.iter().take(12) {

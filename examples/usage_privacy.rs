@@ -32,7 +32,7 @@ fn main() {
     for hod in 0..24u32 {
         let hour = 24 + hod; // day 2, to let evidence accumulate
         let detected = study.group_hourly.get(&(haystack::core::report::DeviceGroup::Alexa, hour));
-        let active = study.active_hourly.get(&("Alexa Enabled", hour));
+        let active = study.active_hourly.get(&("Alexa Enabled".to_string(), hour));
         println!(
             "{hod:>2}:00         {:>10} {:>12}",
             detected.copied().unwrap_or(0),
@@ -41,12 +41,12 @@ fn main() {
     }
 
     let peak_active = (0..24u32)
-        .filter_map(|h| study.active_hourly.get(&("Alexa Enabled", 24 + h)).copied())
+        .filter_map(|h| study.active_hourly.get(&("Alexa Enabled".to_string(), 24 + h)).copied())
         .max()
         .unwrap_or(0);
     let night_active = study
         .active_hourly
-        .get(&("Alexa Enabled", 24 + 3))
+        .get(&("Alexa Enabled".to_string(), 24 + 3))
         .copied()
         .unwrap_or(0);
     println!(

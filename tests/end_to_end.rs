@@ -104,9 +104,9 @@ fn background_browsing_alone_triggers_nothing() {
     assert!(records > 1_000, "background produced traffic: {records}");
     for rule in &p.rules.rules {
         assert!(
-            det.detected_lines(rule.class).is_empty(),
+            det.detected_lines(p.rules.class_name(rule.class)).is_empty(),
             "false positive for {} from pure background traffic",
-            rule.class
+            p.rules.class_name(rule.class)
         );
     }
 }
@@ -292,11 +292,11 @@ fn streaming_detection_is_worker_and_chunking_invariant() {
         }
         pool.finish().unwrap();
         for rule in &p.rules.rules {
+            let class = p.rules.class_name(rule.class);
             assert_eq!(
-                pool.detected_lines(rule.class).unwrap(),
-                det.detected_lines(rule.class),
-                "class {} diverges at {workers} workers",
-                rule.class
+                pool.detected_lines(class).unwrap(),
+                det.detected_lines(class),
+                "class {class} diverges at {workers} workers"
             );
         }
     }
@@ -357,8 +357,8 @@ fn golden_e2e_snapshot_matches_fixture() {
         "window": "day 0",
         "chaos": {"drop_probability": 0.05, "duplicate_probability": 0.02, "seed": 17},
         "classes": p.rules.rules.iter().map(|r| serde_json::json!({
-            "class": r.class,
-            "detected_lines": det.detected_lines(r.class).iter().map(|l| l.0).collect::<Vec<_>>(),
+            "class": p.rules.class_name(r.class),
+            "detected_lines": det.detected_lines(p.rules.class_name(r.class)).iter().map(|l| l.0).collect::<Vec<_>>(),
         })).collect::<Vec<_>>(),
     });
     let filtered = telemetry::global().snapshot().filtered("golden");

@@ -135,8 +135,15 @@ fn detections_and_funnel_stats_are_chunking_invariant() {
             base.observe_wild(r);
         }
     }
-    let base_detected: Vec<(&str, Vec<haystack::net::AnonId>)> =
-        p.rules.rules.iter().map(|r| (r.class, base.detected_lines(r.class))).collect();
+    let base_detected: Vec<(&str, Vec<haystack::net::AnonId>)> = p
+        .rules
+        .rules
+        .iter()
+        .map(|r| {
+            let class = p.rules.class_name(r.class);
+            (class, base.detected_lines(class))
+        })
+        .collect();
 
     for chunk_records in CHUNK_SIZES {
         let mut det = Detector::new(
