@@ -1,18 +1,34 @@
 //! The paper's scalability claim (§1: "can identify millions of IoT
 //! devices within minutes, in a non-intrusive way from passive, sampled
 //! data"): measure detector throughput in flow records per second, for
-//! the pre-optimization reference path and the flattened hot path, and
-//! derive the wall-clock for an ISP-scale hour.
+//! the pre-optimization reference path, the flattened hot path, and the
+//! batched fingerprint-gated path at the miss rates a wild deployment
+//! actually sees, and derive the wall-clock for an ISP-scale hour.
+//!
+//! The wild workload is *miss-dominated* — the overwhelming majority of
+//! sampled records match no IoT rule — so the headline variants here are
+//! the `compiled_chunk_missNN` rows: `observe_chunk` over streams where
+//! 50 % / 90 % / 99 % of records miss every rule key. Every miss record
+//! carries a *distinct* destination, because that is what makes the
+//! workload honest: with only a handful of recycled miss keys the probe
+//! table stays cache-resident and an ungated probe looks artificially
+//! cheap; real traffic's key diversity is exactly what the fingerprint
+//! front gate exists to absorb (one L1 byte per miss instead of a
+//! cache-missing slot probe). The `ungated_probe_miss99` comparator
+//! measures that pre-gate cost in the same run, so the gate's speedup is
+//! recomputed — not trusted from a stale snapshot — every time the bench
+//! runs.
 //!
 //! Output:
 //!
 //! * criterion-style per-variant timings on stdout;
-//! * `BENCH_detector.json` — one row per variant with records/sec and
-//!   the compiled-vs-reference speedup, the PR-over-PR perf trajectory
-//!   file CI archives;
-//! * with `--check <baseline.json>`, exits non-zero if the compiled
-//!   variant's records/sec regressed more than 20 % against the
-//!   committed baseline snapshot (the CI gate).
+//! * `BENCH_detector.json` — one row per variant with records/sec, the
+//!   compiled-vs-reference speedup, and (miss variants) the gate-vs-
+//!   ungated speedup: the PR-over-PR perf trajectory file CI archives;
+//! * with `--check <baseline.json>`, exits non-zero if the `compiled`
+//!   variant or the miss-dominated `compiled_chunk_miss99` variant
+//!   regressed more than 20 % against the committed baseline snapshot
+//!   (the CI gate).
 
 use criterion::{BatchSize, Criterion, Throughput};
 use haystack_core::detector::{Detector, DetectorConfig};
@@ -32,8 +48,12 @@ use std::time::Instant;
 const RECORDS: usize = 100_000;
 /// Timed passes per variant; the best is reported (minimum noise floor).
 const PASSES: usize = 5;
-/// CI gate: fail if compiled records/sec drops below this × baseline.
+/// CI gate: fail if a gated variant's records/sec drops below this ×
+/// its baseline row.
 const REGRESSION_FLOOR: f64 = 0.8;
+/// The gated variants `--check` holds against the committed baseline:
+/// the legacy 30 %-hit compiled path and the miss-dominated headline.
+const GATED_VARIANTS: [&str; 2] = ["compiled", "compiled_chunk_miss99"];
 
 /// `cargo bench` runs with the package directory as cwd; anchor all
 /// artifact paths at the workspace root so the trajectory file lands in
@@ -51,27 +71,35 @@ fn pipeline() -> &'static Pipeline {
     P.get_or_init(|| Pipeline::run(PipelineConfig::fast(42)))
 }
 
-/// A synthetic sampled-flow stream: 70 % background (non-rule) records,
-/// 30 % rule-IP hits — roughly the wild mix after port filtering.
-fn stream(n: usize, seed: u64) -> Vec<WildRecord> {
+/// Every (ip, port) combination any rule indexes — the hit vocabulary.
+fn rule_keys() -> Vec<(Ipv4Addr, u16)> {
     let p = pipeline();
-    let mut rule_ips: Vec<(Ipv4Addr, u16)> = Vec::new();
+    let mut keys = Vec::new();
     for r in &p.rules.rules {
         for d in &r.domains {
             for ip in &d.ips {
                 for port in &d.ports {
-                    rule_ips.push((*ip, *port));
+                    keys.push((*ip, *port));
                 }
             }
         }
     }
+    keys
+}
+
+/// A synthetic sampled-flow stream with the given rule-hit rate. Hits
+/// draw uniformly from the rule keys; every miss record gets a distinct
+/// destination (see the module doc — recycled miss keys would let the
+/// probe table hide in cache and understate the gate's value).
+fn stream(n: usize, seed: u64, hit_rate: f64) -> Vec<WildRecord> {
+    let keys = rule_keys();
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
         .map(|i| {
-            let (dst, dport) = if rng.gen_bool(0.3) {
-                rule_ips[rng.gen_range(0..rule_ips.len())]
+            let (dst, dport) = if rng.gen_bool(hit_rate) {
+                keys[rng.gen_range(0..keys.len())]
             } else {
-                (Ipv4Addr::new(151, 64, (i % 250) as u8, (i % 200) as u8), 443)
+                (Ipv4Addr::new(30 + (i >> 16) as u8, (i >> 8) as u8, i as u8, 1), 443)
             };
             let src = Ipv4Addr::new(100, 64, rng.gen(), rng.gen());
             WildRecord {
@@ -90,7 +118,9 @@ fn stream(n: usize, seed: u64) -> Vec<WildRecord> {
         .collect()
 }
 
-/// Best-of-[`PASSES`] records/sec for one observe strategy.
+/// Best-of-[`PASSES`] records/sec for one observe strategy, fresh
+/// detector per pass (state growth included in the timing — the
+/// before/after comparison the legacy variants have always used).
 fn measure<F: FnMut(&[WildRecord]) -> usize>(records: &[WildRecord], mut pass: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..PASSES {
@@ -98,6 +128,53 @@ fn measure<F: FnMut(&[WildRecord]) -> usize>(records: &[WildRecord], mut pass: F
         let states = pass(records);
         let dt = t0.elapsed().as_secs_f64();
         assert!(states > 0, "a pass must accumulate state");
+        best = best.min(dt);
+    }
+    records.len() as f64 / best
+}
+
+/// Best-of-[`PASSES`] records/sec for `observe_chunk` on a *warm*
+/// detector: one untimed pass first, so the scratch columns are sized
+/// and every (line, rule) state the stream can touch exists. This is
+/// the steady state an ISP-scale deployment lives in (`alloc_free.rs`
+/// pins it allocation-free) — first-touch state-map growth belongs to
+/// the first hour, not to the per-record cost model. On a miss-heavy
+/// stream a fresh-detector pass would spend a measurable share of its
+/// time in exactly those one-time inserts.
+fn measure_warm(records: &[WildRecord]) -> f64 {
+    let p = pipeline();
+    let mut det =
+        Detector::new(&p.rules, HitList::whole_window(&p.rules), DetectorConfig::default());
+    det.observe_chunk(records);
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let t0 = Instant::now();
+        det.observe_chunk(records);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+    }
+    // Miss-dominated passes may legitimately accumulate no detection
+    // state; records observed is the liveness check instead.
+    assert!(det.hot_stats().records > 0, "a pass must observe records");
+    records.len() as f64 / best
+}
+
+/// Records/sec for the *ungated* probe path on a stream: what every
+/// record cost before the fingerprint front gate existed — pack, hash,
+/// full open-addressing probe — measured through the public
+/// [`HitList::lookup_ungated`] bypass on the same compiled table.
+fn measure_ungated(records: &[WildRecord]) -> f64 {
+    let p = pipeline();
+    let hl = HitList::whole_window(&p.rules);
+    let mut best = f64::INFINITY;
+    for _ in 0..PASSES {
+        let mut matches = 0usize;
+        let t0 = Instant::now();
+        for r in records {
+            matches += hl.lookup_ungated(r.dst, r.dport).len();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(matches > 0, "the stream must contain rule hits");
         best = best.min(dt);
     }
     records.len() as f64 / best
@@ -152,26 +229,24 @@ fn criterion_comparison(records: &[WildRecord]) {
     g.finish();
 }
 
-/// Load the compiled variant's records/sec from a baseline JSON file.
-fn baseline_rps(path: &str) -> f64 {
+/// Load a named variant's records/sec from a baseline JSON file.
+fn baseline_rps(path: &str, variant: &str) -> f64 {
     let text = std::fs::read_to_string(root_path(path)).unwrap_or_else(|e| {
         eprintln!("error: cannot read baseline {path}: {e}");
         std::process::exit(1);
     });
-    let doc = serde_json::from_str(&text).unwrap_or_else(|e| {
+    let doc: serde_json::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
         eprintln!("error: baseline {path} is not JSON: {e:?}");
         std::process::exit(1);
     });
     doc.as_array()
         .and_then(|rows| {
-            rows.iter().find(|r| {
-                r.get("variant").and_then(|v| v.as_str()) == Some("compiled")
-            })
+            rows.iter().find(|r| r.get("variant").and_then(|v| v.as_str()) == Some(variant))
         })
         .and_then(|row| row.get("records_per_sec"))
         .and_then(|v| v.as_f64())
         .unwrap_or_else(|| {
-            eprintln!("error: baseline {path} has no compiled records_per_sec row");
+            eprintln!("error: baseline {path} has no {variant} records_per_sec row");
             std::process::exit(1);
         })
 }
@@ -180,24 +255,24 @@ fn main() {
     // Cargo invokes benches with `--bench` (and possibly a filter);
     // only `--check <file>` is meaningful here.
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let check = argv
-        .iter()
-        .position(|a| a == "--check")
-        .map(|i| argv.get(i + 1).cloned().unwrap_or_else(|| {
+    let check = argv.iter().position(|a| a == "--check").map(|i| {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("error: --check needs a baseline path");
             std::process::exit(2);
-        }));
+        })
+    });
 
     let p = pipeline();
-    let records = stream(RECORDS, 7);
-    criterion_comparison(&records);
+    let hit30 = stream(RECORDS, 7, 0.3);
+    criterion_comparison(&hit30);
 
     // Before/after measurement for the trajectory file. "reference" is
     // the pre-optimization implementation (SipHash tuple maps, per-match
     // entry clone over the HashMap hitlist); "compiled" is the flattened
-    // hot path; "compiled_chunk" adds the batch entry point the pool
-    // shards use.
-    let reference_rps = measure(&records, |recs| {
+    // hot path; "compiled_chunk" adds the batched fingerprint-gated
+    // entry point the pool shards use. All three keep the legacy 30 %-
+    // hit mix and fresh-per-pass semantics for trajectory continuity.
+    let reference_rps = measure(&hit30, |recs| {
         let mut det = ReferenceDetector::new(
             &p.rules,
             MapHitList::whole_window(&p.rules),
@@ -208,7 +283,7 @@ fn main() {
         }
         det.state_size()
     });
-    let compiled_rps = measure(&records, |recs| {
+    let compiled_rps = measure(&hit30, |recs| {
         let mut det =
             Detector::new(&p.rules, HitList::whole_window(&p.rules), DetectorConfig::default());
         for r in recs {
@@ -216,12 +291,23 @@ fn main() {
         }
         det.state_size()
     });
-    let chunk_rps = measure(&records, |recs| {
+    let chunk_rps = measure(&hit30, |recs| {
         let mut det =
             Detector::new(&p.rules, HitList::whole_window(&p.rules), DetectorConfig::default());
         det.observe_chunk(recs);
         det.state_size()
     });
+
+    // The miss-dominated rows: steady-state `observe_chunk` at wild
+    // miss rates, plus the ungated comparator that reconstructs the
+    // pre-gate per-record probe cost on the 99 %-miss stream.
+    let miss99 = stream(RECORDS, 7, 0.01);
+    let miss_rows = [
+        ("compiled_chunk_miss50", measure_warm(&stream(RECORDS, 7, 0.50))),
+        ("compiled_chunk_miss90", measure_warm(&stream(RECORDS, 7, 0.10))),
+        ("compiled_chunk_miss99", measure_warm(&miss99)),
+    ];
+    let ungated_rps = measure_ungated(&miss99);
 
     println!("variant\trecords\trecords_per_sec\tspeedup_vs_reference");
     let mut rows = Vec::new();
@@ -241,14 +327,50 @@ fn main() {
             "speedup_vs_reference": speedup,
         }));
     }
+    for (variant, rps) in miss_rows {
+        let mut row = serde_json::json!({
+            "bench": "detector_throughput",
+            "variant": variant,
+            "records": RECORDS,
+            "passes": PASSES,
+            "records_per_sec": rps,
+        });
+        // The ungated comparator runs on the 99 %-miss stream, so the
+        // gate-vs-ungated ratio is only meaningful on that row.
+        if variant == "compiled_chunk_miss99" {
+            let vs_ungated = rps / ungated_rps;
+            row["speedup_vs_ungated_probe"] = serde_json::json!(vs_ungated);
+            println!("{variant}\t{RECORDS}\t{rps:.0}\t(×{vs_ungated:.2} vs ungated probe)");
+        } else {
+            println!("{variant}\t{RECORDS}\t{rps:.0}");
+        }
+        rows.push(row);
+    }
+    println!("ungated_probe_miss99\t{RECORDS}\t{ungated_rps:.0}\t1.00");
+    rows.push(serde_json::json!({
+        "bench": "detector_throughput",
+        "variant": "ungated_probe_miss99",
+        "records": RECORDS,
+        "passes": PASSES,
+        "records_per_sec": ungated_rps,
+    }));
+
     // The §1 derivation: a 15 M-line ISP hour is ~6 M sampled records
     // (≈ 2 records per IoT line-hour on ~20 % of lines).
+    let miss99_rps = miss_rows[2].1;
     eprintln!(
         "# compiled ≈ {:.2} M records/s ({:.2}× reference) → a 15 M-line ISP hour (~6 M \
          records) in {:.1} s",
         compiled_rps / 1e6,
         compiled_rps / reference_rps,
         6e6 / compiled_rps
+    );
+    eprintln!(
+        "# miss-dominated steady state ≈ {:.1} M records/s ({:.2}× the ungated probe path \
+         at {:.1} M)",
+        miss99_rps / 1e6,
+        miss99_rps / ungated_rps,
+        ungated_rps / 1e6
     );
 
     let doc = serde_json::Value::Array(rows);
@@ -260,15 +382,28 @@ fn main() {
     eprintln!("# wrote BENCH_detector.json");
 
     if let Some(path) = check {
-        let base = baseline_rps(&path);
-        let floor = REGRESSION_FLOOR * base;
-        if compiled_rps < floor {
-            eprintln!(
-                "error: compiled {compiled_rps:.0} records/s regressed more than 20 % \
-                 against baseline {base:.0} (floor {floor:.0})"
-            );
+        let current = |variant: &str| match variant {
+            "compiled" => compiled_rps,
+            "compiled_chunk_miss99" => miss99_rps,
+            _ => unreachable!("gated variant list out of sync"),
+        };
+        let mut failed = false;
+        for variant in GATED_VARIANTS {
+            let rps = current(variant);
+            let base = baseline_rps(&path, variant);
+            let floor = REGRESSION_FLOOR * base;
+            if rps < floor {
+                eprintln!(
+                    "error: {variant} {rps:.0} records/s regressed more than 20 % against \
+                     baseline {base:.0} (floor {floor:.0})"
+                );
+                failed = true;
+            } else {
+                eprintln!("# regression gate OK: {variant} {rps:.0} >= {floor:.0} ({path})");
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
-        eprintln!("# regression gate OK: {compiled_rps:.0} >= {floor:.0} ({path})");
     }
 }

@@ -25,10 +25,21 @@
 //! resolution are precomputed at construction; the `*_rule` methods
 //! accept the resulting [`RuleHandle`] so query loops resolve a class
 //! string once, not per line.
+//!
+//! The wild workload is *miss-dominated* — the overwhelming majority of
+//! sampled records match no IoT rule — so [`Detector::observe_chunk`]
+//! runs in two struct-of-arrays passes per `SOA_BLOCK`-record block,
+//! over detector-owned scratch columns: a fused *gate pass*
+//! (`gate::gate_block`) packs, hashes, and fingerprint-tests every
+//! record, branchlessly emitting the survivors' positions and hashes;
+//! then a *probe pass* runs full hitlist probes and state updates over
+//! survivors only. A miss costs one hash and one L1 fingerprint byte —
+//! it never reaches the probe table or the state maps.
 
 use crate::checkpoint::{CheckpointError, DetectorState, LineEvidence};
-use crate::fasthash::FastMap;
-use crate::hitlist::HitList;
+use crate::fasthash::{mix64, FastMap};
+use crate::gate::{self, SOA_BLOCK};
+use crate::hitlist::{self, HitList};
 use crate::rules::RuleSet;
 use crate::telemetry::HotStats;
 use haystack_net::ports::Proto;
@@ -84,6 +95,45 @@ struct LineState {
     first_met: Option<HourBin>,
 }
 
+
+/// Struct-of-arrays scratch for [`Detector::observe_chunk`], owned by
+/// the detector so steady-state chunks reuse the same allocations (the
+/// columns are sized to [`SOA_BLOCK`] on first use, then stay put —
+/// `tests/alloc_free.rs` pins this at both all-hit and all-miss
+/// workloads).
+///
+/// Only gate *survivors* are materialized. An earlier shape stored a
+/// full per-record hash column (pass A) and gated it in a second pass
+/// (pass B); measuring showed the column round-trip — 8 B stored and
+/// reloaded per record — cost more than it saved, and the branchy
+/// survivor push stalled the pipeline (~300 M rec/s vs ~400 M for the
+/// fused branchless loop on the 99 %-miss mix). The packed key is not
+/// stored either: re-packing from the record is two ALU ops and only
+/// the few survivors need it.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Chunk positions that passed the fingerprint gate; pass C probes
+    /// only these. Sized [`SOA_BLOCK`]: the branchless emit writes
+    /// `surv[len]` unconditionally and bumps `len` only on gate pass.
+    surv: Vec<u32>,
+    /// `mix64` of the packed key for the survivor at the same column
+    /// position — pass C reuses it as the probe index instead of
+    /// re-hashing.
+    shash: Vec<u64>,
+}
+
+impl Scratch {
+    /// Size the columns for a block (first call allocates; steady state
+    /// is a no-op).
+    #[inline]
+    fn ensure(&mut self) {
+        if self.surv.len() < SOA_BLOCK {
+            self.surv.resize(SOA_BLOCK, 0);
+            self.shash.resize(SOA_BLOCK, 0);
+        }
+    }
+}
+
 /// The streaming detector. Lifetime-bound to its rule set.
 ///
 /// ```
@@ -127,6 +177,8 @@ pub struct Detector<'r> {
     /// Per-rule line state: `state[ri]` maps line → evidence for rule
     /// `ri`. Indexed by rule so class queries touch one map.
     state: Vec<FastMap<AnonId, LineState>>,
+    /// Reusable struct-of-arrays buffers for the batched observe path.
+    scratch: Scratch,
     /// Plain (non-atomic) hot-path tallies; owners flush them into
     /// telemetry counters at chunk granularity.
     stats: HotStats,
@@ -161,6 +213,7 @@ impl<'r> Detector<'r> {
             required,
             parent,
             state,
+            scratch: Scratch::default(),
             stats: HotStats::default(),
         }
     }
@@ -188,7 +241,11 @@ impl<'r> Detector<'r> {
     /// Allocation-free on the matching path: the hitlist and the state
     /// maps are disjoint fields, so the entry slice is iterated in place
     /// (no defensive clone), and re-observed evidence only flips bits in
-    /// existing map entries (`tests/alloc_free.rs` pins this).
+    /// existing map entries (`tests/alloc_free.rs` pins this). The
+    /// fingerprint front gate retires the no-match majority on one cache
+    /// line before any table probe; `observe_chunk` is the same pipeline
+    /// restructured into batched column passes and is what the shard workers
+    /// feed — this scalar form keeps identical stats semantics.
     #[inline]
     pub fn observe(
         &mut self,
@@ -206,8 +263,15 @@ impl<'r> Detector<'r> {
         // Disjoint borrows: the hitlist slice must not alias the state
         // maps, which destructuring proves to the borrow checker.
         let Detector { hitlist, state, required, stats, .. } = self;
+        let key = HitList::pack_key(dst, dport);
+        let h = mix64(key);
+        if !hitlist.prefilter_pass(h) {
+            stats.prefilter_misses += 1;
+            return;
+        }
+        stats.prefilter_hits += 1;
         stats.probes += 1;
-        for &(ri, di) in hitlist.lookup(dst, dport) {
+        for &(ri, di) in hitlist.lookup_hashed(key, h) {
             stats.matches += 1;
             let entry = state[ri as usize].entry(line).or_default();
             let bit = 1u64 << di;
@@ -228,13 +292,107 @@ impl<'r> Detector<'r> {
         self.observe(r.line, r.dst, r.dport, r.proto, r.established, r.hour);
     }
 
-    /// Observe a batch of wild records. The batch entry point keeps the
-    /// hitlist probe loop hot in cache; `DetectorPool` shards and the
-    /// crosscheck/ground-truth consumers feed whole chunks through here.
-    #[inline]
+    /// Observe a batch of wild records — the entry point `DetectorPool`
+    /// shards and the crosscheck/ground-truth consumers feed.
+    ///
+    /// Structured as struct-of-arrays passes over the detector-owned
+    /// scratch columns (DESIGN.md §10): a fused gate pass packs,
+    /// hashes, and fingerprint-tests every record in one branchless
+    /// loop, emitting survivor positions + hashes into the columns
+    /// (unconditional store, conditional length bump — nothing for the
+    /// branch predictor to miss, so the loop schedules as a straight
+    /// line); a
+    /// probe pass then runs full probes and `LineState` updates on
+    /// survivors only. In a miss-dominated wild workload the gate pass
+    /// is the whole per-record cost — no table probe, no state-map
+    /// touch. The passes run over `SOA_BLOCK`-record blocks so the
+    /// scratch columns are fixed-size and L1-resident however large the
+    /// caller's chunk is. Detections are byte-identical to per-record
+    /// [`Detector::observe`] across all chunk sizes, and steady-state
+    /// chunks allocate nothing.
     pub fn observe_chunk(&mut self, records: &[WildRecord]) {
-        for r in records {
-            self.observe(r.line, r.dst, r.dport, r.proto, r.established, r.hour);
+        for block in records.chunks(SOA_BLOCK) {
+            self.observe_block(block);
+        }
+    }
+
+    /// One [`SOA_BLOCK`]-bounded struct-of-arrays round of
+    /// [`Detector::observe_chunk`].
+    fn observe_block(&mut self, records: &[WildRecord]) {
+        self.stats.records += records.len() as u64;
+        let Detector { hitlist, state, required, stats, scratch, config, .. } = self;
+        let filtered = config.require_established;
+        let fp = hitlist.prefilter();
+        if fp.is_empty() {
+            // Empty hitlist: every eligible record is a gate miss.
+            let eligible = if filtered {
+                records.iter().filter(|r| r.proto != Proto::Tcp || r.established).count()
+            } else {
+                records.len()
+            };
+            stats.prefilter_misses += eligible as u64;
+            return;
+        }
+        scratch.ensure();
+        // Constant-length views + masked column indices in the filtered
+        // loop prove every store in-bounds, so the emit loop carries no
+        // bounds checks (the mask is semantically a no-op: `len` trails
+        // the record index, which `observe_chunk` bounds at
+        // `SOA_BLOCK`).
+        let surv = &mut scratch.surv[..SOA_BLOCK];
+        let shash = &mut scratch.shash[..SOA_BLOCK];
+        // Gate pass (fused pack + hash + fingerprint test): branchless
+        // survivor emit — store position and hash unconditionally, bump
+        // the column length only when the gate bit is set. A miss costs
+        // the hash and one L1 byte test. The unfiltered common case
+        // dispatches to [`gate::gate_block`]; the established filter
+        // (IXP deployments only) folds its predicate into a variant of
+        // the same loop here.
+        let mut len = 0usize;
+        let eligible = if filtered {
+            let mut eligible = 0u64;
+            for (j, r) in records.iter().enumerate() {
+                let elig = u8::from(r.proto != Proto::Tcp || r.established);
+                let h = mix64(HitList::pack_key(r.dst, r.dport));
+                let pass = elig & hitlist::fp_bit(fp, h);
+                surv[len & (SOA_BLOCK - 1)] = j as u32;
+                shash[len & (SOA_BLOCK - 1)] = h;
+                len += pass as usize;
+                eligible += u64::from(elig);
+            }
+            eligible
+        } else {
+            len = gate::gate_block(records, fp, surv, shash);
+            records.len() as u64
+        };
+        stats.prefilter_hits += len as u64;
+        stats.prefilter_misses += eligible - len as u64;
+        stats.probes += len as u64;
+        // Probe pass: full probes + state updates, survivors only. The
+        // packed key is rebuilt from the record — two ALU ops on the
+        // few survivors, instead of a whole stored column in the gate
+        // pass.
+        for (&j, &h) in surv[..len].iter().zip(&shash[..len]) {
+            let r = &records[j as usize];
+            let key = HitList::pack_key(r.dst, r.dport);
+            let entries = hitlist.lookup_hashed(key, h);
+            if entries.is_empty() {
+                // Fingerprint false positive: probe rejected it.
+                continue;
+            }
+            for &(ri, di) in entries {
+                stats.matches += 1;
+                let entry = state[ri as usize].entry(r.line).or_default();
+                let bit = 1u64 << di;
+                if entry.mask & bit != 0 {
+                    continue;
+                }
+                entry.mask |= bit;
+                if entry.mask.count_ones() == required[ri as usize] && entry.first_met.is_none() {
+                    entry.first_met = Some(r.hour);
+                    stats.detections += 1;
+                }
+            }
         }
     }
 
@@ -601,14 +759,47 @@ mod tests {
         let mut det = detector(&rules, 0.4);
         let before = det.hot_stats();
         assert_eq!(before, crate::telemetry::HotStats::default());
-        hit(&mut det, ip(200), 0); // non-rule traffic: probe, no match
+        hit(&mut det, ip(200), 0); // non-rule traffic: gated or probed-empty
         hit(&mut det, ip(1), 1); // matches Fam d0, fires Fam (required 1)
         hit(&mut det, ip(1), 2); // re-observed evidence: match, no detection
         let s = det.hot_stats().since(&before);
         assert_eq!(s.records, 3);
-        assert_eq!(s.probes, 3);
+        // Every record is accounted to exactly one side of the gate, and
+        // only gate survivors probe. The two rule hits must survive; the
+        // non-rule record may survive only as a fingerprint false
+        // positive (in which case its probe matches nothing).
+        assert_eq!(s.prefilter_hits + s.prefilter_misses, 3);
+        assert!(s.prefilter_hits >= 2);
+        assert_eq!(s.probes, s.prefilter_hits);
         assert_eq!(s.matches, 2);
         assert_eq!(s.detections, 1);
+    }
+
+    #[test]
+    fn chunked_and_scalar_paths_tally_identical_stats() {
+        let rules = ruleset();
+        let mut scalar = detector(&rules, 0.4);
+        let mut chunked = detector(&rules, 0.4);
+        let records: Vec<WildRecord> = [(ip(200), 0u32), (ip(1), 1), (ip(1), 2), (ip(10), 3)]
+            .into_iter()
+            .map(|(dst, h)| WildRecord {
+                line: LINE,
+                line_slash24: haystack_net::Prefix4::slash24_of(Ipv4Addr::new(100, 64, 0, 1)),
+                src_ip: Ipv4Addr::new(100, 64, 0, 1),
+                dst,
+                dport: 443,
+                proto: Proto::Tcp,
+                packets: 1,
+                bytes: 64,
+                established: true,
+                hour: HourBin(h),
+            })
+            .collect();
+        for r in &records {
+            scalar.observe_wild(r);
+        }
+        chunked.observe_chunk(&records);
+        assert_eq!(scalar.hot_stats(), chunked.hot_stats());
     }
 
     #[test]

@@ -12,6 +12,18 @@
 //! slot* (no `Vec` pointer chase); shared-IP collisions spill into one
 //! contiguous arena. `MapHitList` stays around as the equivalence oracle
 //! — `tests/prop_hotpath.rs` pins `lookup` to it entry-for-entry.
+//!
+//! In the wild workload the overwhelming majority of records match **no**
+//! rule, so the compiled table also carries a *fingerprint front gate*: a
+//! power-of-two `u8` array where each inserted key sets one bit chosen by
+//! the same [`mix64`] hash that indexes the probe table. A lookup tests
+//! that single byte first — a non-matching record touches **one cache
+//! line** and exits, instead of walking a linear-probe chain (≈ 2.5 slot
+//! loads expected for an unsuccessful search at 50 % load). The gate is
+//! one-sided: every inserted key sets its bit, so there are no false
+//! negatives, and a false positive (≈ 3 %, see [`HitList::prefilter_pass`])
+//! merely falls through to the full probe, which still answers exactly
+//! like the oracle.
 
 use crate::fasthash::mix64;
 use crate::rules::RuleSet;
@@ -22,10 +34,38 @@ use std::net::Ipv4Addr;
 
 /// Pack a lookup key into one word: IP in the high 32 bits, port in the
 /// low 16. The top 16 bits stay zero, so [`EMPTY_KEY`] can never be a
-/// real key.
+/// real key. The IP contributes its four octets in *native* byte order —
+/// the key is an opaque in-memory encoding, and native order lets both
+/// the scalar path and the batched gate loop use the raw 4-byte load
+/// of an `Ipv4Addr` directly (no per-record byte swap).
 #[inline]
 fn pack(ip: Ipv4Addr, port: u16) -> u64 {
-    (u64::from(u32::from(ip)) << 16) | u64::from(port)
+    (u64::from(u32::from_ne_bytes(ip.octets())) << 16) | u64::from(port)
+}
+
+/// Fingerprint-array byte index for a hashed key: bits 3.. of the hash,
+/// masked to the (power-of-two) array length. Bits 0–2 pick the tag bit
+/// within the byte ([`fp_tag`]), so index and tag use disjoint hash bits.
+#[inline]
+fn fp_index(h: u64, fp_len: usize) -> usize {
+    ((h >> 3) as usize) & (fp_len - 1)
+}
+
+/// Fingerprint tag bit for a hashed key: one of the byte's 8 bits,
+/// chosen by the low 3 hash bits.
+#[inline]
+fn fp_tag(h: u64) -> u8 {
+    1u8 << (h & 7)
+}
+
+/// Branchless form of the gate test over a borrowed (non-empty,
+/// power-of-two-length) fingerprint array: 1 if the bit is set, else 0.
+/// The detector's fused gate pass uses this so the survivor emit can be
+/// an unconditional store + conditional length bump — no branch to
+/// mispredict, so the loop schedules as a straight line.
+#[inline]
+pub(crate) fn fp_bit(fp: &[u8], h: u64) -> u8 {
+    (fp[fp_index(h, fp.len())] >> (h & 7)) & 1
 }
 
 /// Sentinel for an unoccupied probe slot (real keys are < 2⁴⁸).
@@ -132,13 +172,21 @@ impl MapHitList {
         let mut keys = vec![EMPTY_KEY; cap];
         let mut slots = vec![Slot::default(); cap];
         let mut spill: Vec<(u16, u16)> = Vec::new();
+        // Fingerprint gate: 2 bytes (16 bits) per table slot, so ≥ 32
+        // one-bit fingerprints per occupied key at ≤ 50 % load — a ≈ 3 %
+        // false-positive ceiling. Bit-OR insertion is commutative, so the
+        // gate layout is deterministic like the rest of the table.
+        let fp_len = (cap * 2).max(64);
+        let mut fp = vec![0u8; fp_len];
         // Sort by packed key so the compiled layout is independent of
         // HashMap iteration order (probe displacement, spill offsets).
         let mut items: Vec<KeyedEntries> = self.index.into_iter().collect();
         items.sort_unstable_by_key(|&((ip, port), _)| pack(ip, port));
         for ((ip, port), entries) in items {
             let key = pack(ip, port);
-            let mut i = (mix64(key) as usize) & mask;
+            let h = mix64(key);
+            fp[fp_index(h, fp_len)] |= fp_tag(h);
+            let mut i = (h as usize) & mask;
             while keys[i] != EMPTY_KEY {
                 i = (i + 1) & mask;
             }
@@ -157,6 +205,7 @@ impl MapHitList {
             keys: keys.into_boxed_slice(),
             slots: slots.into_boxed_slice(),
             spill: spill.into_boxed_slice(),
+            fp: fp.into_boxed_slice(),
             len: n,
         }
     }
@@ -197,6 +246,10 @@ pub struct HitList {
     slots: Box<[Slot]>,
     /// Overflow arena for keys with more than [`INLINE`] entries.
     spill: Box<[(u16, u16)]>,
+    /// Fingerprint front gate: power-of-two byte array, one bit set per
+    /// inserted key ([`fp_index`]/[`fp_tag`] of its [`mix64`] hash).
+    /// Empty iff the table is empty.
+    fp: Box<[u8]>,
     /// Number of occupied keys.
     len: usize,
 }
@@ -214,19 +267,54 @@ impl HitList {
         MapHitList::whole_window(rules).compile()
     }
 
-    /// The rule evidence entries matching a flow's (dst, port), if any.
-    ///
-    /// This is the per-record hot path: one [`mix64`], one masked probe
-    /// (rarely more — the table is kept at ≤ 50 % load), and the 1–2
-    /// entry common case is read straight out of the slot.
+    /// Pack a `(dst, port)` pair into the table's one-word key (IP in
+    /// the high 32 bits, port in the low 16). Callers batching lookups
+    /// pack and [`mix64`]-hash whole chunks up front, then drive
+    /// [`HitList::prefilter_pass`] / [`HitList::lookup_hashed`].
     #[inline]
-    pub fn lookup(&self, dst: Ipv4Addr, port: u16) -> &[(u16, u16)] {
+    pub fn pack_key(dst: Ipv4Addr, port: u16) -> u64 {
+        pack(dst, port)
+    }
+
+    /// The fingerprint front gate: does the hashed key's fingerprint bit
+    /// exist in the table? `h` must be `mix64(pack_key(dst, port))`.
+    ///
+    /// One byte load, one AND — a `false` answer proves the key is
+    /// absent (no false negatives: compile sets every inserted key's
+    /// bit). A `true` answer is probabilistic: with 16 gate bits per
+    /// table slot and the table at ≤ 50 % load, a random absent key
+    /// draws one of ≥ 32 bits per present key, so the false-positive
+    /// rate is ≤ ~3 % — those fall through to the full probe and still
+    /// resolve to "no entries".
+    #[inline]
+    pub fn prefilter_pass(&self, h: u64) -> bool {
+        if self.fp.is_empty() {
+            return false;
+        }
+        self.fp[fp_index(h, self.fp.len())] & fp_tag(h) != 0
+    }
+
+    /// The raw fingerprint bytes (empty iff the table is empty) — the
+    /// detector's batched gate pass borrows these once per block and
+    /// tests bits via [`fp_bit`] instead of paying the emptiness branch
+    /// per record.
+    #[inline]
+    pub(crate) fn prefilter(&self) -> &[u8] {
+        &self.fp
+    }
+
+    /// The full probe for a pre-packed, pre-hashed key: one masked probe
+    /// (rarely more — the table is kept at ≤ 50 % load), and the 1–2
+    /// entry common case is read straight out of the slot. Callers are
+    /// expected to have consulted [`HitList::prefilter_pass`] first;
+    /// skipping the gate is correct, just slower on misses.
+    #[inline]
+    pub fn lookup_hashed(&self, key: u64, h: u64) -> &[(u16, u16)] {
         if self.keys.is_empty() {
             return &[];
         }
-        let key = pack(dst, port);
         let mask = self.keys.len() - 1;
-        let mut i = (mix64(key) as usize) & mask;
+        let mut i = (h as usize) & mask;
         loop {
             let k = self.keys[i];
             if k == key {
@@ -243,6 +331,38 @@ impl HitList {
             }
             i = (i + 1) & mask;
         }
+    }
+
+    /// The rule evidence entries matching a flow's (dst, port), if any.
+    ///
+    /// This is the per-record hot path: one [`mix64`], one fingerprint
+    /// byte test (which retires the no-match majority on a single cache
+    /// line), and — for the gate's survivors — one masked table probe.
+    #[inline]
+    pub fn lookup(&self, dst: Ipv4Addr, port: u16) -> &[(u16, u16)] {
+        let key = pack(dst, port);
+        let h = mix64(key);
+        if !self.prefilter_pass(h) {
+            return &[];
+        }
+        self.lookup_hashed(key, h)
+    }
+
+    /// [`HitList::lookup`] without the fingerprint gate: the pre-gate
+    /// (PR 3) probe path, kept as the differential comparator the
+    /// miss-rate benches and the gate's equivalence tests measure
+    /// against. Answers identically to `lookup` — the gate only short-
+    /// circuits keys the probe would reject anyway.
+    #[inline]
+    pub fn lookup_ungated(&self, dst: Ipv4Addr, port: u16) -> &[(u16, u16)] {
+        let key = pack(dst, port);
+        self.lookup_hashed(key, mix64(key))
+    }
+
+    /// Size of the fingerprint gate array in bytes (0 for an empty
+    /// table). Published as a telemetry gauge alongside the entry count.
+    pub fn prefilter_len(&self) -> usize {
+        self.fp.len()
     }
 
     /// Number of indexed (ip, port) combinations.
@@ -346,7 +466,33 @@ mod tests {
         let hl = HitList::default();
         assert!(hl.is_empty());
         assert_eq!(hl.len(), 0);
+        assert_eq!(hl.prefilter_len(), 0);
         assert!(hl.lookup(ip(1), 443).is_empty());
+        assert!(!hl.prefilter_pass(mix64(HitList::pack_key(ip(1), 443))));
+        assert!(hl.lookup_hashed(HitList::pack_key(ip(1), 443), 0).is_empty());
+    }
+
+    #[test]
+    fn prefilter_admits_every_indexed_key() {
+        // No false negatives: every key the table holds passes the gate,
+        // and the gated lookup answers exactly like the ungated probe —
+        // for hits, misses, and the gate's own false positives alike.
+        let rules = ruleset();
+        let hl = HitList::whole_window(&rules);
+        assert!(hl.prefilter_len().is_power_of_two());
+        let mut hits = 0;
+        for o in 0u8..=255 {
+            for port in [443u16, 80, 8883, 123] {
+                let entries = hl.lookup_ungated(ip(o), port);
+                assert_eq!(hl.lookup(ip(o), port), entries, "gate changed {o}:{port}");
+                if !entries.is_empty() {
+                    hits += 1;
+                    let h = mix64(HitList::pack_key(ip(o), port));
+                    assert!(hl.prefilter_pass(h), "false negative at {o}:{port}");
+                }
+            }
+        }
+        assert!(hits > 0, "ruleset must index something");
     }
 
     #[test]

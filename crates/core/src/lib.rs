@@ -54,6 +54,7 @@ pub mod dns_assisted;
 pub mod domains;
 pub mod events;
 pub mod fasthash;
+mod gate;
 pub mod hitlist;
 pub mod mitigation;
 pub mod observations;

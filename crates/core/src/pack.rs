@@ -496,6 +496,32 @@ mod tests {
         assert!(pack.lint().is_empty(), "{:?}", pack.lint());
     }
 
+    /// A pack-loaded rule set compiles into a gated hitlist exactly
+    /// like compiled-in rules: the fingerprint front gate is populated
+    /// (not the empty-table degenerate case) and admits every rule
+    /// key, so a hot-reloaded pack can never gate away its own rules.
+    #[test]
+    fn loaded_pack_compiles_with_a_populated_gate() {
+        use crate::fasthash::mix64;
+        use crate::hitlist::HitList;
+
+        let back = SignaturePack::decode(&sample().encode()).unwrap();
+        let hl = HitList::whole_window(&back.rules);
+        assert!(hl.len() > 0);
+        assert!(hl.prefilter_len() > 0 && hl.prefilter_len().is_power_of_two());
+        for rule in &back.rules.rules {
+            for d in &rule.domains {
+                for ip in &d.ips {
+                    for port in &d.ports {
+                        let h = mix64(HitList::pack_key(*ip, *port));
+                        assert!(hl.prefilter_pass(h), "gate rejected rule key {ip}:{port}");
+                        assert!(!hl.lookup(*ip, *port).is_empty());
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn version_skew_is_typed_and_distinguishable_from_rot() {
         let pack = sample();

@@ -705,6 +705,14 @@ impl<S: RecordStream> RecordStream for InstrumentedStream<S> {
 pub struct HotStats {
     /// Records offered to the component.
     pub records: u64,
+    /// Records that passed the hitlist's fingerprint front gate (and so
+    /// went on to a full table probe). Detector only; usage leaves the
+    /// prefilter tallies at zero.
+    pub prefilter_hits: u64,
+    /// Records the fingerprint gate retired on one cache line — the
+    /// real-world miss rate is `prefilter_misses / (prefilter_hits +
+    /// prefilter_misses)`.
+    pub prefilter_misses: u64,
     /// Hitlist probes executed (records surviving pre-filters).
     pub probes: u64,
     /// Hitlist entries matched (evidence candidates).
@@ -718,6 +726,8 @@ impl HotStats {
     pub fn since(&self, earlier: &HotStats) -> HotStats {
         HotStats {
             records: self.records - earlier.records,
+            prefilter_hits: self.prefilter_hits - earlier.prefilter_hits,
+            prefilter_misses: self.prefilter_misses - earlier.prefilter_misses,
             probes: self.probes - earlier.probes,
             matches: self.matches - earlier.matches,
             detections: self.detections - earlier.detections,
@@ -729,17 +739,22 @@ impl HotStats {
 #[derive(Debug, Clone)]
 pub struct HotStatsCounters {
     records: Counter,
+    prefilter_hits: Counter,
+    prefilter_misses: Counter,
     probes: Counter,
     matches: Counter,
     detections: Counter,
 }
 
 impl HotStatsCounters {
-    /// Register `records_observed` / `hitlist_probes` / `hitlist_matches`
-    /// / `detections` under `scope`.
+    /// Register `records_observed` / `prefilter_hits` /
+    /// `prefilter_misses` / `hitlist_probes` / `hitlist_matches` /
+    /// `detections` under `scope`.
     pub fn new(scope: &Scope) -> HotStatsCounters {
         HotStatsCounters {
             records: scope.counter("records_observed"),
+            prefilter_hits: scope.counter("prefilter_hits"),
+            prefilter_misses: scope.counter("prefilter_misses"),
             probes: scope.counter("hitlist_probes"),
             matches: scope.counter("hitlist_matches"),
             detections: scope.counter("detections"),
@@ -750,16 +765,20 @@ impl HotStatsCounters {
     #[inline]
     pub fn flush(&self, delta: HotStats) {
         self.records.add(delta.records);
+        self.prefilter_hits.add(delta.prefilter_hits);
+        self.prefilter_misses.add(delta.prefilter_misses);
         self.probes.add(delta.probes);
         self.matches.add(delta.matches);
         self.detections.add(delta.detections);
     }
 }
 
-/// Publish a hitlist's size under `scope` (rebuilt daily; the gauge
-/// tracks the current day's entry count).
+/// Publish a hitlist's size under `scope` (rebuilt daily; the gauges
+/// track the current day's entry count and the fingerprint front gate's
+/// footprint).
 pub fn observe_hitlist(scope: &Scope, hitlist: &HitList) {
     scope.gauge("hitlist_entries").set(hitlist.len() as u64);
+    scope.gauge("hitlist_prefilter_bytes").set(hitlist.prefilter_len() as u64);
 }
 
 #[cfg(test)]

@@ -126,4 +126,41 @@ fn steady_state_observe_allocates_nothing() {
         after - before
     );
     assert_eq!(det.state_size(), states, "steady state must not grow");
+
+    // All-miss steady state: the miss-dominated wild mix, every
+    // destination distinct and outside the rule space. The fingerprint
+    // gate retires these before any probe — and the struct-of-arrays
+    // scratch columns were sized during warm-up, so this pass must
+    // also be allocation-free (the batched path's miss lane touches
+    // only the fingerprint array and the survivor columns).
+    let miss_records: Vec<WildRecord> = (0..4_096u32)
+        .map(|i| WildRecord {
+            line: AnonId(u64::from(i % 64)),
+            line_slash24: Prefix4::slash24_of(Ipv4Addr::new(100, 64, 1, 1)),
+            src_ip: Ipv4Addr::new(100, 64, 1, 1),
+            dst: Ipv4Addr::new(10, (i >> 8) as u8, i as u8, 1),
+            dport: 443,
+            proto: Proto::Tcp,
+            packets: 1,
+            bytes: 80,
+            established: true,
+            hour: HourBin(0),
+        })
+        .collect();
+    let miss_base = det.hot_stats().prefilter_misses;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    det.observe_chunk(&miss_records);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "all-miss observe of {} records allocated {} times",
+        miss_records.len(),
+        after - before
+    );
+    assert_eq!(det.state_size(), states, "misses must not create state");
+    assert!(
+        det.hot_stats().prefilter_misses > miss_base,
+        "the gate must have retired the miss records"
+    );
 }

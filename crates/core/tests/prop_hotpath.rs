@@ -11,7 +11,8 @@
 //! `observe_chunk` is the entry point the shard workers use.
 
 use haystack_core::detector::{Detector, DetectorConfig};
-use haystack_core::hitlist::MapHitList;
+use haystack_core::fasthash::mix64;
+use haystack_core::hitlist::{HitList, MapHitList};
 use haystack_core::reference::ReferenceDetector;
 use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
 use haystack_dns::DomainName;
@@ -166,5 +167,149 @@ proptest! {
         }
         // Unknown classes answer identically too.
         prop_assert_eq!(fast.detected_lines("NoSuchClass"), reference.detected_lines("NoSuchClass"));
+    }
+
+    /// The wild deployment profile, pinned across the fingerprint gate:
+    /// streams at controlled miss rates (0 % / 50 % / 99 % / 100 % of
+    /// records touching no rule key) flow through the batched gated
+    /// path in every chunking — including whole-stream — and the
+    /// answers match the reference detector record-for-record. The
+    /// per-record tallies must also close: every record is either a
+    /// gate pass (and then a probe) or a gate miss, at any miss rate.
+    #[test]
+    fn detector_equals_reference_at_controlled_miss_rates(
+        sp in specs(),
+        miss_pct in prop_oneof![Just(0u8), Just(50), Just(99), Just(100)],
+        hits in prop::collection::vec((0u64..12, 0u8..26, any::<bool>(), 0u32..48, 0u8..100), 0..160),
+        chunk_size in prop_oneof![Just(1usize), Just(7), Just(1024), Just(usize::MAX)],
+    ) {
+        let rules = ruleset(&sp, false);
+        let config = DetectorConfig::default();
+        // Misses live in 10/8 — disjoint from the 198.18.40/24 rule
+        // space — and each gets a distinct destination, like real
+        // traffic.
+        let recs: Vec<WildRecord> = records(
+            &hits.iter().map(|&(l, o, a, h, _)| (l, o, a, h)).collect::<Vec<_>>(),
+        )
+        .into_iter()
+        .zip(&hits)
+        .enumerate()
+        .map(|(i, (mut r, &(line, octet, _, _, roll)))| {
+            if roll < miss_pct {
+                r.dst = Ipv4Addr::new(10, i as u8, octet, line as u8);
+            }
+            r
+        })
+        .collect();
+
+        let mut reference = ReferenceDetector::new(&rules, MapHitList::whole_window(&rules), config);
+        for r in &recs {
+            reference.observe_wild(r);
+        }
+        let mut fast = Detector::new(&rules, HitList::whole_window(&rules), config);
+        for chunk in recs.chunks(chunk_size.min(recs.len()).max(1)) {
+            fast.observe_chunk(chunk);
+        }
+
+        prop_assert_eq!(fast.state_size(), reference.state_size());
+        for rule in &rules.rules {
+            let class = rules.class_name(rule.class);
+            prop_assert_eq!(
+                fast.detected_lines(class),
+                reference.detected_lines(class),
+                "detected_lines({}) diverged at miss_pct={}", class, miss_pct
+            );
+        }
+        let stats = fast.hot_stats();
+        prop_assert_eq!(stats.records, recs.len() as u64);
+        prop_assert_eq!(stats.prefilter_hits + stats.prefilter_misses, stats.records);
+        prop_assert_eq!(stats.probes, stats.prefilter_hits);
+        // No false negatives: every indexed key the stream touched
+        // must pass the gate (misses here can only be non-indexed
+        // destinations — octets outside the generated rules, or the
+        // 10/8 miss space).
+        let map = MapHitList::whole_window(&rules);
+        let hl = map.clone().compile();
+        for r in &recs {
+            if !map.lookup(r.dst, r.dport).is_empty() {
+                let h = mix64(HitList::pack_key(r.dst, r.dport));
+                prop_assert!(
+                    hl.prefilter_pass(h),
+                    "gate dropped an indexed key: {}:{}", r.dst, r.dport
+                );
+            }
+        }
+    }
+}
+
+/// Adversarial fingerprint collisions: keys that are *absent* from the
+/// hitlist but pass the fingerprint front gate (hash-colliding tag
+/// bits). These are the gate's false positives — the probe pass must
+/// reject every one against the full key table, leaving detections,
+/// matches, and state untouched, in both the scalar and the batched
+/// path, at every chunking.
+#[test]
+fn fingerprint_collisions_are_rejected_by_the_probe() {
+    let sp: Vec<RuleSpec> = vec![vec![vec![1, 2, 3], vec![4, 5]], vec![vec![2, 6], vec![7]]];
+    let rules = ruleset(&sp, false);
+    let map = MapHitList::whole_window(&rules);
+    let hl = map.clone().compile();
+    assert!(hl.prefilter_len().is_power_of_two());
+
+    // Brute-force absent keys that collide with some indexed key's
+    // fingerprint bit, through the same public hash pipeline the gate
+    // uses. The fingerprint is small for this ruleset, so colliders are
+    // dense enough to find quickly.
+    let mut colliders: Vec<Ipv4Addr> = Vec::new();
+    'scan: for a in 0u8..=255 {
+        for b in 0u8..=255 {
+            let ip = Ipv4Addr::new(10, 99, a, b);
+            let h = mix64(HitList::pack_key(ip, 443));
+            if hl.prefilter_pass(h) {
+                assert!(map.lookup(ip, 443).is_empty(), "collider must be absent");
+                assert!(hl.lookup(ip, 443).is_empty(), "probe must reject the collider");
+                colliders.push(ip);
+                if colliders.len() >= 16 {
+                    break 'scan;
+                }
+            }
+        }
+    }
+    assert!(!colliders.is_empty(), "no fingerprint collision found in a /16 scan");
+
+    // An all-collider stream: every record passes the gate (worst-case
+    // false-positive pressure) and every probe comes back empty.
+    let src = Ipv4Addr::new(100, 64, 9, 9);
+    let recs: Vec<WildRecord> = colliders
+        .iter()
+        .cycle()
+        .take(colliders.len() * 13)
+        .enumerate()
+        .map(|(i, &dst)| WildRecord {
+            line: AnonId(i as u64 % 5),
+            line_slash24: Prefix4::slash24_of(src),
+            src_ip: src,
+            dst,
+            dport: 443,
+            proto: Proto::Tcp,
+            packets: 1,
+            bytes: 80,
+            established: true,
+            hour: HourBin(0),
+        })
+        .collect();
+    for chunk_size in [1usize, 7, recs.len()] {
+        let mut det =
+            Detector::new(&rules, MapHitList::whole_window(&rules).compile(), DetectorConfig::default());
+        for chunk in recs.chunks(chunk_size) {
+            det.observe_chunk(chunk);
+        }
+        let stats = det.hot_stats();
+        assert_eq!(stats.records, recs.len() as u64);
+        assert_eq!(stats.prefilter_hits, recs.len() as u64, "colliders must pass the gate");
+        assert_eq!(stats.probes, recs.len() as u64);
+        assert_eq!(stats.matches, 0, "the probe must reject every collider");
+        assert_eq!(stats.detections, 0);
+        assert_eq!(det.state_size(), 0, "false positives must leave no state");
     }
 }

@@ -14,10 +14,24 @@ use haystack_net::{AnonId, HourBin, Prefix4};
 use std::net::Ipv4Addr;
 
 /// One hour-aggregated, sampled flow observation at a wild vantage point.
+///
+/// `repr(C)` with a hand-chosen field order: the detector's fingerprint
+/// gate (DESIGN.md §10) touches exactly `dst` + `dport` per record, and
+/// the fixed layout keeps them adjacent — one cache-line touch per
+/// record in the gate loop — while packing the struct to 48 bytes (no
+/// padding anywhere but the tail of `line_slash24`; the wild pipeline
+/// holds millions of records per simulated hour, so a stray
+/// rustc-chosen layout regressing either property would cost real
+/// throughput and memory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct WildRecord {
     /// Anonymized subscriber line (ISP) or remote client identity (IXP).
     pub line: AnonId,
+    /// Sampled packet count within the hour.
+    pub packets: u64,
+    /// Sampled byte count within the hour.
+    pub bytes: u64,
     /// The /24 of the subscriber address (retained on-premises only).
     pub line_slash24: Prefix4,
     /// Raw client address — used by the IXP pipeline, which counts unique
@@ -30,10 +44,6 @@ pub struct WildRecord {
     pub dport: u16,
     /// Transport protocol.
     pub proto: Proto,
-    /// Sampled packet count within the hour.
-    pub packets: u64,
-    /// Sampled byte count within the hour.
-    pub bytes: u64,
     /// §6.3 anti-spoofing evidence: at least one sampled TCP packet
     /// carried no SYN/FIN/RST (always true for UDP).
     pub established: bool,
@@ -47,8 +57,12 @@ mod tests {
 
     #[test]
     fn record_is_compact() {
-        // The wild pipeline holds millions of these per simulated hour;
-        // guard against accidental growth.
-        assert!(std::mem::size_of::<WildRecord>() <= 72);
+        // Guard the layout properties the hot path banks on (see
+        // struct docs): 48 bytes flat, detector-read fields adjacent.
+        assert_eq!(std::mem::size_of::<WildRecord>(), 48);
+        assert_eq!(
+            std::mem::offset_of!(WildRecord, dport),
+            std::mem::offset_of!(WildRecord, dst) + 4,
+        );
     }
 }
