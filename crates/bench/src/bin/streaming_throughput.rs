@@ -92,75 +92,137 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    // Checkpoint overhead gate (DESIGN.md §12): the same feed with
-    // supervision + hourly durable checkpoints must cost ≤ 2% over the
-    // unsupervised baseline. Best-of-3 per variant damps scheduler
-    // noise; a small absolute floor keeps the gate meaningful (not
-    // flaky) at `--fast` scale where an hour is milliseconds.
+    // Checkpoint overhead gate (DESIGN.md §12): hourly durable
+    // *incremental* checkpoints must cost ≤ 5% of streamed time — a
+    // purely relative gate, no absolute-floor escape hatch. Two things
+    // make that honest at soak scale:
+    //
+    // * The gate runs on the wild-scale soak feed (10⁶ lines, ~99%
+    //   miss — the paper's deployment regime), not the dense testbed
+    //   hour above, so the hourly dirty set is mutation-proportional —
+    //   which is the whole point of delta frames.
+    // * What blocks the stream at each boundary is only the
+    //   consistency point (`checkpoint_all_delta`: flush + dirty-only
+    //   export + handoff); sealing and the fsync'd durable write run
+    //   on a write-behind thread, exactly like `serve`'s checkpoint
+    //   thread. The gate therefore measures the blocking pauses
+    //   directly against the streamed hours they interrupt, instead of
+    //   differencing two end-to-end wall times — the pauses are
+    //   milliseconds against hundreds, so the difference of totals
+    //   drowns in scheduler noise long before it resolves 5%. Writer
+    //   contention is not hidden: the writer shares the machine with
+    //   the stream, so its cost lands in the streamed time (the
+    //   denominator), and its busy time is reported alongside. The
+    //   writer is joined after the last hour and must have made every
+    //   generation durable.
     // ------------------------------------------------------------------
     let workers = 4usize;
-    let run = |checkpointed: bool| -> (f64, u64) {
-        let mut best = f64::INFINITY;
-        let mut records = 0u64;
-        for _ in 0..3 {
-            let mut pool =
-                DetectorPool::new(&p.rules, &hitlist, DetectorConfig::default(), workers);
-            let ckpt_dir = checkpointed.then(|| {
-                let dir = std::env::temp_dir()
-                    .join(format!("haystack-bench-ckpt-{}", std::process::id()));
-                let _ = std::fs::remove_dir_all(&dir);
-                pool.enable_supervision(haystack_core::parallel::DEFAULT_REPLAY_LIMIT)
-                    .unwrap();
-                haystack_core::CheckpointDir::open(dir).unwrap()
-            });
-            let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
-            let mut recs = 0u64;
-            let t0 = Instant::now();
-            for hour in DayBin(0).hours().take(hours) {
-                let mut stream = isp.stream_hour(&p.world, hour, DEFAULT_CHUNK_RECORDS);
-                let (r, _pk, _deg) = pool.observe_stream(&mut *stream, &mut chunk).unwrap();
-                recs += r;
-                if let Some(dir) = &ckpt_dir {
-                    // Hour boundary: in-pool shard checkpoint + one
-                    // durable frame, the deployment cadence.
-                    let states = pool.shard_states().unwrap();
-                    let mut frame = Vec::new();
-                    for s in &states {
-                        frame.extend_from_slice(&s.encode());
-                    }
-                    dir.write("bench", &frame).unwrap();
-                }
-            }
-            pool.finish().unwrap();
-            let elapsed = t0.elapsed().as_secs_f64();
-            if let Some(dir) = &ckpt_dir {
-                let _ = std::fs::remove_dir_all(dir.root());
-            }
-            best = best.min(elapsed);
-            records = recs;
-        }
-        (best, records)
+    let gate_hours = if args.fast { 3u32 } else { 6 };
+    let gate_cfg = haystack_wild::SoakConfig {
+        lines: if args.fast { 100_000 } else { 1_000_000 },
+        seed: args.seed ^ 0x50AC,
+        hit_rate_ppm: 10_000,
+        records_per_hour: if args.fast { 1_000_000 } else { 4_000_000 },
     };
-    let (base_s, base_records) = run(false);
-    let (ckpt_s, _) = run(true);
-    let overhead = (ckpt_s - base_s) / base_s.max(1e-9);
+    let mut gate_targets: Vec<(std::net::Ipv4Addr, u16)> = p
+        .rules
+        .rules
+        .iter()
+        .flat_map(|r| &r.domains)
+        .flat_map(|d| d.ips.iter().flat_map(|&ip| d.ports.iter().map(move |&pt| (ip, pt))))
+        .collect();
+    gate_targets.sort_unstable();
+    gate_targets.dedup();
+    let gate_hitlist = HitList::whole_window(&p.rules);
+    let mut pool = DetectorPool::new(&p.rules, &gate_hitlist, DetectorConfig::default(), workers);
+    pool.enable_supervision(haystack_core::parallel::DEFAULT_REPLAY_LIMIT).unwrap();
+    let root =
+        std::env::temp_dir().join(format!("haystack-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let dir = haystack_core::CheckpointDir::open(&root).unwrap();
+    let (tx, rx) = std::sync::mpsc::channel::<Vec<haystack_core::DetectorSnapshot>>();
+    let writer = std::thread::spawn(move || {
+        let mut written = 0u64;
+        let mut busy = 0.0f64;
+        for frames in rx {
+            let t0 = Instant::now();
+            let dirty: usize = frames
+                .iter()
+                .map(haystack_core::DetectorSnapshot::entry_count)
+                .sum();
+            let mut frame = Vec::new();
+            for f in &frames {
+                frame.extend_from_slice(&f.encode());
+            }
+            dir.write_delta("bench", &frame, dirty as u64).unwrap();
+            written += 1;
+            busy += t0.elapsed().as_secs_f64();
+        }
+        let _ = std::fs::remove_dir_all(dir.root());
+        (written, busy)
+    });
+    let mut chunk = RecordChunk::with_capacity(DEFAULT_CHUNK_RECORDS);
+    let mut gate_records = 0u64;
+    let mut stream_s = 0.0f64;
+    let mut pauses_ms = Vec::new();
+    for hour in 0..gate_hours {
+        let mut stream = haystack_wild::SoakStream::hour(
+            &gate_targets,
+            gate_cfg,
+            0,
+            hour,
+            DEFAULT_CHUNK_RECORDS,
+        );
+        let t0 = Instant::now();
+        let (r, _pk, _deg) = pool.observe_stream(&mut stream, &mut chunk).unwrap();
+        stream_s += t0.elapsed().as_secs_f64();
+        gate_records += r;
+        // Hour boundary: the stream-blocking consistency point — each
+        // worker exports only the entries mutated since the previous
+        // hour (the first hour anchors with fulls) — then the frames
+        // are handed to the writer and the stream resumes.
+        let t1 = Instant::now();
+        let frames = pool.checkpoint_all_delta().unwrap();
+        tx.send(frames).expect("writer thread alive");
+        pauses_ms.push(t1.elapsed().as_secs_f64() * 1e3);
+    }
+    pool.finish().unwrap();
+    drop(tx);
+    let (written, writer_busy_s) = writer.join().expect("writer thread");
+    assert_eq!(written, u64::from(gate_hours), "one durable generation per hour");
+    let pause_sum_ms: f64 = pauses_ms.iter().sum();
+    let pause_max_ms = pauses_ms.iter().copied().fold(0.0f64, f64::max);
+    let overhead = pause_sum_ms / 1e3 / stream_s.max(1e-9);
     println!(
-        "# checkpoint overhead: baseline {base_s:.3}s, hourly-checkpointed {ckpt_s:.3}s ({:+.2}%)",
+        "# checkpoint overhead gate: soak feed, {} lines, {gate_hours} h x {} records/h, {} ppm",
+        gate_cfg.lines, gate_cfg.records_per_hour, gate_cfg.hit_rate_ppm
+    );
+    println!(
+        "# checkpoint overhead: {stream_s:.3}s streamed, {pause_sum_ms:.2}ms paused \
+(max {pause_max_ms:.2}ms/boundary, writer busy {:.2}ms behind the stream): {:+.2}%",
+        writer_busy_s * 1e3,
         overhead * 100.0
     );
     assert!(
-        overhead <= 0.02 || ckpt_s - base_s < 0.050,
-        "hourly checkpointing costs {:.2}% (> 2% gate)",
+        overhead <= 0.05,
+        "hourly incremental checkpointing costs {:.2}% of streamed time (> 5% relative gate)",
         overhead * 100.0
     );
     rows.push(serde_json::json!({
         "bench": "streaming_throughput_checkpoint_overhead",
-        "lines": isp.config().lines,
-        "hours": hours,
+        "feed": "soak",
+        "lines": gate_cfg.lines,
+        "hours": gate_hours,
+        "records_per_hour": gate_cfg.records_per_hour,
+        "hit_rate_ppm": gate_cfg.hit_rate_ppm,
         "workers": workers,
-        "records": base_records,
-        "baseline_secs": base_s,
-        "checkpointed_secs": ckpt_s,
+        "records": gate_records,
+        "records_per_sec": gate_records as f64 / stream_s.max(1e-9),
+        "streamed_secs": stream_s,
+        "pause_ms": pauses_ms,
+        "pause_sum_ms": pause_sum_ms,
+        "pause_max_ms": pause_max_ms,
+        "writer_busy_ms": writer_busy_s * 1e3,
         "overhead_fraction": overhead,
         "fast": args.fast,
         "seed": args.seed,

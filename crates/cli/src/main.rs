@@ -19,8 +19,9 @@
 
 mod serve;
 mod sig;
+mod soak;
 
-use haystack_cli::resume::{flag_conflicts, load_resume_checkpoint, RunCheckpoint};
+use haystack_cli::resume::{flag_conflicts, load_resume_checkpoint, RunCheckpoint, RunDelta};
 use haystack_cli::{cli_error, note, rules_from_json, rules_to_json};
 use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
@@ -51,7 +52,7 @@ fn pool_fatal_ck<T>(r: Result<T, haystack_core::CheckpointError>) -> T {
 
 fn usage() -> ! {
     haystack_cli::log::raw_args(format_args!(
-        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack rules export [--rules FILE] [--threshold T] [--comment TEXT] --out PACK\n  haystack rules show   --pack PACK\n  haystack rules lint   --pack PACK\n  haystack inspect  --rules FILE\n  haystack detect   [--rules FILE|PACK] [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N] [--events FILE]\n  haystack serve    [--rules FILE|PACK] [--udp-port N] [--tcp-port N] [--http-port N] [--host IP]\n                    [--workers W] [--threshold T] [--seed N] [--queue-capacity N]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-secs N]\n                    [--ports-file FILE] [--watchdog-ms N] [--watchdog-timeout-ms N] [--chaos]\n  haystack send     --port N [--host IP] [--mode tcp|udp] [--rules FILE] [--lines N]\n                    [--records N] [--packets N] [--seed N] [--source N] [--hour N]\n                    [--malformed N] [--repeat N]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nnotes:\n  --rules accepts a JSON rules file or a binary signature pack (HAYPACK frame);\n  when omitted, the compiled-in default rule set is generated (fast pipeline, seed 42)\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
+        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack rules export [--rules FILE] [--threshold T] [--comment TEXT] --out PACK\n  haystack rules show   --pack PACK\n  haystack rules lint   --pack PACK\n  haystack inspect  --rules FILE\n  haystack detect   [--rules FILE|PACK] [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N] [--events FILE]\n  haystack serve    [--rules FILE|PACK] [--udp-port N] [--tcp-port N] [--http-port N] [--host IP]\n                    [--workers W] [--threshold T] [--seed N] [--queue-capacity N]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-secs N]\n                    [--ports-file FILE] [--watchdog-ms N] [--watchdog-timeout-ms N] [--chaos]\n  haystack send     --port N [--host IP] [--mode tcp|udp] [--rules FILE] [--lines N]\n                    [--records N] [--packets N] [--seed N] [--source N] [--hour N]\n                    [--malformed N] [--repeat N]\n  haystack soak     [--rules FILE|PACK] [--lines N] [--hours N] [--records-per-hour N]\n                    [--hit-rate-ppm N] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N]\n                    [--mem-ceiling-mb N] [--out FILE] [--events FILE] [--report FILE]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nnotes:\n  --rules accepts a JSON rules file or a binary signature pack (HAYPACK frame);\n  when omitted, the compiled-in default rule set is generated (fast pipeline, seed 42)\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
     ));
     exit(2);
 }
@@ -475,26 +476,63 @@ fn cmd_detect(flags: HashMap<String, String>) {
         f
     });
 
-    let save = |pool: &mut DetectorPool,
-                wm: Watermark,
-                records_this_day: u64,
-                done: bool,
-                emitted: &[String]| {
+    // Checkpoint cadence: periodic full frames anchor the chain; every
+    // save in between writes a dirty-only [`RunDelta`] — the watermark
+    // advance, the stdout lines since the last flush, and each shard's
+    // incremental snapshot — chained by `base_generation`. Day rolls and
+    // run completion force a full frame (evidence resets there, so a
+    // delta would be full-sized anyway and the chain stays short).
+    const FULL_EVERY: u64 = 8;
+    let mut last_generation: Option<u64> = None;
+    let mut saves_since_full: u64 = 0;
+    let mut last_emitted_flushed: usize = 0;
+    let mut save = |pool: &mut DetectorPool,
+                    wm: Watermark,
+                    records_this_day: u64,
+                    done: bool,
+                    force_full: bool,
+                    emitted: &[String]| {
         let Some(dir) = &ckpt_dir else { return };
-        let ck = RunCheckpoint {
-            seed,
-            lines,
-            days,
-            threshold,
-            workers: workers as u32,
-            chunk_records: chunk_records as u64,
-            watermark: wm,
-            records_this_day,
-            done,
-            emitted: emitted.to_vec(),
-            shards: pool_fatal(pool.shard_states()),
+        let full = force_full
+            || done
+            || last_generation.is_none()
+            || saves_since_full + 1 >= FULL_EVERY;
+        let generation = if full {
+            // Fold outstanding dirty state into the supervisor's bases so
+            // the full frame doubles as the next delta's clean anchor.
+            pool_fatal(pool.checkpoint_all_delta());
+            let ck = RunCheckpoint {
+                seed,
+                lines,
+                days,
+                threshold,
+                workers: workers as u32,
+                chunk_records: chunk_records as u64,
+                watermark: wm,
+                records_this_day,
+                done,
+                emitted: emitted.to_vec(),
+                shards: pool.supervised_shard_states(),
+            };
+            saves_since_full = 0;
+            pool_fatal_ck(dir.write(RunCheckpoint::PREFIX, &ck.encode()))
+        } else {
+            let shards = pool_fatal(pool.checkpoint_all_delta());
+            let dirty: usize =
+                shards.iter().map(haystack_core::DetectorSnapshot::entry_count).sum();
+            let delta = RunDelta {
+                base_generation: last_generation.expect("delta saves follow a full"),
+                watermark: wm,
+                records_this_day,
+                done,
+                emitted_new: emitted[last_emitted_flushed..].to_vec(),
+                shards,
+            };
+            saves_since_full += 1;
+            pool_fatal_ck(dir.write_delta(RunCheckpoint::PREFIX, &delta.encode(), dirty as u64))
         };
-        pool_fatal_ck(dir.write(RunCheckpoint::PREFIX, &ck.encode()));
+        last_generation = Some(generation);
+        last_emitted_flushed = emitted.len();
     };
 
     let mut chunk = RecordChunk::with_capacity(chunk_records);
@@ -523,6 +561,7 @@ fn cmd_detect(flags: HashMap<String, String>) {
                         Watermark { day, hour: hour_idx, chunk: chunk_no },
                         records_this_day,
                         false,
+                        false,
                         &emitted,
                     );
                 }
@@ -534,6 +573,7 @@ fn cmd_detect(flags: HashMap<String, String>) {
                         &mut pool,
                         Watermark { day, hour: hour_idx, chunk: chunk_no },
                         records_this_day,
+                        false,
                         false,
                         &emitted,
                     );
@@ -547,7 +587,7 @@ fn cmd_detect(flags: HashMap<String, String>) {
             // Hour-boundary cadence — but the day-roll checkpoint waits
             // for the day's summary rows below.
             if wm.day == day {
-                save(&mut pool, wm, records_this_day, false, &emitted);
+                save(&mut pool, wm, records_this_day, false, false, &emitted);
             }
         }
         pool_fatal(pool.finish());
@@ -574,9 +614,9 @@ fn cmd_detect(flags: HashMap<String, String>) {
         // captures the post-reset state so a resume lands exactly here.
         pool_fatal(pool.reset());
         records_this_day = 0;
-        save(&mut pool, wm, 0, false, &emitted);
+        save(&mut pool, wm, 0, false, true, &emitted);
     }
-    save(&mut pool, wm, 0, true, &emitted);
+    save(&mut pool, wm, 0, true, false, &emitted);
 }
 
 fn cmd_mitigate(flags: HashMap<String, String>) {
@@ -863,6 +903,17 @@ fn cmd_metrics(flags: HashMap<String, String>) {
                     ok &= dir.write(&format!("shard{i}"), &s.encode()).is_ok();
                 }
                 if ok {
+                    // The incremental side of §12: flush each shard's
+                    // dirty set as a delta frame so the snapshot also
+                    // carries checkpoint.dirty_entries / delta_bytes.
+                    let frames = pool_fatal(pool.checkpoint_all_delta());
+                    for (i, f) in frames.iter().enumerate() {
+                        let _ = dir.write_delta(
+                            &format!("shard{i}"),
+                            &f.encode(),
+                            f.entry_count() as u64,
+                        );
+                    }
                     for i in 0..states.len() {
                         let _ = dir.load_latest(
                             &format!("shard{i}"),
@@ -913,6 +964,7 @@ fn main() {
         "rules" => cmd_rules(flags),
         "inspect" => cmd_inspect(flags),
         "detect" => cmd_detect(flags),
+        "soak" => soak::cmd_soak(flags),
         "serve" => serve::cmd_serve(flags),
         "send" => serve::cmd_send(flags),
         "mitigate" => cmd_mitigate(flags),

@@ -22,7 +22,7 @@
 //! rejected with a typed error and `CheckpointDir::load_latest` falls
 //! back to the previous generation.
 
-use haystack_core::{CheckpointDir, CheckpointError, DetectorState};
+use haystack_core::{CheckpointDir, CheckpointError, DetectorSnapshot, DetectorState};
 use haystack_net::snapshot::{
     checksum_ok, open, seal, SnapError, SnapReader, SnapWriter, MAGIC_LEN,
 };
@@ -125,6 +125,109 @@ impl RunCheckpoint {
             return Err(SnapError::Malformed("trailing bytes"));
         }
         Ok(RunCheckpoint { seed, lines, days, threshold, workers, chunk_records, watermark, records_this_day, done, emitted, shards })
+    }
+}
+
+/// An incremental run checkpoint: everything that changed since the
+/// previous frame (full or delta), chained by `base_generation`.
+///
+/// At soak scale a full [`RunCheckpoint`] re-encodes every (line, rule)
+/// evidence entry on every save; a delta carries only the watermark
+/// advance, the stdout lines emitted since the previous flush, and each
+/// shard's dirty-only [`DetectorSnapshot`]. The chain invariant is that
+/// applying deltas in `base_generation` order onto their full base
+/// reconstructs exactly the state an uninterrupted full checkpoint would
+/// have captured at the last delta's watermark; a delta whose base is
+/// missing or corrupt does not link, so the loader stops at the last
+/// *consistent* (watermark, state) pair and re-processes the stream from
+/// there — determinism makes the final output identical either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDelta {
+    /// Generation of the frame this delta chains directly onto.
+    pub base_generation: u64,
+    /// Next chunk to process, as of this delta.
+    pub watermark: Watermark,
+    /// Records already streamed in the watermark's day.
+    pub records_this_day: u64,
+    /// Whether the run had completed when this was written.
+    pub done: bool,
+    /// Stdout lines emitted since the previous frame.
+    pub emitted_new: Vec<String>,
+    /// Per-shard dirty-only (or, for a healed shard, full) snapshots.
+    pub shards: Vec<DetectorSnapshot>,
+}
+
+impl RunDelta {
+    /// Frame magic of a run delta.
+    pub const MAGIC: &'static [u8; MAGIC_LEN] = b"HAYRUND\0";
+    /// Snapshot format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+
+    /// Seal the delta as one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.base_generation);
+        w.put_u32(self.watermark.day);
+        w.put_u32(self.watermark.hour);
+        w.put_u64(self.watermark.chunk);
+        w.put_u64(self.records_this_day);
+        w.put_u8(u8::from(self.done));
+        w.put_u64(self.emitted_new.len() as u64);
+        for line in &self.emitted_new {
+            w.put_str(line);
+        }
+        w.put_u64(self.shards.len() as u64);
+        for shard in &self.shards {
+            w.put_bytes(&shard.encode());
+        }
+        seal(Self::MAGIC, Self::VERSION, &w.into_bytes())
+    }
+
+    /// Decode a frame produced by [`RunDelta::encode`].
+    pub fn decode(frame: &[u8]) -> Result<RunDelta, SnapError> {
+        let payload = open(Self::MAGIC, Self::VERSION, frame)?;
+        let mut r = SnapReader::new(payload);
+        let base_generation = r.u64()?;
+        let watermark = Watermark { day: r.u32()?, hour: r.u32()?, chunk: r.u64()? };
+        let records_this_day = r.u64()?;
+        let done = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(SnapError::Malformed("bad done flag")),
+        };
+        let n_emitted = r.count(4)?;
+        let mut emitted_new = Vec::with_capacity(n_emitted);
+        for _ in 0..n_emitted {
+            let s = std::str::from_utf8(r.bytes()?)
+                .map_err(|_| SnapError::Malformed("emitted line is not UTF-8"))?;
+            emitted_new.push(s.to_string());
+        }
+        let n_shards = r.count(4)?;
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            shards.push(DetectorSnapshot::decode(r.bytes()?)?);
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed("trailing bytes"));
+        }
+        Ok(RunDelta { base_generation, watermark, records_this_day, done, emitted_new, shards })
+    }
+
+    /// Fold this delta into its base checkpoint.
+    pub fn apply(&self, ck: &mut RunCheckpoint) -> Result<(), CheckpointError> {
+        if self.shards.len() != ck.shards.len() {
+            return Err(CheckpointError::StateMismatch(
+                "run delta shard count differs from its base checkpoint",
+            ));
+        }
+        ck.watermark = self.watermark;
+        ck.records_this_day = self.records_this_day;
+        ck.done = self.done;
+        ck.emitted.extend(self.emitted_new.iter().cloned());
+        for (base, snap) in ck.shards.iter_mut().zip(&self.shards) {
+            snap.apply_to(base)?;
+        }
+        Ok(())
     }
 }
 
@@ -238,11 +341,61 @@ pub fn load_validated<T>(
     }
 }
 
-/// Load the newest usable [`RunCheckpoint`] (see [`load_validated`]).
+/// Load the newest usable run state by replaying the full+delta chain.
+///
+/// Fulls are tried newest-first with [`load_validated`]'s error
+/// classification (checksum-valid version skew is a hard error, bit rot
+/// falls back). Onto the chosen full, deltas are applied in generation
+/// order — but only while each delta's `base_generation` links to the
+/// frame before it. A corrupt, skewed-base, or non-linking delta stops
+/// the chain: the run resumes from the last *consistent* generation and
+/// re-processes the stream from that watermark.
 pub fn load_resume_checkpoint(
     dir: &CheckpointDir,
 ) -> Result<Option<(u64, RunCheckpoint)>, ResumeError> {
-    load_validated(dir, RunCheckpoint::PREFIX, RunCheckpoint::decode)
+    let fulls = dir.generations(RunCheckpoint::PREFIX)?;
+    let deltas = dir.delta_generations(RunCheckpoint::PREFIX)?;
+    let mut newest_err: Option<(u64, SnapError)> = None;
+    for &generation in fulls.iter().rev() {
+        let frame = dir.read_generation(RunCheckpoint::PREFIX, generation)?;
+        let mut ck = match RunCheckpoint::decode(&frame) {
+            Ok(ck) => ck,
+            Err(SnapError::BadVersion { found, expected }) if checksum_ok(&frame) => {
+                return Err(ResumeError::VersionSkew { generation, found, expected });
+            }
+            Err(e) => {
+                if newest_err.is_none() {
+                    newest_err = Some((generation, e));
+                }
+                continue;
+            }
+        };
+        let mut top = generation;
+        for &dg in deltas.iter().filter(|&&dg| dg > generation) {
+            let Ok(dframe) = dir.read_delta(RunCheckpoint::PREFIX, dg) else { break };
+            match RunDelta::decode(&dframe) {
+                Ok(d) if d.base_generation == top => {
+                    if d.apply(&mut ck).is_err() {
+                        break;
+                    }
+                    top = dg;
+                }
+                // Chains onto a generation this walk did not restore
+                // (e.g. a newer-but-corrupt full): the chain breaks here
+                // and the run resumes from the last linked frame.
+                Ok(_) => break,
+                Err(SnapError::BadVersion { found, expected }) if checksum_ok(&dframe) => {
+                    return Err(ResumeError::VersionSkew { generation: dg, found, expected });
+                }
+                Err(_) => break,
+            }
+        }
+        return Ok(Some((top, ck)));
+    }
+    match newest_err {
+        Some((generation, err)) => Err(ResumeError::AllCorrupt { generation, err }),
+        None => Ok(None),
+    }
 }
 
 /// Reject explicit flags that contradict the checkpointed configuration.
@@ -324,6 +477,101 @@ mod tests {
     fn round_trips_exactly() {
         let ck = sample();
         assert_eq!(RunCheckpoint::decode(&ck.encode()).unwrap(), ck);
+    }
+
+    fn sample_delta(base_generation: u64, hour: u32) -> RunDelta {
+        use haystack_core::DetectorDelta;
+        RunDelta {
+            base_generation,
+            watermark: Watermark { day: 1, hour, chunk: 2 },
+            records_this_day: 123_456,
+            done: false,
+            emitted_new: vec![format!("1\tAlexa Enabled\t{hour}")],
+            shards: vec![
+                DetectorSnapshot::Delta(DetectorDelta {
+                    rules: vec![vec![LineEvidence {
+                        line: AnonId(7),
+                        mask: 0b111,
+                        first_met: Some(HourBin(30)),
+                    }]],
+                }),
+                DetectorSnapshot::Delta(DetectorDelta {
+                    rules: vec![vec![LineEvidence { line: AnonId(9), mask: 0b1, first_met: None }]],
+                }),
+            ],
+        }
+    }
+
+    #[test]
+    fn run_delta_round_trips_exactly() {
+        let d = sample_delta(3, 8);
+        assert_eq!(RunDelta::decode(&d.encode()).unwrap(), d);
+    }
+
+    #[test]
+    fn delta_chain_replays_onto_the_full_base() {
+        let dir = CheckpointDir::open(scratch("chain")).unwrap();
+        let ck = sample();
+        let g1 = dir.write(RunCheckpoint::PREFIX, &ck.encode()).unwrap();
+        let d = sample_delta(g1, 8);
+        let g2 = dir
+            .write_delta(
+                RunCheckpoint::PREFIX,
+                &d.encode(),
+                d.shards.iter().map(DetectorSnapshot::entry_count).sum::<usize>() as u64,
+            )
+            .unwrap();
+        let (top, loaded) = load_resume_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(top, g2);
+        assert_eq!(loaded.watermark, d.watermark);
+        assert_eq!(loaded.records_this_day, 123_456);
+        assert_eq!(loaded.emitted.len(), ck.emitted.len() + 1);
+        // The dirty entry upserted line 7's mask and inserted line 9.
+        assert_eq!(loaded.shards[0].rules[0][0].mask, 0b111);
+        assert_eq!(loaded.shards[1].rules[0].len(), 1);
+        // Config fields come from the full base.
+        assert_eq!(loaded.seed, ck.seed);
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn corrupt_full_stops_the_chain_at_the_last_linked_generation() {
+        let dir = CheckpointDir::open(scratch("chain-rot")).unwrap();
+        let ck = sample();
+        let g1 = dir.write(RunCheckpoint::PREFIX, &ck.encode()).unwrap();
+        let d2 = sample_delta(g1, 8);
+        let g2 = dir.write_delta(RunCheckpoint::PREFIX, &d2.encode(), 2).unwrap();
+        // A newer full that rots on disk…
+        let mut rotten = ck.encode();
+        let mid = rotten.len() / 2;
+        rotten[mid] ^= 0x20;
+        let g3 = dir.write(RunCheckpoint::PREFIX, &rotten).unwrap();
+        // …and a delta chained onto it, which therefore cannot link once
+        // the full is skipped.
+        let d4 = sample_delta(g3, 9);
+        dir.write_delta(RunCheckpoint::PREFIX, &d4.encode(), 2).unwrap();
+        let (top, loaded) = load_resume_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(top, g2, "resume stops at the last consistent frame");
+        assert_eq!(loaded.watermark, d2.watermark);
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn skewed_delta_version_is_a_hard_error() {
+        let dir = CheckpointDir::open(scratch("delta-skew")).unwrap();
+        dir.write(RunCheckpoint::PREFIX, &sample().encode()).unwrap();
+        let mut w = SnapWriter::new();
+        w.put_u64(1);
+        let future = seal(RunDelta::MAGIC, RunDelta::VERSION + 1, &w.into_bytes());
+        let generation = dir.write_delta(RunCheckpoint::PREFIX, &future, 0).unwrap();
+        match load_resume_checkpoint(&dir).unwrap_err() {
+            ResumeError::VersionSkew { generation: g, found, .. } => {
+                assert_eq!(g, generation);
+                assert_eq!(found, RunDelta::VERSION + 1);
+            }
+            other => panic!("expected VersionSkew, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir.root());
     }
 
     #[test]

@@ -380,7 +380,13 @@ impl Engine {
     }
 
     fn write_checkpoint(&mut self) -> Result<u64, String> {
-        let shards = self.pool.shard_states().map_err(|e| e.to_string())?;
+        // Workers export only their dirty-since-last-checkpoint entries;
+        // the supervisor folds them into its per-shard bases, which then
+        // provide the full states the serve frame persists. The on-disk
+        // format stays a single full frame — only the worker pause
+        // shrinks to the dirty set.
+        self.pool.checkpoint_all_delta().map_err(|e| e.to_string())?;
+        let shards = self.pool.supervised_shard_states();
         let ck = ServeCheckpoint {
             workers: self.config.workers as u32,
             threshold: self.config.threshold,

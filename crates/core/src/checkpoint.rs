@@ -11,17 +11,31 @@
 //!   the staleness monitor's decayed baselines, each encodable as one
 //!   checksummed [`haystack_net::snapshot`] frame. Baselines travel as
 //!   raw IEEE-754 bits, so a restore replays *bit-identical* float state.
+//! * **Delta codecs** — [`DetectorDelta`], [`UsageDelta`],
+//!   [`StalenessDelta`]: the *dirty* subset of a component's state —
+//!   every (rule, line) entry mutated since the previous snapshot,
+//!   carried as absolute-value upserts. Applying a delta onto a base
+//!   state replaces matching entries and inserts new ones, so deltas are
+//!   idempotent and over-inclusion is harmless. [`DetectorSnapshot`]
+//!   wraps either shape for paths (the supervised pool) that decide
+//!   full-vs-delta per shard at snapshot time.
 //! * **[`CheckpointDir`]** — generation-numbered snapshot files written
 //!   atomically (temp file + fsync + rename + directory fsync) on a
 //!   caller-chosen cadence, pruned to a bounded number of generations.
 //!   [`CheckpointDir::load_latest`] walks generations newest-first and
 //!   *skips* any frame the checksum rejects, so a torn or bit-rotten
 //!   write degrades to the previous generation instead of a crash loop.
+//!   Delta frames ([`CheckpointDir::write_delta`]) share the generation
+//!   counter but live in `.dckpt` files; [`CheckpointDir::
+//!   load_latest_chain`] replays the newest decodable full generation
+//!   plus every newer delta in order, stopping at the first corrupt
+//!   delta — the chain degrades to the last *consistent* generation,
+//!   never to a half-applied state.
 //!
 //! Everything here reports through the `checkpoint` telemetry scope
-//! (snapshots written, bytes, restores, corrupt generations skipped) so
-//! `haystack metrics` shows recovery activity alongside the pipeline
-//! counters.
+//! (snapshots written, bytes, restores, corrupt generations skipped,
+//! dirty entries and delta bytes flushed) so `haystack metrics` shows
+//! recovery activity alongside the pipeline counters.
 
 use crate::telemetry::{Counter, Scope};
 use haystack_net::snapshot::{open, seal, SnapError, SnapReader, SnapWriter, MAGIC_LEN};
@@ -292,6 +306,316 @@ impl StalenessState {
     }
 }
 
+/// Merge sorted absolute-value upserts into a sorted base list: an
+/// upsert whose key already exists replaces the base entry, a new key is
+/// inserted in order. Both inputs sorted by `key` → output sorted.
+fn merge_upserts<T: Copy, K: Ord>(base: &mut Vec<T>, upserts: &[T], key: impl Fn(&T) -> K) {
+    if upserts.is_empty() {
+        return;
+    }
+    let mut merged = Vec::with_capacity(base.len() + upserts.len());
+    let (mut i, mut j) = (0, 0);
+    while i < base.len() && j < upserts.len() {
+        match key(&base[i]).cmp(&key(&upserts[j])) {
+            std::cmp::Ordering::Less => {
+                merged.push(base[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(upserts[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push(upserts[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&base[i..]);
+    merged.extend_from_slice(&upserts[j..]);
+    *base = merged;
+}
+
+/// The detector's *dirty* evidence: every (line, rule) entry mutated
+/// since the previous snapshot, as absolute-value upserts.
+///
+/// Deltas accumulate across a chain: because each upsert carries the
+/// entry's full current value (not an increment), applying *every*
+/// delta newer than any full generation — even one older than the
+/// newest — reconstructs the exact state at the last delta. That is
+/// what lets a corrupt full generation fall back to its predecessor
+/// without losing the deltas written after it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DetectorDelta {
+    /// Per-rule upserts, indexed like `RuleSet::rules`, sorted by line.
+    pub rules: Vec<Vec<LineEvidence>>,
+}
+
+impl DetectorDelta {
+    /// Frame magic of a detector-delta snapshot.
+    pub const MAGIC: &'static [u8; MAGIC_LEN] = b"HAYDETD\0";
+    /// Snapshot format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+
+    /// Seal the delta as one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.rules.len() as u64);
+        for entries in &self.rules {
+            w.put_u64(entries.len() as u64);
+            for e in entries {
+                w.put_u64(e.line.0);
+                w.put_u64(e.mask);
+                put_opt_hour(&mut w, e.first_met);
+            }
+        }
+        seal(Self::MAGIC, Self::VERSION, &w.into_bytes())
+    }
+
+    /// Decode a frame produced by [`DetectorDelta::encode`].
+    pub fn decode(frame: &[u8]) -> Result<DetectorDelta, SnapError> {
+        let payload = open(Self::MAGIC, Self::VERSION, frame)?;
+        let mut r = SnapReader::new(payload);
+        let nrules = r.count(8)?;
+        let mut rules = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            let n = r.count(8 + 8 + 4)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(LineEvidence {
+                    line: AnonId(r.u64()?),
+                    mask: r.u64()?,
+                    first_met: read_opt_hour(&mut r)?,
+                });
+            }
+            rules.push(entries);
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed("trailing bytes"));
+        }
+        Ok(DetectorDelta { rules })
+    }
+
+    /// Apply the delta's upserts onto `state`.
+    pub fn apply(&self, state: &mut DetectorState) -> Result<(), CheckpointError> {
+        if state.rules.len() != self.rules.len() {
+            return Err(CheckpointError::StateMismatch("delta rule count"));
+        }
+        for (base, upserts) in state.rules.iter_mut().zip(&self.rules) {
+            merge_upserts(base, upserts, |e| e.line);
+        }
+        Ok(())
+    }
+
+    /// Total (line, rule) upserts carried.
+    pub fn entry_count(&self) -> usize {
+        self.rules.iter().map(Vec::len).sum()
+    }
+}
+
+/// One per-shard snapshot as the supervised pool hands it out: a full
+/// state when the shard could not bound its dirty set (fresh, reset, or
+/// restored since the last snapshot), a delta otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorSnapshot {
+    /// The complete evidence state — replaces the base outright.
+    Full(DetectorState),
+    /// Dirty-only upserts since the previous snapshot.
+    Delta(DetectorDelta),
+}
+
+impl DetectorSnapshot {
+    /// Seal the snapshot as one frame (the wrapped codec's own magic
+    /// makes the two shapes self-describing).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            DetectorSnapshot::Full(s) => s.encode(),
+            DetectorSnapshot::Delta(d) => d.encode(),
+        }
+    }
+
+    /// Decode either shape, dispatching on the frame magic.
+    pub fn decode(frame: &[u8]) -> Result<DetectorSnapshot, SnapError> {
+        if frame.len() >= MAGIC_LEN && frame[..MAGIC_LEN] == DetectorState::MAGIC[..] {
+            Ok(DetectorSnapshot::Full(DetectorState::decode(frame)?))
+        } else {
+            Ok(DetectorSnapshot::Delta(DetectorDelta::decode(frame)?))
+        }
+    }
+
+    /// Whether this is a full state.
+    pub fn is_full(&self) -> bool {
+        matches!(self, DetectorSnapshot::Full(_))
+    }
+
+    /// Total (line, rule) entries carried.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            DetectorSnapshot::Full(s) => s.entry_count(),
+            DetectorSnapshot::Delta(d) => d.entry_count(),
+        }
+    }
+
+    /// Fold the snapshot into `base`: a full replaces it, a delta
+    /// upserts into it.
+    pub fn apply_to(&self, base: &mut DetectorState) -> Result<(), CheckpointError> {
+        match self {
+            DetectorSnapshot::Full(s) => {
+                *base = s.clone();
+                Ok(())
+            }
+            DetectorSnapshot::Delta(d) => d.apply(base),
+        }
+    }
+}
+
+/// The usage tracker's dirty subset: per-rule (line, packets) upserts
+/// plus indicator lines newly set since the previous snapshot. The hour
+/// window only grows between resets (a reset forces the next snapshot
+/// full), so upserts + inserts cover every mutation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UsageDelta {
+    /// Per-rule (line, absolute sampled packets) upserts, sorted by line.
+    pub packets: Vec<Vec<(AnonId, u64)>>,
+    /// Per-rule indicator lines set since the previous snapshot, sorted.
+    pub indicator: Vec<Vec<AnonId>>,
+}
+
+impl UsageDelta {
+    /// Frame magic of a usage-delta snapshot.
+    pub const MAGIC: &'static [u8; MAGIC_LEN] = b"HAYUSGD\0";
+    /// Snapshot format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+
+    /// Seal the delta as one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.packets.len() as u64);
+        for entries in &self.packets {
+            w.put_u64(entries.len() as u64);
+            for (line, pkts) in entries {
+                w.put_u64(line.0);
+                w.put_u64(*pkts);
+            }
+        }
+        w.put_u64(self.indicator.len() as u64);
+        for lines in &self.indicator {
+            w.put_u64(lines.len() as u64);
+            for line in lines {
+                w.put_u64(line.0);
+            }
+        }
+        seal(Self::MAGIC, Self::VERSION, &w.into_bytes())
+    }
+
+    /// Decode a frame produced by [`UsageDelta::encode`].
+    pub fn decode(frame: &[u8]) -> Result<UsageDelta, SnapError> {
+        let payload = open(Self::MAGIC, Self::VERSION, frame)?;
+        let mut r = SnapReader::new(payload);
+        let nrules = r.count(8)?;
+        let mut packets = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            let n = r.count(16)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push((AnonId(r.u64()?), r.u64()?));
+            }
+            packets.push(entries);
+        }
+        let nrules = r.count(8)?;
+        let mut indicator = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            let n = r.count(8)?;
+            let mut lines = Vec::with_capacity(n);
+            for _ in 0..n {
+                lines.push(AnonId(r.u64()?));
+            }
+            indicator.push(lines);
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed("trailing bytes"));
+        }
+        Ok(UsageDelta { packets, indicator })
+    }
+
+    /// Apply the delta's upserts onto `state`.
+    pub fn apply(&self, state: &mut UsageState) -> Result<(), CheckpointError> {
+        if state.packets.len() != self.packets.len()
+            || state.indicator.len() != self.indicator.len()
+        {
+            return Err(CheckpointError::StateMismatch("delta rule count"));
+        }
+        for (base, upserts) in state.packets.iter_mut().zip(&self.packets) {
+            merge_upserts(base, upserts, |&(line, _)| line);
+        }
+        for (base, inserts) in state.indicator.iter_mut().zip(&self.indicator) {
+            merge_upserts(base, inserts, |&line| line);
+        }
+        Ok(())
+    }
+
+    /// Total upserts carried (packet entries + indicator inserts).
+    pub fn entry_count(&self) -> usize {
+        self.packets.iter().map(Vec::len).sum::<usize>()
+            + self.indicator.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+/// The staleness monitor's dirty subset: today's (rule, domain) packet
+/// counters touched since the previous snapshot. Baselines and the day
+/// count change only at `end_of_day`, which forces the next snapshot
+/// full, so a delta never carries them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StalenessDelta {
+    /// Sorted ((rule, domain), today's absolute matched packets).
+    pub today: Vec<((u16, u16), u64)>,
+}
+
+impl StalenessDelta {
+    /// Frame magic of a staleness-delta snapshot.
+    pub const MAGIC: &'static [u8; MAGIC_LEN] = b"HAYSTLD\0";
+    /// Snapshot format version this build writes and reads.
+    pub const VERSION: u32 = 1;
+
+    /// Seal the delta as one checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.put_u64(self.today.len() as u64);
+        for ((ri, di), pkts) in &self.today {
+            w.put_u16(*ri);
+            w.put_u16(*di);
+            w.put_u64(*pkts);
+        }
+        seal(Self::MAGIC, Self::VERSION, &w.into_bytes())
+    }
+
+    /// Decode a frame produced by [`StalenessDelta::encode`].
+    pub fn decode(frame: &[u8]) -> Result<StalenessDelta, SnapError> {
+        let payload = open(Self::MAGIC, Self::VERSION, frame)?;
+        let mut r = SnapReader::new(payload);
+        let n = r.count(12)?;
+        let mut today = Vec::with_capacity(n);
+        for _ in 0..n {
+            today.push(((r.u16()?, r.u16()?), r.u64()?));
+        }
+        if r.remaining() != 0 {
+            return Err(SnapError::Malformed("trailing bytes"));
+        }
+        Ok(StalenessDelta { today })
+    }
+
+    /// Apply the delta's upserts onto `state`.
+    pub fn apply(&self, state: &mut StalenessState) {
+        merge_upserts(&mut state.today, &self.today, |&(key, _)| key);
+    }
+
+    /// Total (rule, domain) upserts carried.
+    pub fn entry_count(&self) -> usize {
+        self.today.len()
+    }
+}
+
 /// Telemetry handles for checkpoint activity, bound once at
 /// [`CheckpointDir::open`] under the `checkpoint` scope.
 #[derive(Debug, Clone)]
@@ -300,6 +624,8 @@ struct DirTelemetry {
     snapshot_bytes: Counter,
     restores: Counter,
     corrupt_skipped: Counter,
+    dirty_entries: Counter,
+    delta_bytes: Counter,
 }
 
 impl DirTelemetry {
@@ -310,6 +636,8 @@ impl DirTelemetry {
             snapshot_bytes: scope.counter("snapshot_bytes"),
             restores: scope.counter("restores"),
             corrupt_skipped: scope.counter("corrupt_skipped"),
+            dirty_entries: scope.counter("dirty_entries"),
+            delta_bytes: scope.counter("delta_bytes"),
         }
     }
 }
@@ -356,8 +684,11 @@ impl CheckpointDir {
         self.root.join(format!("{prefix}-{generation:08}.ckpt"))
     }
 
-    /// Existing generation numbers for `prefix`, ascending.
-    pub fn generations(&self, prefix: &str) -> Result<Vec<u64>, CheckpointError> {
+    fn delta_file_of(&self, prefix: &str, generation: u64) -> PathBuf {
+        self.root.join(format!("{prefix}-{generation:08}.dckpt"))
+    }
+
+    fn scan_generations(&self, prefix: &str, suffix: &str) -> Result<Vec<u64>, CheckpointError> {
         let mut out = Vec::new();
         let entries = fs::read_dir(&self.root).map_err(|e| io_err(&self.root, e))?;
         let lead = format!("{prefix}-");
@@ -366,7 +697,7 @@ impl CheckpointDir {
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
             let Some(rest) = name.strip_prefix(&lead) else { continue };
-            let Some(digits) = rest.strip_suffix(".ckpt") else { continue };
+            let Some(digits) = rest.strip_suffix(suffix) else { continue };
             if digits.len() == 8 {
                 if let Ok(generation) = digits.parse::<u64>() {
                     out.push(generation);
@@ -377,27 +708,73 @@ impl CheckpointDir {
         Ok(out)
     }
 
-    /// Atomically write `frame` as the next generation of `prefix`,
-    /// pruning old generations beyond the retention bound. Returns the
-    /// generation number written.
-    pub fn write(&self, prefix: &str, frame: &[u8]) -> Result<u64, CheckpointError> {
-        let generation = self.generations(prefix)?.last().map_or(0, |g| g + 1);
-        let path = self.file_of(prefix, generation);
-        let tmp = path.with_extension("ckpt.tmp");
+    /// Existing *full* generation numbers for `prefix`, ascending.
+    pub fn generations(&self, prefix: &str) -> Result<Vec<u64>, CheckpointError> {
+        self.scan_generations(prefix, ".ckpt")
+    }
+
+    /// Existing *delta* generation numbers for `prefix`, ascending.
+    /// Fulls and deltas share one generation counter, so the combined
+    /// sequence totally orders the chain.
+    pub fn delta_generations(&self, prefix: &str) -> Result<Vec<u64>, CheckpointError> {
+        self.scan_generations(prefix, ".dckpt")
+    }
+
+    /// The generation number the next write (full or delta) gets.
+    fn next_generation(&self, prefix: &str) -> Result<u64, CheckpointError> {
+        let full = self.generations(prefix)?.last().copied();
+        let delta = self.delta_generations(prefix)?.last().copied();
+        Ok(full.max(delta).map_or(0, |g| g + 1))
+    }
+
+    fn write_atomic(&self, path: &Path, tmp: &Path, frame: &[u8]) -> Result<(), CheckpointError> {
         {
-            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-            f.write_all(frame).map_err(|e| io_err(&tmp, e))?;
-            f.sync_all().map_err(|e| io_err(&tmp, e))?;
+            let mut f = fs::File::create(tmp).map_err(|e| io_err(tmp, e))?;
+            f.write_all(frame).map_err(|e| io_err(tmp, e))?;
+            f.sync_all().map_err(|e| io_err(tmp, e))?;
         }
-        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        fs::rename(tmp, path).map_err(|e| io_err(path, e))?;
         // Persist the rename itself: fsync the directory (best effort on
         // platforms where directories cannot be opened).
         if let Ok(dir) = fs::File::open(&self.root) {
             let _ = dir.sync_all();
         }
+        Ok(())
+    }
+
+    /// Atomically write `frame` as the next *full* generation of
+    /// `prefix`, pruning old generations beyond the retention bound
+    /// (deltas older than the oldest retained full go with them).
+    /// Returns the generation number written.
+    pub fn write(&self, prefix: &str, frame: &[u8]) -> Result<u64, CheckpointError> {
+        let generation = self.next_generation(prefix)?;
+        let path = self.file_of(prefix, generation);
+        let tmp = path.with_extension("ckpt.tmp");
+        self.write_atomic(&path, &tmp, frame)?;
         self.telemetry.snapshots_written.inc();
         self.telemetry.snapshot_bytes.add(frame.len() as u64);
         self.prune(prefix)?;
+        Ok(generation)
+    }
+
+    /// Atomically write `frame` as the next *delta* generation of
+    /// `prefix`. `dirty_entries` is the number of dirty entries encoded
+    /// in the frame, counted into `checkpoint.dirty_entries` (the
+    /// conservation invariant: dirty flushed == entries encoded);
+    /// `checkpoint.delta_bytes` accrues the frame size. Deltas are not
+    /// pruned here — they fall when a full write prunes past them.
+    pub fn write_delta(
+        &self,
+        prefix: &str,
+        frame: &[u8],
+        dirty_entries: u64,
+    ) -> Result<u64, CheckpointError> {
+        let generation = self.next_generation(prefix)?;
+        let path = self.delta_file_of(prefix, generation);
+        let tmp = path.with_extension("dckpt.tmp");
+        self.write_atomic(&path, &tmp, frame)?;
+        self.telemetry.dirty_entries.add(dirty_entries);
+        self.telemetry.delta_bytes.add(frame.len() as u64);
         Ok(generation)
     }
 
@@ -407,6 +784,16 @@ impl CheckpointDir {
             for &generation in &generations[..generations.len() - self.keep] {
                 let path = self.file_of(prefix, generation);
                 fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+            }
+        }
+        // Deltas older than the oldest retained full can never be
+        // replayed (chains start at a full generation) — drop them.
+        if let Some(&oldest_full) = self.generations(prefix)?.first() {
+            for dg in self.delta_generations(prefix)? {
+                if dg < oldest_full {
+                    let path = self.delta_file_of(prefix, dg);
+                    fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+                }
             }
         }
         Ok(())
@@ -420,6 +807,14 @@ impl CheckpointDir {
     /// genuine version skew from on-disk corruption.
     pub fn read_generation(&self, prefix: &str, generation: u64) -> Result<Vec<u8>, CheckpointError> {
         let path = self.file_of(prefix, generation);
+        fs::read(&path).map_err(|e| io_err(&path, e))
+    }
+
+    /// Read the raw frame of one specific *delta* generation, without
+    /// decoding — the chain-walking counterpart of
+    /// [`CheckpointDir::read_generation`].
+    pub fn read_delta(&self, prefix: &str, generation: u64) -> Result<Vec<u8>, CheckpointError> {
+        let path = self.delta_file_of(prefix, generation);
         fs::read(&path).map_err(|e| io_err(&path, e))
     }
 
@@ -451,6 +846,64 @@ impl CheckpointDir {
                     last_err = Some(e);
                 }
             }
+        }
+        match last_err {
+            Some(e) => Err(CheckpointError::Snap(e)),
+            None => Ok(None),
+        }
+    }
+
+    /// Load the newest consistent full+delta chain of `prefix`.
+    ///
+    /// Fulls are tried newest-first (a corrupt full is skipped, counted
+    /// in `checkpoint.corrupt_skipped`); once one decodes, every delta
+    /// with a *higher* generation is applied in ascending order. A delta
+    /// that fails to read, decode, or apply stops the chain there — the
+    /// caller gets the last consistent generation, never a half-applied
+    /// state. Because deltas carry absolute-value upserts, replaying the
+    /// deltas written *after* a corrupt full on top of an older full
+    /// still reconstructs the exact newest state.
+    ///
+    /// Returns `(generation, value)` where `generation` is the highest
+    /// frame folded in, `Ok(None)` when no full generation exists, and
+    /// the last decode error when every full generation is corrupt.
+    pub fn load_latest_chain<T, D>(
+        &self,
+        prefix: &str,
+        mut decode_full: impl FnMut(&[u8]) -> Result<T, SnapError>,
+        mut decode_delta: impl FnMut(&[u8]) -> Result<D, SnapError>,
+        mut apply: impl FnMut(&mut T, D) -> Result<(), CheckpointError>,
+    ) -> Result<Option<(u64, T)>, CheckpointError> {
+        let fulls = self.generations(prefix)?;
+        let deltas = self.delta_generations(prefix)?;
+        let mut last_err: Option<SnapError> = None;
+        for &generation in fulls.iter().rev() {
+            let path = self.file_of(prefix, generation);
+            let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+            let mut v = match decode_full(&bytes) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.telemetry.corrupt_skipped.inc();
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            self.telemetry.restores.inc();
+            let mut top = generation;
+            for &dg in deltas.iter().filter(|&&dg| dg > generation) {
+                let applied = self
+                    .read_delta(prefix, dg)
+                    .ok()
+                    .and_then(|b| decode_delta(&b).ok())
+                    .and_then(|d| apply(&mut v, d).ok())
+                    .is_some();
+                if !applied {
+                    self.telemetry.corrupt_skipped.inc();
+                    break;
+                }
+                top = dg;
+            }
+            return Ok(Some((top, v)));
         }
         match last_err {
             Some(e) => Err(CheckpointError::Snap(e)),
@@ -591,10 +1044,207 @@ mod tests {
     }
 
     #[test]
+    fn detector_delta_round_trips_and_applies_as_upserts() {
+        let mut base = sample_detector_state();
+        let delta = DetectorDelta {
+            rules: vec![
+                vec![
+                    // Replaces the existing line-1 entry…
+                    LineEvidence { line: AnonId(1), mask: 0b111, first_met: Some(HourBin(9)) },
+                    // …and inserts a new line between 1 and 9.
+                    LineEvidence { line: AnonId(4), mask: 0b10, first_met: None },
+                ],
+                vec![LineEvidence { line: AnonId(2), mask: 1, first_met: None }],
+                vec![],
+            ],
+        };
+        assert_eq!(DetectorDelta::decode(&delta.encode()).unwrap(), delta);
+        assert_eq!(delta.entry_count(), 3);
+        delta.apply(&mut base).unwrap();
+        assert_eq!(
+            base.rules[0],
+            vec![
+                LineEvidence { line: AnonId(1), mask: 0b111, first_met: Some(HourBin(9)) },
+                LineEvidence { line: AnonId(4), mask: 0b10, first_met: None },
+                LineEvidence { line: AnonId(9), mask: 0b1, first_met: None },
+            ]
+        );
+        assert_eq!(base.rules[1], vec![LineEvidence { line: AnonId(2), mask: 1, first_met: None }]);
+        // Rule-count mismatch is a typed error, not a partial merge.
+        let narrow = DetectorDelta { rules: vec![vec![]] };
+        assert!(matches!(
+            narrow.apply(&mut base),
+            Err(CheckpointError::StateMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_enum_decodes_either_shape_by_magic() {
+        let full = DetectorSnapshot::Full(sample_detector_state());
+        let delta = DetectorSnapshot::Delta(DetectorDelta {
+            rules: vec![vec![LineEvidence { line: AnonId(5), mask: 2, first_met: None }]],
+        });
+        assert_eq!(DetectorSnapshot::decode(&full.encode()).unwrap(), full);
+        assert_eq!(DetectorSnapshot::decode(&delta.encode()).unwrap(), delta);
+        assert!(full.is_full());
+        assert!(!delta.is_full());
+    }
+
+    #[test]
+    fn usage_delta_applies_packet_upserts_and_indicator_inserts() {
+        let mut base = UsageState {
+            packets: vec![vec![(AnonId(1), 12), (AnonId(2), 1)], vec![]],
+            indicator: vec![vec![AnonId(2)], vec![]],
+        };
+        let delta = UsageDelta {
+            packets: vec![vec![(AnonId(2), 9), (AnonId(3), 4)], vec![(AnonId(7), 1)]],
+            indicator: vec![vec![AnonId(1), AnonId(2)], vec![]],
+        };
+        assert_eq!(UsageDelta::decode(&delta.encode()).unwrap(), delta);
+        assert_eq!(delta.entry_count(), 5);
+        delta.apply(&mut base).unwrap();
+        assert_eq!(base.packets[0], vec![(AnonId(1), 12), (AnonId(2), 9), (AnonId(3), 4)]);
+        assert_eq!(base.packets[1], vec![(AnonId(7), 1)]);
+        assert_eq!(base.indicator[0], vec![AnonId(1), AnonId(2)]);
+    }
+
+    #[test]
+    fn staleness_delta_applies_today_upserts_only() {
+        let mut base = StalenessState {
+            today: vec![((0, 0), 42), ((0, 1), 3)],
+            baseline: vec![((0, 0), 0.5)],
+            days_seen: 4,
+        };
+        let delta = StalenessDelta { today: vec![((0, 1), 8), ((1, 0), 2)] };
+        assert_eq!(StalenessDelta::decode(&delta.encode()).unwrap(), delta);
+        delta.apply(&mut base);
+        assert_eq!(base.today, vec![((0, 0), 42), ((0, 1), 8), ((1, 0), 2)]);
+        assert_eq!(base.baseline, vec![((0, 0), 0.5)]);
+        assert_eq!(base.days_seen, 4);
+    }
+
+    fn one_entry(line: u64, mask: u64) -> DetectorState {
+        DetectorState {
+            rules: vec![vec![LineEvidence { line: AnonId(line), mask, first_met: None }]],
+        }
+    }
+
+    fn one_upsert(line: u64, mask: u64) -> DetectorDelta {
+        DetectorDelta {
+            rules: vec![vec![LineEvidence { line: AnonId(line), mask, first_met: None }]],
+        }
+    }
+
+    fn load_chain(dir: &CheckpointDir) -> Option<(u64, DetectorState)> {
+        dir.load_latest_chain(
+            "det",
+            DetectorState::decode,
+            DetectorDelta::decode,
+            |s, d: DetectorDelta| d.apply(s),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_and_delta_share_one_generation_counter() {
+        let root = scratch("chain-gen");
+        let dir = CheckpointDir::open(&root).unwrap();
+        assert_eq!(dir.write("det", &one_entry(1, 1).encode()).unwrap(), 0);
+        assert_eq!(dir.write_delta("det", &one_upsert(2, 1).encode(), 1).unwrap(), 1);
+        assert_eq!(dir.write_delta("det", &one_upsert(3, 1).encode(), 1).unwrap(), 2);
+        assert_eq!(dir.write("det", &one_entry(9, 9).encode()).unwrap(), 3);
+        assert_eq!(dir.generations("det").unwrap(), vec![0, 3]);
+        assert_eq!(dir.delta_generations("det").unwrap(), vec![1, 2]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn chain_replays_full_plus_newer_deltas_in_order() {
+        let root = scratch("chain-replay");
+        let dir = CheckpointDir::open(&root).unwrap();
+        dir.write("det", &one_entry(1, 0b1).encode()).unwrap();
+        dir.write_delta("det", &one_upsert(1, 0b11).encode(), 1).unwrap();
+        dir.write_delta("det", &one_upsert(2, 0b1).encode(), 1).unwrap();
+        let (generation, s) = load_chain(&dir).expect("chain");
+        assert_eq!(generation, 2, "top of chain is the newest delta");
+        assert_eq!(
+            s.rules[0],
+            vec![
+                LineEvidence { line: AnonId(1), mask: 0b11, first_met: None },
+                LineEvidence { line: AnonId(2), mask: 0b1, first_met: None },
+            ]
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_delta_stops_the_chain_at_the_last_consistent_generation() {
+        let root = scratch("chain-corrupt-delta");
+        let dir = CheckpointDir::open(&root).unwrap();
+        dir.write("det", &one_entry(1, 0b1).encode()).unwrap();
+        let g1 = dir.write_delta("det", &one_upsert(1, 0b11).encode(), 1).unwrap();
+        let g2 = dir.write_delta("det", &one_upsert(1, 0b111).encode(), 1).unwrap();
+        // Bit-flip the middle delta: it and everything after must drop.
+        let mid = root.join(format!("det-{g1:08}.dckpt"));
+        let mut bytes = fs::read(&mid).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x20;
+        fs::write(&mid, &bytes).unwrap();
+        let (generation, s) = load_chain(&dir).expect("chain");
+        assert_eq!(generation, 0, "fell back to the full generation");
+        assert_eq!(s, one_entry(1, 0b1));
+        assert!(g2 > g1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_full_falls_back_and_newer_deltas_still_apply() {
+        let root = scratch("chain-corrupt-full");
+        let dir = CheckpointDir::open(&root).unwrap();
+        dir.write("det", &one_entry(1, 0b1).encode()).unwrap(); // gen 0
+        dir.write_delta("det", &one_upsert(1, 0b11).encode(), 1).unwrap(); // gen 1
+        let g2 = dir.write("det", &one_entry(1, 0b11).encode()).unwrap(); // gen 2
+        dir.write_delta("det", &one_upsert(2, 0b1).encode(), 1).unwrap(); // gen 3
+        // Corrupt the newest full: absolute-value deltas written after it
+        // must still land on top of the older full.
+        let newest_full = root.join(format!("det-{g2:08}.ckpt"));
+        let mut bytes = fs::read(&newest_full).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x40;
+        fs::write(&newest_full, &bytes).unwrap();
+        let (generation, s) = load_chain(&dir).expect("chain");
+        assert_eq!(generation, 3, "chain reaches the delta past the corrupt full");
+        assert_eq!(
+            s.rules[0],
+            vec![
+                LineEvidence { line: AnonId(1), mask: 0b11, first_met: None },
+                LineEvidence { line: AnonId(2), mask: 0b1, first_met: None },
+            ]
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn full_write_prunes_deltas_older_than_the_oldest_retained_full() {
+        let root = scratch("chain-prune");
+        let dir = CheckpointDir::open(&root).unwrap();
+        dir.write("det", &one_entry(1, 1).encode()).unwrap(); // gen 0
+        dir.write_delta("det", &one_upsert(2, 1).encode(), 1).unwrap(); // gen 1
+        dir.write("det", &one_entry(1, 1).encode()).unwrap(); // gen 2
+        dir.write_delta("det", &one_upsert(3, 1).encode(), 1).unwrap(); // gen 3
+        dir.write("det", &one_entry(1, 1).encode()).unwrap(); // gen 4 → prunes gen 0
+        // keep=2 retains fulls {2, 4}; the gen-1 delta predates full 2.
+        assert_eq!(dir.generations("det").unwrap(), vec![2, 4]);
+        assert_eq!(dir.delta_generations("det").unwrap(), vec![3]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
     fn no_tmp_files_survive_a_write() {
         let root = scratch("tmp");
         let dir = CheckpointDir::open(&root).unwrap();
         dir.write("det", &sample_detector_state().encode()).unwrap();
+        dir.write_delta("det", &one_upsert(1, 1).encode(), 1).unwrap();
         let leftovers: Vec<_> = fs::read_dir(&root)
             .unwrap()
             .filter_map(|e| e.ok())

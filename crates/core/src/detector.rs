@@ -36,8 +36,10 @@
 //! survivors only. A miss costs one hash and one L1 fingerprint byte —
 //! it never reaches the probe table or the state maps.
 
-use crate::checkpoint::{CheckpointError, DetectorState, LineEvidence};
-use crate::fasthash::{mix64, FastMap};
+use crate::checkpoint::{
+    CheckpointError, DetectorDelta, DetectorSnapshot, DetectorState, LineEvidence,
+};
+use crate::fasthash::{mix64, FastMap, FastSet};
 use crate::gate::{self, SOA_BLOCK};
 use crate::hitlist::{self, HitList};
 use crate::rules::RuleSet;
@@ -177,6 +179,15 @@ pub struct Detector<'r> {
     /// Per-rule line state: `state[ri]` maps line → evidence for rule
     /// `ri`. Indexed by rule so class queries touch one map.
     state: Vec<FastMap<AnonId, LineState>>,
+    /// Per-rule lines mutated since the last snapshot — the working set
+    /// of [`Detector::take_snapshot_delta`]. Only *actual* mutations
+    /// insert here (re-observed evidence takes the mask early-out), so
+    /// steady-state hot loops stay allocation-free.
+    dirty: Vec<FastSet<AnonId>>,
+    /// Set when the dirty sets cannot bound the mutations since the last
+    /// snapshot (fresh detector, reset, restore, rule swap) — the next
+    /// snapshot must be full.
+    dirty_all: bool,
     /// Reusable struct-of-arrays buffers for the batched observe path.
     scratch: Scratch,
     /// Plain (non-atomic) hot-path tallies; owners flush them into
@@ -206,6 +217,7 @@ impl<'r> Detector<'r> {
             .map(|r| r.parent.and_then(|p| rules.rule_index_of(p)).map(|p| p as u16))
             .collect();
         let state = rules.rules.iter().map(|_| FastMap::default()).collect();
+        let dirty = rules.rules.iter().map(|_| FastSet::default()).collect();
         Detector {
             rules,
             config,
@@ -213,6 +225,8 @@ impl<'r> Detector<'r> {
             required,
             parent,
             state,
+            dirty,
+            dirty_all: true,
             scratch: Scratch::default(),
             stats: HotStats::default(),
         }
@@ -262,7 +276,7 @@ impl<'r> Detector<'r> {
         }
         // Disjoint borrows: the hitlist slice must not alias the state
         // maps, which destructuring proves to the borrow checker.
-        let Detector { hitlist, state, required, stats, .. } = self;
+        let Detector { hitlist, state, required, stats, dirty, dirty_all, .. } = self;
         let key = HitList::pack_key(dst, dport);
         let h = mix64(key);
         if !hitlist.prefilter_pass(h) {
@@ -279,6 +293,9 @@ impl<'r> Detector<'r> {
                 continue;
             }
             entry.mask |= bit;
+            if !*dirty_all {
+                dirty[ri as usize].insert(line);
+            }
             if entry.mask.count_ones() == required[ri as usize] && entry.first_met.is_none() {
                 entry.first_met = Some(hour);
                 stats.detections += 1;
@@ -320,7 +337,8 @@ impl<'r> Detector<'r> {
     /// [`Detector::observe_chunk`].
     fn observe_block(&mut self, records: &[WildRecord]) {
         self.stats.records += records.len() as u64;
-        let Detector { hitlist, state, required, stats, scratch, config, .. } = self;
+        let Detector { hitlist, state, required, stats, scratch, config, dirty, dirty_all, .. } =
+            self;
         let filtered = config.require_established;
         let fp = hitlist.prefilter();
         if fp.is_empty() {
@@ -388,6 +406,9 @@ impl<'r> Detector<'r> {
                     continue;
                 }
                 entry.mask |= bit;
+                if !*dirty_all {
+                    dirty[ri as usize].insert(r.line);
+                }
                 if entry.mask.count_ones() == required[ri as usize] && entry.first_met.is_none() {
                     entry.first_met = Some(r.hour);
                     stats.detections += 1;
@@ -493,9 +514,14 @@ impl<'r> Detector<'r> {
     }
 
     /// Clear accumulated evidence (start a new aggregation window).
+    /// Deltas cannot express removal, so the next snapshot is full.
     pub fn reset(&mut self) {
         for m in &mut self.state {
             m.clear();
+        }
+        self.dirty_all = true;
+        for s in &mut self.dirty {
+            s.clear();
         }
     }
 
@@ -553,7 +579,72 @@ impl<'r> Detector<'r> {
                 m.insert(e.line, LineState { mask: e.mask, first_met: e.first_met });
             }
         }
+        // The restored state replaces whatever the dirty sets were
+        // bounding — force the next snapshot full.
+        self.dirty_all = true;
+        for s in &mut self.dirty {
+            s.clear();
+        }
         Ok(())
+    }
+
+    /// Mark every entry clean: the next
+    /// [`Detector::take_snapshot_delta`] covers only mutations made
+    /// after this point.
+    fn mark_clean(&mut self) {
+        self.dirty_all = false;
+        for s in &mut self.dirty {
+            s.clear();
+        }
+    }
+
+    /// Export the full state *and* mark everything clean — the
+    /// checkpointing counterpart of the read-only
+    /// [`Detector::export_state`]. Use this when the export is actually
+    /// persisted as the base of a delta chain.
+    pub fn checkpoint_full(&mut self) -> DetectorState {
+        let state = self.export_state();
+        self.mark_clean();
+        state
+    }
+
+    /// Take an incremental snapshot: the dirty (line, rule) entries
+    /// mutated since the previous snapshot, as absolute-value upserts —
+    /// or the full state when the dirty sets cannot bound the mutations
+    /// (fresh detector, reset, restore). Clears the dirty tracking
+    /// either way.
+    pub fn take_snapshot_delta(&mut self) -> DetectorSnapshot {
+        if self.dirty_all {
+            return DetectorSnapshot::Full(self.checkpoint_full());
+        }
+        let rules = self
+            .dirty
+            .iter()
+            .zip(&self.state)
+            .map(|(dirty, m)| {
+                let mut entries: Vec<LineEvidence> = dirty
+                    .iter()
+                    .map(|line| {
+                        let s = m.get(line).copied().unwrap_or_default();
+                        LineEvidence { line: *line, mask: s.mask, first_met: s.first_met }
+                    })
+                    .collect();
+                entries.sort_unstable_by_key(|e| e.line);
+                entries
+            })
+            .collect();
+        self.mark_clean();
+        DetectorSnapshot::Delta(DetectorDelta { rules })
+    }
+
+    /// Dirty (line, rule) entries accumulated since the last snapshot,
+    /// or `None` when the next snapshot must be full.
+    pub fn dirty_entries(&self) -> Option<usize> {
+        if self.dirty_all {
+            None
+        } else {
+            Some(self.dirty.iter().map(FastSet::len).sum())
+        }
     }
 }
 
@@ -800,6 +891,64 @@ mod tests {
         }
         chunked.observe_chunk(&records);
         assert_eq!(scalar.hot_stats(), chunked.hot_stats());
+    }
+
+    #[test]
+    fn first_snapshot_is_full_then_deltas_track_only_mutations() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 0.4);
+        hit(&mut det, ip(1), 0);
+        // Fresh detector: dirty sets can't bound anything yet.
+        assert_eq!(det.dirty_entries(), None);
+        let snap = det.take_snapshot_delta();
+        assert!(snap.is_full(), "first snapshot must be full");
+        // Re-observed evidence is not a mutation.
+        hit(&mut det, ip(1), 1);
+        assert_eq!(det.dirty_entries(), Some(0));
+        // New evidence dirties exactly the touched (rule, line) entries.
+        hit(&mut det, ip(2), 2);
+        det.observe(AnonId(5), ip(10), 443, Proto::Tcp, true, HourBin(2));
+        assert_eq!(det.dirty_entries(), Some(2));
+        let snap = det.take_snapshot_delta();
+        let crate::checkpoint::DetectorSnapshot::Delta(delta) = &snap else {
+            panic!("expected a delta");
+        };
+        assert_eq!(delta.entry_count(), 2);
+        assert_eq!(det.dirty_entries(), Some(0), "taking the snapshot clears dirty");
+    }
+
+    #[test]
+    fn full_plus_delta_chain_reconstructs_the_full_state() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 0.4);
+        hit(&mut det, ip(1), 0);
+        let base = det.checkpoint_full();
+        hit(&mut det, ip(2), 1);
+        det.observe(AnonId(5), ip(1), 443, Proto::Tcp, true, HourBin(2));
+        let snap1 = det.take_snapshot_delta();
+        det.observe(AnonId(5), ip(2), 443, Proto::Tcp, true, HourBin(3));
+        let snap2 = det.take_snapshot_delta();
+        // Replay the chain onto the base: must equal a fresh full export.
+        let mut replayed = base;
+        snap1.apply_to(&mut replayed).unwrap();
+        snap2.apply_to(&mut replayed).unwrap();
+        assert_eq!(replayed, det.export_state());
+    }
+
+    #[test]
+    fn reset_and_restore_force_the_next_snapshot_full() {
+        let rules = ruleset();
+        let mut det = detector(&rules, 0.4);
+        det.take_snapshot_delta();
+        hit(&mut det, ip(1), 0);
+        det.reset();
+        assert_eq!(det.dirty_entries(), None);
+        assert!(det.take_snapshot_delta().is_full());
+        hit(&mut det, ip(1), 0);
+        let state = det.export_state();
+        det.restore_state(&state).unwrap();
+        assert_eq!(det.dirty_entries(), None);
+        assert!(det.take_snapshot_delta().is_full());
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub mod telemetry;
 pub mod usage;
 pub mod visibility;
 
-pub use checkpoint::{CheckpointDir, CheckpointError, DetectorState, StalenessState, UsageState};
+pub use checkpoint::{
+    CheckpointDir, CheckpointError, DetectorDelta, DetectorSnapshot, DetectorState,
+    StalenessDelta, StalenessState, UsageDelta, UsageState,
+};
 pub use classes::{ClassId, ClassTable};
 pub use crosscheck::{GroundTruthVantage, HOME_LINE};
 pub use dedicated::{DedicationVerdict, InfraKnowledge};

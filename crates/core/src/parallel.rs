@@ -32,7 +32,7 @@
 //! [`ShardedDetector`] remains as the legacy batch façade: one call
 //! observes a batch and blocks until it is fully absorbed.
 
-use crate::checkpoint::DetectorState;
+use crate::checkpoint::{DetectorDelta, DetectorSnapshot, DetectorState};
 use crate::detector::{DetectionQuery, Detector, DetectorConfig};
 use crate::hitlist::HitList;
 use crate::rules::RuleSet;
@@ -160,6 +160,10 @@ enum Cmd {
     /// Export this shard's evidence state (processed in FIFO order, so
     /// the snapshot covers every batch sent before it).
     Snapshot(Sender<DetectorState>),
+    /// Export a dirty-only snapshot of the evidence mutated since the
+    /// shard's last delta/full checkpoint (full when no clean base
+    /// exists). Unlike `Snapshot`, this clears the shard's dirty set.
+    SnapshotDelta(Sender<DetectorSnapshot>),
     /// Replace this shard's evidence state with a checkpoint.
     Restore(DetectorState),
     /// Deterministic crash injection: panic when this command is
@@ -294,6 +298,10 @@ fn run_shard(
                 flush_stats(&det, tel, &mut flushed);
                 let _ = reply.send(det.export_state());
             }
+            Cmd::SnapshotDelta(reply) => {
+                flush_stats(&det, tel, &mut flushed);
+                let _ = reply.send(det.take_snapshot_delta());
+            }
             Cmd::Restore(state) => {
                 det.restore_state(&state).expect("checkpoint matches this rule set");
             }
@@ -361,8 +369,17 @@ fn spawn_worker(
 /// Supervision state: per-shard checkpoints, replay buffers, and the
 /// recovery telemetry published under the global `checkpoint` scope.
 struct Supervisor {
-    /// Last checkpointed evidence state, per shard.
+    /// Last *folded* evidence state, per shard: the base that
+    /// `pending` deltas have not yet been applied to.
     shard_state: Vec<DetectorState>,
+    /// Delta frames accepted by [`DetectorPool::checkpoint_all_delta`]
+    /// but not yet folded into `shard_state`. Applying a delta is
+    /// thousands of map upserts; deferring it keeps the hour-boundary
+    /// consistency point at clone cost. Folding happens only when the
+    /// base is actually read (dead-shard recovery, full-anchor export),
+    /// and every full snapshot — explicit or replay-bound automatic —
+    /// subsumes and clears the queue, so it stays bounded.
+    pending: Vec<Vec<DetectorDelta>>,
     /// Batches *shipped* to each shard since its last checkpoint,
     /// retained as `Arc` refcount clones at ship time — no record is
     /// ever copied for replay coverage. Staged-but-unshipped records
@@ -397,12 +414,23 @@ impl Supervisor {
         let scope = Scope::named("checkpoint");
         Supervisor {
             shard_state: (0..shards).map(|_| empty_state(nrules)).collect(),
+            pending: (0..shards).map(|_| Vec::new()).collect(),
             replay: (0..shards).map(|_| Vec::new()).collect(),
             replay_records: vec![0; shards],
             replay_limit: replay_limit.max(1),
             restarts: scope.counter("shard_restarts"),
             replayed_records: scope.counter("replayed_records"),
             shard_checkpoints: scope.counter("shard_checkpoints"),
+        }
+    }
+
+    /// Apply the shard's queued delta frames to its base state, in
+    /// arrival order (later absolute values win).
+    fn fold_pending(&mut self, shard: usize) {
+        for delta in self.pending[shard].drain(..) {
+            delta
+                .apply(&mut self.shard_state[shard])
+                .expect("pending delta matches its base rule count");
         }
     }
 }
@@ -667,6 +695,7 @@ impl DetectorPool {
         }
         let sup = self.supervisor.as_mut().expect("supervised");
         sup.restarts.inc();
+        sup.fold_pending(shard);
         let state = sup.shard_state[shard].clone();
         // Staging is left alone: those records were never shipped, are
         // not in the replay buffer, and will ship to the respawned
@@ -871,6 +900,7 @@ impl DetectorPool {
         })?;
         let sup = self.supervisor.as_mut().expect("supervised");
         sup.shard_state[shard] = state;
+        sup.pending[shard].clear(); // full state subsumes queued deltas
         reclaim_replay(&mut sup.replay[shard], &mut self.spare);
         sup.replay_records[shard] = 0;
         sup.shard_checkpoints.inc();
@@ -894,6 +924,7 @@ impl DetectorPool {
                 Some(state) => {
                     let sup = self.supervisor.as_mut().expect("supervised");
                     sup.shard_state[shard] = state;
+                    sup.pending[shard].clear(); // subsumed by the full
                     reclaim_replay(&mut sup.replay[shard], &mut self.spare);
                     sup.replay_records[shard] = 0;
                     sup.shard_checkpoints.inc();
@@ -907,6 +938,71 @@ impl DetectorPool {
             }
         }
         Ok(())
+    }
+
+    /// Checkpoint every shard incrementally: each shard exports a
+    /// dirty-only [`DetectorSnapshot`] (full when it has no clean base —
+    /// fresh worker, post-restore, post-reset), the supervisor merges it
+    /// into its per-shard base state, and the per-shard frames are
+    /// returned for persistence. Requires supervision. A shard found
+    /// dead is healed first and contributes a full frame — its recovered
+    /// state has no delta base on disk.
+    pub fn checkpoint_all_delta(&mut self) -> Result<Vec<DetectorSnapshot>, PoolError> {
+        assert!(self.supervisor.is_some(), "enable_supervision first");
+        self.flush()?;
+        let mut pending: Vec<Option<Receiver<DetectorSnapshot>>> = Vec::new();
+        for w in &self.workers {
+            let (tx, rx) = channel();
+            pending.push(w.tx.send(Cmd::SnapshotDelta(tx)).ok().map(|()| rx));
+        }
+        let mut frames = Vec::with_capacity(self.workers.len());
+        for (shard, slot) in pending.into_iter().enumerate() {
+            match slot.and_then(|rx| rx.recv().ok()) {
+                Some(snap) => {
+                    let sup = self.supervisor.as_mut().expect("supervised");
+                    match &snap {
+                        DetectorSnapshot::Full(state) => {
+                            sup.shard_state[shard] = state.clone();
+                            sup.pending[shard].clear();
+                        }
+                        // Deferred: the frame is persisted by the caller
+                        // at this same moment, so queuing it (a memcpy)
+                        // instead of applying it (thousands of upserts)
+                        // loses nothing — the fold happens off the
+                        // boundary path, when the base is next read.
+                        DetectorSnapshot::Delta(delta) => {
+                            sup.pending[shard].push(delta.clone())
+                        }
+                    }
+                    reclaim_replay(&mut sup.replay[shard], &mut self.spare);
+                    sup.replay_records[shard] = 0;
+                    sup.shard_checkpoints.inc();
+                    frames.push(snap);
+                }
+                // Dead shard: heal it, take a full snapshot on the
+                // recovered slow path, and persist that full frame —
+                // the worker's dirty set died with it.
+                None => {
+                    self.handle_dead_shard(shard)?;
+                    self.checkpoint_shard(shard)?;
+                    let sup = self.supervisor.as_ref().expect("supervised");
+                    frames.push(DetectorSnapshot::Full(sup.shard_state[shard].clone()));
+                }
+            }
+        }
+        Ok(frames)
+    }
+
+    /// The supervisor's merged per-shard base states — what the delta
+    /// frames of [`DetectorPool::checkpoint_all_delta`] have been folded
+    /// into. Requires supervision.
+    pub fn supervised_shard_states(&mut self) -> Vec<DetectorState> {
+        assert!(self.supervisor.is_some(), "enable_supervision first");
+        let sup = self.supervisor.as_mut().expect("supervised");
+        for shard in 0..sup.shard_state.len() {
+            sup.fold_pending(shard);
+        }
+        sup.shard_state.clone()
     }
 
     /// Export every shard's evidence state, flushing first so the
@@ -946,6 +1042,9 @@ impl DetectorPool {
         }
         if let Some(sup) = &mut self.supervisor {
             sup.shard_state = states.to_vec();
+            for q in &mut sup.pending {
+                q.clear(); // stale deltas would corrupt the restored base
+            }
             for r in &mut sup.replay {
                 reclaim_replay(r, &mut self.spare);
             }
@@ -1074,6 +1173,9 @@ impl DetectorPool {
             .collect();
         if let Some(sup) = &mut self.supervisor {
             sup.shard_state = migrated.clone();
+            for q in &mut sup.pending {
+                q.clear(); // pre-swap deltas reference the old rule set
+            }
         }
         self.rules = Arc::clone(&new_rules);
         self.hitlist = hitlist.clone();
@@ -1104,6 +1206,9 @@ impl DetectorPool {
             sup.replay_records.fill(0);
             for s in &mut sup.shard_state {
                 *s = empty_state(nrules);
+            }
+            for q in &mut sup.pending {
+                q.clear(); // the window they belong to is being cleared
             }
         }
         for shard in 0..self.workers.len() {
@@ -1420,6 +1525,49 @@ mod tests {
         pool.set_rules(&only_y, &HitList::whole_window(&only_y)).unwrap();
         assert!(pool.detected_lines("X").unwrap().is_empty(), "removed rule disappears");
         assert!(pool.is_detected(AnonId(42), "Y").unwrap(), "surviving rule keeps evidence");
+    }
+
+    #[test]
+    fn delta_checkpoints_merge_into_the_full_shard_states() {
+        let rules = ruleset(6);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(24_000, 17);
+        let (first, rest) = records.split_at(8_000);
+
+        let mut pool = DetectorPool::new(&rules, &hl, config, 4);
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+        pool.observe_records(first).unwrap();
+        // Fresh workers have no clean base: round one is all-full.
+        let frames = pool.checkpoint_all_delta().unwrap();
+        assert!(frames.iter().all(DetectorSnapshot::is_full), "first round must be full");
+
+        pool.observe_records(rest).unwrap();
+        let frames = pool.checkpoint_all_delta().unwrap();
+        assert!(
+            frames.iter().all(|f| !f.is_full()),
+            "second round must be dirty-only deltas"
+        );
+
+        // The merged bases equal an uninterrupted pool's full states.
+        let merged = pool.supervised_shard_states();
+        let mut oracle = DetectorPool::new(&rules, &hl, config, 4);
+        oracle.observe_records(&records).unwrap();
+        assert_eq!(merged, oracle.shard_states().unwrap());
+
+        // A crashed shard heals and contributes a full frame again.
+        pool.inject_panic(2, "mid-soak crash").unwrap();
+        pool.observe_records(first).unwrap();
+        let frames = pool.checkpoint_all_delta().unwrap();
+        assert!(frames[2].is_full(), "healed shard restarts its chain with a full frame");
+        assert_eq!(
+            pool.detected_lines("X").unwrap(),
+            {
+                oracle.observe_records(first).unwrap();
+                oracle.detected_lines("X").unwrap()
+            },
+            "crash + delta checkpoints lose no evidence"
+        );
     }
 
     #[test]

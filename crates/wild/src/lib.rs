@@ -32,6 +32,9 @@
 //!   [`RecordChunk`], [`VantagePoint`]): vantage points hand traffic to
 //!   consumers one bounded chunk at a time instead of materializing an
 //!   hour (DESIGN.md, "Streaming architecture").
+//! * [`soak`] — the stateless wild-scale soak generator: ≥10⁶ lines of
+//!   ~99%-miss traffic for the `haystack soak` harness and the
+//!   `BENCH_wild.json` soak bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +47,7 @@ pub mod ixp;
 pub mod plan;
 pub mod population;
 pub mod record;
+pub mod soak;
 pub mod stream;
 
 pub use degrade::{degrade_records, DegradeStream, FeedDegradation};
@@ -53,6 +57,7 @@ pub use ixp::{IxpConfig, IxpVantage, MemberAs};
 pub use plan::ContactPlan;
 pub use population::{Population, PopulationConfig};
 pub use record::WildRecord;
+pub use soak::{SoakConfig, SoakStream};
 pub use stream::{
     materialize, skip_chunks, FilterStream, RecordChunk, RecordStream, VantagePoint, VecStream,
     Watermark, DEFAULT_CHUNK_RECORDS,
