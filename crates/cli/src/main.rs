@@ -27,7 +27,8 @@ use haystack_core::detector::{Detector, DetectorConfig};
 use haystack_core::hitlist::HitList;
 use haystack_core::mitigation::{block_plan, Action};
 use haystack_core::pack::SignaturePack;
-use haystack_core::parallel::DetectorPool;
+use haystack_core::parallel::{DetectorPool, ShardBackend};
+use haystack_core::procpool::{ProcPool, ProcPoolOptions};
 use haystack_core::pipeline::{Pipeline, PipelineConfig};
 use haystack_core::telemetry;
 use haystack_core::CheckpointDir;
@@ -52,7 +53,7 @@ fn pool_fatal_ck<T>(r: Result<T, haystack_core::CheckpointError>) -> T {
 
 fn usage() -> ! {
     haystack_cli::log::raw_args(format_args!(
-        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack rules export [--rules FILE] [--threshold T] [--comment TEXT] --out PACK\n  haystack rules show   --pack PACK\n  haystack rules lint   --pack PACK\n  haystack inspect  --rules FILE\n  haystack detect   [--rules FILE|PACK] [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N] [--events FILE]\n  haystack serve    [--rules FILE|PACK] [--udp-port N] [--tcp-port N] [--http-port N] [--host IP]\n                    [--workers W] [--threshold T] [--seed N] [--queue-capacity N]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-secs N]\n                    [--ports-file FILE] [--watchdog-ms N] [--watchdog-timeout-ms N] [--chaos]\n  haystack send     --port N [--host IP] [--mode tcp|udp] [--rules FILE] [--lines N]\n                    [--records N] [--packets N] [--seed N] [--source N] [--hour N]\n                    [--malformed N] [--repeat N]\n  haystack soak     [--rules FILE|PACK] [--lines N] [--hours N] [--records-per-hour N]\n                    [--hit-rate-ppm N] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N]\n                    [--mem-ceiling-mb N] [--out FILE] [--events FILE] [--report FILE]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nnotes:\n  --rules accepts a JSON rules file or a binary signature pack (HAYPACK frame);\n  when omitted, the compiled-in default rule set is generated (fast pipeline, seed 42)\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
+        "usage:\n  haystack rules    [--fast] [--seed N] [--out FILE]\n  haystack rules export [--rules FILE] [--threshold T] [--comment TEXT] --out PACK\n  haystack rules show   --pack PACK\n  haystack rules lint   --pack PACK\n  haystack inspect  --rules FILE\n  haystack detect   [--rules FILE|PACK] [--lines N] [--days D] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N] [--events FILE]\n                    [--isolate thread|process] [--chaos]\n  haystack serve    [--rules FILE|PACK] [--udp-port N] [--tcp-port N] [--http-port N] [--host IP]\n                    [--workers W] [--threshold T] [--seed N] [--queue-capacity N]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-secs N]\n                    [--ports-file FILE] [--watchdog-ms N] [--watchdog-timeout-ms N] [--chaos]\n                    [--isolate thread|process]\n  haystack send     --port N [--host IP] [--mode tcp|udp] [--rules FILE] [--lines N]\n                    [--records N] [--packets N] [--seed N] [--source N] [--hour N]\n                    [--malformed N] [--repeat N]\n  haystack soak     [--rules FILE|PACK] [--lines N] [--hours N] [--records-per-hour N]\n                    [--hit-rate-ppm N] [--threshold T] [--seed N] [--workers W]\n                    [--checkpoint-dir DIR] [--resume] [--checkpoint-chunks N]\n                    [--mem-ceiling-mb N] [--out FILE] [--events FILE] [--report FILE]\n                    [--isolate thread|process] [--chaos]\n  haystack mitigate --rules FILE --class NAME [--redirect IP]\n  haystack capture  --out FILE [--hours N] [--seed N]\n  haystack replay   --trace FILE --rules FILE [--sampling N] [--threshold T]\n  haystack chaos    [--severity S] [--seed N] [--records N]\n  haystack metrics  [--rules FILE] [--severity S] [--seed N] [--records N] [--lines N] [--workers W] [--json]\nnotes:\n  --rules accepts a JSON rules file or a binary signature pack (HAYPACK frame);\n  when omitted, the compiled-in default rule set is generated (fast pipeline, seed 42);\n  --isolate process runs each detector shard as a supervised `haystack shard-worker`\n  child process (crash-isolated; see DESIGN.md \u{00a7}15) instead of an in-process thread\nglobal flags:\n  --quiet           suppress progress notes (errors still print)"
     ));
     exit(2);
 }
@@ -130,6 +131,80 @@ fn load_rules_full(
 
 fn load_rules(flags: &HashMap<String, String>) -> haystack_core::rules::RuleSet {
     load_rules_full(flags).0
+}
+
+/// Which shard backend `--isolate` selects (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Isolate {
+    /// In-process worker threads (the default).
+    Thread,
+    /// One `haystack shard-worker` child process per shard.
+    Process,
+}
+
+impl Isolate {
+    fn label(self) -> &'static str {
+        match self {
+            Isolate::Thread => "thread",
+            Isolate::Process => "process",
+        }
+    }
+}
+
+fn parse_isolate(flags: &HashMap<String, String>) -> Isolate {
+    match flags.get("isolate").map(String::as_str) {
+        None | Some("thread") => Isolate::Thread,
+        Some("process") => Isolate::Process,
+        Some(other) => {
+            cli_error!("--isolate needs `thread` or `process`, not {other:?}");
+            exit(2);
+        }
+    }
+}
+
+/// Build the shard backend `--isolate` asked for. Both backends derive
+/// the whole-window hitlist from the rules, so their detections are
+/// byte-identical; only the failure domain differs.
+fn build_backend(
+    rules: &haystack_core::rules::RuleSet,
+    config: DetectorConfig,
+    workers: usize,
+    isolate: Isolate,
+) -> Box<dyn ShardBackend> {
+    match isolate {
+        Isolate::Thread => Box::new(DetectorPool::new(
+            rules,
+            &HitList::whole_window(rules),
+            config,
+            workers,
+        )),
+        Isolate::Process => match ProcPool::new(rules, config, workers, ProcPoolOptions::default())
+        {
+            Ok(pool) => Box::new(pool),
+            Err(e) => {
+                cli_error!("spawning shard workers: {e}");
+                exit(1);
+            }
+        },
+    }
+}
+
+/// `--chaos` on `detect`/`soak`: ungracefully kill one shard every this
+/// many chunks, cycling through the shards. The schedule is a pure
+/// function of the chunk count, so a chaos run is reproducible and its
+/// outputs must still match an undisturbed run byte-for-byte.
+const CHAOS_KILL_EVERY: u64 = 40;
+
+/// Apply the deterministic chaos kill schedule at chunk `tick`.
+fn chaos_tick(pool: &mut dyn ShardBackend, tick: u64) {
+    if tick == 0 || tick % CHAOS_KILL_EVERY != 0 {
+        return;
+    }
+    let shard = ((tick / CHAOS_KILL_EVERY - 1) % pool.workers() as u64) as usize;
+    note!("chaos: killing shard {shard} at chunk {tick}");
+    if let Err(e) = pool.kill_shard(shard) {
+        note!("chaos: kill of shard {shard} reported: {e}");
+    }
 }
 
 fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
@@ -395,18 +470,24 @@ fn cmd_detect(flags: HashMap<String, String>) {
     );
     // Hours stream chunk-by-chunk into the persistent worker pool — the
     // hour is never materialized, and detection state is sharded by line.
-    let mut pool = DetectorPool::new(
+    let isolate = parse_isolate(&flags);
+    let chaos = flags.contains_key("chaos");
+    let mut pool = build_backend(
         &rules,
-        &HitList::whole_window(&rules),
         DetectorConfig { threshold, require_established: false },
         workers,
+        isolate,
     );
-    if ckpt_dir.is_some() {
+    if ckpt_dir.is_some() || isolate == Isolate::Process || chaos {
         // Checkpointed runs are also supervised: a shard panic is healed
         // from the pool's in-memory shard checkpoints instead of killing
         // the run. They drain on SIGTERM too — checkpoint at the current
         // watermark, exit 0 — so an orchestrator's stop is never a crash.
+        // Process isolation and chaos both imply supervision — losing a
+        // child (or killing one on purpose) must never lose evidence.
         pool_fatal(pool.enable_supervision(haystack_core::parallel::DEFAULT_REPLAY_LIMIT));
+    }
+    if ckpt_dir.is_some() {
         sig::install();
     }
 
@@ -486,7 +567,7 @@ fn cmd_detect(flags: HashMap<String, String>) {
     let mut last_generation: Option<u64> = None;
     let mut saves_since_full: u64 = 0;
     let mut last_emitted_flushed: usize = 0;
-    let mut save = |pool: &mut DetectorPool,
+    let mut save = |pool: &mut dyn ShardBackend,
                     wm: Watermark,
                     records_this_day: u64,
                     done: bool,
@@ -536,6 +617,7 @@ fn cmd_detect(flags: HashMap<String, String>) {
     };
 
     let mut chunk = RecordChunk::with_capacity(chunk_records);
+    let mut chaos_ticks = 0u64;
     while wm.day < days {
         let day = wm.day;
         for hour_idx in wm.hour..24 {
@@ -555,9 +637,13 @@ fn cmd_detect(flags: HashMap<String, String>) {
                 records_this_day += chunk.records.len() as u64;
                 pool_fatal(pool.observe_records(&chunk.records));
                 chunk_no += 1;
+                if chaos {
+                    chaos_ticks += 1;
+                    chaos_tick(pool.as_mut(), chaos_ticks);
+                }
                 if checkpoint_chunks > 0 && chunk_no % checkpoint_chunks == 0 {
                     save(
-                        &mut pool,
+                        pool.as_mut(),
                         Watermark { day, hour: hour_idx, chunk: chunk_no },
                         records_this_day,
                         false,
@@ -570,7 +656,7 @@ fn cmd_detect(flags: HashMap<String, String>) {
                 // land exactly here, and the exit is clean.
                 if ckpt_dir.is_some() && sig::triggered() {
                     save(
-                        &mut pool,
+                        pool.as_mut(),
                         Watermark { day, hour: hour_idx, chunk: chunk_no },
                         records_this_day,
                         false,
@@ -587,7 +673,7 @@ fn cmd_detect(flags: HashMap<String, String>) {
             // Hour-boundary cadence — but the day-roll checkpoint waits
             // for the day's summary rows below.
             if wm.day == day {
-                save(&mut pool, wm, records_this_day, false, false, &emitted);
+                save(pool.as_mut(), wm, records_this_day, false, false, &emitted);
             }
         }
         pool_fatal(pool.finish());
@@ -614,9 +700,9 @@ fn cmd_detect(flags: HashMap<String, String>) {
         // captures the post-reset state so a resume lands exactly here.
         pool_fatal(pool.reset());
         records_this_day = 0;
-        save(&mut pool, wm, 0, false, true, &emitted);
+        save(pool.as_mut(), wm, 0, false, true, &emitted);
     }
-    save(&mut pool, wm, 0, true, false, &emitted);
+    save(pool.as_mut(), wm, 0, true, false, &emitted);
 }
 
 fn cmd_mitigate(flags: HashMap<String, String>) {
@@ -942,6 +1028,13 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage();
     };
+    // The process-isolated shard entry point (DESIGN.md §15): parent
+    // supervisors spawn `haystack shard-worker` and speak the HAYPROC
+    // frame protocol over stdin/stdout. Dispatched before flag parsing —
+    // its only interface is the pipe pair.
+    if cmd == "shard-worker" {
+        exit(haystack_core::procpool::worker_main());
+    }
     // `rules` grew subcommands; a bare `haystack rules` still runs the
     // legacy JSON generator.
     if cmd == "rules" {

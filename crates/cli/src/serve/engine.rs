@@ -22,7 +22,7 @@ use haystack_core::detector::DetectorConfig;
 use haystack_core::events::{events_from_states, ndjson_line};
 use haystack_core::hitlist::HitList;
 use haystack_core::pack::{self, SignaturePack};
-use haystack_core::parallel::{DetectorPool, ShardHealth, DEFAULT_REPLAY_LIMIT};
+use haystack_core::parallel::{ShardBackend, ShardHealth, ShardStatus, DEFAULT_REPLAY_LIMIT};
 use haystack_core::rules::RuleSet;
 use haystack_core::staleness::StalenessMonitor;
 use haystack_core::telemetry;
@@ -44,6 +44,9 @@ const WATCHDOG_STRIKES: u8 = 2;
 /// A control-plane query, answered by the engine between ingest chunks.
 #[derive(Debug)]
 pub enum Query {
+    /// Readiness: 200 while every shard is serving, 503 (naming the
+    /// degraded shards) once any crash-loop breaker is open.
+    Ready,
     /// Ingest / shed / collector counters.
     Stats,
     /// Detected lines, optionally for one class.
@@ -145,6 +148,8 @@ pub struct EngineConfig {
     pub watchdog_every: Duration,
     /// Watchdog probe timeout (per probe round).
     pub watchdog_timeout: Duration,
+    /// Shard backend: in-process threads or supervised child processes.
+    pub isolate: crate::Isolate,
 }
 
 /// The engine state — see the module docs.
@@ -156,7 +161,7 @@ pub struct Engine {
     pack_bytes: Vec<u8>,
     config: EngineConfig,
     collector: Collector,
-    pool: DetectorPool,
+    pool: Box<dyn ShardBackend>,
     usage: UsageTracker,
     staleness: StalenessMonitor,
     anon: Anonymizer,
@@ -182,11 +187,11 @@ impl Engine {
         stats: Arc<AdmissionStats>,
     ) -> Result<Engine, String> {
         let hitlist = HitList::whole_window(&rules);
-        let mut pool = DetectorPool::new(
+        let mut pool = crate::build_backend(
             &rules,
-            &hitlist,
             DetectorConfig { threshold: config.threshold, require_established: false },
             config.workers,
+            config.isolate,
         );
         pool.enable_supervision(DEFAULT_REPLAY_LIMIT).map_err(|e| e.to_string())?;
         pool.attach_telemetry(&telemetry::Scope::named("pool")).map_err(|e| e.to_string())?;
@@ -344,7 +349,15 @@ impl Engine {
     fn watchdog_probe(&mut self) {
         self.watchdog_probes += 1;
         let health = self.pool.shard_health(self.config.watchdog_timeout);
+        let status = self.pool.shard_status();
         for (shard, h) in health.iter().enumerate() {
+            // A degraded shard (crash-loop breaker open) is the
+            // supervisor's verdict, not a stall — respawning it again
+            // is exactly the loop the breaker exists to stop. It waits
+            // for an operator reset; `/readyz` advertises it meanwhile.
+            if matches!(status[shard].status, ShardStatus::Degraded) {
+                continue;
+            }
             match h {
                 ShardHealth::Responsive => self.strikes[shard] = 0,
                 ShardHealth::Stalled | ShardHealth::Dead => {
@@ -406,6 +419,7 @@ impl Engine {
 
     fn handle_ctl(&mut self, req: CtlRequest) {
         let reply = match req.query {
+            Query::Ready => self.ready_body(),
             Query::Stats => self.stats_body(),
             Query::Detections { class } => self.detections_body(class.as_deref()),
             Query::Line { id } => self.line_body(id),
@@ -440,6 +454,60 @@ impl Engine {
         }
     }
 
+    /// Datagrams admitted by the listeners but not yet ingested — the
+    /// engine's backlog, visible on `/readyz` and `/stats`.
+    fn queue_depth(&self) -> u64 {
+        self.stats.admitted().saturating_sub(self.datagrams)
+    }
+
+    /// Per-shard status rows, byte-determinate: fixed field order,
+    /// shards in index order.
+    fn shards_json(&self) -> String {
+        let rows: Vec<String> = self
+            .pool
+            .shard_status()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                format!(
+                    "{{\"shard\":{i},\"status\":\"{}\",\"queued\":{},\"shed\":{}}}",
+                    s.status.label(),
+                    s.queued,
+                    s.shed
+                )
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
+    }
+
+    /// `/readyz` through the engine: 200 while every shard serves, 503
+    /// naming the degraded shards once any crash-loop breaker is open.
+    /// Evidence for a degraded shard queues (bounded, then sheds with
+    /// exact accounting) until an operator reset closes the breaker.
+    fn ready_body(&mut self) -> CtlReply {
+        let degraded: Vec<String> = self
+            .pool
+            .shard_status()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.status, ShardStatus::Degraded))
+            .map(|(i, _)| i.to_string())
+            .collect();
+        let body = format!(
+            "{{\"ready\":{},\"isolate\":\"{}\",\"queue_depth\":{},\"degraded\":[{}],\"shards\":{}}}",
+            degraded.is_empty(),
+            self.config.isolate.label(),
+            self.queue_depth(),
+            degraded.join(","),
+            self.shards_json()
+        );
+        CtlReply {
+            status: if degraded.is_empty() { 200 } else { 503 },
+            content_type: "application/json",
+            body,
+        }
+    }
+
     fn stats_body(&mut self) -> CtlReply {
         let shed_by_source: Vec<String> = self
             .stats
@@ -450,6 +518,7 @@ impl Engine {
         ok(format!(
             "{{\"received\":{},\"admitted\":{},\"shed\":{},\"shed_by_source\":[{}],\
              \"datagrams\":{},\"records\":{},\"decode_errors\":{},\"pool_errors\":{},\
+             \"isolate\":\"{}\",\"queue_depth\":{},\"shards\":{},\
              \"watchdog\":{{\"probes\":{},\"respawns\":{}}},\
              \"collector\":{{\"missed_datagrams\":{},\"restarts_detected\":{},\
              \"malformed_messages\":{},\"malformed_sets\":{},\"quarantined\":{},\
@@ -462,6 +531,9 @@ impl Engine {
             self.records,
             self.decode_errors,
             self.pool_errors,
+            self.config.isolate.label(),
+            self.queue_depth(),
+            self.shards_json(),
             self.watchdog_probes,
             self.watchdog_respawns,
             self.collector.missed_datagrams(),

@@ -186,7 +186,9 @@ fn route(
             if crate::sig::triggered() {
                 (503, "text/plain", "draining\n".into())
             } else {
-                (200, "text/plain", "ready\n".into())
+                // Readiness is the engine's verdict: any shard with an
+                // open crash-loop breaker turns the daemon not-ready.
+                ask(ctl, Query::Ready)
             }
         }
         ("GET", "/metrics") => {

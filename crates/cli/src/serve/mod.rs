@@ -172,6 +172,7 @@ pub fn cmd_serve(flags: HashMap<String, String>) {
         exit(2);
     }
     let chaos = flags.contains_key("chaos");
+    let isolate = crate::parse_isolate(&flags);
     let config = EngineConfig {
         workers,
         threshold,
@@ -181,6 +182,7 @@ pub fn cmd_serve(flags: HashMap<String, String>) {
         chaos,
         watchdog_every: Duration::from_millis(crate::num(&flags, "watchdog-ms", 1_000)),
         watchdog_timeout: Duration::from_millis(crate::num(&flags, "watchdog-timeout-ms", 500)),
+        isolate,
     };
 
     // Bind every socket before spawning anything, so a port clash fails
@@ -204,7 +206,8 @@ pub fn cmd_serve(flags: HashMap<String, String>) {
     let http_port = fatal("http addr", http_sock.local_addr()).port();
     note!(
         "haystack serve: udp {host}:{udp_port}  tcp {host}:{tcp_port}  http {host}:{http_port}  \
-         ({workers} workers, queue {queue_capacity}{})",
+         ({workers} {} workers, queue {queue_capacity}{})",
+        isolate.label(),
         if chaos { ", chaos armed" } else { "" }
     );
     if let Some(path) = flags.get("ports-file") {

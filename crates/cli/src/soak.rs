@@ -24,12 +24,12 @@
 //! kill-able variant.
 
 use crate::sig;
-use crate::{load_rules_full, num, pool_fatal, pool_fatal_ck};
+use crate::{build_backend, chaos_tick, load_rules_full, num, parse_isolate, pool_fatal,
+    pool_fatal_ck, Isolate};
 use haystack_cli::resume::{flag_conflicts, load_resume_checkpoint, RunCheckpoint, RunDelta};
 use haystack_cli::{cli_error, note};
 use haystack_core::detector::DetectorConfig;
-use haystack_core::hitlist::HitList;
-use haystack_core::parallel::DetectorPool;
+use haystack_core::parallel::ShardBackend;
 use haystack_core::rules::RuleSet;
 use haystack_core::{CheckpointDir, DetectorSnapshot};
 use haystack_wild::{
@@ -144,7 +144,7 @@ struct Saver<'a> {
 impl Saver<'_> {
     fn save(
         &mut self,
-        pool: &mut DetectorPool,
+        pool: &mut dyn ShardBackend,
         wm: Watermark,
         records_this_hour: u64,
         done: bool,
@@ -301,14 +301,20 @@ pub fn cmd_soak(flags: HashMap<String, String>) {
         targets.len()
     );
 
-    let mut pool = DetectorPool::new(
+    let isolate = parse_isolate(&flags);
+    let chaos = flags.contains_key("chaos");
+    let mut pool = build_backend(
         &rules,
-        &HitList::whole_window(&rules),
         DetectorConfig { threshold, require_established: false },
         workers,
+        isolate,
     );
-    if ckpt_dir.is_some() {
+    if ckpt_dir.is_some() || isolate == Isolate::Process || chaos {
+        // Process isolation and chaos both imply supervision — losing a
+        // child (or killing one on purpose) must never lose evidence.
         pool_fatal(pool.enable_supervision(haystack_core::parallel::DEFAULT_REPLAY_LIMIT));
+    }
+    if ckpt_dir.is_some() {
         sig::install();
     }
 
@@ -361,6 +367,7 @@ pub fn cmd_soak(flags: HashMap<String, String>) {
 
     let t0 = Instant::now();
     let mut streamed = 0u64;
+    let mut chaos_ticks = 0u64;
     let mut chunk = RecordChunk::with_capacity(chunk_records);
     // Soak time is a flat hour index: no day rolls, no evidence resets —
     // the detector's state grows monotonically, which is exactly what
@@ -376,9 +383,13 @@ pub fn cmd_soak(flags: HashMap<String, String>) {
             streamed += chunk.records.len() as u64;
             pool_fatal(pool.observe_records(&chunk.records));
             chunk_no += 1;
+            if chaos {
+                chaos_ticks += 1;
+                chaos_tick(pool.as_mut(), chaos_ticks);
+            }
             if checkpoint_chunks > 0 && chunk_no % checkpoint_chunks == 0 {
                 saver.save(
-                    &mut pool,
+                    pool.as_mut(),
                     Watermark { day: 0, hour: g, chunk: chunk_no },
                     records_this_hour,
                     false,
@@ -387,7 +398,7 @@ pub fn cmd_soak(flags: HashMap<String, String>) {
             }
             if ckpt_dir.is_some() && sig::triggered() {
                 saver.save(
-                    &mut pool,
+                    pool.as_mut(),
                     Watermark { day: 0, hour: g, chunk: chunk_no },
                     records_this_hour,
                     false,
@@ -402,11 +413,11 @@ pub fn cmd_soak(flags: HashMap<String, String>) {
         emitted.push(row);
         wm = Watermark { day: 0, hour: g + 1, chunk: 0 };
         records_this_hour = 0;
-        saver.save(&mut pool, wm, 0, false, &emitted);
+        saver.save(pool.as_mut(), wm, 0, false, &emitted);
     }
 
     pool_fatal(pool.finish());
-    saver.save(&mut pool, wm, 0, true, &emitted);
+    saver.save(pool.as_mut(), wm, 0, true, &emitted);
 
     // Final detections: always to stdout (deterministically re-derived
     // from final state, so a resumed run's stdout is byte-identical to

@@ -1,0 +1,308 @@
+//! Process-pool equivalence (DESIGN.md §15): the process-isolated
+//! [`ProcPool`] — real `haystack shard-worker` children spoken to over
+//! HAYPROC pipe frames — must be observationally identical to the
+//! in-process [`DetectorPool`] and to the [`ReferenceDetector`] oracle,
+//! for any rule set, record feed, chunking, and worker count. The
+//! equivalence must survive an ungraceful mid-stream SIGKILL of a
+//! worker, and a crash-looping shard must trip the circuit breaker
+//! within its configured bound instead of respawning forever.
+//!
+//! These tests live in the CLI crate because only it has the worker
+//! binary: `CARGO_BIN_EXE_haystack` points at the real executable whose
+//! `shard-worker` arm the pool spawns.
+
+use haystack_core::detector::DetectorConfig;
+use haystack_core::events::{events_from_states, ndjson_line};
+use haystack_core::hitlist::{HitList, MapHitList};
+use haystack_core::parallel::{DetectorPool, RespawnPolicy, ShardStatus};
+use haystack_core::procpool::{ProcPool, ProcPoolOptions};
+use haystack_core::reference::ReferenceDetector;
+use haystack_core::rules::{RuleDomain, RuleSet, RuleSetBuilder};
+use haystack_dns::DomainName;
+use haystack_net::ports::Proto;
+use haystack_net::{AnonId, HourBin, Prefix4};
+use haystack_testbed::catalog::DetectionLevel;
+use haystack_wild::WildRecord;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// The worker command every test pool spawns: the real CLI binary's
+/// `shard-worker` arm.
+fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_haystack").to_string(), "shard-worker".to_string()]
+}
+
+fn proc_opts() -> ProcPoolOptions {
+    ProcPoolOptions { command: worker_cmd(), ..ProcPoolOptions::default() }
+}
+
+/// A fixed class-name universe keeps generated rule sets comparable.
+const CLASSES: [&str; 3] = ["P0", "P1", "P2"];
+const PORTS: [u16; 2] = [443, 8883];
+
+fn pool_ip(idx: u8) -> Ipv4Addr {
+    Ipv4Addr::new(198, 18, 33, idx % 8)
+}
+
+/// One generated domain: (ip pool index, port pool index, usage flag).
+type DomainSpec = (u8, u8, bool);
+
+fn build_rules(specs: &[Vec<DomainSpec>]) -> RuleSet {
+    let mut b = RuleSetBuilder::new();
+    for (ri, domains) in specs.iter().enumerate() {
+        b.rule(
+            CLASSES[ri],
+            DetectionLevel::Manufacturer,
+            None,
+            domains
+                .iter()
+                .enumerate()
+                .map(|(di, &(ip, port, usage_indicator))| RuleDomain {
+                    name: DomainName::parse(&format!("d{di}.p{ri}.example")).unwrap(),
+                    ports: [PORTS[port as usize % PORTS.len()]].into_iter().collect(),
+                    ips: [pool_ip(ip)].into_iter().collect(),
+                    usage_indicator,
+                })
+                .collect(),
+        );
+    }
+    b.build()
+}
+
+/// One generated record: (line, ip idx, port idx, packets, hour).
+type RecordSpec = (u64, u8, u8, u64, u32);
+
+fn build_record(&(line, ip, port, packets, hour): &RecordSpec) -> WildRecord {
+    let src = Ipv4Addr::new(100, 64, 0, line as u8);
+    WildRecord {
+        line: AnonId(line),
+        line_slash24: Prefix4::slash24_of(src),
+        src_ip: src,
+        dst: pool_ip(ip),
+        dport: PORTS[port as usize % PORTS.len()],
+        proto: Proto::Tcp,
+        packets,
+        bytes: packets * 500,
+        established: true,
+        hour: HourBin(hour),
+    }
+}
+
+fn record_strategy() -> impl Strategy<Value = Vec<RecordSpec>> {
+    prop::collection::vec((0u64..40, 0u8..8, 0u8..2, 1u64..30, 0u32..48), 0..200)
+}
+
+fn rules_strategy() -> impl Strategy<Value = Vec<Vec<DomainSpec>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..8, 0u8..2, any::<bool>()), 1..4),
+        1..=3,
+    )
+}
+
+/// Sorted detections per class, from any backend's query surface.
+fn detections(rules: &RuleSet, mut query: impl FnMut(&str) -> Vec<AnonId>) -> Vec<Vec<AnonId>> {
+    rules
+        .rules
+        .iter()
+        .map(|r| {
+            let mut lines = query(rules.class_name(r.class));
+            lines.sort_unstable();
+            lines
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case spawns real child processes, so the case budget is
+    // deliberately small; the record/chunk/worker space still varies
+    // per case.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// ProcPool ≡ DetectorPool ≡ ReferenceDetector for arbitrary rule
+    /// sets, feeds, chunk sizes, and worker counts.
+    #[test]
+    fn process_pool_equals_thread_pool_and_reference(
+        specs in rules_strategy(),
+        records in record_strategy(),
+        chunk_size in 1usize..64,
+        proc_workers in 1usize..4,
+        thread_workers in 1usize..4,
+        threshold_pick in 0usize..3,
+    ) {
+        let rules = build_rules(&specs);
+        let threshold = [0.3f64, 0.5, 0.9][threshold_pick];
+        let config = DetectorConfig { threshold, require_established: false };
+        let records: Vec<WildRecord> = records.iter().map(build_record).collect();
+
+        let mut proc_pool =
+            ProcPool::new(&rules, config, proc_workers, proc_opts()).expect("spawn workers");
+        let mut thread_pool = DetectorPool::new(
+            &rules,
+            &HitList::whole_window(&rules),
+            config,
+            thread_workers,
+        );
+        let mut oracle =
+            ReferenceDetector::new(&rules, MapHitList::whole_window(&rules), config);
+
+        for chunk in records.chunks(chunk_size) {
+            proc_pool.observe_records(chunk).expect("proc observe");
+            thread_pool.observe_records(chunk).expect("thread observe");
+            for r in chunk {
+                oracle.observe_wild(r);
+            }
+        }
+        proc_pool.finish().expect("proc finish");
+        thread_pool.finish().expect("thread finish");
+
+        let by_proc = detections(&rules, |c| proc_pool.detected_lines(c).expect("proc query"));
+        let by_thread =
+            detections(&rules, |c| thread_pool.detected_lines(c).expect("thread query"));
+        let by_oracle = detections(&rules, |c| oracle.detected_lines(c));
+        prop_assert_eq!(&by_proc, &by_thread, "process vs thread pool diverge");
+        prop_assert_eq!(&by_proc, &by_oracle, "process pool vs reference diverge");
+        prop_assert_eq!(
+            proc_pool.state_size().expect("proc state size"),
+            oracle.state_size()
+        );
+
+        // Per-line verdicts and confidences agree too.
+        for r in &rules.rules {
+            let class = rules.class_name(r.class);
+            for line in by_oracle.iter().flatten().take(8) {
+                prop_assert!(proc_pool.is_detected(*line, class).expect("is_detected")
+                    == oracle.is_detected(*line, class)
+                    || !by_oracle[rules.rule_index(class).unwrap() as usize].contains(line));
+            }
+        }
+    }
+
+    /// SIGKILL of one worker mid-stream changes nothing observable:
+    /// the supervisor restores the shard's checkpoint, replays retained
+    /// chunks, and the final detections, NDJSON events, and state sizes
+    /// are byte-identical to an uninterrupted in-process run.
+    #[test]
+    fn sigkill_mid_stream_is_byte_identical(
+        specs in rules_strategy(),
+        records in record_strategy(),
+        kill_frac in 0.0f64..=1.0,
+        workers in 2usize..4,
+    ) {
+        let rules = build_rules(&specs);
+        let config = DetectorConfig { threshold: 0.4, require_established: false };
+        let records: Vec<WildRecord> = records.iter().map(build_record).collect();
+        let chunks: Vec<&[WildRecord]> = records.chunks(16).collect();
+        let kill_at = ((chunks.len() as f64) * kill_frac) as usize;
+        let victim = kill_at % workers;
+
+        let mut proc_pool =
+            ProcPool::new(&rules, config, workers, proc_opts()).expect("spawn workers");
+        let mut thread_pool =
+            DetectorPool::new(&rules, &HitList::whole_window(&rules), config, 2);
+        for (i, chunk) in chunks.iter().enumerate() {
+            if i == kill_at {
+                proc_pool.kill_shard(victim).expect("SIGKILL");
+            }
+            proc_pool.observe_records(chunk).expect("proc observe");
+            thread_pool.observe_records(chunk).expect("thread observe");
+        }
+        if kill_at >= chunks.len() {
+            // The kill landed after the last chunk; deliver it anyway so
+            // every generated case exercises a death.
+            proc_pool.kill_shard(victim).expect("SIGKILL");
+        }
+        proc_pool.finish().expect("proc finish");
+        thread_pool.finish().expect("thread finish");
+
+        let by_proc = detections(&rules, |c| proc_pool.detected_lines(c).expect("proc query"));
+        let by_thread =
+            detections(&rules, |c| thread_pool.detected_lines(c).expect("thread query"));
+        prop_assert_eq!(&by_proc, &by_thread, "SIGKILL changed the detections");
+
+        // The derived NDJSON event stream is byte-identical as well.
+        let proc_events: Vec<String> =
+            events_from_states(&rules, &proc_pool.shard_states().expect("proc states"))
+                .iter()
+                .map(|e| ndjson_line(&rules, e, None))
+                .collect();
+        let thread_events: Vec<String> =
+            events_from_states(&rules, &thread_pool.shard_states().expect("thread states"))
+                .iter()
+                .map(|e| ndjson_line(&rules, e, None))
+                .collect();
+        prop_assert_eq!(proc_events, thread_events, "SIGKILL changed the event stream");
+        prop_assert_eq!(
+            proc_pool.state_size().expect("proc size"),
+            thread_pool.state_size().expect("thread size")
+        );
+    }
+}
+
+/// A crash-looping worker trips the breaker within `trip_after` fast
+/// deaths: the shard degrades (visible in `shard_status`), its evidence
+/// queues instead of being lost, and an operator `reset_breaker`
+/// restores service with the queued evidence replayed — detections
+/// equal to a never-degraded run.
+#[test]
+fn crash_loop_trips_breaker_then_operator_reset_recovers() {
+    let rules = build_rules(&[vec![(0, 0, false), (1, 0, false)]]);
+    let config = DetectorConfig { threshold: 0.4, require_established: false };
+    let policy = RespawnPolicy {
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(2),
+        fast_window: Duration::from_secs(600),
+        trip_after: 3,
+    };
+    let opts = ProcPoolOptions { policy, ..proc_opts() };
+    let mut pool = ProcPool::new(&rules, config, 1, opts).expect("spawn worker");
+
+    // Evidence from before the crash loop.
+    let pre: Vec<WildRecord> = (0..8).map(|i| build_record(&(i, 0, 0, 4, 0))).collect();
+    pool.observe_records(&pre).expect("pre-crash observe");
+    pool.finish().expect("pre-crash finish");
+
+    // Deterministic crash loop: every probe after a SIGKILL finds the
+    // shard dead and heals it; the third fast death opens the breaker.
+    let mut tripped_after = None;
+    for death in 1..=3 {
+        pool.kill_shard(0).expect("SIGKILL");
+        // Any synchronous request notices the death and heals (or trips).
+        let _ = pool.state_size();
+        if pool.shard_status()[0].status == ShardStatus::Degraded {
+            tripped_after = Some(death);
+            break;
+        }
+    }
+    assert_eq!(tripped_after, Some(3), "breaker must trip on the 3rd fast death");
+
+    // Degraded: new evidence queues with exact accounting, not silently
+    // dropped, and queries fail loudly.
+    let post: Vec<WildRecord> = (8..16).map(|i| build_record(&(i, 1, 0, 4, 1))).collect();
+    pool.observe_records(&post).expect("degraded observe queues");
+    let report = &pool.shard_status()[0];
+    assert_eq!(report.status, ShardStatus::Degraded);
+    assert_eq!(report.queued, post.len() as u64, "all post-trip records queued");
+    assert_eq!(report.shed, 0);
+    assert!(pool.detected_lines(CLASSES[0]).is_err(), "degraded shard fails queries");
+
+    // Operator reset: breaker closes, the queue replays, and the state
+    // matches a pool that never degraded.
+    pool.reset_breaker(0).expect("operator reset");
+    assert_eq!(pool.shard_status()[0].status, ShardStatus::Ok);
+    pool.finish().expect("post-reset finish");
+
+    let mut clean = ProcPool::new(&rules, config, 1, proc_opts()).expect("spawn worker");
+    clean.observe_records(&pre).expect("clean observe");
+    clean.observe_records(&post).expect("clean observe");
+    clean.finish().expect("clean finish");
+    assert_eq!(
+        pool.detected_lines(CLASSES[0]).expect("recovered query"),
+        clean.detected_lines(CLASSES[0]).expect("clean query"),
+        "recovered pool diverges from a never-degraded run"
+    );
+    assert_eq!(
+        pool.state_size().expect("recovered size"),
+        clean.state_size().expect("clean size")
+    );
+}

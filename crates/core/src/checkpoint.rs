@@ -642,6 +642,20 @@ impl DirTelemetry {
     }
 }
 
+/// A disk fault injected into the next atomic write — how the
+/// fault-robustness tests prove a full device or a crash mid-write
+/// surfaces as a typed [`CheckpointError`] with every earlier
+/// generation still loadable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The device fills mid-write: half the frame lands in the temp
+    /// file, then the write fails with `ENOSPC`.
+    Enospc,
+    /// A crash between the temp-file write and the rename: a truncated
+    /// `.tmp` remnant stays on disk and no generation becomes visible.
+    TornWrite,
+}
+
 /// A directory of generation-numbered snapshot files.
 ///
 /// Each [`CheckpointDir::write`] produces `{prefix}-{generation:08}.ckpt`
@@ -656,6 +670,8 @@ pub struct CheckpointDir {
     root: PathBuf,
     keep: usize,
     telemetry: DirTelemetry,
+    /// One-shot injected fault, consumed by the next atomic write.
+    fault: std::sync::Mutex<Option<WriteFault>>,
 }
 
 impl CheckpointDir {
@@ -666,7 +682,12 @@ impl CheckpointDir {
     pub fn open(root: impl Into<PathBuf>) -> Result<CheckpointDir, CheckpointError> {
         let root = root.into();
         fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
-        Ok(CheckpointDir { root, keep: Self::DEFAULT_KEEP, telemetry: DirTelemetry::new() })
+        Ok(CheckpointDir {
+            root,
+            keep: Self::DEFAULT_KEEP,
+            telemetry: DirTelemetry::new(),
+            fault: std::sync::Mutex::new(None),
+        })
     }
 
     /// Override how many generations are retained per prefix (min 1).
@@ -727,9 +748,34 @@ impl CheckpointDir {
         Ok(full.max(delta).map_or(0, |g| g + 1))
     }
 
+    /// Arm a one-shot [`WriteFault`]: the next [`CheckpointDir::write`]
+    /// or [`CheckpointDir::write_delta`] fails the injected way instead
+    /// of completing. Test-only by intent, but compiled in — chaos
+    /// harnesses arm it through the normal API.
+    pub fn inject_write_fault(&self, fault: WriteFault) {
+        *self.fault.lock().expect("fault lock") = Some(fault);
+    }
+
     fn write_atomic(&self, path: &Path, tmp: &Path, frame: &[u8]) -> Result<(), CheckpointError> {
         {
             let mut f = fs::File::create(tmp).map_err(|e| io_err(tmp, e))?;
+            if let Some(fault) = self.fault.lock().expect("fault lock").take() {
+                // Both faults leave a truncated tmp remnant, exactly as
+                // the real failure would; only the reported error
+                // differs. The remnant must be invisible to generation
+                // scans and the next write must overwrite it.
+                let cut = frame.len() / 2;
+                f.write_all(&frame[..cut]).map_err(|e| io_err(tmp, e))?;
+                let _ = f.sync_all();
+                return Err(match fault {
+                    WriteFault::Enospc => {
+                        io_err(tmp, std::io::Error::from_raw_os_error(28)) // ENOSPC
+                    }
+                    WriteFault::TornWrite => {
+                        io_err(tmp, std::io::Error::other("simulated crash before rename"))
+                    }
+                });
+            }
             f.write_all(frame).map_err(|e| io_err(tmp, e))?;
             f.sync_all().map_err(|e| io_err(tmp, e))?;
         }
@@ -1251,6 +1297,79 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .collect();
         assert!(leftovers.is_empty(), "tmp files must not outlive a write");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    fn tmp_remnants(root: &Path) -> Vec<String> {
+        let mut out: Vec<String> = fs::read_dir(root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn enospc_is_a_typed_error_and_the_previous_generation_survives() {
+        let root = scratch("enospc");
+        let dir = CheckpointDir::open(&root).unwrap();
+        dir.write("det", &one_entry(1, 1).encode()).unwrap(); // gen 0
+
+        dir.inject_write_fault(WriteFault::Enospc);
+        let err = dir.write("det", &one_entry(2, 3).encode()).unwrap_err();
+        match err {
+            CheckpointError::Io { err, .. } => {
+                assert_eq!(err.raw_os_error(), Some(28), "surfaces ENOSPC, not a panic")
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        // No new generation became visible; the old one still loads.
+        assert_eq!(dir.generations("det").unwrap(), vec![0]);
+        let (generation, state) =
+            dir.load_latest("det", DetectorState::decode).unwrap().expect("gen 0 loads");
+        assert_eq!((generation, state), (0, one_entry(1, 1)));
+        // The fault is one-shot: the retry lands as generation 1.
+        assert_eq!(dir.write("det", &one_entry(2, 3).encode()).unwrap(), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_tmp_remnant_is_invisible_to_scans_and_chain_loads() {
+        let root = scratch("torn");
+        let dir = CheckpointDir::open(&root).unwrap();
+        dir.write("det", &one_entry(1, 1).encode()).unwrap(); // gen 0
+        dir.write_delta("det", &one_upsert(2, 1).encode(), 1).unwrap(); // gen 1
+
+        dir.inject_write_fault(WriteFault::TornWrite);
+        let err = dir.write_delta("det", &one_upsert(3, 1).encode(), 1).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }), "typed error, not a panic");
+        // The crash left a truncated tmp remnant on disk…
+        assert_eq!(tmp_remnants(&root), vec!["det-00000002.dckpt.tmp".to_string()]);
+        // …which generation scans and chain loads never see.
+        assert_eq!(dir.generations("det").unwrap(), vec![0]);
+        assert_eq!(dir.delta_generations("det").unwrap(), vec![1]);
+        let (top, state) = load_chain(&dir).expect("chain loads");
+        assert_eq!(top, 1);
+        assert_eq!(state.rules[0].len(), 2, "gen 0 entry plus the gen 1 upsert");
+        // The next write overwrites the remnant and completes normally.
+        assert_eq!(dir.write_delta("det", &one_upsert(3, 1).encode(), 1).unwrap(), 2);
+        assert_eq!(tmp_remnants(&root), Vec::<String>::new());
+        assert_eq!(load_chain(&dir).unwrap().0, 2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn torn_full_write_degrades_to_the_previous_full() {
+        let root = scratch("torn-full");
+        let dir = CheckpointDir::open(&root).unwrap();
+        dir.write("det", &one_entry(1, 1).encode()).unwrap(); // gen 0
+        dir.inject_write_fault(WriteFault::TornWrite);
+        dir.write("det", &one_entry(9, 9).encode()).unwrap_err();
+        assert_eq!(tmp_remnants(&root), vec!["det-00000001.ckpt.tmp".to_string()]);
+        let (generation, state) = load_chain(&dir).expect("previous full loads");
+        assert_eq!((generation, state), (0, one_entry(1, 1)));
         fs::remove_dir_all(&root).unwrap();
     }
 }

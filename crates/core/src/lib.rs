@@ -40,6 +40,9 @@
 //! structure; [`pack`] is the versioned, checksummed signature-pack
 //! codec that externalizes the rule layer (DESIGN.md §14); [`events`]
 //! derives the NDJSON detection-event stream from detector state.
+//! [`procpool`] is the process-isolated sibling of [`parallel`]: one
+//! supervised `haystack shard-worker` child per line-space partition,
+//! spoken to over checksummed pipe frames (DESIGN.md §15).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,6 +64,7 @@ pub mod observations;
 pub mod pack;
 pub mod parallel;
 pub mod pipeline;
+pub mod procpool;
 pub mod quality;
 pub mod reference;
 pub mod report;
@@ -83,7 +87,11 @@ pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use hitlist::{HitList, MapHitList};
 pub use reference::ReferenceDetector;
 pub use observations::{DomainObservations, DomainUsage};
-pub use parallel::{DetectorPool, PoolError, ShardHealth, ShardedDetector};
+pub use parallel::{
+    DetectorPool, PoolError, RespawnPolicy, ShardBackend, ShardHealth, ShardStatus,
+    ShardStatusReport, ShardedDetector,
+};
+pub use procpool::{ProcPool, ProcPoolOptions};
 pub use events::DetectionEvent;
 pub use pack::{PackError, SignaturePack};
 pub use pipeline::{Pipeline, PipelineStats};

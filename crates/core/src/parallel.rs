@@ -109,13 +109,162 @@ impl ShardHealth {
     }
 }
 
+/// Default bound on records queued for a degraded shard (crash-loop
+/// breaker open) before further records are shed with exact accounting.
+pub const DEFAULT_DEGRADED_QUEUE_LIMIT: usize = 65_536;
+
+/// Exponential-backoff and circuit-breaker policy for shard respawns,
+/// shared by the in-process [`DetectorPool`] supervisor and the
+/// process-isolated [`crate::procpool::ProcPool`].
+///
+/// A shard that dies deterministically (a poison record, a corrupt
+/// state) would otherwise respawn in a tight loop, burning a core and
+/// flooding the log. Instead, deaths closer together than
+/// `fast_window` build a *streak*: each respawn in a streak waits
+/// `base · 2^(streak−1)` (capped at `cap`), and the `trip_after`-th
+/// fast death opens the breaker — the shard is marked degraded and no
+/// longer respawned until an operator resets it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RespawnPolicy {
+    /// Backoff before the first respawn in a streak.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Deaths farther apart than this reset the streak: a shard that
+    /// ran usefully between deaths is not crash-looping.
+    pub fast_window: Duration,
+    /// Consecutive fast deaths that open the breaker.
+    pub trip_after: u32,
+}
+
+impl Default for RespawnPolicy {
+    fn default() -> Self {
+        RespawnPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            fast_window: Duration::from_secs(1),
+            trip_after: 5,
+        }
+    }
+}
+
+impl RespawnPolicy {
+    /// The backoff delay before the `streak`-th consecutive fast
+    /// respawn (1-based): `base · 2^(streak−1)`, capped at `cap`.
+    pub fn delay(&self, streak: u32) -> Duration {
+        let shift = streak.saturating_sub(1).min(16);
+        self.base.saturating_mul(1u32 << shift).min(self.cap)
+    }
+}
+
+/// What a supervisor should do about a shard death, per
+/// [`BackoffState::on_death`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RespawnDecision {
+    /// Respawn after sleeping this backoff delay.
+    Backoff(Duration),
+    /// The breaker tripped: stop respawning, mark the shard degraded.
+    Trip,
+}
+
+/// Per-shard crash-loop tracking (see [`RespawnPolicy`]).
+#[derive(Debug, Clone, Default)]
+pub struct BackoffState {
+    streak: u32,
+    last_death: Option<Instant>,
+    tripped: bool,
+}
+
+impl BackoffState {
+    /// Record a death at `now` and decide: back off, or trip.
+    pub fn on_death(&mut self, policy: &RespawnPolicy, now: Instant) -> RespawnDecision {
+        if let Some(last) = self.last_death {
+            if now.duration_since(last) > policy.fast_window {
+                self.streak = 0;
+            }
+        }
+        self.last_death = Some(now);
+        self.streak += 1;
+        if self.streak >= policy.trip_after {
+            self.tripped = true;
+            return RespawnDecision::Trip;
+        }
+        RespawnDecision::Backoff(policy.delay(self.streak))
+    }
+
+    /// Whether the breaker is open (the shard is degraded).
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Current consecutive-fast-death streak.
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+
+    /// Close the breaker and forget the streak (operator reset).
+    pub fn reset(&mut self) {
+        *self = BackoffState::default();
+    }
+
+    /// Supervision status at `now`: degraded while tripped, respawning
+    /// while a death streak is still inside the fast window, ok
+    /// otherwise.
+    pub fn status_at(&self, policy: &RespawnPolicy, now: Instant) -> ShardStatus {
+        if self.tripped {
+            return ShardStatus::Degraded;
+        }
+        match self.last_death {
+            Some(t) if now.duration_since(t) <= policy.fast_window => ShardStatus::Respawning,
+            _ => ShardStatus::Ok,
+        }
+    }
+}
+
+/// A shard's supervision status, surfaced by `/readyz`, `/stats`, and
+/// [`ShardBackend::shard_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Healthy: no recent deaths.
+    Ok,
+    /// Died recently and was respawned; its crash-loop streak is live.
+    Respawning,
+    /// The crash-loop circuit breaker is open: the shard is no longer
+    /// respawned; its records queue up to a bound, then shed.
+    Degraded,
+}
+
+impl ShardStatus {
+    /// Stable lowercase label for the query plane and telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardStatus::Ok => "ok",
+            ShardStatus::Respawning => "respawning",
+            ShardStatus::Degraded => "degraded",
+        }
+    }
+}
+
+/// One shard's status row: supervision status plus the degraded-queue
+/// accounting (`queued`/`shed` are nonzero only after its breaker
+/// tripped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatusReport {
+    /// Supervision status.
+    pub status: ShardStatus,
+    /// Records queued for a degraded shard, awaiting an operator reset.
+    pub queued: u64,
+    /// Records shed after the degraded queue filled.
+    pub shed: u64,
+}
+
 /// Route an anonymized line id to a shard.
 ///
 /// Sequential or low-entropy ids stripe pathologically under a raw
 /// `id % n` for some worker counts, so the id is first run through the
 /// splitmix64 finalizer — every input bit diffuses into the shard
 /// choice. The `shards_stay_balanced` test pins the distribution.
-fn shard_of(line: AnonId, n: usize) -> usize {
+pub(crate) fn shard_of(line: AnonId, n: usize) -> usize {
     let mut z = line.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -398,6 +547,14 @@ struct Supervisor {
     replayed_records: Counter,
     /// Per-shard checkpoints taken (explicit and automatic).
     shard_checkpoints: Counter,
+    /// Backoff sleeps taken before respawns (the respawn-storm brake).
+    respawn_backoff: Counter,
+    /// Crash-loop circuit-breaker trips (shards marked degraded).
+    breaker_trips: Counter,
+    /// Records queued for degraded shards.
+    degraded_queued: Counter,
+    /// Records shed after a degraded shard's queue filled.
+    degraded_shed: Counter,
 }
 
 impl fmt::Debug for Supervisor {
@@ -421,6 +578,10 @@ impl Supervisor {
             restarts: scope.counter("shard_restarts"),
             replayed_records: scope.counter("replayed_records"),
             shard_checkpoints: scope.counter("shard_checkpoints"),
+            respawn_backoff: scope.counter("respawn_backoff"),
+            breaker_trips: scope.counter("breaker_trips"),
+            degraded_queued: scope.counter("degraded_queued_records"),
+            degraded_shed: scope.counter("degraded_shed_records"),
         }
     }
 
@@ -495,6 +656,17 @@ pub struct DetectorPool {
     /// rebuilt against the same registry entries.
     scope: Option<Scope>,
     supervisor: Option<Supervisor>,
+    /// Respawn backoff / circuit-breaker policy (supervised pools).
+    policy: RespawnPolicy,
+    /// Per-shard crash-loop tracking.
+    backoff: Vec<BackoffState>,
+    /// Records accepted for a degraded shard (breaker open), held until
+    /// an operator [`DetectorPool::reset_breaker`] replays them.
+    degraded_queue: Vec<Vec<WildRecord>>,
+    /// Records shed per shard after its degraded queue filled.
+    shed_records: Vec<u64>,
+    /// Bound on each shard's degraded queue, in records.
+    queue_limit: usize,
 }
 
 /// Feeder-side telemetry handles for an instrumented pool.
@@ -564,7 +736,30 @@ impl DetectorPool {
             telemetry: None,
             scope: None,
             supervisor: None,
+            policy: RespawnPolicy::default(),
+            backoff: vec![BackoffState::default(); n],
+            degraded_queue: (0..n).map(|_| Vec::new()).collect(),
+            shed_records: vec![0; n],
+            queue_limit: DEFAULT_DEGRADED_QUEUE_LIMIT,
         }
+    }
+
+    /// Replace the respawn backoff / circuit-breaker policy (tests and
+    /// tuning; the default is [`RespawnPolicy::default`]).
+    pub fn set_respawn_policy(&mut self, policy: RespawnPolicy) {
+        self.policy = policy;
+    }
+
+    /// Per-shard supervision status plus degraded-queue accounting.
+    pub fn shard_status(&self) -> Vec<ShardStatusReport> {
+        let now = Instant::now();
+        (0..self.workers.len())
+            .map(|s| ShardStatusReport {
+                status: self.backoff[s].status_at(&self.policy, now),
+                queued: self.degraded_queue[s].len() as u64,
+                shed: self.shed_records[s],
+            })
+            .collect()
     }
 
     /// Turn on supervised recovery: checkpoint every shard now, then
@@ -679,6 +874,33 @@ impl DetectorPool {
     /// the thread provably exited; [`DetectorPool::force_respawn`] must
     /// not, because a stalled thread would block the join forever).
     fn respawn_and_replay(&mut self, shard: usize) -> Result<(), PoolError> {
+        // Respawn-storm brake: a deterministically-dying shard backs
+        // off exponentially and eventually trips the circuit breaker
+        // instead of respawning in a tight loop.
+        if self.backoff[shard].tripped() {
+            return Err(PoolError {
+                shard,
+                panic: Some("crash-loop circuit breaker open".to_string()),
+            });
+        }
+        match self.backoff[shard].on_death(&self.policy, Instant::now()) {
+            RespawnDecision::Trip => {
+                let sup = self.supervisor.as_ref().expect("supervised");
+                sup.breaker_trips.inc();
+                return Err(PoolError {
+                    shard,
+                    panic: Some(format!(
+                        "crash-loop circuit breaker open after {} fast deaths",
+                        self.policy.trip_after
+                    )),
+                });
+            }
+            RespawnDecision::Backoff(delay) => {
+                let sup = self.supervisor.as_ref().expect("supervised");
+                sup.respawn_backoff.inc();
+                std::thread::sleep(delay);
+            }
+        }
         self.workers[shard] = spawn_worker(
             shard,
             Arc::clone(&self.rules),
@@ -805,15 +1027,49 @@ impl DetectorPool {
         true
     }
 
+    /// Move `shard`'s staged records to its degraded queue (bounded;
+    /// overflow is shed with exact accounting). Only reached once the
+    /// shard's crash-loop breaker is open.
+    fn queue_degraded(&mut self, shard: usize) {
+        if self.staging[shard].is_empty() {
+            return;
+        }
+        let room = self.queue_limit.saturating_sub(self.degraded_queue[shard].len());
+        let take = self.staging[shard].len().min(room);
+        let staged = std::mem::take(&mut self.staging[shard]);
+        let shed = (staged.len() - take) as u64;
+        self.degraded_queue[shard].extend(staged.into_iter().take(take));
+        self.shed_records[shard] += shed;
+        if let Some(sup) = &self.supervisor {
+            sup.degraded_queued.add(take as u64);
+            sup.degraded_shed.add(shed);
+        }
+    }
+
     /// Ship with supervised retry. A failed ship may drop the staged
     /// buffer, but under supervision those records live in the replay
-    /// buffer, which recovery re-feeds.
+    /// buffer, which recovery re-feeds. Once the shard's crash-loop
+    /// breaker is open, staged records divert to the bounded degraded
+    /// queue instead — the rest of the pool keeps running.
     fn ship(&mut self, shard: usize) -> Result<(), PoolError> {
+        if self.backoff[shard].tripped() {
+            self.queue_degraded(shard);
+            return Ok(());
+        }
         for _ in 0..2 {
             if self.try_ship(shard) {
                 return Ok(());
             }
-            self.handle_dead_shard(shard)?;
+            if let Err(e) = self.handle_dead_shard(shard) {
+                // The heal tripped the breaker: records staged for this
+                // shard divert to the degraded queue from here on. The
+                // feed keeps flowing for the healthy shards.
+                if self.backoff[shard].tripped() {
+                    self.queue_degraded(shard);
+                    return Ok(());
+                }
+                return Err(e);
+            }
         }
         Err(PoolError { shard, panic: Some("shard died again during recovery".to_string()) })
     }
@@ -827,7 +1083,12 @@ impl DetectorPool {
         for r in records {
             let shard = shard_of(r.line, n);
             self.staging[shard].push(*r);
-            if self.staging[shard].len() >= self.batch_records {
+            // A degraded shard's records divert to its bounded queue
+            // eagerly (not at the batch threshold), so `/readyz` and
+            // `/stats` see the queue depth grow as records arrive.
+            if self.staging[shard].len() >= self.batch_records
+                || self.backoff[shard].tripped()
+            {
                 self.ship(shard)?;
             }
         }
@@ -1126,6 +1387,29 @@ impl DetectorPool {
         self.respawn_and_replay(shard)
     }
 
+    /// Operator reset for a degraded shard: close its crash-loop
+    /// breaker, respawn it from its last checkpoint plus replay, then
+    /// re-feed the records queued while the breaker was open (sheds are
+    /// gone — the accounting in [`DetectorPool::shard_status`] is the
+    /// record of that loss). Requires supervision.
+    pub fn reset_breaker(&mut self, shard: usize) -> Result<(), PoolError> {
+        assert!(self.supervisor.is_some(), "enable_supervision first");
+        self.backoff[shard].reset();
+        drop(self.workers[shard].handle.take());
+        self.respawn_and_replay(shard)?;
+        // The respawn above counted as a death; an operator reset
+        // declares the shard healthy, so clear that bookkeeping too.
+        self.backoff[shard].reset();
+        let queued = std::mem::take(&mut self.degraded_queue[shard]);
+        for r in queued {
+            self.staging[shard].push(r);
+            if self.staging[shard].len() >= self.batch_records {
+                self.ship(shard)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Swap the daily hitlist on every shard. Staged records are flushed
     /// first, so they are observed under the hitlist that was current
     /// when they were fed. Under supervision every shard is checkpointed
@@ -1283,6 +1567,199 @@ impl DetectorPool {
             })?;
         }
         Ok(total)
+    }
+}
+
+/// The common surface of the in-process [`DetectorPool`] and the
+/// process-isolated [`crate::procpool::ProcPool`]: everything the
+/// detect/soak/serve paths need, object-safe so the backend is chosen
+/// at runtime by `--isolate thread|process`.
+///
+/// Both implementations share the sharding function, the supervision
+/// contract (checkpoint + bounded replay, byte-identical recovery), and
+/// the crash-loop circuit breaker ([`RespawnPolicy`]) — the trait is
+/// what lets the CLI treat a worker *process* and a worker *thread* as
+/// the same thing.
+pub trait ShardBackend: Send + fmt::Debug {
+    /// Number of shard workers.
+    fn workers(&self) -> usize;
+    /// Turn on supervised recovery: checkpoint every shard now, then
+    /// keep a bounded replay buffer (at most `replay_limit` records per
+    /// shard).
+    fn enable_supervision(&mut self, replay_limit: usize) -> Result<(), PoolError>;
+    /// Whether supervised recovery is enabled.
+    fn supervised(&self) -> bool;
+    /// Instrument the backend under `scope` (no-op while telemetry is
+    /// disabled).
+    fn attach_telemetry(&mut self, scope: &Scope) -> Result<(), PoolError>;
+    /// Replace the respawn backoff / circuit-breaker policy.
+    fn set_respawn_policy(&mut self, policy: RespawnPolicy);
+    /// Observe records, partitioned to shards by line id.
+    fn observe_records(&mut self, records: &[WildRecord]) -> Result<(), PoolError>;
+    /// Push every partial staging buffer to its worker.
+    fn flush(&mut self) -> Result<(), PoolError>;
+    /// Flush, then block until every worker processed everything sent.
+    fn finish(&mut self) -> Result<(), PoolError>;
+    /// Checkpoint every shard (full states). Requires supervision.
+    fn checkpoint_all(&mut self) -> Result<(), PoolError>;
+    /// Checkpoint every shard incrementally, returning the per-shard
+    /// dirty-only frames for persistence. Requires supervision.
+    fn checkpoint_all_delta(&mut self) -> Result<Vec<DetectorSnapshot>, PoolError>;
+    /// The supervisor's merged per-shard base states. Requires
+    /// supervision.
+    fn supervised_shard_states(&mut self) -> Vec<DetectorState>;
+    /// Export every shard's evidence state (a checkpoint, under
+    /// supervision).
+    fn shard_states(&mut self) -> Result<Vec<DetectorState>, PoolError>;
+    /// Restore per-shard evidence states from a same-shape export.
+    fn restore_shard_states(&mut self, states: &[DetectorState]) -> Result<(), PoolError>;
+    /// Swap the daily hitlist on every shard.
+    fn set_hitlist(&mut self, hitlist: &HitList) -> Result<(), PoolError>;
+    /// Swap the rule set live, migrating evidence by class name.
+    fn set_rules(&mut self, rules: &RuleSet, hitlist: &HitList) -> Result<(), PoolError>;
+    /// Clear accumulated evidence (new aggregation window).
+    fn reset(&mut self) -> Result<(), PoolError>;
+    /// All lines for which `class` is detected, merged and sorted.
+    fn detected_lines(&mut self, class: &str) -> Result<Vec<AnonId>, PoolError>;
+    /// Whether `class` is detected for `line`.
+    fn is_detected(&mut self, line: AnonId, class: &str) -> Result<bool, PoolError>;
+    /// Graded detection confidence for `(line, class)` in `[0, 1]`.
+    fn confidence(&mut self, line: AnonId, class: &str) -> Result<f64, PoolError>;
+    /// First hour the gated detection held for `(line, class)`.
+    fn first_detection(&mut self, line: AnonId, class: &str)
+        -> Result<Option<HourBin>, PoolError>;
+    /// Total per-(line, rule) states held across shards.
+    fn state_size(&mut self) -> Result<usize, PoolError>;
+    /// Probe every shard's liveness within `timeout` (observational).
+    fn shard_health(&self, timeout: Duration) -> Vec<ShardHealth>;
+    /// Per-shard supervision status plus degraded-queue accounting.
+    fn shard_status(&self) -> Vec<ShardStatusReport>;
+    /// Watchdog escalation: abandon a wedged shard and bring up a
+    /// replacement from checkpoint + replay. Requires supervision.
+    fn force_respawn(&mut self, shard: usize) -> Result<(), PoolError>;
+    /// Operator reset for a degraded shard: close its breaker, respawn,
+    /// re-feed its queued records. Requires supervision.
+    fn reset_breaker(&mut self, shard: usize) -> Result<(), PoolError>;
+    /// Chaos: make `shard` die once everything sent before is processed.
+    fn inject_panic(&mut self, shard: usize, msg: &str) -> Result<(), PoolError>;
+    /// Chaos: make `shard` stall for `dur` (alive but unresponsive).
+    fn inject_stall(&mut self, shard: usize, dur: Duration) -> Result<(), PoolError>;
+    /// Chaos: kill `shard`'s worker ungracefully *right now* (SIGKILL
+    /// for a process backend, a panic for the thread backend). The next
+    /// operation touching the shard heals it.
+    fn kill_shard(&mut self, shard: usize) -> Result<(), PoolError>;
+
+    /// Drain a whole [`RecordStream`] through the backend, reusing one
+    /// chunk buffer. Returns `(records, sampled_packets, degradation)`
+    /// funnel totals folded over every chunk.
+    fn observe_stream(
+        &mut self,
+        stream: &mut dyn RecordStream,
+        chunk: &mut RecordChunk,
+    ) -> Result<(u64, u64, haystack_wild::FeedDegradation), PoolError> {
+        let mut records = 0u64;
+        let mut packets = 0u64;
+        let mut degradation = haystack_wild::FeedDegradation::default();
+        while stream.next_chunk(chunk) {
+            records += chunk.records.len() as u64;
+            packets += chunk.sampled_packets;
+            degradation.absorb(chunk.degradation);
+            self.observe_records(&chunk.records)?;
+        }
+        Ok((records, packets, degradation))
+    }
+}
+
+impl ShardBackend for DetectorPool {
+    fn workers(&self) -> usize {
+        DetectorPool::workers(self)
+    }
+    fn enable_supervision(&mut self, replay_limit: usize) -> Result<(), PoolError> {
+        DetectorPool::enable_supervision(self, replay_limit)
+    }
+    fn supervised(&self) -> bool {
+        DetectorPool::supervised(self)
+    }
+    fn attach_telemetry(&mut self, scope: &Scope) -> Result<(), PoolError> {
+        DetectorPool::attach_telemetry(self, scope)
+    }
+    fn set_respawn_policy(&mut self, policy: RespawnPolicy) {
+        DetectorPool::set_respawn_policy(self, policy)
+    }
+    fn observe_records(&mut self, records: &[WildRecord]) -> Result<(), PoolError> {
+        DetectorPool::observe_records(self, records)
+    }
+    fn flush(&mut self) -> Result<(), PoolError> {
+        DetectorPool::flush(self)
+    }
+    fn finish(&mut self) -> Result<(), PoolError> {
+        DetectorPool::finish(self)
+    }
+    fn checkpoint_all(&mut self) -> Result<(), PoolError> {
+        DetectorPool::checkpoint_all(self)
+    }
+    fn checkpoint_all_delta(&mut self) -> Result<Vec<DetectorSnapshot>, PoolError> {
+        DetectorPool::checkpoint_all_delta(self)
+    }
+    fn supervised_shard_states(&mut self) -> Vec<DetectorState> {
+        DetectorPool::supervised_shard_states(self)
+    }
+    fn shard_states(&mut self) -> Result<Vec<DetectorState>, PoolError> {
+        DetectorPool::shard_states(self)
+    }
+    fn restore_shard_states(&mut self, states: &[DetectorState]) -> Result<(), PoolError> {
+        DetectorPool::restore_shard_states(self, states)
+    }
+    fn set_hitlist(&mut self, hitlist: &HitList) -> Result<(), PoolError> {
+        DetectorPool::set_hitlist(self, hitlist)
+    }
+    fn set_rules(&mut self, rules: &RuleSet, hitlist: &HitList) -> Result<(), PoolError> {
+        DetectorPool::set_rules(self, rules, hitlist)
+    }
+    fn reset(&mut self) -> Result<(), PoolError> {
+        DetectorPool::reset(self)
+    }
+    fn detected_lines(&mut self, class: &str) -> Result<Vec<AnonId>, PoolError> {
+        DetectorPool::detected_lines(self, class)
+    }
+    fn is_detected(&mut self, line: AnonId, class: &str) -> Result<bool, PoolError> {
+        DetectorPool::is_detected(self, line, class)
+    }
+    fn confidence(&mut self, line: AnonId, class: &str) -> Result<f64, PoolError> {
+        DetectorPool::confidence(self, line, class)
+    }
+    fn first_detection(
+        &mut self,
+        line: AnonId,
+        class: &str,
+    ) -> Result<Option<HourBin>, PoolError> {
+        DetectorPool::first_detection(self, line, class)
+    }
+    fn state_size(&mut self) -> Result<usize, PoolError> {
+        DetectorPool::state_size(self)
+    }
+    fn shard_health(&self, timeout: Duration) -> Vec<ShardHealth> {
+        DetectorPool::shard_health(self, timeout)
+    }
+    fn shard_status(&self) -> Vec<ShardStatusReport> {
+        DetectorPool::shard_status(self)
+    }
+    fn force_respawn(&mut self, shard: usize) -> Result<(), PoolError> {
+        DetectorPool::force_respawn(self, shard)
+    }
+    fn reset_breaker(&mut self, shard: usize) -> Result<(), PoolError> {
+        DetectorPool::reset_breaker(self, shard)
+    }
+    fn inject_panic(&mut self, shard: usize, msg: &str) -> Result<(), PoolError> {
+        DetectorPool::inject_panic(self, shard, msg)
+    }
+    fn inject_stall(&mut self, shard: usize, dur: Duration) -> Result<(), PoolError> {
+        DetectorPool::inject_stall(self, shard, dur)
+    }
+    fn kill_shard(&mut self, shard: usize) -> Result<(), PoolError> {
+        // The closest thread-backend equivalent of SIGKILL: the worker
+        // dies once everything already queued is processed.
+        DetectorPool::inject_panic(self, shard, "chaos: shard killed")
     }
 }
 
@@ -2013,5 +2490,161 @@ mod tests {
         let delta = telemetry::global().snapshot().delta_since(&before);
         assert!(delta.counter("checkpoint.shard_restarts").unwrap_or(0) >= 1);
         assert!(delta.counter("checkpoint.shard_checkpoints").unwrap_or(0) >= 2);
+    }
+
+    /// A fast policy for breaker tests: trips on the 3rd fast death,
+    /// with negligible sleeps, and a window wide enough that test
+    /// scheduling jitter can't reset the streak.
+    fn fast_trip_policy() -> RespawnPolicy {
+        RespawnPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            fast_window: Duration::from_secs(600),
+            trip_after: 3,
+        }
+    }
+
+    #[test]
+    fn crash_loop_trips_the_breaker_instead_of_respawning_unboundedly() {
+        let rules = ruleset(4);
+        let hl = HitList::whole_window(&rules);
+        let mut pool = DetectorPool::new(&rules, &hl, DetectorConfig::default(), 2);
+        pool.set_respawn_policy(fast_trip_policy());
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+        let records = random_records(4_000, 11);
+        pool.observe_records(&records).unwrap();
+
+        // Deterministic crash loop: every heal is followed by another
+        // death. The 3rd fast death must open the breaker.
+        let mut tripped = false;
+        for _ in 0..10 {
+            if pool.inject_panic(0, "poison record").is_err() {
+                tripped = true;
+                break;
+            }
+            if pool.finish().is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "breaker never opened under a deterministic crash loop");
+        let status = pool.shard_status();
+        assert_eq!(status[0].status, ShardStatus::Degraded);
+        assert_eq!(status[0].status.label(), "degraded");
+        // Queries touching the degraded shard surface the breaker as a
+        // typed error, not a hang or an abort.
+        let err = pool.detected_lines("X").unwrap_err();
+        assert!(
+            err.panic.as_deref().unwrap_or("").contains("circuit breaker"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn degraded_shard_queues_then_sheds_with_exact_accounting() {
+        let rules = ruleset(4);
+        let hl = HitList::whole_window(&rules);
+        let mut pool =
+            DetectorPool::with_tuning(&rules, &hl, DetectorConfig::default(), 2, 64, 4);
+        pool.set_respawn_policy(fast_trip_policy());
+        pool.queue_limit = 200;
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+
+        // Trip shard 0's breaker.
+        for _ in 0..10 {
+            if pool.inject_panic(0, "poison").is_err() || pool.finish().is_err() {
+                break;
+            }
+        }
+        assert_eq!(pool.shard_status()[0].status, ShardStatus::Degraded);
+
+        // Feed records: shard 0's land in the bounded queue, then shed;
+        // the other shard keeps absorbing normally.
+        let records = random_records(20_000, 23);
+        pool.observe_records(&records).unwrap();
+        pool.flush().unwrap();
+        let shard0: u64 =
+            records.iter().filter(|r| shard_of(r.line, 2) == 0).count() as u64;
+        let status = pool.shard_status();
+        assert_eq!(status[0].queued, 200, "queue fills to its bound");
+        assert_eq!(
+            status[0].queued + status[0].shed,
+            shard0,
+            "every shard-0 record is either queued or shed — exact accounting"
+        );
+        assert_eq!(status[1].queued, 0);
+        assert_eq!(status[1].shed, 0);
+    }
+
+    #[test]
+    fn reset_breaker_recovers_the_shard_and_replays_its_queue() {
+        let rules = ruleset(4);
+        let hl = HitList::whole_window(&rules);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let records = random_records(8_000, 41);
+
+        let mut clean = DetectorPool::new(&rules, &hl, config, 2);
+        clean.observe_records(&records).unwrap();
+        clean.finish().unwrap();
+        let want = (clean.detected_lines("X").unwrap(), clean.state_size().unwrap());
+
+        let mut pool = DetectorPool::new(&rules, &hl, config, 2);
+        pool.set_respawn_policy(fast_trip_policy());
+        // Queue bound above the whole feed: nothing sheds, so recovery
+        // can be byte-identical.
+        pool.queue_limit = records.len();
+        pool.enable_supervision(DEFAULT_REPLAY_LIMIT).unwrap();
+        pool.observe_records(&records[..3_000]).unwrap();
+        for _ in 0..10 {
+            if pool.inject_panic(0, "poison").is_err() || pool.finish().is_err() {
+                break;
+            }
+        }
+        assert_eq!(pool.shard_status()[0].status, ShardStatus::Degraded);
+        // Records fed while degraded queue for shard 0.
+        pool.observe_records(&records[3_000..]).unwrap();
+        // Operator reset: breaker closes, checkpoint + replay + queued
+        // records land, detections equal the uninterrupted run.
+        pool.reset_breaker(0).unwrap();
+        pool.finish().unwrap();
+        assert_eq!(pool.shard_status()[0].status, ShardStatus::Ok);
+        assert_eq!(pool.shard_status()[0].queued, 0);
+        let got = (pool.detected_lines("X").unwrap(), pool.state_size().unwrap());
+        assert_eq!(got, want, "reset_breaker recovery diverges from clean run");
+    }
+
+    #[test]
+    fn backoff_policy_delays_double_and_cap() {
+        let p = RespawnPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            fast_window: Duration::from_secs(1),
+            trip_after: 100,
+        };
+        assert_eq!(p.delay(1), Duration::from_millis(10));
+        assert_eq!(p.delay(2), Duration::from_millis(20));
+        assert_eq!(p.delay(3), Duration::from_millis(40));
+        assert_eq!(p.delay(7), Duration::from_millis(500), "capped");
+        assert_eq!(p.delay(60), Duration::from_millis(500), "shift saturates");
+    }
+
+    #[test]
+    fn slow_deaths_never_trip_the_breaker() {
+        let p = RespawnPolicy {
+            fast_window: Duration::from_millis(0),
+            trip_after: 2,
+            ..RespawnPolicy::default()
+        };
+        let mut b = BackoffState::default();
+        let t0 = Instant::now();
+        assert!(matches!(b.on_death(&p, t0), RespawnDecision::Backoff(_)));
+        // Any later death is outside a zero-width fast window: streak
+        // resets, so even trip_after=2 never opens the breaker.
+        let t1 = t0 + Duration::from_millis(5);
+        assert!(matches!(b.on_death(&p, t1), RespawnDecision::Backoff(_)));
+        let t2 = t1 + Duration::from_millis(5);
+        assert!(matches!(b.on_death(&p, t2), RespawnDecision::Backoff(_)));
+        assert!(!b.tripped());
+        assert_eq!(b.status_at(&p, t2 + Duration::from_millis(5)), ShardStatus::Ok);
     }
 }

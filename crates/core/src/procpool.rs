@@ -1,0 +1,1710 @@
+//! Process-isolated detector shards (DESIGN.md §15).
+//!
+//! [`ProcPool`] is the multi-process sibling of
+//! [`crate::parallel::DetectorPool`]: one `haystack shard-worker` child
+//! process per line-space partition, fed record chunks and control
+//! commands over its stdin/stdout pipes. Frames reuse the §12
+//! checksummed snapshot codec via [`haystack_net::framing`], so a child
+//! killed mid-write leaves a torn frame that fails validation instead
+//! of silently corrupting the supervisor.
+//!
+//! The supervisor owns spawn and respawn. Three failure signals feed
+//! it: a *write timeout* (the child's pipe stayed full — it is hung), a
+//! *heartbeat miss* (a synchronous request got no reply within the
+//! deadline), and a *disconnect* (the child's stdout closed — it died,
+//! e.g. SIGKILL or OOM). All three converge on the same heal path as
+//! the in-process pool: kill and reap whatever is left, apply the
+//! exponential-backoff [`RespawnPolicy`] (repeated fast deaths trip the
+//! crash-loop circuit breaker and mark the shard degraded), spawn a
+//! fresh child, restore the last checkpoint base, and replay the
+//! retained record batches byte-identically. Because each line's
+//! records traverse exactly one FIFO pipe in feed order — and the
+//! line-space partition ([`crate::parallel`]'s `shard_of`) is shared
+//! with the thread backend — detections are byte-identical across
+//! `--isolate thread`, `--isolate process`, any worker count, and any
+//! SIGKILL schedule.
+//!
+//! A degraded shard (breaker open) stops consuming records: its staged
+//! evidence queues up to a bound, then sheds with exact accounting
+//! (`procpool.degraded_queued_records` / `degraded_shed_records`), and
+//! queries touching the partition fail fast with a typed error naming
+//! the breaker. [`ProcPool::reset_breaker`] is the operator path back:
+//! close the breaker, respawn from checkpoint + replay, then re-feed
+//! the queued records.
+//!
+//! Unlike the thread backend, supervision is inherent here — there is
+//! no unsupervised process mode, because the only link to a child is
+//! the pipe and the only recovery is respawn. `enable_supervision`
+//! merely adjusts the replay bound.
+
+use crate::checkpoint::{DetectorDelta, DetectorSnapshot, DetectorState};
+use crate::detector::{Detector, DetectorConfig};
+use crate::hitlist::HitList;
+use crate::pack::SignaturePack;
+use crate::parallel::{
+    shard_of, BackoffState, PoolError, RespawnDecision, RespawnPolicy, ShardBackend, ShardHealth,
+    ShardStatusReport, DEFAULT_DEGRADED_QUEUE_LIMIT, DEFAULT_REPLAY_LIMIT, POOL_BATCH_RECORDS,
+    POOL_CHANNEL_BATCHES,
+};
+use crate::rules::RuleSet;
+use crate::telemetry::{Counter, Scope};
+use haystack_net::framing::{read_frame, write_frame};
+use haystack_net::ports::Proto;
+use haystack_net::snapshot::{open, seal, SnapError, SnapReader, SnapWriter};
+use haystack_net::{AnonId, HourBin, Prefix4};
+use haystack_wild::WildRecord;
+use std::cell::Cell;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::Ipv4Addr;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Frame magic for the worker protocol.
+pub const PROC_MAGIC: &[u8; 8] = b"HAYPROC\0";
+/// Protocol version. Parent and child are always the same binary, so a
+/// mismatch means a stale worker binary on the PATH — reject it.
+pub const PROC_VERSION: u32 = 1;
+/// Per-frame payload cap: a corrupt header cannot make the reader
+/// allocate unboundedly.
+pub const PROC_MAX_PAYLOAD: u64 = 1 << 30;
+
+// Request tags (supervisor → worker). The payload layout after the
+// `[seq u64][tag u8]` prefix is documented per tag in the codec below.
+const T_INIT: u8 = 0;
+const T_BATCH: u8 = 1;
+const T_BARRIER: u8 = 2;
+const T_SNAPSHOT: u8 = 3;
+const T_SNAPSHOT_DELTA: u8 = 4;
+const T_RESTORE: u8 = 5;
+const T_SET_HITLIST: u8 = 6;
+const T_SET_RULES: u8 = 7;
+const T_RESET: u8 = 8;
+const T_DETECTED_LINES: u8 = 9;
+const T_IS_DETECTED: u8 = 10;
+const T_CONFIDENCE: u8 = 11;
+const T_FIRST_DETECTION: u8 = 12;
+const T_STATE_SIZE: u8 = 13;
+const T_PANIC: u8 = 14;
+const T_STALL: u8 = 15;
+const T_SHUTDOWN: u8 = 16;
+
+// Reply tags (worker → supervisor).
+const R_ACK: u8 = 0;
+const R_STATE: u8 = 1;
+const R_SNAP: u8 = 2;
+const R_LINES: u8 = 3;
+const R_BOOL: u8 = 4;
+const R_F64: u8 = 5;
+const R_FIRST: u8 = 6;
+const R_USIZE: u8 = 7;
+
+/// Wire layout of one [`WildRecord`] (fixed 35 bytes).
+fn put_record(w: &mut SnapWriter, r: &WildRecord) {
+    w.put_u64(r.line.0);
+    w.put_u64(r.packets);
+    w.put_u64(r.bytes);
+    w.put_u32(u32::from(r.line_slash24.network()));
+    w.put_u8(r.line_slash24.len());
+    w.put_u32(u32::from(r.src_ip));
+    w.put_u32(u32::from(r.dst));
+    w.put_u16(r.dport);
+    w.put_u8(r.proto.number());
+    w.put_u8(u8::from(r.established));
+    w.put_u32(r.hour.0);
+}
+
+fn get_record(r: &mut SnapReader<'_>) -> Result<WildRecord, SnapError> {
+    let line = AnonId(r.u64()?);
+    let packets = r.u64()?;
+    let bytes = r.u64()?;
+    let net = Ipv4Addr::from(r.u32()?);
+    let plen = r.u8()?;
+    let line_slash24 =
+        Prefix4::new(net, plen).map_err(|_| SnapError::Malformed("record prefix"))?;
+    let src_ip = Ipv4Addr::from(r.u32()?);
+    let dst = Ipv4Addr::from(r.u32()?);
+    let dport = r.u16()?;
+    let proto = Proto::from_number(r.u8()?).ok_or(SnapError::Malformed("record proto"))?;
+    let established = r.u8()? != 0;
+    let hour = HourBin(r.u32()?);
+    Ok(WildRecord {
+        line,
+        packets,
+        bytes,
+        line_slash24,
+        src_ip,
+        dst,
+        dport,
+        proto,
+        established,
+        hour,
+    })
+}
+
+/// Seal one request frame: `[seq][tag]` then `body`'s payload.
+fn request_frame(seq: u64, tag: u8, body: impl FnOnce(&mut SnapWriter)) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_u64(seq);
+    w.put_u8(tag);
+    body(&mut w);
+    seal(PROC_MAGIC, PROC_VERSION, &w.into_bytes())
+}
+
+fn batch_frame(seq: u64, records: &[WildRecord]) -> Vec<u8> {
+    request_frame(seq, T_BATCH, |w| {
+        w.put_u64(records.len() as u64);
+        for r in records {
+            put_record(w, r);
+        }
+    })
+}
+
+fn restore_frame(seq: u64, state: &DetectorState) -> Vec<u8> {
+    request_frame(seq, T_RESTORE, |w| w.put_bytes(&state.encode()))
+}
+
+/// A decoded supervisor → worker message (owned, child side).
+enum ToWorker {
+    Init { pack: Vec<u8>, threshold: f64, require_established: bool },
+    Batch(Vec<WildRecord>),
+    Barrier,
+    Snapshot,
+    SnapshotDelta,
+    Restore(DetectorState),
+    SetHitlist,
+    SetRules { pack: Vec<u8>, state: DetectorState },
+    Reset,
+    DetectedLines(String),
+    IsDetected(AnonId, String),
+    Confidence(AnonId, String),
+    FirstDetection(AnonId, String),
+    StateSize,
+    PanicNow(String),
+    StallFor(u64),
+    Shutdown,
+}
+
+fn read_string(r: &mut SnapReader<'_>) -> Result<String, SnapError> {
+    let raw = r.bytes()?;
+    std::str::from_utf8(raw).map(str::to_owned).map_err(|_| SnapError::Malformed("utf-8 string"))
+}
+
+fn decode_to_worker(frame: &[u8]) -> Result<(u64, ToWorker), SnapError> {
+    let payload = open(PROC_MAGIC, PROC_VERSION, frame)?;
+    let mut r = SnapReader::new(payload);
+    let seq = r.u64()?;
+    let tag = r.u8()?;
+    let msg = match tag {
+        T_INIT => ToWorker::Init {
+            pack: r.bytes()?.to_vec(),
+            threshold: r.f64_bits()?,
+            require_established: r.u8()? != 0,
+        },
+        T_BATCH => {
+            let n = r.count(35)?;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(get_record(&mut r)?);
+            }
+            ToWorker::Batch(records)
+        }
+        T_BARRIER => ToWorker::Barrier,
+        T_SNAPSHOT => ToWorker::Snapshot,
+        T_SNAPSHOT_DELTA => ToWorker::SnapshotDelta,
+        T_RESTORE => ToWorker::Restore(DetectorState::decode(r.bytes()?)?),
+        T_SET_HITLIST => ToWorker::SetHitlist,
+        T_SET_RULES => {
+            let pack = r.bytes()?.to_vec();
+            let state = DetectorState::decode(r.bytes()?)?;
+            ToWorker::SetRules { pack, state }
+        }
+        T_RESET => ToWorker::Reset,
+        T_DETECTED_LINES => ToWorker::DetectedLines(read_string(&mut r)?),
+        T_IS_DETECTED => ToWorker::IsDetected(AnonId(r.u64()?), read_string(&mut r)?),
+        T_CONFIDENCE => ToWorker::Confidence(AnonId(r.u64()?), read_string(&mut r)?),
+        T_FIRST_DETECTION => ToWorker::FirstDetection(AnonId(r.u64()?), read_string(&mut r)?),
+        T_STATE_SIZE => ToWorker::StateSize,
+        T_PANIC => ToWorker::PanicNow(read_string(&mut r)?),
+        T_STALL => ToWorker::StallFor(r.u64()?),
+        T_SHUTDOWN => ToWorker::Shutdown,
+        _ => return Err(SnapError::Malformed("unknown request tag")),
+    };
+    Ok((seq, msg))
+}
+
+/// A decoded worker → supervisor reply (parent side).
+#[derive(Debug)]
+enum Reply {
+    Ack,
+    State(DetectorState),
+    Snap(DetectorSnapshot),
+    Lines(Vec<AnonId>),
+    Bool(bool),
+    F64(f64),
+    First(Option<HourBin>),
+    Usize(usize),
+}
+
+fn reply_frame(seq: u64, reply: &Reply) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_u64(seq);
+    match reply {
+        Reply::Ack => w.put_u8(R_ACK),
+        Reply::State(s) => {
+            w.put_u8(R_STATE);
+            w.put_bytes(&s.encode());
+        }
+        Reply::Snap(s) => {
+            w.put_u8(R_SNAP);
+            w.put_bytes(&s.encode());
+        }
+        Reply::Lines(lines) => {
+            w.put_u8(R_LINES);
+            w.put_u64(lines.len() as u64);
+            for l in lines {
+                w.put_u64(l.0);
+            }
+        }
+        Reply::Bool(b) => {
+            w.put_u8(R_BOOL);
+            w.put_u8(u8::from(*b));
+        }
+        Reply::F64(v) => {
+            w.put_u8(R_F64);
+            w.put_f64_bits(*v);
+        }
+        Reply::First(first) => {
+            w.put_u8(R_FIRST);
+            w.put_u8(u8::from(first.is_some()));
+            w.put_u32(first.map_or(0, |h| h.0));
+        }
+        Reply::Usize(n) => {
+            w.put_u8(R_USIZE);
+            w.put_u64(*n as u64);
+        }
+    }
+    seal(PROC_MAGIC, PROC_VERSION, &w.into_bytes())
+}
+
+fn decode_reply(frame: &[u8]) -> Result<(u64, Reply), SnapError> {
+    let payload = open(PROC_MAGIC, PROC_VERSION, frame)?;
+    let mut r = SnapReader::new(payload);
+    let seq = r.u64()?;
+    let reply = match r.u8()? {
+        R_ACK => Reply::Ack,
+        R_STATE => Reply::State(DetectorState::decode(r.bytes()?)?),
+        R_SNAP => Reply::Snap(DetectorSnapshot::decode(r.bytes()?)?),
+        R_LINES => {
+            let n = r.count(8)?;
+            let mut lines = Vec::with_capacity(n);
+            for _ in 0..n {
+                lines.push(AnonId(r.u64()?));
+            }
+            Reply::Lines(lines)
+        }
+        R_BOOL => Reply::Bool(r.u8()? != 0),
+        R_F64 => Reply::F64(r.f64_bits()?),
+        R_FIRST => {
+            let some = r.u8()? != 0;
+            let hour = r.u32()?;
+            Reply::First(some.then_some(HourBin(hour)))
+        }
+        R_USIZE => Reply::Usize(r.u64()? as usize),
+        _ => return Err(SnapError::Malformed("unknown reply tag")),
+    };
+    Ok((seq, reply))
+}
+
+// ---------------------------------------------------------------------------
+// Child side
+// ---------------------------------------------------------------------------
+
+/// Entry point of the `haystack shard-worker` child process: serve the
+/// worker protocol on stdin/stdout until shutdown. Returns the process
+/// exit code — `0` for a clean shutdown (a `Shutdown` frame or EOF at a
+/// frame boundary), `2` for a protocol or state error. Everything the
+/// child prints on stdout is protocol frames; diagnostics go to stderr.
+pub fn worker_main() -> i32 {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut rin = stdin.lock();
+    let mut wout = stdout.lock();
+    match run_worker(&mut rin, &mut wout) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("haystack shard-worker: {e}");
+            2
+        }
+    }
+}
+
+fn next_msg(rin: &mut impl Read) -> Result<Option<(u64, ToWorker)>, String> {
+    match read_frame(rin, PROC_MAGIC, PROC_MAX_PAYLOAD) {
+        Ok(Some(frame)) => decode_to_worker(&frame).map(Some).map_err(|e| format!("decode: {e}")),
+        Ok(None) => Ok(None),
+        Err(e) => Err(format!("read: {e}")),
+    }
+}
+
+fn send_reply(wout: &mut impl Write, seq: u64, reply: &Reply) -> Result<(), String> {
+    write_frame(wout, &reply_frame(seq, reply)).map_err(|e| format!("write: {e}"))
+}
+
+/// What ended one rule-set generation of the serve loop.
+enum Generation {
+    Done,
+    Swap(RuleSet, DetectorState),
+}
+
+/// The child's protocol loop, generic over the byte streams so the
+/// in-process tests can drive it without spawning. The first frame must
+/// be `Init` (acked); afterwards the loop mirrors the thread backend's
+/// `run_shard` generation-per-rule-set structure, because [`Detector`]
+/// borrows its rule set.
+fn run_worker(rin: &mut impl Read, wout: &mut impl Write) -> Result<(), String> {
+    let Some((seq, first)) = next_msg(rin)? else {
+        return Ok(()); // spawned and immediately abandoned
+    };
+    let ToWorker::Init { pack, threshold, require_established } = first else {
+        return Err("first frame is not Init".into());
+    };
+    let loaded = SignaturePack::load(&pack).map_err(|e| format!("init pack: {e}"))?;
+    let config = DetectorConfig { threshold, require_established };
+    send_reply(wout, seq, &Reply::Ack)?;
+    let mut cur: (RuleSet, Option<DetectorState>) = (loaded.rules, None);
+    loop {
+        let (rules, restore) = cur;
+        match serve_generation(&rules, config, restore, rin, wout)? {
+            Generation::Done => return Ok(()),
+            Generation::Swap(rules, state) => cur = (rules, Some(state)),
+        }
+    }
+}
+
+fn serve_generation(
+    rules: &RuleSet,
+    config: DetectorConfig,
+    restore: Option<DetectorState>,
+    rin: &mut impl Read,
+    wout: &mut impl Write,
+) -> Result<Generation, String> {
+    // The process backend always derives the whole-window hitlist from
+    // the rules (a hitlist has no wire codec); `SetHitlist` re-derives
+    // it, which every CLI surface uses anyway. DESIGN.md §15 notes the
+    // limitation.
+    let mut det = Detector::new(rules, HitList::whole_window(rules), config);
+    if let Some(state) = restore {
+        det.restore_state(&state).map_err(|e| format!("restore: {e}"))?;
+    }
+    loop {
+        let Some((seq, msg)) = next_msg(rin)? else {
+            return Ok(Generation::Done);
+        };
+        match msg {
+            ToWorker::Init { .. } => return Err("duplicate Init after handshake".into()),
+            ToWorker::Batch(records) => det.observe_chunk(&records),
+            ToWorker::Barrier => send_reply(wout, seq, &Reply::Ack)?,
+            ToWorker::Snapshot => send_reply(wout, seq, &Reply::State(det.export_state()))?,
+            ToWorker::SnapshotDelta => {
+                send_reply(wout, seq, &Reply::Snap(det.take_snapshot_delta()))?
+            }
+            ToWorker::Restore(state) => {
+                det.restore_state(&state).map_err(|e| format!("restore: {e}"))?
+            }
+            ToWorker::SetHitlist => det.set_hitlist(HitList::whole_window(rules)),
+            ToWorker::SetRules { pack, state } => {
+                let loaded = SignaturePack::load(&pack).map_err(|e| format!("swap pack: {e}"))?;
+                return Ok(Generation::Swap(loaded.rules, state));
+            }
+            ToWorker::Reset => det.reset(),
+            ToWorker::DetectedLines(class) => {
+                send_reply(wout, seq, &Reply::Lines(det.detected_lines(&class)))?
+            }
+            ToWorker::IsDetected(line, class) => {
+                send_reply(wout, seq, &Reply::Bool(det.is_detected(line, &class)))?
+            }
+            ToWorker::Confidence(line, class) => {
+                send_reply(wout, seq, &Reply::F64(det.confidence(line, &class)))?
+            }
+            ToWorker::FirstDetection(line, class) => {
+                send_reply(wout, seq, &Reply::First(det.first_detection(line, &class)))?
+            }
+            ToWorker::StateSize => send_reply(wout, seq, &Reply::Usize(det.state_size()))?,
+            // Chaos: die the way an abort would — no unwind, no reply,
+            // a torn pipe for the supervisor to detect.
+            ToWorker::PanicNow(msg) => {
+                eprintln!("haystack shard-worker: injected crash: {msg}");
+                std::process::exit(101);
+            }
+            ToWorker::StallFor(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            ToWorker::Shutdown => return Ok(Generation::Done),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor side
+// ---------------------------------------------------------------------------
+
+/// Tuning for [`ProcPool`]: how workers are launched and how their
+/// failures are detected and paced.
+#[derive(Debug, Clone)]
+pub struct ProcPoolOptions {
+    /// Worker command line. Empty means the current executable with a
+    /// single `shard-worker` argument — the normal CLI arrangement.
+    /// Tests point this at `CARGO_BIN_EXE_haystack`.
+    pub command: Vec<String>,
+    /// Reply deadline for synchronous requests (barrier, snapshot,
+    /// queries). A miss counts `procpool.heartbeat_misses` and heals
+    /// the shard.
+    pub heartbeat: Duration,
+    /// Deadline for handing a frame to the shard's writer. The pipe
+    /// staying full this long means the child stopped reading — hung,
+    /// not merely slow.
+    pub write_timeout: Duration,
+    /// Respawn backoff and crash-loop circuit breaker.
+    pub policy: RespawnPolicy,
+    /// Records staged per shard before a batch frame ships.
+    pub batch_records: usize,
+    /// Batch frames in flight per shard before the feeder blocks.
+    pub channel_batches: usize,
+    /// Records a degraded (breaker-open) shard queues before shedding.
+    pub queue_limit: usize,
+}
+
+impl Default for ProcPoolOptions {
+    fn default() -> Self {
+        ProcPoolOptions {
+            command: Vec::new(),
+            heartbeat: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            policy: RespawnPolicy::default(),
+            batch_records: POOL_BATCH_RECORDS,
+            channel_batches: POOL_CHANNEL_BATCHES,
+            queue_limit: DEFAULT_DEGRADED_QUEUE_LIMIT,
+        }
+    }
+}
+
+/// One shard's child process plus the pipe threads that own its ends.
+/// The writer thread owns stdin (so a full pipe blocks it, not the
+/// feeder — the feeder observes a bounded channel with a deadline), the
+/// reader thread owns stdout (so a reply can be awaited with a timeout,
+/// which a blocking `read` cannot).
+struct ProcWorker {
+    child: Child,
+    /// Frames to the writer thread. `None` after teardown began.
+    to_child: Option<SyncSender<Vec<u8>>>,
+    from_child: Receiver<Vec<u8>>,
+    writer: Option<JoinHandle<()>>,
+    reader: Option<JoinHandle<()>>,
+    /// Request sequence, echoed in replies so a stale reply (its
+    /// request timed out in an earlier probe) is discarded instead of
+    /// being mistaken for the current one. `Cell` because liveness
+    /// probes take `&self`.
+    next_seq: Cell<u64>,
+}
+
+impl ProcWorker {
+    fn bump_seq(&self) -> u64 {
+        let seq = self.next_seq.get().wrapping_add(1);
+        self.next_seq.set(seq);
+        seq
+    }
+}
+
+impl fmt::Debug for ProcWorker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcWorker")
+            .field("pid", &self.child.id())
+            .field("next_seq", &self.next_seq.get())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Hand `frame` to the shard's writer thread within `timeout`.
+fn send_with_deadline(w: &ProcWorker, frame: Vec<u8>, timeout: Duration) -> bool {
+    let Some(tx) = &w.to_child else {
+        return false;
+    };
+    let deadline = Instant::now() + timeout;
+    let mut frame = frame;
+    loop {
+        match tx.try_send(frame) {
+            Ok(()) => return true,
+            Err(TrySendError::Full(back)) => {
+                if Instant::now() >= deadline {
+                    return false;
+                }
+                frame = back;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(TrySendError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+/// Supervisor-side counters, under the `procpool` telemetry scope.
+struct ProcTelemetry {
+    records_in: Counter,
+    batches_shipped: Counter,
+    restarts: Counter,
+    heartbeat_misses: Counter,
+    respawn_backoff: Counter,
+    breaker_trips: Counter,
+    replayed_records: Counter,
+    shard_checkpoints: Counter,
+    degraded_queued: Counter,
+    degraded_shed: Counter,
+}
+
+impl ProcTelemetry {
+    fn new() -> ProcTelemetry {
+        let scope = Scope::named("procpool");
+        ProcTelemetry {
+            records_in: scope.counter("records_in"),
+            batches_shipped: scope.counter("batches_shipped"),
+            restarts: scope.counter("shard_restarts"),
+            heartbeat_misses: scope.counter("heartbeat_misses"),
+            respawn_backoff: scope.counter("respawn_backoff"),
+            breaker_trips: scope.counter("breaker_trips"),
+            replayed_records: scope.counter("replayed_records"),
+            shard_checkpoints: scope.counter("shard_checkpoints"),
+            degraded_queued: scope.counter("degraded_queued_records"),
+            degraded_shed: scope.counter("degraded_shed_records"),
+        }
+    }
+}
+
+/// A pool of process-isolated detector shards. See the module docs for
+/// the failure model; the API mirrors [`DetectorPool`] via
+/// [`ShardBackend`].
+///
+/// [`DetectorPool`]: crate::parallel::DetectorPool
+pub struct ProcPool {
+    rules: Arc<RuleSet>,
+    /// The sealed [`SignaturePack`] shipped to every (re)spawned child.
+    pack_bytes: Vec<u8>,
+    config: DetectorConfig,
+    opts: ProcPoolOptions,
+    /// Resolved worker argv.
+    command: Vec<String>,
+    workers: Vec<ProcWorker>,
+    staging: Vec<Vec<WildRecord>>,
+    /// Per-shard checkpoint base states (same contract as the thread
+    /// pool's supervisor).
+    shard_state: Vec<DetectorState>,
+    /// Delta frames accepted but not yet folded into the base.
+    pending: Vec<Vec<DetectorDelta>>,
+    /// Record batches shipped since the shard's last checkpoint.
+    replay: Vec<Vec<Vec<WildRecord>>>,
+    replay_records: Vec<usize>,
+    replay_limit: usize,
+    backoff: Vec<BackoffState>,
+    degraded_queue: Vec<Vec<WildRecord>>,
+    shed_records: Vec<u64>,
+    tel: ProcTelemetry,
+}
+
+impl fmt::Debug for ProcPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProcPool")
+            .field("workers", &self.workers.len())
+            .field("buffered", &self.replay_records.iter().sum::<usize>())
+            .finish_non_exhaustive()
+    }
+}
+
+fn empty_state(nrules: usize) -> DetectorState {
+    DetectorState { rules: vec![Vec::new(); nrules] }
+}
+
+fn breaker_err(shard: usize, policy: &RespawnPolicy) -> PoolError {
+    PoolError {
+        shard,
+        panic: Some(format!(
+            "crash-loop circuit breaker open after {} fast deaths",
+            policy.trip_after
+        )),
+    }
+}
+
+impl ProcPool {
+    /// Spawn `workers` shard child processes sharing one rule set.
+    ///
+    /// The rules are sealed into a [`SignaturePack`] and shipped in
+    /// each child's `Init` frame; children derive the whole-window
+    /// hitlist themselves. Fails if any child cannot be spawned or does
+    /// not complete the `Init` handshake within the heartbeat.
+    pub fn new(
+        rules: &RuleSet,
+        config: DetectorConfig,
+        workers: usize,
+        opts: ProcPoolOptions,
+    ) -> Result<ProcPool, PoolError> {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let pack = SignaturePack {
+            rules: rules.clone(),
+            threshold: config.threshold,
+            source: "procpool".to_string(),
+            comment: String::new(),
+        };
+        let command = if opts.command.is_empty() {
+            let exe = std::env::current_exe().map_err(|e| PoolError {
+                shard: 0,
+                panic: Some(format!("resolve worker binary: {e}")),
+            })?;
+            vec![exe.to_string_lossy().into_owned(), "shard-worker".to_string()]
+        } else {
+            opts.command.clone()
+        };
+        let nrules = rules.rules.len();
+        let mut pool = ProcPool {
+            rules: Arc::new(rules.clone()),
+            pack_bytes: pack.encode(),
+            config,
+            opts,
+            command,
+            workers: Vec::with_capacity(workers),
+            staging: (0..workers).map(|_| Vec::new()).collect(),
+            shard_state: (0..workers).map(|_| empty_state(nrules)).collect(),
+            pending: (0..workers).map(|_| Vec::new()).collect(),
+            replay: (0..workers).map(|_| Vec::new()).collect(),
+            replay_records: vec![0; workers],
+            replay_limit: DEFAULT_REPLAY_LIMIT,
+            backoff: vec![BackoffState::default(); workers],
+            degraded_queue: (0..workers).map(|_| Vec::new()).collect(),
+            shed_records: vec![0; workers],
+            tel: ProcTelemetry::new(),
+        };
+        for shard in 0..workers {
+            let w = pool.spawn_child(shard)?;
+            pool.workers.push(w);
+        }
+        Ok(pool)
+    }
+
+    /// Child process ids, indexed by shard — the chaos harness SIGKILLs
+    /// these directly.
+    pub fn child_pids(&self) -> Vec<u32> {
+        self.workers.iter().map(|w| w.child.id()).collect()
+    }
+
+    /// Spawn one worker and complete its `Init` handshake.
+    fn spawn_child(&self, shard: usize) -> Result<ProcWorker, PoolError> {
+        let spawn_err = |what: &str, e: &dyn fmt::Display| PoolError {
+            shard,
+            panic: Some(format!("{what}: {e}")),
+        };
+        let mut cmd = Command::new(&self.command[0]);
+        cmd.args(&self.command[1..]).stdin(Stdio::piped()).stdout(Stdio::piped());
+        let mut child = cmd.spawn().map_err(|e| spawn_err("spawn shard worker", &e))?;
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        let mut stdout = child.stdout.take().expect("piped stdout");
+        let (to_child, frames) = sync_channel::<Vec<u8>>(self.opts.channel_batches.max(1));
+        let writer = std::thread::Builder::new()
+            .name(format!("proc-shard-{shard}-w"))
+            .spawn(move || {
+                while let Ok(frame) = frames.recv() {
+                    if write_frame(&mut stdin, &frame).is_err() {
+                        return; // child died; supervisor notices via stdout
+                    }
+                }
+                // Channel closed: dropping stdin EOFs the child, which
+                // is its clean-shutdown signal.
+            })
+            .expect("spawn shard writer thread");
+        let (replies, from_child) = channel::<Vec<u8>>();
+        let reader = std::thread::Builder::new()
+            .name(format!("proc-shard-{shard}-r"))
+            .spawn(move || loop {
+                match read_frame(&mut stdout, PROC_MAGIC, PROC_MAX_PAYLOAD) {
+                    Ok(Some(frame)) => {
+                        if replies.send(frame).is_err() {
+                            return;
+                        }
+                    }
+                    // EOF or a torn frame: either way the child is
+                    // done. Dropping `replies` disconnects the
+                    // supervisor's receive end, which reads as Dead.
+                    Ok(None) | Err(_) => return,
+                }
+            })
+            .expect("spawn shard reader thread");
+        let w = ProcWorker {
+            child,
+            to_child: Some(to_child),
+            from_child,
+            writer: Some(writer),
+            reader: Some(reader),
+            next_seq: Cell::new(0),
+        };
+        let seq = w.bump_seq();
+        let init = request_frame(seq, T_INIT, |b| {
+            b.put_bytes(&self.pack_bytes);
+            b.put_f64_bits(self.config.threshold);
+            b.put_u8(u8::from(self.config.require_established));
+        });
+        if !send_with_deadline(&w, init, self.opts.write_timeout) {
+            return Err(spawn_err("init shard worker", &"pipe closed before init"));
+        }
+        match await_reply_on(&w, seq, self.opts.heartbeat, &self.tel) {
+            Some(Reply::Ack) => Ok(w),
+            _ => Err(spawn_err("init shard worker", &"no init ack within heartbeat")),
+        }
+    }
+
+    /// Kill and reap whatever is left of a shard's child, joining its
+    /// pipe threads and draining stale replies. Idempotent.
+    fn teardown_child(&mut self, shard: usize) {
+        let w = &mut self.workers[shard];
+        w.to_child = None;
+        let _ = w.child.kill();
+        let _ = w.child.wait();
+        if let Some(h) = w.writer.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = w.reader.take() {
+            let _ = h.join();
+        }
+        while w.from_child.try_recv().is_ok() {}
+    }
+
+    /// The heal path every failure signal converges on: tear the old
+    /// child down, consult the breaker, back off, spawn a replacement,
+    /// restore the checkpoint base, and replay retained batches.
+    fn heal_shard(&mut self, shard: usize) -> Result<(), PoolError> {
+        self.teardown_child(shard);
+        if self.backoff[shard].tripped() {
+            return Err(breaker_err(shard, &self.opts.policy));
+        }
+        match self.backoff[shard].on_death(&self.opts.policy, Instant::now()) {
+            RespawnDecision::Trip => {
+                self.tel.breaker_trips.inc();
+                return Err(breaker_err(shard, &self.opts.policy));
+            }
+            RespawnDecision::Backoff(delay) => {
+                self.tel.respawn_backoff.inc();
+                std::thread::sleep(delay);
+            }
+        }
+        let fresh = self.spawn_child(shard)?;
+        self.workers[shard] = fresh;
+        self.tel.restarts.inc();
+        // Base := checkpoint + any accepted deltas, then replay.
+        self.fold_pending(shard);
+        let seq = self.workers[shard].bump_seq();
+        let frame = restore_frame(seq, &self.shard_state[shard]);
+        if !send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+            return Err(PoolError { shard, panic: Some("shard died during restore".into()) });
+        }
+        let mut replayed = 0u64;
+        for i in 0..self.replay[shard].len() {
+            let seq = self.workers[shard].bump_seq();
+            let frame = batch_frame(seq, &self.replay[shard][i]);
+            replayed += self.replay[shard][i].len() as u64;
+            if !send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                return Err(PoolError { shard, panic: Some("shard died during replay".into()) });
+            }
+        }
+        self.tel.replayed_records.add(replayed);
+        Ok(())
+    }
+
+    fn fold_pending(&mut self, shard: usize) {
+        for delta in self.pending[shard].drain(..) {
+            delta
+                .apply(&mut self.shard_state[shard])
+                .expect("pending delta matches its base rule count");
+        }
+    }
+
+    /// Send a request and await its reply, healing and retrying once on
+    /// failure. The second death in a row (or an open breaker) errors.
+    fn sync_request(
+        &mut self,
+        shard: usize,
+        build: &dyn Fn(u64) -> Vec<u8>,
+    ) -> Result<Reply, PoolError> {
+        for _ in 0..2 {
+            if self.backoff[shard].tripped() {
+                return Err(breaker_err(shard, &self.opts.policy));
+            }
+            let seq = self.workers[shard].bump_seq();
+            if send_with_deadline(&self.workers[shard], build(seq), self.opts.write_timeout) {
+                if let Some(reply) =
+                    await_reply_on(&self.workers[shard], seq, self.opts.heartbeat, &self.tel)
+                {
+                    return Ok(reply);
+                }
+            }
+            self.heal_shard(shard)?;
+        }
+        Err(PoolError { shard, panic: Some("shard died again during recovery".into()) })
+    }
+
+    /// Divert a degraded shard's staged records into its bounded queue,
+    /// shedding beyond the limit with exact accounting.
+    fn queue_degraded(&mut self, shard: usize) {
+        let staged = std::mem::take(&mut self.staging[shard]);
+        let room = self.opts.queue_limit.saturating_sub(self.degraded_queue[shard].len());
+        let keep = staged.len().min(room);
+        self.degraded_queue[shard].extend_from_slice(&staged[..keep]);
+        let shed = (staged.len() - keep) as u64;
+        self.shed_records[shard] += shed;
+        self.tel.degraded_queued.add(keep as u64);
+        self.tel.degraded_shed.add(shed);
+    }
+
+    /// Ship a shard's staged records as one batch frame, retaining them
+    /// for replay. A degraded shard queues instead; a shard that dies
+    /// twice in a row errors.
+    fn ship(&mut self, shard: usize) -> Result<(), PoolError> {
+        if self.staging[shard].is_empty() {
+            return Ok(());
+        }
+        if self.backoff[shard].tripped() {
+            self.queue_degraded(shard);
+            return Ok(());
+        }
+        for _ in 0..2 {
+            let seq = self.workers[shard].bump_seq();
+            let frame = batch_frame(seq, &self.staging[shard]);
+            if send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                // The handoff is atomic: the frame either entered the
+                // writer queue (retain for replay) or it did not (keep
+                // staged and retry after healing).
+                let batch = std::mem::take(&mut self.staging[shard]);
+                self.replay_records[shard] += batch.len();
+                self.replay[shard].push(batch);
+                self.tel.batches_shipped.inc();
+                return Ok(());
+            }
+            if let Err(e) = self.heal_shard(shard) {
+                if self.backoff[shard].tripped() {
+                    // Tripped while shipping: divert and keep the rest
+                    // of the pool flowing.
+                    self.queue_degraded(shard);
+                    return Ok(());
+                }
+                return Err(e);
+            }
+        }
+        Err(PoolError { shard, panic: Some("shard died again during recovery".into()) })
+    }
+
+    /// Observe records, partitioned to shards by line id — the same
+    /// `shard_of` as the thread backend, so the two backends partition
+    /// identically.
+    pub fn observe_records(&mut self, records: &[WildRecord]) -> Result<(), PoolError> {
+        let n = self.workers.len();
+        self.tel.records_in.add(records.len() as u64);
+        for r in records {
+            let shard = shard_of(r.line, n);
+            self.staging[shard].push(*r);
+            // A degraded shard's records divert to its bounded queue
+            // eagerly (not at the batch threshold), so `/readyz` and
+            // `/stats` see the queue depth grow as records arrive.
+            if self.staging[shard].len() >= self.opts.batch_records
+                || self.backoff[shard].tripped()
+            {
+                self.ship(shard)?;
+            }
+        }
+        // Bound replay memory: checkpoint any shard over its limit
+        // (skipping degraded shards — their retention stopped growing).
+        for shard in 0..n {
+            if self.replay_records[shard] >= self.replay_limit && !self.backoff[shard].tripped() {
+                self.checkpoint_shard(shard)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Push every partial staging buffer to its worker.
+    pub fn flush(&mut self) -> Result<(), PoolError> {
+        for shard in 0..self.workers.len() {
+            self.ship(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Flush, then barrier every worker: when this returns, every
+    /// record fed so far has been folded into some shard's evidence.
+    pub fn finish(&mut self) -> Result<(), PoolError> {
+        self.flush()?;
+        for shard in 0..self.workers.len() {
+            self.sync_request(shard, &|seq| request_frame(seq, T_BARRIER, |_| ()))?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint one shard: ship its staging, take a full snapshot,
+    /// and drain its replay retention.
+    fn checkpoint_shard(&mut self, shard: usize) -> Result<(), PoolError> {
+        self.ship(shard)?;
+        let reply = self.sync_request(shard, &|seq| request_frame(seq, T_SNAPSHOT, |_| ()))?;
+        let Reply::State(state) = reply else {
+            return Err(PoolError { shard, panic: Some("protocol: expected State reply".into()) });
+        };
+        self.shard_state[shard] = state;
+        self.pending[shard].clear(); // subsumed by the full
+        self.replay[shard].clear();
+        self.replay_records[shard] = 0;
+        self.tel.shard_checkpoints.inc();
+        Ok(())
+    }
+
+    /// Checkpoint every shard (full states). Snapshot requests are
+    /// broadcast before any reply is awaited so shards export
+    /// concurrently; a shard that fails the round-trip is healed and
+    /// checkpointed on the recovered slow path.
+    pub fn checkpoint_all(&mut self) -> Result<(), PoolError> {
+        self.flush()?;
+        let mut sent: Vec<Option<u64>> = vec![None; self.workers.len()];
+        for (shard, slot) in sent.iter_mut().enumerate() {
+            if self.backoff[shard].tripped() {
+                return Err(breaker_err(shard, &self.opts.policy));
+            }
+            let seq = self.workers[shard].bump_seq();
+            let frame = request_frame(seq, T_SNAPSHOT, |_| ());
+            if send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                *slot = Some(seq);
+            }
+        }
+        for (shard, seq) in sent.into_iter().enumerate() {
+            let state = seq.and_then(|seq| {
+                match await_reply_on(&self.workers[shard], seq, self.opts.heartbeat, &self.tel) {
+                    Some(Reply::State(state)) => Some(state),
+                    _ => None,
+                }
+            });
+            match state {
+                Some(state) => {
+                    self.shard_state[shard] = state;
+                    self.pending[shard].clear();
+                    self.replay[shard].clear();
+                    self.replay_records[shard] = 0;
+                    self.tel.shard_checkpoints.inc();
+                }
+                None => {
+                    self.heal_shard(shard)?;
+                    self.checkpoint_shard(shard)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checkpoint every shard incrementally, returning the per-shard
+    /// dirty-only frames for persistence — the same contract as the
+    /// thread backend's `checkpoint_all_delta`.
+    pub fn checkpoint_all_delta(&mut self) -> Result<Vec<DetectorSnapshot>, PoolError> {
+        self.flush()?;
+        let mut sent: Vec<Option<u64>> = vec![None; self.workers.len()];
+        for (shard, slot) in sent.iter_mut().enumerate() {
+            if self.backoff[shard].tripped() {
+                return Err(breaker_err(shard, &self.opts.policy));
+            }
+            let seq = self.workers[shard].bump_seq();
+            let frame = request_frame(seq, T_SNAPSHOT_DELTA, |_| ());
+            if send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                *slot = Some(seq);
+            }
+        }
+        let mut frames = Vec::with_capacity(self.workers.len());
+        for (shard, seq) in sent.into_iter().enumerate() {
+            let snap = seq.and_then(|seq| {
+                match await_reply_on(&self.workers[shard], seq, self.opts.heartbeat, &self.tel) {
+                    Some(Reply::Snap(snap)) => Some(snap),
+                    _ => None,
+                }
+            });
+            match snap {
+                Some(snap) => {
+                    match &snap {
+                        DetectorSnapshot::Full(state) => {
+                            self.shard_state[shard] = state.clone();
+                            self.pending[shard].clear();
+                        }
+                        DetectorSnapshot::Delta(delta) => self.pending[shard].push(delta.clone()),
+                    }
+                    self.replay[shard].clear();
+                    self.replay_records[shard] = 0;
+                    self.tel.shard_checkpoints.inc();
+                    frames.push(snap);
+                }
+                None => {
+                    // Healed shard contributes a full frame — its dirty
+                    // set died with it.
+                    self.heal_shard(shard)?;
+                    self.checkpoint_shard(shard)?;
+                    frames.push(DetectorSnapshot::Full(self.shard_state[shard].clone()));
+                }
+            }
+        }
+        Ok(frames)
+    }
+
+    /// The supervisor's merged per-shard base states.
+    pub fn supervised_shard_states(&mut self) -> Vec<DetectorState> {
+        for shard in 0..self.shard_state.len() {
+            self.fold_pending(shard);
+        }
+        self.shard_state.clone()
+    }
+
+    /// Export every shard's evidence state (doubles as a checkpoint).
+    pub fn shard_states(&mut self) -> Result<Vec<DetectorState>, PoolError> {
+        self.checkpoint_all()?;
+        Ok(self.shard_state.clone())
+    }
+
+    /// Restore per-shard evidence states from a same-shape export.
+    /// Staged records and replay retention are discarded — the restored
+    /// states define the new watermark.
+    pub fn restore_shard_states(&mut self, states: &[DetectorState]) -> Result<(), PoolError> {
+        assert_eq!(states.len(), self.workers.len(), "shard-count mismatch on restore");
+        for s in &mut self.staging {
+            s.clear();
+        }
+        self.shard_state = states.to_vec();
+        for q in &mut self.pending {
+            q.clear();
+        }
+        for r in &mut self.replay {
+            r.clear();
+        }
+        self.replay_records.fill(0);
+        for shard in 0..self.workers.len() {
+            if self.backoff[shard].tripped() {
+                return Err(breaker_err(shard, &self.opts.policy));
+            }
+            let seq = self.workers[shard].bump_seq();
+            let frame = restore_frame(seq, &self.shard_state[shard]);
+            if !send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                // Healing restores from the just-installed base.
+                self.heal_shard(shard)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Swap the daily hitlist on every shard. The process backend
+    /// always derives the whole-window hitlist from the rules (see the
+    /// module docs), so this checkpoint-then-broadcast merely re-derives
+    /// it child-side.
+    pub fn set_hitlist(&mut self, _hitlist: &HitList) -> Result<(), PoolError> {
+        self.checkpoint_all()?;
+        for shard in 0..self.workers.len() {
+            let seq = self.workers[shard].bump_seq();
+            let frame = request_frame(seq, T_SET_HITLIST, |_| ());
+            if !send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                self.heal_shard(shard)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Swap the rule set live, migrating evidence by class name —
+    /// checkpoint-first, exactly like the thread backend.
+    pub fn set_rules(&mut self, rules: &RuleSet, _hitlist: &HitList) -> Result<(), PoolError> {
+        let new_rules = Arc::new(rules.clone());
+        let old_states = self.shard_states()?; // checkpoint: replay drains
+        let migrated: Vec<DetectorState> = old_states
+            .iter()
+            .map(|s| {
+                crate::pack::migrate_detector_state(&self.rules, &new_rules, self.config.threshold, s)
+            })
+            .collect();
+        let pack = SignaturePack {
+            rules: rules.clone(),
+            threshold: self.config.threshold,
+            source: "procpool".to_string(),
+            comment: String::new(),
+        };
+        self.pack_bytes = pack.encode();
+        self.shard_state = migrated.clone();
+        for q in &mut self.pending {
+            q.clear(); // pre-swap deltas reference the old rule set
+        }
+        self.rules = new_rules;
+        for (shard, state) in migrated.iter().enumerate() {
+            let seq = self.workers[shard].bump_seq();
+            let frame = request_frame(seq, T_SET_RULES, |w| {
+                w.put_bytes(&self.pack_bytes);
+                w.put_bytes(&state.encode());
+            });
+            if !send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                // A respawn inits with the new pack and restores the
+                // migrated base — same outcome as the swap frame.
+                self.heal_shard(shard)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Clear accumulated evidence (new aggregation window). Staged and
+    /// degraded-queued records are discarded — they belong to the
+    /// window being cleared.
+    pub fn reset(&mut self) -> Result<(), PoolError> {
+        for s in &mut self.staging {
+            s.clear();
+        }
+        for q in &mut self.degraded_queue {
+            q.clear();
+        }
+        let nrules = self.rules.rules.len();
+        for shard in 0..self.workers.len() {
+            self.shard_state[shard] = empty_state(nrules);
+            self.pending[shard].clear();
+            self.replay[shard].clear();
+            self.replay_records[shard] = 0;
+        }
+        for shard in 0..self.workers.len() {
+            if self.backoff[shard].tripped() {
+                continue; // already at the empty base; heals on reset_breaker
+            }
+            let seq = self.workers[shard].bump_seq();
+            let frame = request_frame(seq, T_RESET, |_| ());
+            if !send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                self.heal_shard(shard)?; // restores the empty base
+            }
+        }
+        Ok(())
+    }
+
+    /// All lines for which `class` is detected, merged and sorted.
+    pub fn detected_lines(&mut self, class: &str) -> Result<Vec<AnonId>, PoolError> {
+        self.flush()?;
+        let mut all = Vec::new();
+        for shard in 0..self.workers.len() {
+            let reply = self.sync_request(shard, &|seq| {
+                request_frame(seq, T_DETECTED_LINES, |w| w.put_str(class))
+            })?;
+            let Reply::Lines(lines) = reply else {
+                return Err(PoolError {
+                    shard,
+                    panic: Some("protocol: expected Lines reply".into()),
+                });
+            };
+            all.extend(lines);
+        }
+        all.sort_unstable();
+        Ok(all)
+    }
+
+    /// Whether `class` is detected for `line`.
+    pub fn is_detected(&mut self, line: AnonId, class: &str) -> Result<bool, PoolError> {
+        let shard = shard_of(line, self.workers.len());
+        self.ship(shard)?;
+        let reply = self.sync_request(shard, &|seq| {
+            request_frame(seq, T_IS_DETECTED, |w| {
+                w.put_u64(line.0);
+                w.put_str(class);
+            })
+        })?;
+        match reply {
+            Reply::Bool(b) => Ok(b),
+            _ => Err(PoolError { shard, panic: Some("protocol: expected Bool reply".into()) }),
+        }
+    }
+
+    /// Graded detection confidence for `(line, class)` in `[0, 1]`.
+    pub fn confidence(&mut self, line: AnonId, class: &str) -> Result<f64, PoolError> {
+        let shard = shard_of(line, self.workers.len());
+        self.ship(shard)?;
+        let reply = self.sync_request(shard, &|seq| {
+            request_frame(seq, T_CONFIDENCE, |w| {
+                w.put_u64(line.0);
+                w.put_str(class);
+            })
+        })?;
+        match reply {
+            Reply::F64(v) => Ok(v),
+            _ => Err(PoolError { shard, panic: Some("protocol: expected F64 reply".into()) }),
+        }
+    }
+
+    /// First hour the gated detection held for `(line, class)`.
+    pub fn first_detection(
+        &mut self,
+        line: AnonId,
+        class: &str,
+    ) -> Result<Option<HourBin>, PoolError> {
+        let shard = shard_of(line, self.workers.len());
+        self.ship(shard)?;
+        let reply = self.sync_request(shard, &|seq| {
+            request_frame(seq, T_FIRST_DETECTION, |w| {
+                w.put_u64(line.0);
+                w.put_str(class);
+            })
+        })?;
+        match reply {
+            Reply::First(first) => Ok(first),
+            _ => Err(PoolError { shard, panic: Some("protocol: expected First reply".into()) }),
+        }
+    }
+
+    /// Total per-(line, rule) states held across shards.
+    pub fn state_size(&mut self) -> Result<usize, PoolError> {
+        self.flush()?;
+        let mut total = 0usize;
+        for shard in 0..self.workers.len() {
+            let reply =
+                self.sync_request(shard, &|seq| request_frame(seq, T_STATE_SIZE, |_| ()))?;
+            let Reply::Usize(n) = reply else {
+                return Err(PoolError {
+                    shard,
+                    panic: Some("protocol: expected Usize reply".into()),
+                });
+            };
+            total += n;
+        }
+        Ok(total)
+    }
+
+    /// Probe every shard's liveness within `timeout` (observational —
+    /// no healing). A tripped shard reads as Dead.
+    pub fn shard_health(&self, timeout: Duration) -> Vec<ShardHealth> {
+        (0..self.workers.len())
+            .map(|shard| {
+                if self.backoff[shard].tripped() {
+                    return ShardHealth::Dead;
+                }
+                let w = &self.workers[shard];
+                let Some(tx) = &w.to_child else {
+                    return ShardHealth::Dead;
+                };
+                let deadline = Instant::now() + timeout;
+                let seq = w.bump_seq();
+                let mut frame = request_frame(seq, T_BARRIER, |_| ());
+                loop {
+                    match tx.try_send(frame) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(back)) => {
+                            if Instant::now() >= deadline {
+                                return ShardHealth::Stalled;
+                            }
+                            frame = back;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        Err(TrySendError::Disconnected(_)) => return ShardHealth::Dead,
+                    }
+                }
+                loop {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    match w.from_child.recv_timeout(left) {
+                        Ok(bytes) => match decode_reply(&bytes) {
+                            Ok((rseq, _)) if rseq == seq => return ShardHealth::Responsive,
+                            Ok((rseq, _)) if rseq < seq => continue, // stale
+                            _ => return ShardHealth::Dead,
+                        },
+                        Err(RecvTimeoutError::Timeout) => return ShardHealth::Stalled,
+                        Err(RecvTimeoutError::Disconnected) => return ShardHealth::Dead,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Per-shard supervision status plus degraded-queue accounting.
+    pub fn shard_status(&self) -> Vec<ShardStatusReport> {
+        let now = Instant::now();
+        (0..self.workers.len())
+            .map(|shard| ShardStatusReport {
+                status: self.backoff[shard].status_at(&self.opts.policy, now),
+                queued: self.degraded_queue[shard].len() as u64,
+                shed: self.shed_records[shard],
+            })
+            .collect()
+    }
+
+    /// Watchdog escalation: abandon a wedged shard and bring up a
+    /// replacement from checkpoint + replay. Counts as a death for the
+    /// breaker — repeated escalation trips it rather than thrashing.
+    pub fn force_respawn(&mut self, shard: usize) -> Result<(), PoolError> {
+        assert!(shard < self.workers.len(), "no such shard");
+        self.heal_shard(shard)
+    }
+
+    /// Operator reset for a degraded shard: close its breaker, respawn
+    /// from checkpoint + replay, then re-feed the queued records.
+    pub fn reset_breaker(&mut self, shard: usize) -> Result<(), PoolError> {
+        assert!(shard < self.workers.len(), "no such shard");
+        self.backoff[shard].reset();
+        self.heal_shard(shard)?;
+        // The heal above counted as a death; an operator reset declares
+        // the shard healthy, so clear that bookkeeping too.
+        self.backoff[shard].reset();
+        let queued = std::mem::take(&mut self.degraded_queue[shard]);
+        for r in &queued {
+            self.staging[shard].push(*r);
+            if self.staging[shard].len() >= self.opts.batch_records {
+                self.ship(shard)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Chaos: make `shard` exit abruptly once everything sent before is
+    /// processed (an injected crash, like an abort mid-hour).
+    pub fn inject_panic(&mut self, shard: usize, msg: &str) -> Result<(), PoolError> {
+        let owned = msg.to_string();
+        for _ in 0..2 {
+            if self.backoff[shard].tripped() {
+                return Err(breaker_err(shard, &self.opts.policy));
+            }
+            let seq = self.workers[shard].bump_seq();
+            let frame = request_frame(seq, T_PANIC, |w| w.put_str(&owned));
+            if send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                return Ok(());
+            }
+            self.heal_shard(shard)?;
+        }
+        Err(PoolError { shard, panic: Some("shard died again during recovery".into()) })
+    }
+
+    /// Chaos: make `shard` stall for `dur` (alive but unresponsive).
+    pub fn inject_stall(&mut self, shard: usize, dur: Duration) -> Result<(), PoolError> {
+        for _ in 0..2 {
+            if self.backoff[shard].tripped() {
+                return Err(breaker_err(shard, &self.opts.policy));
+            }
+            let seq = self.workers[shard].bump_seq();
+            let ms = dur.as_millis() as u64;
+            let frame = request_frame(seq, T_STALL, |w| w.put_u64(ms));
+            if send_with_deadline(&self.workers[shard], frame, self.opts.write_timeout) {
+                return Ok(());
+            }
+            self.heal_shard(shard)?;
+        }
+        Err(PoolError { shard, panic: Some("shard died again during recovery".into()) })
+    }
+
+    /// Chaos: SIGKILL `shard`'s child *right now* — the exact failure
+    /// the process backend exists to survive. The next operation
+    /// touching the shard heals it.
+    pub fn kill_shard(&mut self, shard: usize) -> Result<(), PoolError> {
+        assert!(shard < self.workers.len(), "no such shard");
+        let _ = self.workers[shard].child.kill();
+        Ok(())
+    }
+}
+
+/// Await the reply matching `seq` on a worker's receive channel,
+/// discarding stale replies (their requests timed out earlier). `None`
+/// means a heartbeat miss, a disconnect, or a corrupt frame — all
+/// grounds for healing.
+fn await_reply_on(
+    w: &ProcWorker,
+    seq: u64,
+    timeout: Duration,
+    tel: &ProcTelemetry,
+) -> Option<Reply> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match w.from_child.recv_timeout(left) {
+            Ok(bytes) => match decode_reply(&bytes) {
+                Ok((rseq, reply)) if rseq == seq => return Some(reply),
+                Ok((rseq, _)) if rseq < seq => continue,
+                _ => return None,
+            },
+            Err(RecvTimeoutError::Timeout) => {
+                tel.heartbeat_misses.inc();
+                return None;
+            }
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+impl ShardBackend for ProcPool {
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+    fn enable_supervision(&mut self, replay_limit: usize) -> Result<(), PoolError> {
+        // Supervision is inherent to the process backend; this only
+        // adjusts the replay bound and establishes a fresh watermark.
+        self.replay_limit = replay_limit.max(1);
+        self.checkpoint_all()
+    }
+    fn supervised(&self) -> bool {
+        true
+    }
+    fn attach_telemetry(&mut self, scope: &Scope) -> Result<(), PoolError> {
+        scope.gauge("workers").set(self.workers.len() as u64);
+        Ok(())
+    }
+    fn set_respawn_policy(&mut self, policy: RespawnPolicy) {
+        self.opts.policy = policy;
+    }
+    fn observe_records(&mut self, records: &[WildRecord]) -> Result<(), PoolError> {
+        ProcPool::observe_records(self, records)
+    }
+    fn flush(&mut self) -> Result<(), PoolError> {
+        ProcPool::flush(self)
+    }
+    fn finish(&mut self) -> Result<(), PoolError> {
+        ProcPool::finish(self)
+    }
+    fn checkpoint_all(&mut self) -> Result<(), PoolError> {
+        ProcPool::checkpoint_all(self)
+    }
+    fn checkpoint_all_delta(&mut self) -> Result<Vec<DetectorSnapshot>, PoolError> {
+        ProcPool::checkpoint_all_delta(self)
+    }
+    fn supervised_shard_states(&mut self) -> Vec<DetectorState> {
+        ProcPool::supervised_shard_states(self)
+    }
+    fn shard_states(&mut self) -> Result<Vec<DetectorState>, PoolError> {
+        ProcPool::shard_states(self)
+    }
+    fn restore_shard_states(&mut self, states: &[DetectorState]) -> Result<(), PoolError> {
+        ProcPool::restore_shard_states(self, states)
+    }
+    fn set_hitlist(&mut self, hitlist: &HitList) -> Result<(), PoolError> {
+        ProcPool::set_hitlist(self, hitlist)
+    }
+    fn set_rules(&mut self, rules: &RuleSet, hitlist: &HitList) -> Result<(), PoolError> {
+        ProcPool::set_rules(self, rules, hitlist)
+    }
+    fn reset(&mut self) -> Result<(), PoolError> {
+        ProcPool::reset(self)
+    }
+    fn detected_lines(&mut self, class: &str) -> Result<Vec<AnonId>, PoolError> {
+        ProcPool::detected_lines(self, class)
+    }
+    fn is_detected(&mut self, line: AnonId, class: &str) -> Result<bool, PoolError> {
+        ProcPool::is_detected(self, line, class)
+    }
+    fn confidence(&mut self, line: AnonId, class: &str) -> Result<f64, PoolError> {
+        ProcPool::confidence(self, line, class)
+    }
+    fn first_detection(
+        &mut self,
+        line: AnonId,
+        class: &str,
+    ) -> Result<Option<HourBin>, PoolError> {
+        ProcPool::first_detection(self, line, class)
+    }
+    fn state_size(&mut self) -> Result<usize, PoolError> {
+        ProcPool::state_size(self)
+    }
+    fn shard_health(&self, timeout: Duration) -> Vec<ShardHealth> {
+        ProcPool::shard_health(self, timeout)
+    }
+    fn shard_status(&self) -> Vec<ShardStatusReport> {
+        ProcPool::shard_status(self)
+    }
+    fn force_respawn(&mut self, shard: usize) -> Result<(), PoolError> {
+        ProcPool::force_respawn(self, shard)
+    }
+    fn reset_breaker(&mut self, shard: usize) -> Result<(), PoolError> {
+        ProcPool::reset_breaker(self, shard)
+    }
+    fn inject_panic(&mut self, shard: usize, msg: &str) -> Result<(), PoolError> {
+        ProcPool::inject_panic(self, shard, msg)
+    }
+    fn inject_stall(&mut self, shard: usize, dur: Duration) -> Result<(), PoolError> {
+        ProcPool::inject_stall(self, shard, dur)
+    }
+    fn kill_shard(&mut self, shard: usize) -> Result<(), PoolError> {
+        ProcPool::kill_shard(self, shard)
+    }
+}
+
+impl Drop for ProcPool {
+    fn drop(&mut self) {
+        // Ask every child to exit, then close the pipes (EOF doubles as
+        // the shutdown signal if the frame did not fit).
+        for w in &mut self.workers {
+            if let Some(tx) = &w.to_child {
+                let seq = w.bump_seq();
+                let _ = tx.try_send(request_frame(seq, T_SHUTDOWN, |_| ()));
+            }
+            w.to_child = None;
+        }
+        for w in &mut self.workers {
+            let deadline = Instant::now() + Duration::from_secs(2);
+            loop {
+                match w.child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(10))
+                    }
+                    _ => {
+                        let _ = w.child.kill();
+                        let _ = w.child.wait();
+                        break;
+                    }
+                }
+            }
+            if let Some(h) = w.writer.take() {
+                let _ = h.join();
+            }
+            if let Some(h) = w.reader.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RuleDomain, RuleSetBuilder};
+    use haystack_dns::DomainName;
+    use haystack_testbed::catalog::DetectionLevel;
+    use std::io::Cursor;
+
+    fn ruleset(n: usize) -> RuleSet {
+        let mut b = RuleSetBuilder::new();
+        b.rule(
+            "X",
+            DetectionLevel::Manufacturer,
+            None,
+            (0..n)
+                .map(|i| RuleDomain {
+                    name: DomainName::parse(&format!("d{i}.x.com")).unwrap(),
+                    ports: [443u16].into_iter().collect(),
+                    ips: [Ipv4Addr::new(198, 18, 8, i as u8 + 1)].into_iter().collect(),
+                    usage_indicator: false,
+                })
+                .collect(),
+        );
+        b.build()
+    }
+
+    fn record(line: u64, dst_octet: u8, hour: u32) -> WildRecord {
+        let src = Ipv4Addr::new(100, 64, 0, 7);
+        WildRecord {
+            line: AnonId(line),
+            line_slash24: Prefix4::slash24_of(src),
+            src_ip: src,
+            dst: Ipv4Addr::new(198, 18, 8, dst_octet),
+            dport: 443,
+            proto: Proto::Tcp,
+            packets: 3,
+            bytes: 321,
+            established: true,
+            hour: HourBin(hour),
+        }
+    }
+
+    #[test]
+    fn record_codec_round_trips_exactly() {
+        let records: Vec<WildRecord> =
+            (0..40).map(|i| record(i, (i % 6) as u8 + 1, (i % 24) as u32)).collect();
+        let frame = batch_frame(7, &records);
+        let (seq, msg) = decode_to_worker(&frame).unwrap();
+        assert_eq!(seq, 7);
+        let ToWorker::Batch(back) = msg else { panic!("not a batch") };
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn reply_codec_round_trips_every_shape() {
+        let shapes: Vec<Reply> = vec![
+            Reply::Ack,
+            Reply::State(DetectorState { rules: vec![Vec::new(), Vec::new()] }),
+            Reply::Lines(vec![AnonId(3), AnonId(9)]),
+            Reply::Bool(true),
+            Reply::F64(0.625),
+            Reply::First(Some(HourBin(17))),
+            Reply::First(None),
+            Reply::Usize(42),
+        ];
+        for (i, reply) in shapes.iter().enumerate() {
+            let frame = reply_frame(i as u64, reply);
+            let (seq, back) = decode_reply(&frame).unwrap();
+            assert_eq!(seq, i as u64);
+            assert_eq!(format!("{back:?}"), format!("{reply:?}"), "shape {i}");
+        }
+    }
+
+    #[test]
+    fn corrupt_request_frame_is_rejected_not_misread() {
+        let mut frame = batch_frame(1, &[record(5, 1, 0)]);
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0x80;
+        assert!(decode_to_worker(&frame).is_err());
+    }
+
+    /// Drive the child's protocol loop over in-memory pipes — the whole
+    /// wire contract without spawning a process.
+    #[test]
+    fn worker_loop_serves_the_protocol_over_byte_streams() {
+        let rules = ruleset(6);
+        let config = DetectorConfig { threshold: 0.5, require_established: false };
+        let pack = SignaturePack {
+            rules: rules.clone(),
+            threshold: config.threshold,
+            source: "test".into(),
+            comment: String::new(),
+        };
+        let pack_bytes = pack.encode();
+
+        // Enough distinct-domain evidence on line 12 to cross 0.5 of 6.
+        let records: Vec<WildRecord> = (0..4).map(|i| record(12, i + 1, i as u32)).collect();
+        let mut input = Vec::new();
+        let mut frame = |f: Vec<u8>| input.extend_from_slice(&f);
+        frame(request_frame(1, T_INIT, |w| {
+            w.put_bytes(&pack_bytes);
+            w.put_f64_bits(config.threshold);
+            w.put_u8(0);
+        }));
+        frame(batch_frame(2, &records));
+        frame(request_frame(3, T_BARRIER, |_| ()));
+        frame(request_frame(4, T_IS_DETECTED, |w| {
+            w.put_u64(12);
+            w.put_str("X");
+        }));
+        frame(request_frame(5, T_DETECTED_LINES, |w| w.put_str("X")));
+        frame(request_frame(6, T_SNAPSHOT, |_| ()));
+        frame(request_frame(7, T_SHUTDOWN, |_| ()));
+
+        let mut rin = Cursor::new(input);
+        let mut out = Vec::new();
+        run_worker(&mut rin, &mut out).unwrap();
+
+        let mut rout = Cursor::new(out);
+        let mut next = || {
+            let f = read_frame(&mut rout, PROC_MAGIC, PROC_MAX_PAYLOAD).unwrap().expect("reply");
+            decode_reply(&f).unwrap()
+        };
+        assert!(matches!(next(), (1, Reply::Ack)), "init ack");
+        assert!(matches!(next(), (3, Reply::Ack)), "barrier ack");
+        match next() {
+            (4, Reply::Bool(b)) => assert!(b, "line 12 detected"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match next() {
+            (5, Reply::Lines(lines)) => assert_eq!(lines, vec![AnonId(12)]),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match next() {
+            (6, Reply::State(state)) => assert!(state.entry_count() > 0),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(
+            read_frame(&mut rout, PROC_MAGIC, PROC_MAX_PAYLOAD).unwrap().is_none(),
+            "clean EOF after shutdown"
+        );
+    }
+
+    #[test]
+    fn worker_loop_rejects_a_first_frame_that_is_not_init() {
+        let mut input = Vec::new();
+        input.extend_from_slice(&request_frame(1, T_BARRIER, |_| ()));
+        let mut rin = Cursor::new(input);
+        let mut out = Vec::new();
+        let err = run_worker(&mut rin, &mut out).unwrap_err();
+        assert!(err.contains("Init"), "err: {err}");
+    }
+}

@@ -14,6 +14,8 @@
 //!   before any record leaves a vantage point.
 //! * [`snapshot`] — the versioned, checksummed binary snapshot codec the
 //!   crash-safe checkpoint/restore machinery shares (DESIGN.md §12).
+//! * [`framing`] — length-prefixed stream framing over the snapshot
+//!   codec, used by the process-isolated detector pool (DESIGN.md §15).
 //!
 //! Everything here is deterministic and allocation-light; these types sit on
 //! the hot path of the flow pipeline (millions of records per simulated
@@ -26,6 +28,7 @@ pub mod addr;
 pub mod anonymize;
 pub mod asn;
 pub mod error;
+pub mod framing;
 pub mod ports;
 pub mod prefix;
 pub mod snapshot;
